@@ -1,0 +1,1 @@
+bin/pvrun.ml: Arg Cmd Cmdliner Core Format Fun Int64 List Printf Pvir Pvmach Pvvm String Term

@@ -1,0 +1,1 @@
+bin/pvsc.ml: Arg Cmd Cmdliner Core Filename Format Fun List Minic Printf Pvir Pvopt String Term

@@ -1,0 +1,134 @@
+(* pvrun — the on-device half: load PVIR bytecode, JIT (or interpret) it
+   for a simulated target, run a function, and report cycles.
+
+   Arguments after the entry name are parsed against the entry function's
+   parameter types (integers and floats). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mode_conv =
+  let parse = function
+    | "traditional" -> Ok Core.Splitc.Traditional_deferred
+    | "split" -> Ok Core.Splitc.Split
+    | "pure-online" -> Ok Core.Splitc.Pure_online
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Core.Splitc.mode_name m) in
+  Arg.conv (parse, print)
+
+let target_conv =
+  let parse s =
+    match Pvmach.Machine.find s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown target %s (available: %s)" s
+             (String.concat ", "
+                (List.map (fun (m : Pvmach.Machine.t) -> m.Pvmach.Machine.name)
+                   Pvmach.Machine.all))))
+  in
+  let print ppf (m : Pvmach.Machine.t) =
+    Format.pp_print_string ppf m.Pvmach.Machine.name
+  in
+  Arg.conv (parse, print)
+
+let parse_args (fn : Pvir.Func.t) (raw : string list) : Pvir.Value.t list =
+  let tys = List.map (fun r -> Pvir.Func.reg_type fn r) fn.Pvir.Func.params in
+  if List.length tys <> List.length raw then
+    failwith
+      (Printf.sprintf "%s expects %d arguments, got %d" fn.Pvir.Func.name
+         (List.length tys) (List.length raw));
+  List.map2
+    (fun ty s ->
+      match ty with
+      | Pvir.Types.Scalar sc when Pvir.Types.is_float_scalar sc ->
+        Pvir.Value.float sc (float_of_string s)
+      | Pvir.Types.Scalar sc -> Pvir.Value.int sc (Int64.of_string s)
+      | Pvir.Types.Ptr _ -> Pvir.Value.i64 (Int64.of_string s)
+      | Pvir.Types.Vector _ -> failwith "vector parameters not supported")
+    tys raw
+
+(* results print in human-friendly notation (Value.to_string uses hex
+   floats for exactness) *)
+let result_to_string (v : Pvir.Value.t) =
+  match v with
+  | Pvir.Value.Float (_, x) -> Printf.sprintf "%g" x
+  | v -> Pvir.Value.to_string v
+
+let run input target mode interp entry raw_args =
+  try
+    let bc = read_file input in
+    let prog = Pvir.Serial.decode bc in
+    let fn =
+      match Pvir.Prog.find_func prog entry with
+      | Some fn -> fn
+      | None -> failwith (Printf.sprintf "no function %s in %s" entry input)
+    in
+    let args = parse_args fn raw_args in
+    if interp then begin
+      let it = Core.Splitc.interpret bc in
+      let result = Pvvm.Interp.run it entry args in
+      print_string (Pvvm.Interp.output it);
+      (match result with
+      | Some v -> Printf.printf "result: %s\n" (result_to_string v)
+      | None -> ());
+      Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it)
+    end
+    else begin
+      let on = Core.Splitc.online ~mode ~machine:target bc in
+      let result = Pvvm.Sim.run on.Core.Splitc.sim entry args in
+      print_string (Pvvm.Sim.output on.Core.Splitc.sim);
+      (match result with
+      | Some v -> Printf.printf "result: %s\n" (result_to_string v)
+      | None -> ());
+      Printf.printf "%s: %Ld cycles (online compile work: %d units)\n"
+        target.Pvmach.Machine.name
+        (Pvvm.Sim.cycles on.Core.Splitc.sim)
+        (Pvir.Account.total on.Core.Splitc.online_work)
+    end;
+    0
+  with
+  | Failure m | Sys_error m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+  | Pvir.Serial.Corrupt m ->
+    Printf.eprintf "corrupt bytecode: %s\n" m;
+    1
+  | Pvvm.Sim.Trap m | Pvvm.Interp.Trap m ->
+    Printf.eprintf "trap: %s\n" m;
+    1
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.pvir" ~doc:"Bytecode file.")
+
+let entry_arg =
+  Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"FUNC" ~doc:"Function to run.")
+
+let args_arg =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Arguments for the entry function.")
+
+let target_arg =
+  Arg.(value & opt target_conv Pvmach.Machine.x86ish
+       & info [ "t"; "target" ] ~docv:"TARGET" ~doc:"Simulated target machine.")
+
+let mode_arg =
+  Arg.(value & opt mode_conv Core.Splitc.Split
+       & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Online compilation mode.")
+
+let interp_arg =
+  Arg.(value & flag & info [ "interp" ] ~doc:"Interpret instead of JIT compiling.")
+
+let cmd =
+  let doc = "online VM: JIT and run PVIR bytecode on a simulated target" in
+  Cmd.v
+    (Cmd.info "pvrun" ~doc)
+    Term.(const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ entry_arg $ args_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,126 @@
+(* pvsc — the offline (µproc-independent) compiler.
+
+   Compiles MiniC to portable PVIR bytecode, running the offline half of
+   the selected compilation mode, and writes the binary bytecode (or its
+   textual form with --emit-text). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mode_conv =
+  let parse = function
+    | "traditional" -> Ok Core.Splitc.Traditional_deferred
+    | "split" -> Ok Core.Splitc.Split
+    | "pure-online" -> Ok Core.Splitc.Pure_online
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Core.Splitc.mode_name m) in
+  Arg.conv (parse, print)
+
+let compile inputs output mode emit_text verbose roots =
+  try
+    let modules =
+      List.map
+        (fun input ->
+          Core.Splitc.frontend
+            ~name:(Filename.remove_extension (Filename.basename input))
+            (read_file input))
+        inputs
+    in
+    (* several modules: link them at "install time" first *)
+    let p =
+      match modules with
+      | [ m ] -> m
+      | ms -> Pvir.Link.link ms
+    in
+    (match roots with
+    | [] -> ()
+    | roots ->
+      let rf, rg = Pvir.Link.treeshake ~roots p in
+      if verbose then
+        Printf.eprintf "tree shake: removed %d functions, %d globals\n" rf rg);
+    let input = List.hd inputs in
+    let off = Core.Splitc.offline ~mode p in
+    if verbose then begin
+      Printf.eprintf "offline work: %s\n"
+        (Pvir.Account.to_string off.Core.Splitc.offline_work);
+      List.iter
+        (fun (f, (r : Pvopt.Vectorize.result)) ->
+          List.iter
+            (fun (h, vf) ->
+              Printf.eprintf "vectorized %s: loop at block %d, vf=%d\n" f h vf)
+            r.Pvopt.Vectorize.vectorized;
+          List.iter
+            (fun (h, why) ->
+              Printf.eprintf "not vectorized %s: loop at block %d: %s\n" f h why)
+            r.Pvopt.Vectorize.bailed)
+        off.Core.Splitc.vectorized
+    end;
+    if emit_text then (
+      let txt = Pvir.Pp.program_to_string off.Core.Splitc.prog in
+      match output with
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc txt)
+      | None -> print_string txt)
+    else begin
+      let bc = Core.Splitc.distribute off in
+      let path =
+        match output with
+        | Some p -> p
+        | None -> Filename.remove_extension input ^ ".pvir"
+      in
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bc);
+      if verbose then Printf.eprintf "wrote %s (%d bytes)\n" path (String.length bc)
+    end;
+    0
+  with
+  | Minic.Lexer.Error m | Minic.Parser.Error m | Minic.Check.Error m
+  | Minic.Lower.Error m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+  | Pvir.Verify.Error m ->
+    Printf.eprintf "verification error: %s\n" m;
+    1
+  | Sys_error m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+  | Pvir.Link.Error m ->
+    Printf.eprintf "link error: %s\n" m;
+    1
+
+let input_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"INPUT.mc..."
+         ~doc:"MiniC source files (several modules are linked).")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output path.")
+
+let mode_arg =
+  Arg.(value & opt mode_conv Core.Splitc.Split
+       & info [ "m"; "mode" ] ~docv:"MODE"
+           ~doc:"Compilation mode: traditional, split, or pure-online.")
+
+let emit_text_arg =
+  Arg.(value & flag & info [ "emit-text" ] ~doc:"Emit textual PVIR instead of binary bytecode.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Report offline work and vectorization decisions.")
+
+let roots_arg =
+  Arg.(value & opt_all string []
+       & info [ "root" ] ~docv:"FUNC"
+           ~doc:"Tree-shake: keep only code reachable from $(docv) (repeatable).")
+
+let cmd =
+  let doc = "offline compiler: MiniC to portable PVIR bytecode" in
+  Cmd.v
+    (Cmd.info "pvsc" ~doc)
+    Term.(const compile $ input_arg $ output_arg $ mode_arg $ emit_text_arg $ verbose_arg $ roots_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_tuning.ml: Array Core List Printf Pvkernels Pvmach Sys

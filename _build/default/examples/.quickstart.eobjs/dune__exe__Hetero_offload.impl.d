@@ -1,0 +1,1 @@
+examples/hetero_offload.ml: Array Core Int64 List Printf Pvir Pvkernels Pvmach Pvsched

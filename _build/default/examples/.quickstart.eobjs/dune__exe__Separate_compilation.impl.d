@@ -1,0 +1,1 @@
+examples/separate_compilation.ml: Array Core List Printf Pvir Pvmach Pvvm String

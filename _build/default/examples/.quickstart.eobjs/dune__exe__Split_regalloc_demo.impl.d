@@ -1,0 +1,1 @@
+examples/split_regalloc_demo.ml: Core List Printf Pvir Pvjit Pvkernels Pvmach Pvvm

@@ -1,0 +1,1 @@
+examples/split_regalloc_demo.mli:

@@ -1,0 +1,1 @@
+examples/vectorization_demo.ml: Array Core List Printf Pvir Pvkernels Pvmach Sys

@@ -1,0 +1,48 @@
+(* Adaptive optimization across runs (paper §2.2 "idle time" + §4
+   "iterative compilation").
+
+   The device receives raw bytecode and improves it run over run:
+
+     generation 0: interpret, collecting a profile (no compile cost);
+     generation 1: quick baseline JIT;
+     generation 2: during idle time, the VM tries several optimization
+                   configurations (vectorize? unroll by how much?) on its
+                   own simulator and keeps the measured winner.
+
+   The interesting output: different machines pick different winners from
+   identical bytecode.
+
+   Run with:  dune exec examples/adaptive_tuning.exe [kernel] *)
+
+let () =
+  let kernel_name =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "sum_u16"
+  in
+  let k = Pvkernels.Kernels.find_exn kernel_name in
+  Printf.printf "kernel %s: %s\n\n" k.Pvkernels.Kernels.name
+    k.Pvkernels.Kernels.description;
+  let p =
+    Core.Splitc.frontend ~name:k.Pvkernels.Kernels.name
+      k.Pvkernels.Kernels.source
+  in
+  (* ship raw bytecode: the device owns every optimization decision *)
+  let bytecode =
+    Core.Splitc.distribute (Core.Splitc.offline ~mode:Core.Splitc.Pure_online p)
+  in
+  let prepare img = Pvkernels.Harness.fill_inputs img in
+  let args = Pvkernels.Harness.args k 1000 in
+  List.iter
+    (fun machine ->
+      Printf.printf "%s (%s):\n" machine.Pvmach.Machine.name
+        machine.Pvmach.Machine.description;
+      let gens =
+        Core.Adaptive.generations ~machine ~prepare
+          ~entry:k.Pvkernels.Kernels.entry ~args bytecode
+      in
+      List.iter
+        (fun (g : Core.Adaptive.generation) ->
+          Printf.printf "  gen %d  %-32s %10Ld cycles\n" g.Core.Adaptive.gen
+            g.Core.Adaptive.glabel g.Core.Adaptive.exec_cycles)
+        gens;
+      print_newline ())
+    Pvmach.Machine.table1_targets

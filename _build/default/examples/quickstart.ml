@@ -1,0 +1,67 @@
+(* Quickstart: the whole split-compilation flow in one file.
+
+   1. Write a MiniC kernel.
+   2. Offline-compile it to annotated portable bytecode (the artifact you
+      would ship).
+   3. On each "device", load the same bytecode, JIT it for the local
+      machine and run it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+f32 samples[512];
+f32 gains[512];
+f32 out[512];
+
+void apply_gain(i64 n) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    out[i] = samples[i] * gains[i];
+  }
+}
+
+f32 peak(i64 n) {
+  f32 m = 0.0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    m = __max(m, out[i]);
+  }
+  return m;
+}
+|}
+
+let () =
+  (* offline: source -> optimized, annotated bytecode *)
+  let prog = Core.Splitc.frontend ~name:"quickstart" source in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split prog in
+  let bytecode = Core.Splitc.distribute off in
+  Printf.printf "shipped bytecode: %d bytes (offline work: %d units)\n"
+    (String.length bytecode)
+    (Pvir.Account.total off.Core.Splitc.offline_work);
+  List.iter
+    (fun (f, (r : Pvopt.Vectorize.result)) ->
+      List.iter
+        (fun (_, vf) -> Printf.printf "  %s auto-vectorized at %d lanes\n" f vf)
+        r.Pvopt.Vectorize.vectorized)
+    off.Core.Splitc.vectorized;
+  (* online: the same bytecode runs on every device *)
+  List.iter
+    (fun machine ->
+      let on = Core.Splitc.online ~mode:Core.Splitc.Split ~machine bytecode in
+      let img = on.Core.Splitc.img in
+      (* feed inputs by writing the globals directly *)
+      Pvvm.Image.write_global img "samples"
+        (Array.init 512 (fun i -> Pvir.Value.f32 (float_of_int (i mod 32))));
+      Pvvm.Image.write_global img "gains"
+        (Array.init 512 (fun i -> Pvir.Value.f32 (if i mod 2 = 0 then 2.0 else 0.5)));
+      let sim = on.Core.Splitc.sim in
+      ignore (Pvvm.Sim.run sim "apply_gain" [ Pvir.Value.i64 512L ]);
+      let peak = Pvvm.Sim.run sim "peak" [ Pvir.Value.i64 512L ] in
+      Printf.printf
+        "%-9s: peak = %-6s  %Ld cycles  (online compile: %d work units)\n"
+        machine.Pvmach.Machine.name
+        (match peak with
+        | Some v -> Printf.sprintf "%g" (Pvir.Value.to_float v)
+        | None -> "?")
+        (Pvvm.Sim.cycles sim)
+        (Pvir.Account.total on.Core.Splitc.online_work))
+    Pvmach.Machine.all

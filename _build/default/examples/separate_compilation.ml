@@ -1,0 +1,75 @@
+(* Separate compilation and install-time linking (paper §4, experiment E8).
+
+   A "vendor" ships a math library module; the application module calls it
+   through extern declarations.  Both travel as independent bytecode; the
+   device links them at install time, tree-shakes dead vendor code, runs
+   the whole-program optimizer (which now inlines across the old module
+   boundary), and only then JITs.
+
+   Run with:  dune exec examples/separate_compilation.exe *)
+
+let vendor_lib =
+  {|
+f32 win_coef[512];
+
+f32 window(f32 x, i64 i) { return x * win_coef[i]; }
+
+f32 gain(f32 x, f32 g) { return x * g; }
+
+/* dead vendor code the application never calls */
+f32 legacy_filter(f32 x) { return x * 0.5f + 1.0f; }
+f32 legacy_filter2(f32 x) { return legacy_filter(x) * 2.0f; }
+|}
+
+let application =
+  {|
+extern f32 window(f32 x, i64 i);
+extern f32 gain(f32 x, f32 g);
+
+f32 samples[512];
+
+void process(i64 n, f32 g) {
+  for (i64 i = 0; i < n; i++) {
+    samples[i] = gain(window(samples[i], i), g);
+  }
+}
+|}
+
+let () =
+  (* each vendor compiles its module independently *)
+  let lib = Core.Splitc.frontend ~name:"vendor_lib" vendor_lib in
+  let app = Core.Splitc.frontend ~name:"application" application in
+  let size p = String.length (Pvir.Serial.encode p) in
+  Printf.printf "shipped: vendor_lib %d bytes, application %d bytes\n"
+    (size lib) (size app);
+  (* install time on the device: link, shake, whole-program optimize *)
+  let whole = Pvir.Link.link ~name:"installed" [ lib; app ] in
+  let removed_f, removed_g = Pvir.Link.treeshake ~roots:[ "process" ] whole in
+  Printf.printf "linked + tree-shaken: %d bytes (-%d functions, -%d globals)\n"
+    (size whole) removed_f removed_g;
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split whole in
+  let calls_left =
+    let n = ref 0 in
+    Pvir.Func.iter_instrs
+      (fun _ i -> match i with Pvir.Instr.Call _ -> incr n | _ -> ())
+      (Pvir.Prog.find_func_exn off.Core.Splitc.prog "process");
+    !n
+  in
+  Printf.printf "after whole-program optimization: %d library calls left in the loop\n\n"
+    calls_left;
+  (* run on two very different cores from the same installed image *)
+  let bc = Core.Splitc.distribute off in
+  List.iter
+    (fun machine ->
+      let on = Core.Splitc.online ~mode:Core.Splitc.Split ~machine bc in
+      let img = on.Core.Splitc.img in
+      Pvvm.Image.write_global img "samples"
+        (Array.init 512 (fun i -> Pvir.Value.f32 (float_of_int (i mod 16))));
+      Pvvm.Image.write_global img "win_coef"
+        (Array.init 512 (fun i -> Pvir.Value.f32 (if i mod 2 = 0 then 1.0 else 2.0)));
+      ignore
+        (Pvvm.Sim.run on.Core.Splitc.sim "process"
+           [ Pvir.Value.i64 512L; Pvir.Value.f32 0.5 ]);
+      Printf.printf "%-9s: %Ld cycles\n" machine.Pvmach.Machine.name
+        (Pvvm.Sim.cycles on.Core.Splitc.sim))
+    [ Pvmach.Machine.x86ish; Pvmach.Machine.uchost ]

@@ -1,0 +1,58 @@
+(* Split register allocation (the paper's §4, after Diouf et al. [18]).
+
+   The poly8 kernel keeps more values live than the register-poor x86ish
+   target has registers, so somebody must be spilled.  Three online
+   allocators compete:
+
+     none        - blind linear scan (furthest-end eviction)
+     annotation  - linear scan guided by the offline spill-order
+                   annotation (split compilation: near-free online)
+     recompute   - linear scan with the same weights recomputed online
+                   (what a pure-online JIT would pay)
+
+   Run with:  dune exec examples/split_regalloc_demo.exe *)
+
+let () =
+  let k = Pvkernels.Kernels.poly8 in
+  let machine = Pvmach.Machine.x86ish in
+  let n = 1024 in
+  Printf.printf "kernel %s on %s (%d int registers)\n\n"
+    k.Pvkernels.Kernels.name machine.Pvmach.Machine.name
+    machine.Pvmach.Machine.int_regs;
+  (* offline: split mode (annotations present in the bytecode) *)
+  let p = Core.Splitc.frontend ~name:k.Pvkernels.Kernels.name k.Pvkernels.Kernels.source in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+  let bc = Core.Splitc.distribute off in
+  Printf.printf "%-12s %14s %12s %14s\n" "hints" "dyn spill ops" "cycles"
+    "online work";
+  let reference = ref None in
+  List.iter
+    (fun (label, hints) ->
+      let account = Pvir.Account.create () in
+      let prog = Pvir.Serial.decode bc in
+      let img = Pvvm.Image.load prog in
+      let sim, _report =
+        Pvjit.Jit.compile_program ~account ~machine ~hints img
+      in
+      Pvkernels.Harness.fill_inputs img;
+      let result =
+        Pvvm.Sim.run sim k.Pvkernels.Kernels.entry (Pvkernels.Harness.args k n)
+      in
+      (match (!reference, result) with
+      | None, r -> reference := Some r
+      | Some r0, r ->
+        let same =
+          match (r0, r) with
+          | None, None -> true
+          | Some a, Some b -> Pvir.Value.equal a b
+          | _ -> false
+        in
+        if not same then failwith "allocators disagree on the result!");
+      Printf.printf "%-12s %14Ld %12Ld %14d\n" label
+        sim.Pvvm.Sim.stats.Pvvm.Sim.spill_ops (Pvvm.Sim.cycles sim)
+        (Pvir.Account.total account))
+    [
+      ("none", Pvjit.Jit.Hints_none);
+      ("annotation", Pvjit.Jit.Hints_annotation);
+      ("recompute", Pvjit.Jit.Hints_recompute);
+    ]

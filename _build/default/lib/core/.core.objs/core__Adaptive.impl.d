@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Int64 List Printf Pvir Pvjit Pvopt Pvvm

@@ -1,0 +1,1 @@
+lib/core/splitc.ml: Minic Pvir Pvjit Pvmach Pvopt Pvvm

@@ -1,0 +1,1 @@
+lib/core/splitc.mli: Pvir Pvjit Pvmach Pvopt Pvvm

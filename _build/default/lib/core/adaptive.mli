@@ -1,0 +1,73 @@
+(** Adaptive optimization across program runs — the paper's §2.2
+    (idle-time re-optimization) and §4 (iterative compilation driven by
+    the virtual machine monitor).
+
+    Works on *raw* bytecode (a {!Splitc.Pure_online} distribution): the
+    device owns every optimization decision and resolves the
+    target-dependent ones — vectorize or not, unroll by how much — by
+    measuring candidate configurations on its own simulator during idle
+    time, seeded by the execution profile of earlier runs. *)
+
+(** One point in the optimization space the iterative search explores. *)
+type config = { vectorize : bool; unroll : int  (** 1 = no unrolling *) }
+
+val config_label : config -> string
+
+(** The default search space: scalar/vectorized x unroll {1,2,4,8}. *)
+val default_configs : config list
+
+(** Apply a configuration to a fresh copy of decision-open bytecode
+    (cleanup, inlining, LICM, optional vectorization, strength reduction,
+    optional unrolling, regalloc annotations).  The result verifies. *)
+val apply_config : ?account:Pvir.Account.t -> config -> Pvir.Prog.t -> Pvir.Prog.t
+
+(** Result of measuring one configuration. *)
+type sample = {
+  config : config;
+  cycles : int64;
+  compile_work : int;
+  result : Pvir.Value.t option;
+}
+
+(** JIT a program for [machine] and measure one run of [entry args];
+    [prepare] fills the inputs after loading. *)
+val measure :
+  ?account:Pvir.Account.t ->
+  machine:Pvmach.Machine.t ->
+  prepare:(Pvvm.Image.t -> unit) ->
+  entry:string ->
+  args:Pvir.Value.t list ->
+  Pvir.Prog.t ->
+  int64 * Pvir.Value.t option
+
+(** Measure every configuration; the returned list is sorted best
+    (fewest cycles) first.  All candidates must agree on the observable
+    result — a mismatch raises [Failure]. *)
+val search :
+  ?configs:config list ->
+  machine:Pvmach.Machine.t ->
+  prepare:(Pvvm.Image.t -> unit) ->
+  entry:string ->
+  args:Pvir.Value.t list ->
+  Pvir.Prog.t ->
+  sample list
+
+(** One generation of the adaptive lifecycle. *)
+type generation = {
+  gen : int;
+  glabel : string;
+  exec_cycles : int64;
+  gcompile_work : int;  (** work paid to reach this generation *)
+}
+
+(** Play the three-generation lifecycle (interpret + profile, quick JIT,
+    idle-time tuned) for [entry] on [machine].  The bytecode must be the
+    raw (pure-online) distribution. *)
+val generations :
+  ?configs:config list ->
+  machine:Pvmach.Machine.t ->
+  prepare:(Pvvm.Image.t -> unit) ->
+  entry:string ->
+  args:Pvir.Value.t list ->
+  string ->
+  generation list

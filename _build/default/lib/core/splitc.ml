@@ -1,0 +1,101 @@
+(** End-to-end driver for the split-compilation toolchain — the public
+    face of the library.
+
+    The paper's Figure 1 names two coordinated compilers: a
+    µproc-independent offline compiler emitting annotated bytecode, and a
+    µproc-specific online (JIT) compiler on the device.  {!offline},
+    {!distribute} and {!online} are those arrows; {!run_source} strings
+    them together for one-call use.
+
+    Three compilation modes quantify the design space (experiment E2):
+
+    - {!Traditional_deferred}: the pre-split status quo — the offline step
+      drops target-dependent optimizations (no vectorization, no
+      allocation hints); the online step is cheap but the code is scalar.
+    - {!Split}: the paper's proposal — expensive analyses run offline and
+      ship as portable vector builtins + annotations; the online step is
+      as cheap as the traditional one but reaches aggressive-quality code.
+    - {!Pure_online}: the upper bound a JIT could reach with an unbounded
+      budget — every expensive pass runs on the device. *)
+
+type mode = Traditional_deferred | Split | Pure_online
+
+let mode_name = function
+  | Traditional_deferred -> "traditional"
+  | Split -> "split"
+  | Pure_online -> "pure-online"
+
+let all_modes = [ Traditional_deferred; Split; Pure_online ]
+
+(** Result of the offline step: optimized bytecode plus the work spent. *)
+type offline_result = {
+  prog : Pvir.Prog.t;
+  offline_work : Pvir.Account.t;
+  vectorized : (string * Pvopt.Vectorize.result) list;
+}
+
+(** Result of the online step: a loaded simulator plus online work. *)
+type online_result = {
+  sim : Pvvm.Sim.t;
+  online_work : Pvir.Account.t;
+  jit : Pvjit.Jit.report;
+  img : Pvvm.Image.t;
+}
+
+(** Compile MiniC source to (unoptimized, verified) bytecode. *)
+let frontend ?(name = "program") (src : string) : Pvir.Prog.t =
+  Minic.Lower.compile ~name src
+
+(** Run the offline half of the chosen mode on bytecode [p] (in place on a
+    copy; the input program is not modified). *)
+let offline ?(mode = Split) (p : Pvir.Prog.t) : offline_result =
+  let p = Pvir.Prog.copy p in
+  let account = Pvir.Account.create () in
+  let vectorized =
+    match mode with
+    | Traditional_deferred ->
+      Pvopt.Passes.offline_traditional ~account p;
+      []
+    | Split -> Pvopt.Passes.offline_split ~account p
+    | Pure_online ->
+      (* nothing happens offline beyond verification *)
+      Pvir.Verify.program p;
+      []
+  in
+  { prog = p; offline_work = account; vectorized }
+
+(** Serialize to the distribution format (what ships to devices). *)
+let distribute (r : offline_result) : string = Pvir.Serial.encode r.prog
+
+(** The on-device step: decode, verify, load, optimize (per mode), and JIT
+    for [machine].  [bytecode] is the string produced by {!distribute}. *)
+let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
+    (bytecode : string) : online_result =
+  let account = Pvir.Account.create () in
+  let p = Pvir.Serial.decode bytecode in
+  let p, hints =
+    match mode with
+    | Traditional_deferred -> (p, Pvjit.Jit.Hints_none)
+    | Split -> (p, Pvjit.Jit.Hints_annotation)
+    | Pure_online ->
+      (* the JIT must redo everything itself, at online prices *)
+      ignore (Pvopt.Passes.online_full ~account p);
+      (p, Pvjit.Jit.Hints_recompute)
+  in
+  let img = Pvvm.Image.load ~mem_size p in
+  let sim, jit = Pvjit.Jit.compile_program ~account ~machine ~hints img in
+  { sim; online_work = account; jit; img }
+
+(** Interpret the bytecode instead of JIT-compiling it (the baseline
+    execution mode of early virtual machines). *)
+let interpret ?(mem_size = 1 lsl 20) (bytecode : string) : Pvvm.Interp.t =
+  let p = Pvir.Serial.decode bytecode in
+  let img = Pvvm.Image.load ~mem_size p in
+  Pvvm.Interp.create img
+
+(** One call from source text to a device-resident simulator. *)
+let run_source ?(mode = Split) ~(machine : Pvmach.Machine.t) ?mem_size
+    (src : string) : offline_result * online_result =
+  let off = offline ~mode (frontend src) in
+  let on = online ~mode ~machine ?mem_size (distribute off) in
+  (off, on)

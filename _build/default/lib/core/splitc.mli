@@ -1,0 +1,72 @@
+(** End-to-end driver for the split-compilation toolchain — the public
+    face of the library.
+
+    The flow mirrors the paper's Figure 1: {!frontend} produces portable
+    bytecode, {!offline} runs the µproc-independent compiler of the chosen
+    mode, {!distribute} serializes the artifact that ships to devices, and
+    {!online} plays the device side (decode, verify, load, JIT for a
+    concrete machine).  {!interpret} is the no-JIT baseline.  See
+    {!Adaptive} for the across-runs layer. *)
+
+(** Compilation modes (experiment E2):
+    - [Traditional_deferred]: offline drops target-dependent
+      optimizations; cheap blind JIT.
+    - [Split]: the paper's proposal — expensive analyses offline, shipped
+      as portable vector builtins + annotations; cheap annotation-reading
+      JIT.
+    - [Pure_online]: nothing offline; the JIT redoes everything on the
+      device. *)
+type mode = Traditional_deferred | Split | Pure_online
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+(** Result of the offline step: optimized bytecode plus the work spent. *)
+type offline_result = {
+  prog : Pvir.Prog.t;
+  offline_work : Pvir.Account.t;
+  vectorized : (string * Pvopt.Vectorize.result) list;
+      (** per-function vectorization outcomes (empty except in split
+          mode) *)
+}
+
+(** Result of the online step: a loaded simulator plus online work. *)
+type online_result = {
+  sim : Pvvm.Sim.t;
+  online_work : Pvir.Account.t;
+  jit : Pvjit.Jit.report;
+  img : Pvvm.Image.t;
+}
+
+(** Compile MiniC source to (unoptimized, verified) bytecode.
+    @raise Minic.Lexer.Error, Minic.Parser.Error, Minic.Check.Error or
+    Minic.Lower.Error on malformed source. *)
+val frontend : ?name:string -> string -> Pvir.Prog.t
+
+(** Run the offline half of [mode] on a copy of the program. *)
+val offline : ?mode:mode -> Pvir.Prog.t -> offline_result
+
+(** Serialize to the binary distribution format (what ships to devices). *)
+val distribute : offline_result -> string
+
+(** The on-device step: decode, verify, load, optimize per [mode], JIT for
+    [machine].  [mem_size] is the device memory in bytes (default 1 MiB).
+    @raise Pvir.Serial.Corrupt or Pvir.Verify.Error on bad bytecode. *)
+val online :
+  ?mode:mode ->
+  machine:Pvmach.Machine.t ->
+  ?mem_size:int ->
+  string ->
+  online_result
+
+(** Interpret the bytecode instead of JIT-compiling it. *)
+val interpret : ?mem_size:int -> string -> Pvvm.Interp.t
+
+(** One call from source text to a device-resident simulator:
+    [frontend |> offline |> distribute |> online]. *)
+val run_source :
+  ?mode:mode ->
+  machine:Pvmach.Machine.t ->
+  ?mem_size:int ->
+  string ->
+  offline_result * online_result

@@ -1,0 +1,1 @@
+lib/minic/check.ml: Ast Hashtbl Int64 List Option Printf Pvir

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Int64 List Printf String

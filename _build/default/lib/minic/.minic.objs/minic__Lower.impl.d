@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Builder Check Func Hashtbl Instr List Option Parser Printf Prog Pvir Types Value Verify

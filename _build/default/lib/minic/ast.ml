@@ -1,0 +1,119 @@
+(** Abstract syntax of MiniC, the C-subset input language of the offline
+    compiler.
+
+    MiniC covers the low-level imperative style the paper targets: sized
+    integer and float types (signed and unsigned), pointers, arrays, loops
+    and straightforward arithmetic.  One deliberate deviation from ISO C is
+    that arithmetic happens at the *natural width* of the operands (no
+    promotion of everything to [int]): [u8 + u8] stays an 8-bit operation.
+    This keeps narrow computations narrow in the IR, which is what gives the
+    auto-vectorizer its 16-lane opportunities on byte data — the same
+    property the paper's CLI tool chain obtains from its typed bytecode. *)
+
+type ty =
+  | Void
+  | Int of Pvir.Types.scalar * bool  (** scalar, signed? *)
+  | Flt of Pvir.Types.scalar
+  | Ptr of ty
+  | Arr of ty * int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land  (** short-circuit && *)
+  | Lor  (** short-circuit || *)
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Int_lit of int64 * ty option  (** value, optional suffix type *)
+  | Float_lit of float * ty option
+  | Var of string
+  | Index of expr * expr  (** a[i] *)
+  | Deref of expr  (** *p *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Assign of expr * expr  (** lvalue (Var/Index/Deref), rvalue *)
+  | Expr_stmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr option * stmt option * stmt list
+  | Return of expr option
+  | Block of stmt list
+  | Break
+  | Continue
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type global = {
+  gname : string;
+  gty : ty;  (** scalar or array type *)
+  ginit : expr list option;
+}
+
+(** Declaration of a function defined in another compilation unit
+    ([extern i32 f(i32 x);]); resolved by the install-time linker. *)
+type extern_decl = { xname : string; xret : ty; xparams : ty list }
+
+type program = {
+  globals : global list;
+  funcs : func list;
+  externs : extern_decl list;
+}
+
+let rec ty_to_string = function
+  | Void -> "void"
+  | Int (s, signed) ->
+    let base = Pvir.Types.scalar_name s in
+    if signed then base else "u" ^ String.sub base 1 (String.length base - 1)
+  | Flt s -> Pvir.Types.scalar_name s
+  | Ptr t -> ty_to_string t ^ "*"
+  | Arr (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+
+let is_integer_ty = function Int _ -> true | _ -> false
+let is_float_ty = function Flt _ -> true | _ -> false
+let is_arith_ty t = is_integer_ty t || is_float_ty t
+let is_pointer_ty = function Ptr _ -> true | _ -> false
+
+let is_signed = function
+  | Int (_, signed) -> signed
+  | Flt _ -> true
+  | Void | Ptr _ | Arr _ -> false
+
+(** Width in bytes of an arithmetic type. *)
+let width = function
+  | Int (s, _) | Flt s -> Pvir.Types.scalar_size s
+  | Void | Ptr _ | Arr _ -> invalid_arg "Ast.width: not arithmetic"
+
+(** The PVIR scalar underlying an arithmetic or pointer type. *)
+let scalar_of_ty = function
+  | Int (s, _) | Flt s -> s
+  | Ptr _ -> Pvir.Types.I64
+  | Void | Arr _ -> invalid_arg "Ast.scalar_of_ty"
+
+let ty_equal (a : ty) (b : ty) = a = b

@@ -1,0 +1,452 @@
+(** Type checker for MiniC.
+
+    Produces a typed AST with every implicit conversion made explicit, so
+    that lowering to PVIR is a mechanical traversal.  Conversion rules (a
+    simplification of C's, documented in {!Ast}): arithmetic happens at the
+    wider operand type; equal-width mixed-signedness picks unsigned; integer
+    widening sign-extends iff the source is signed; floats win over
+    integers.  Pointer arithmetic scales by the element size. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ---------------- typed AST ---------------- *)
+
+type lval =
+  | Lvar of string  (** scalar local or parameter *)
+  | Lmem of texpr * Ast.ty  (** address expression, element type *)
+
+and texpr = { desc : desc; ty : Ast.ty }
+
+and desc =
+  | Tint of int64
+  | Tfloat of float
+  | Tread of lval  (** rvalue read *)
+  | Taddr of string  (** address of array variable (decay) *)
+  | Tconv of Pvir.Instr.conv * texpr
+  | Tretype of texpr  (** same bits, different MiniC type (sign changes) *)
+  | Tunary of Ast.unop * texpr
+  | Tbinary of Ast.binop * texpr * texpr
+  | Tternary of texpr * texpr * texpr
+  | Tcall of string * texpr list
+
+type tstmt =
+  | Sdecl of Ast.ty * string * texpr option
+  | Sassign of lval * texpr
+  | Sexpr of texpr
+  | Sif of texpr * tstmt list * tstmt list
+  | Swhile of texpr * tstmt list
+  | Sfor of tstmt option * texpr option * tstmt option * tstmt list
+  | Sreturn of texpr option
+  | Sbreak
+  | Scontinue
+
+type tfunc = {
+  fname : string;
+  fret : Ast.ty;
+  fparams : (Ast.ty * string) list;
+  fbody : tstmt list;
+}
+
+type tglobal = { gname : string; gelem : Ast.ty; gcount : int; ginit : texpr list option }
+
+type tprogram = {
+  globals : tglobal list;
+  funcs : tfunc list;
+  externs : Ast.extern_decl list;
+}
+
+(* ---------------- environments ---------------- *)
+
+type env = {
+  vars : (string, Ast.ty) Hashtbl.t;  (** locals and params, innermost wins *)
+  globals : (string, Ast.ty) Hashtbl.t;
+  funcs : (string, Ast.ty list * Ast.ty) Hashtbl.t;
+  mutable ret : Ast.ty;
+}
+
+(** Built-in functions available to every MiniC program.  [__min]/[__max]
+    are polymorphic over arithmetic types (resolved at the call site);
+    the print intrinsics map to VM intrinsics. *)
+let builtins = [ ("print_i64", ([ Ast.Int (Pvir.Types.I64, true) ], Ast.Void));
+                 ("print_f64", ([ Ast.Flt Pvir.Types.F64 ], Ast.Void)) ]
+
+(* ---------------- conversions ---------------- *)
+
+let rec decay (t : Ast.ty) =
+  match t with Ast.Arr (elem, _) -> Ast.Ptr (decay elem) | t -> t
+
+(** [coerce e ty] converts typed expression [e] to type [ty], inserting the
+    right conversion node.  Fails when no implicit conversion exists. *)
+let coerce (e : texpr) (ty : Ast.ty) : texpr =
+  if Ast.ty_equal e.ty ty then e
+  else
+    match (e.ty, ty) with
+    | Ast.Int (s1, signed1), Ast.Int (s2, _) ->
+      let w1 = Pvir.Types.scalar_size s1 and w2 = Pvir.Types.scalar_size s2 in
+      if w1 = w2 then { desc = Tretype e; ty }
+      else if w1 < w2 then
+        let kind = if signed1 then Pvir.Instr.Sext else Pvir.Instr.Zext in
+        { desc = Tconv (kind, e); ty }
+      else { desc = Tconv (Pvir.Instr.Trunc, e); ty }
+    | Ast.Int (_, signed1), Ast.Flt _ ->
+      let kind = if signed1 then Pvir.Instr.Sitofp else Pvir.Instr.Uitofp in
+      { desc = Tconv (kind, e); ty }
+    | Ast.Flt _, Ast.Int (_, signed2) ->
+      let kind = if signed2 then Pvir.Instr.Fptosi else Pvir.Instr.Fptoui in
+      { desc = Tconv (kind, e); ty }
+    | Ast.Flt s1, Ast.Flt s2 when s1 <> s2 -> { desc = Tconv (Pvir.Instr.Fpconv, e); ty }
+    | Ast.Ptr _, Ast.Ptr _ -> { desc = Tretype e; ty }
+    | Ast.Ptr _, Ast.Int (Pvir.Types.I64, _) -> { desc = Tretype e; ty }
+    | Ast.Int (Pvir.Types.I64, _), Ast.Ptr _ -> { desc = Tretype e; ty }
+    | _ ->
+      fail "cannot convert %s to %s" (Ast.ty_to_string e.ty)
+        (Ast.ty_to_string ty)
+
+(** Common arithmetic type of two operand types. *)
+let common_ty (a : Ast.ty) (b : Ast.ty) : Ast.ty =
+  match (a, b) with
+  | Ast.Flt s1, Ast.Flt s2 ->
+    if Pvir.Types.scalar_size s1 >= Pvir.Types.scalar_size s2 then a else b
+  | Ast.Flt _, Ast.Int _ -> a
+  | Ast.Int _, Ast.Flt _ -> b
+  | Ast.Int (s1, signed1), Ast.Int (s2, signed2) ->
+    let w1 = Pvir.Types.scalar_size s1 and w2 = Pvir.Types.scalar_size s2 in
+    if w1 > w2 then a
+    else if w2 > w1 then b
+    else Ast.Int (s1, signed1 && signed2)
+  | _ ->
+    fail "no common arithmetic type for %s and %s" (Ast.ty_to_string a)
+      (Ast.ty_to_string b)
+
+let i32_ty = Ast.Int (Pvir.Types.I32, true)
+let i64_ty = Ast.Int (Pvir.Types.I64, true)
+
+(* ---------------- expression checking ---------------- *)
+
+let lookup_var env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some t -> Some t
+  | None -> Hashtbl.find_opt env.globals name
+
+let rec check_expr env (e : Ast.expr) : texpr =
+  match e with
+  | Ast.Int_lit (v, Some ty) -> { desc = Tint v; ty }
+  | Ast.Int_lit (v, None) ->
+    (* fits in i32? then i32, else i64 *)
+    let ty =
+      if Int64.compare v (-2147483648L) >= 0 && Int64.compare v 2147483647L <= 0
+      then i32_ty
+      else i64_ty
+    in
+    { desc = Tint v; ty }
+  | Ast.Float_lit (v, Some ty) -> { desc = Tfloat v; ty }
+  | Ast.Float_lit (v, None) -> { desc = Tfloat v; ty = Ast.Flt Pvir.Types.F64 }
+  | Ast.Var name -> (
+    match lookup_var env name with
+    | None -> fail "unknown variable %s" name
+    | Some (Ast.Arr _ as t) -> { desc = Taddr name; ty = decay t }
+    | Some t when Hashtbl.mem env.vars name -> { desc = Tread (Lvar name); ty = t }
+    | Some t ->
+      (* scalar global: a memory location, not a register *)
+      let addr = { desc = Taddr name; ty = Ast.Ptr t } in
+      { desc = Tread (Lmem (addr, t)); ty = t })
+  | Ast.Index (base, idx) ->
+    let addr, elem = check_address env base idx in
+    { desc = Tread (Lmem (addr, elem)); ty = elem }
+  | Ast.Deref p ->
+    let tp = check_expr env p in
+    (match tp.ty with
+    | Ast.Ptr elem -> { desc = Tread (Lmem (tp, elem)); ty = elem }
+    | t -> fail "cannot dereference %s" (Ast.ty_to_string t))
+  | Ast.Unary (op, a) -> check_unary env op a
+  | Ast.Binary (op, a, b) -> check_binary env op a b
+  | Ast.Ternary (c, a, b) ->
+    let tc = check_cond env c in
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    let ty = common_ty ta.ty tb.ty in
+    { desc = Tternary (tc, coerce ta ty, coerce tb ty); ty }
+  | Ast.Call (name, args) -> check_call env name args
+  | Ast.Cast (ty, a) ->
+    let ta = check_expr env a in
+    coerce ta ty
+
+(* address of base[idx]; returns (address expression : Ptr elem, elem) *)
+and check_address env base idx =
+  let tb = check_expr env base in
+  let elem =
+    match tb.ty with
+    | Ast.Ptr elem -> elem
+    | t -> fail "cannot index %s" (Ast.ty_to_string t)
+  in
+  let ti = coerce (check_expr env idx) i64_ty in
+  let scale =
+    { desc = Tint (Int64.of_int (Ast.width elem)); ty = i64_ty }
+  in
+  let off = { desc = Tbinary (Ast.Mul, ti, scale); ty = i64_ty } in
+  let addr =
+    { desc = Tbinary (Ast.Add, coerce tb i64_ty, off); ty = Ast.Ptr elem }
+  in
+  (addr, elem)
+
+and check_unary env op a =
+  let ta = check_expr env a in
+  match op with
+  | Ast.Neg ->
+    if not (Ast.is_arith_ty ta.ty) then
+      fail "cannot negate %s" (Ast.ty_to_string ta.ty);
+    { desc = Tunary (op, ta); ty = ta.ty }
+  | Ast.Bnot ->
+    if not (Ast.is_integer_ty ta.ty) then
+      fail "~ requires an integer, got %s" (Ast.ty_to_string ta.ty);
+    { desc = Tunary (op, ta); ty = ta.ty }
+  | Ast.Lnot -> { desc = Tunary (op, ta); ty = i32_ty }
+
+and check_binary env op a b =
+  match op with
+  | Ast.Land | Ast.Lor ->
+    let ta = check_cond env a in
+    let tb = check_cond env b in
+    { desc = Tbinary (op, ta, tb); ty = i32_ty }
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    let ty = common_ty (decay ta.ty) (decay tb.ty) in
+    { desc = Tbinary (op, coerce ta ty, coerce tb ty); ty = i32_ty }
+  | Ast.Add | Ast.Sub ->
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    (match (ta.ty, tb.ty) with
+    | Ast.Ptr elem, _ when Ast.is_integer_ty tb.ty ->
+      check_ptr_arith op ta tb elem
+    | _, Ast.Ptr elem when Ast.is_integer_ty ta.ty && op = Ast.Add ->
+      check_ptr_arith op tb ta elem
+    | _ ->
+      let ty = common_ty ta.ty tb.ty in
+      { desc = Tbinary (op, coerce ta ty, coerce tb ty); ty })
+  | Ast.Mul | Ast.Div | Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor ->
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    let ty = common_ty ta.ty tb.ty in
+    (match op with
+    | Ast.Rem | Ast.Band | Ast.Bor | Ast.Bxor when not (Ast.is_integer_ty ty)
+      -> fail "integer operator on %s" (Ast.ty_to_string ty)
+    | _ -> ());
+    { desc = Tbinary (op, coerce ta ty, coerce tb ty); ty }
+  | Ast.Shl | Ast.Shr ->
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    if not (Ast.is_integer_ty ta.ty && Ast.is_integer_ty tb.ty) then
+      fail "shift requires integers";
+    { desc = Tbinary (op, ta, coerce tb ta.ty); ty = ta.ty }
+
+and check_ptr_arith op (tp : texpr) (ti : texpr) elem =
+  let ti = coerce ti i64_ty in
+  let scale = { desc = Tint (Int64.of_int (Ast.width elem)); ty = i64_ty } in
+  let off = { desc = Tbinary (Ast.Mul, ti, scale); ty = i64_ty } in
+  { desc = Tbinary (op, coerce tp i64_ty, off); ty = tp.ty }
+
+(* conditions: any arithmetic/pointer value; normalized to i32 0/1 *)
+and check_cond env e =
+  let te = check_expr env e in
+  match te.ty with
+  | Ast.Int (Pvir.Types.I32, true) -> te
+  | Ast.Int _ | Ast.Flt _ | Ast.Ptr _ ->
+    let zero =
+      if Ast.is_float_ty te.ty then { desc = Tfloat 0.0; ty = te.ty }
+      else { desc = Tint 0L; ty = decay te.ty }
+    in
+    { desc = Tbinary (Ast.Ne, te, zero); ty = i32_ty }
+  | t -> fail "invalid condition of type %s" (Ast.ty_to_string t)
+
+and check_call env name args =
+  (* polymorphic builtins *)
+  match (name, args) with
+  | ("__min" | "__max"), [ a; b ] ->
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    let ty = common_ty ta.ty tb.ty in
+    { desc = Tcall (name, [ coerce ta ty; coerce tb ty ]); ty }
+  | ("__min" | "__max"), _ -> fail "%s expects 2 arguments" name
+  | _ -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> fail "unknown function %s" name
+    | Some (param_tys, ret) ->
+      if List.length args <> List.length param_tys then
+        fail "%s expects %d arguments, got %d" name (List.length param_tys)
+          (List.length args);
+      let targs =
+        List.map2 (fun a ty -> coerce (check_expr env a) ty) args param_tys
+      in
+      { desc = Tcall (name, targs); ty = ret })
+
+(* ---------------- statements ---------------- *)
+
+let rec check_stmt env (s : Ast.stmt) : tstmt list =
+  match s with
+  | Ast.Decl (ty, name, init) -> (
+    if Hashtbl.mem env.vars name then fail "redeclaration of %s" name;
+    match ty with
+    | Ast.Arr (elem, n) ->
+      if not (Ast.is_arith_ty elem) then
+        fail "array of non-arithmetic type %s" (Ast.ty_to_string elem);
+      if n <= 0 then fail "array %s has non-positive size" name;
+      if init <> None then fail "array initializers only allowed on globals";
+      Hashtbl.add env.vars name ty;
+      [ Sdecl (ty, name, None) ]
+    | Ast.Void -> fail "void variable %s" name
+    | _ ->
+      let tinit = Option.map (fun e -> coerce (check_expr env e) ty) init in
+      Hashtbl.add env.vars name ty;
+      [ Sdecl (ty, name, tinit) ])
+  | Ast.Assign (lhs, rhs) ->
+    let lv, lty = check_lvalue env lhs in
+    let trhs = coerce (check_expr env rhs) lty in
+    [ Sassign (lv, trhs) ]
+  | Ast.Expr_stmt e -> [ Sexpr (check_expr env e) ]
+  | Ast.If (c, t, f) ->
+    let tc = check_cond env c in
+    [ Sif (tc, check_stmts env t, check_stmts env f) ]
+  | Ast.While (c, body) ->
+    let tc = check_cond env c in
+    [ Swhile (tc, check_stmts env body) ]
+  | Ast.For (init, cond, step, body) ->
+    (* the induction variable declared in the for-header is scoped to the
+       loop, so successive loops can all declare `i64 i` *)
+    let tinit = Option.map (fun s -> one_stmt env s) init in
+    let tcond = Option.map (check_cond env) cond in
+    let tstep = Option.map (fun s -> one_stmt env s) step in
+    let tbody = check_stmts env body in
+    (match init with
+    | Some (Ast.Decl (_, name, _)) -> Hashtbl.remove env.vars name
+    | _ -> ());
+    [ Sfor (tinit, tcond, tstep, tbody) ]
+  | Ast.Return None ->
+    if env.ret <> Ast.Void then fail "missing return value";
+    [ Sreturn None ]
+  | Ast.Return (Some e) ->
+    if env.ret = Ast.Void then fail "return with value in void function";
+    [ Sreturn (Some (coerce (check_expr env e) env.ret)) ]
+  | Ast.Block stmts -> check_stmts env stmts
+  | Ast.Break -> [ Sbreak ]
+  | Ast.Continue -> [ Scontinue ]
+
+and one_stmt env s =
+  match check_stmt env s with
+  | [ t ] -> t
+  | _ -> fail "compound statement not allowed here"
+
+and check_stmts env stmts = List.concat_map (check_stmt env) stmts
+
+and check_lvalue env (e : Ast.expr) : lval * Ast.ty =
+  match e with
+  | Ast.Var name -> (
+    match lookup_var env name with
+    | None -> fail "unknown variable %s" name
+    | Some (Ast.Arr _) -> fail "cannot assign to array %s" name
+    | Some t ->
+      if Hashtbl.mem env.vars name then (Lvar name, t)
+      else
+        (* scalar global: memory location *)
+        let addr = { desc = Taddr name; ty = Ast.Ptr t } in
+        (Lmem (addr, t), t))
+  | Ast.Index (base, idx) ->
+    let addr, elem = check_address env base idx in
+    (Lmem (addr, elem), elem)
+  | Ast.Deref p -> (
+    let tp = check_expr env p in
+    match tp.ty with
+    | Ast.Ptr elem -> (Lmem (tp, elem), elem)
+    | t -> fail "cannot dereference %s" (Ast.ty_to_string t))
+  | _ -> fail "invalid lvalue"
+
+(* ---------------- top level ---------------- *)
+
+let const_fold_init (e : texpr) : Pvir.Value.t =
+  let rec go (e : texpr) =
+    match e.desc with
+    | Tint v -> Pvir.Value.int (Ast.scalar_of_ty e.ty) v
+    | Tfloat v -> Pvir.Value.float (Ast.scalar_of_ty e.ty) v
+    | Tunary (Ast.Neg, a) -> Pvir.Eval.unop Pvir.Instr.Neg (go a)
+    | Tconv (kind, a) ->
+      Pvir.Eval.conv kind (Pvir.Types.Scalar (Ast.scalar_of_ty e.ty)) (go a)
+    | Tretype a -> go a
+    | _ -> fail "global initializer must be a constant expression"
+  in
+  go e
+
+(** Type-check a parsed program.
+    @raise Error on type errors. *)
+let program (p : Ast.program) : tprogram =
+  let genv = Hashtbl.create 16 in
+  let fenv = Hashtbl.create 16 in
+  List.iter (fun (n, (ps, r)) -> Hashtbl.replace fenv n (ps, r)) builtins;
+  List.iter
+    (fun (g : Ast.global) ->
+      if Hashtbl.mem genv g.gname then fail "redeclaration of global %s" g.gname;
+      Hashtbl.replace genv g.gname g.gty)
+    p.globals;
+  List.iter
+    (fun (x : Ast.extern_decl) ->
+      (match Hashtbl.find_opt fenv x.xname with
+      | Some (ps, r)
+        when List.mem (x.xname, (ps, r)) builtins
+             && ps = List.map decay x.xparams && r = x.xret ->
+        (* re-declaring a VM intrinsic with the right signature is fine *)
+        ()
+      | Some _ -> fail "redeclaration of extern %s" x.xname
+      | None -> ());
+      List.iter
+        (fun t ->
+          if not (Ast.is_arith_ty (decay t) || Ast.is_pointer_ty (decay t)) then
+            fail "extern %s has an unsupported parameter type" x.xname)
+        x.xparams;
+      Hashtbl.replace fenv x.xname (List.map decay x.xparams, x.xret))
+    p.externs;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem fenv f.fname then fail "redeclaration of function %s" f.fname;
+      Hashtbl.replace fenv f.fname (List.map (fun (t, _) -> decay t) f.fparams, f.fret))
+    p.funcs;
+  let globals =
+    List.map
+      (fun (g : Ast.global) ->
+        let elem, count =
+          match g.gty with
+          | Ast.Arr (elem, n) ->
+            if not (Ast.is_arith_ty elem) then
+              fail "global array %s of non-arithmetic type" g.gname;
+            (elem, n)
+          | t when Ast.is_arith_ty t -> (t, 1)
+          | t -> fail "unsupported global type %s" (Ast.ty_to_string t)
+        in
+        let env = { vars = Hashtbl.create 1; globals = genv; funcs = fenv; ret = Ast.Void } in
+        let ginit =
+          Option.map
+            (fun exprs ->
+              if List.length exprs > count then
+                fail "too many initializers for %s" g.gname;
+              List.map (fun e -> coerce (check_expr env e) elem) exprs)
+            g.ginit
+        in
+        { gname = g.gname; gelem = elem; gcount = count; ginit })
+      p.globals
+  in
+  let funcs =
+    List.map
+      (fun (f : Ast.func) ->
+        let env =
+          { vars = Hashtbl.create 16; globals = genv; funcs = fenv; ret = f.fret }
+        in
+        let fparams = List.map (fun (t, n) -> (decay t, n)) f.fparams in
+        List.iter
+          (fun (t, n) ->
+            if Hashtbl.mem env.vars n then fail "duplicate parameter %s" n;
+            Hashtbl.add env.vars n t)
+          fparams;
+        { fname = f.fname; fret = f.fret; fparams; fbody = check_stmts env f.fbody })
+      p.funcs
+  in
+  { globals; funcs; externs = p.externs }

@@ -1,0 +1,142 @@
+(** Hand-written lexer for MiniC.  Tracks line numbers for error
+    messages. *)
+
+type token =
+  | INT of int64 * bool  (** value, has 'L' suffix *)
+  | FLOAT of float * bool  (** value, has 'f' suffix *)
+  | IDENT of string
+  | KW of string  (** keywords and type names *)
+  | PUNCT of string  (** operators and punctuation, longest-match *)
+  | EOF
+
+type t = { tokens : (token * int) array; mutable pos : int }
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let keywords =
+  [
+    "void"; "i8"; "i16"; "i32"; "i64"; "u8"; "u16"; "u32"; "u64"; "f32";
+    "f64"; "if"; "else"; "while"; "for"; "return"; "break"; "continue";
+    "extern";
+  ]
+
+let two_char_puncts =
+  [
+    "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^="; "++"; "--";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : t =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let push t = out := (t, !line) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (
+      incr line;
+      incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    else if c = '/' && peek 1 = Some '*' then (
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then fail !line "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then (
+          i := !i + 2;
+          fin := true)
+        else (
+          if src.[!i] = '\n' then incr line;
+          incr i)
+      done)
+    else if is_digit c then (
+      let start = !i in
+      let hex = c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') in
+      if hex then i := !i + 2;
+      let is_float = ref false in
+      let fin = ref false in
+      while not !fin && !i < n do
+        let d = src.[!i] in
+        if
+          is_digit d
+          || (hex && ((d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F')))
+        then incr i
+        else if d = '.' && not hex then (
+          is_float := true;
+          incr i)
+        else if (d = 'e' || d = 'E') && not hex then (
+          is_float := true;
+          incr i;
+          match peek 0 with Some ('+' | '-') -> incr i | _ -> ())
+        else fin := true
+      done;
+      let text = String.sub src start (!i - start) in
+      if !is_float then (
+        let suffix = peek 0 = Some 'f' in
+        if suffix then incr i;
+        match float_of_string_opt text with
+        | Some v -> push (FLOAT (v, suffix))
+        | None -> fail !line "bad float literal %s" text)
+      else
+        let suffix = peek 0 = Some 'L' || peek 0 = Some 'l' in
+        if suffix then incr i;
+        match Int64.of_string_opt text with
+        | Some v -> push (INT (v, suffix))
+        | None -> fail !line "bad integer literal %s" text)
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let w = String.sub src start (!i - start) in
+      if List.mem w keywords then push (KW w) else push (IDENT w))
+    else
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some p when List.mem p two_char_puncts ->
+        push (PUNCT p);
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '!' | '<'
+        | '>' | '=' | '(' | ')' | '{' | '}' | '[' | ']' | ';' | ',' | '?'
+        | ':' -> push (PUNCT (String.make 1 c))
+        | _ -> fail !line "unexpected character %C" c);
+        incr i
+  done;
+  push EOF;
+  { tokens = Array.of_list (List.rev !out); pos = 0 }
+
+let peek lx = fst lx.tokens.(lx.pos)
+let peek2 lx =
+  if lx.pos + 1 < Array.length lx.tokens then fst lx.tokens.(lx.pos + 1)
+  else EOF
+let line lx = snd lx.tokens.(lx.pos)
+
+let next lx =
+  let t = peek lx in
+  if lx.pos + 1 < Array.length lx.tokens then lx.pos <- lx.pos + 1;
+  t
+
+let token_to_string = function
+  | INT (v, _) -> Int64.to_string v
+  | FLOAT (v, _) -> string_of_float v
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "<eof>"

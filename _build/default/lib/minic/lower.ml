@@ -1,0 +1,345 @@
+(** Lowering from the typed MiniC AST to PVIR.
+
+    This is the first half of the paper's Figure-1 flow: the
+    µproc-independent compiler that turns source code into portable
+    bytecode.  No optimization happens here — that is the job of the
+    offline pass pipeline (`Pvopt`), which runs on the produced IR. *)
+
+open Pvir
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type ctx = {
+  b : Builder.t;
+  vars : (string, Instr.reg) Hashtbl.t;  (** scalar locals -> registers *)
+  arrays : (string, Instr.reg) Hashtbl.t;  (** local arrays -> alloca reg *)
+  (* (continue target, break target) stack, innermost first *)
+  mutable loop_stack : (Func.block * Func.block) list;
+}
+
+let ir_ty (t : Ast.ty) : Types.t =
+  match t with
+  | Ast.Int (s, _) -> Types.Scalar s
+  | Ast.Flt s -> Types.Scalar s
+  | Ast.Ptr elem -> (
+    match elem with
+    | Ast.Int (s, _) | Ast.Flt s -> Types.Ptr s
+    | _ -> Types.ptr Types.I64 (* pointer to pointer: address-sized *))
+  | Ast.Void | Ast.Arr _ -> fail "ir_ty: %s has no IR type" (Ast.ty_to_string t)
+
+(* binop selection honoring MiniC signedness *)
+let ir_binop (op : Ast.binop) (t : Ast.ty) : Instr.binop =
+  let unsigned = Ast.is_integer_ty t && not (Ast.is_signed t) in
+  match op with
+  | Ast.Add -> Instr.Add
+  | Ast.Sub -> Instr.Sub
+  | Ast.Mul -> Instr.Mul
+  | Ast.Div -> if unsigned then Instr.Udiv else Instr.Div
+  | Ast.Rem -> if unsigned then Instr.Urem else Instr.Rem
+  | Ast.Shl -> Instr.Shl
+  | Ast.Shr -> if unsigned then Instr.Lshr else Instr.Ashr
+  | Ast.Band -> Instr.And
+  | Ast.Bor -> Instr.Or
+  | Ast.Bxor -> Instr.Xor
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.Land | Ast.Lor
+    -> fail "ir_binop: not an arithmetic operator"
+
+let ir_relop (op : Ast.binop) (operand_ty : Ast.ty) : Instr.relop =
+  let unsigned =
+    (Ast.is_integer_ty operand_ty && not (Ast.is_signed operand_ty))
+    || Ast.is_pointer_ty operand_ty
+  in
+  match op with
+  | Ast.Eq -> Instr.Eq
+  | Ast.Ne -> Instr.Ne
+  | Ast.Lt -> if unsigned then Instr.Ult else Instr.Slt
+  | Ast.Le -> if unsigned then Instr.Ule else Instr.Sle
+  | Ast.Gt -> if unsigned then Instr.Ugt else Instr.Sgt
+  | Ast.Ge -> if unsigned then Instr.Uge else Instr.Sge
+  | _ -> fail "ir_relop: not a comparison"
+
+let rec is_pure (e : Check.texpr) =
+  match e.desc with
+  | Check.Tint _ | Check.Tfloat _ | Check.Taddr _ -> true
+  | Check.Tread (Check.Lvar _) -> true
+  | Check.Tread (Check.Lmem (a, _)) -> is_pure a
+  | Check.Tconv (_, a) | Check.Tretype a | Check.Tunary (_, a) -> is_pure a
+  | Check.Tbinary (_, a, b) -> is_pure a && is_pure b
+  | Check.Tternary (c, a, b) -> is_pure c && is_pure a && is_pure b
+  | Check.Tcall (("__min" | "__max"), args) -> List.for_all is_pure args
+  | Check.Tcall _ -> false
+
+(* ---------------- expressions ---------------- *)
+
+let rec lower_expr ctx (e : Check.texpr) : Instr.reg =
+  let b = ctx.b in
+  match e.desc with
+  | Check.Tint v -> Builder.const b (Value.int (Ast.scalar_of_ty e.ty) v)
+  | Check.Tfloat v -> Builder.const b (Value.float (Ast.scalar_of_ty e.ty) v)
+  | Check.Tread (Check.Lvar name) -> (
+    match Hashtbl.find_opt ctx.vars name with
+    | Some r -> r
+    | None -> fail "lower: unbound variable %s" name)
+  | Check.Tread (Check.Lmem (addr, elem)) ->
+    let base = lower_expr ctx addr in
+    Builder.load b (ir_ty elem) ~base ()
+  | Check.Taddr name -> (
+    match Hashtbl.find_opt ctx.arrays name with
+    | Some r -> r
+    | None ->
+      let d = Func.fresh_reg (Builder.func b) (ir_ty e.ty) in
+      Builder.append b (Instr.Gaddr (d, name));
+      d)
+  | Check.Tconv (kind, a) ->
+    let src = lower_expr ctx a in
+    Builder.conv b kind ~dst_ty:(ir_ty e.ty) src
+  | Check.Tretype a -> lower_expr ctx a
+  | Check.Tunary (Ast.Neg, a) -> Builder.unop b Instr.Neg (lower_expr ctx a)
+  | Check.Tunary (Ast.Bnot, a) -> Builder.unop b Instr.Not (lower_expr ctx a)
+  | Check.Tunary (Ast.Lnot, a) ->
+    let ra = lower_expr ctx a in
+    let zero = Builder.const b (Value.zero (Func.reg_type (Builder.func b) ra)) in
+    Builder.cmp b Instr.Eq ra zero
+  | Check.Tbinary ((Ast.Land | Ast.Lor) as op, a, rhs) ->
+    lower_short_circuit ctx op a rhs
+  | Check.Tbinary (op, a, bb) -> (
+    match op with
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+      let ra = lower_expr ctx a in
+      let rb = lower_expr ctx bb in
+      Builder.cmp b (ir_relop op a.ty) ra rb
+    | _ ->
+      let ra = lower_expr ctx a in
+      let rb = lower_expr ctx bb in
+      Builder.binop b (ir_binop op e.ty) ra rb)
+  | Check.Tternary (c, a, bb) when is_pure a && is_pure bb ->
+    (* if-conversion: pure branches lower to select, which keeps loop
+       bodies branch-free and vectorizable (the `max u8` kernel shape) *)
+    let rc = lower_expr ctx c in
+    let ra = lower_expr ctx a in
+    let rb = lower_expr ctx bb in
+    Builder.select b rc ra rb
+  | Check.Tternary (c, a, bb) ->
+    let rc = lower_expr ctx c in
+    let fn = Builder.func b in
+    let dst = Func.fresh_reg fn (ir_ty e.ty) in
+    let bt = Builder.new_block b in
+    let bf = Builder.new_block b in
+    let join = Builder.new_block b in
+    Builder.cbr b rc bt bf;
+    Builder.position b bt;
+    let ra = lower_expr ctx a in
+    Builder.append b (Instr.Mov (dst, ra));
+    Builder.br b join;
+    Builder.position b bf;
+    let rb = lower_expr ctx bb in
+    Builder.append b (Instr.Mov (dst, rb));
+    Builder.br b join;
+    Builder.position b join;
+    dst
+  | Check.Tcall (("__min" | "__max") as name, [ a; bb ]) ->
+    let unsigned = Ast.is_integer_ty e.ty && not (Ast.is_signed e.ty) in
+    let op =
+      match (name, unsigned) with
+      | "__min", false -> Instr.Min
+      | "__min", true -> Instr.Umin
+      | "__max", false -> Instr.Max
+      | _ -> Instr.Umax
+    in
+    let ra = lower_expr ctx a in
+    let rb = lower_expr ctx bb in
+    Builder.binop b op ra rb
+  | Check.Tcall (name, args) -> (
+    let rargs = List.map (lower_expr ctx) args in
+    let ret = if e.ty = Ast.Void then None else Some (ir_ty e.ty) in
+    match Builder.call b ?ret name rargs with
+    | Some r -> r
+    | None ->
+      (* void call in expression position: produce a dummy zero *)
+      Builder.const b (Value.i32 0))
+
+and lower_short_circuit ctx op a bb =
+  let b = ctx.b in
+  let fn = Builder.func b in
+  let dst = Func.fresh_reg fn Types.i32 in
+  let eval_b = Builder.new_block b in
+  let done_ = Builder.new_block b in
+  let ra = lower_expr ctx a in
+  Builder.append b (Instr.Mov (dst, ra));
+  (match op with
+  | Ast.Land -> Builder.cbr b ra eval_b done_
+  | _ -> Builder.cbr b ra done_ eval_b);
+  Builder.position b eval_b;
+  let rb = lower_expr ctx bb in
+  Builder.append b (Instr.Mov (dst, rb));
+  Builder.br b done_;
+  Builder.position b done_;
+  dst
+
+(* ---------------- statements ---------------- *)
+
+let rec lower_stmt ctx (s : Check.tstmt) : unit =
+  let b = ctx.b in
+  match s with
+  | Check.Sdecl (Ast.Arr (elem, n), name, _) ->
+    let r = Builder.alloca b ~elem:(Ast.scalar_of_ty elem) ~count:n in
+    Hashtbl.replace ctx.arrays name r
+  | Check.Sdecl (ty, name, init) ->
+    let fn = Builder.func b in
+    let r = Func.fresh_reg fn (ir_ty ty) in
+    Hashtbl.replace ctx.vars name r;
+    let src =
+      match init with
+      | Some e -> lower_expr ctx e
+      | None -> Builder.const b (Value.zero (ir_ty ty))
+    in
+    Builder.append b (Instr.Mov (r, src))
+  | Check.Sassign (Check.Lvar name, e) -> (
+    match Hashtbl.find_opt ctx.vars name with
+    | Some r ->
+      let src = lower_expr ctx e in
+      Builder.append b (Instr.Mov (r, src))
+    | None -> fail "lower: unbound variable %s" name)
+  | Check.Sassign (Check.Lmem (addr, elem), e) ->
+    let src = lower_expr ctx e in
+    let base = lower_expr ctx addr in
+    Builder.store b (ir_ty elem) ~src ~base ()
+  | Check.Sexpr e -> ignore (lower_expr ctx e)
+  | Check.Sif (c, then_s, else_s) ->
+    let rc = lower_expr ctx c in
+    let bt = Builder.new_block b in
+    let bf = Builder.new_block b in
+    let join = Builder.new_block b in
+    Builder.cbr b rc bt (if else_s = [] then join else bf);
+    Builder.position b bt;
+    List.iter (lower_stmt ctx) then_s;
+    Builder.br b join;
+    if else_s <> [] then (
+      Builder.position b bf;
+      List.iter (lower_stmt ctx) else_s;
+      Builder.br b join);
+    Builder.position b join
+  | Check.Swhile (c, body) ->
+    let header = Builder.new_block b in
+    let body_blk = Builder.new_block b in
+    let exit_blk = Builder.new_block b in
+    Builder.br b header;
+    Builder.position b header;
+    let rc = lower_expr ctx c in
+    Builder.cbr b rc body_blk exit_blk;
+    Builder.position b body_blk;
+    ctx.loop_stack <- (header, exit_blk) :: ctx.loop_stack;
+    List.iter (lower_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    Builder.br b header;
+    Builder.position b exit_blk
+  | Check.Sfor (init, cond, step, body) ->
+    Option.iter (lower_stmt ctx) init;
+    let header = Builder.new_block b in
+    let body_blk = Builder.new_block b in
+    let step_blk = Builder.new_block b in
+    let exit_blk = Builder.new_block b in
+    Builder.br b header;
+    Builder.position b header;
+    (match cond with
+    | Some c ->
+      let rc = lower_expr ctx c in
+      Builder.cbr b rc body_blk exit_blk
+    | None -> Builder.br b body_blk);
+    Builder.position b body_blk;
+    ctx.loop_stack <- (step_blk, exit_blk) :: ctx.loop_stack;
+    List.iter (lower_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    Builder.br b step_blk;
+    Builder.position b step_blk;
+    Option.iter (lower_stmt ctx) step;
+    Builder.br b header;
+    Builder.position b exit_blk
+  | Check.Sreturn None -> seal_ret ctx None
+  | Check.Sreturn (Some e) ->
+    let r = lower_expr ctx e in
+    seal_ret ctx (Some r)
+  | Check.Sbreak -> (
+    match ctx.loop_stack with
+    | (_, exit_blk) :: _ ->
+      Builder.br b exit_blk;
+      Builder.position b (Builder.new_block b)
+    | [] -> fail "break outside loop")
+  | Check.Scontinue -> (
+    match ctx.loop_stack with
+    | (cont, _) :: _ ->
+      Builder.br b cont;
+      Builder.position b (Builder.new_block b)
+    | [] -> fail "continue outside loop")
+
+(* after a return, later statements in the block go to a fresh dead block *)
+and seal_ret ctx r =
+  Builder.ret ctx.b r;
+  Builder.position ctx.b (Builder.new_block ctx.b)
+
+(* ---------------- top level ---------------- *)
+
+let lower_func (f : Check.tfunc) : Func.t =
+  let params = List.map (fun (t, _) -> ir_ty t) f.fparams in
+  let ret = if f.fret = Ast.Void then None else Some (ir_ty f.fret) in
+  let b = Builder.create ~name:f.fname ~params ~ret in
+  let ctx =
+    { b; vars = Hashtbl.create 16; arrays = Hashtbl.create 4; loop_stack = [] }
+  in
+  List.iteri
+    (fun i (_, name) -> Hashtbl.replace ctx.vars name (List.nth (Builder.params b) i))
+    f.fparams;
+  List.iter (lower_stmt ctx) f.fbody;
+  let fn = Builder.func b in
+  (* Blocks still carrying the default [Ret None] terminator are either
+     the fall-off-the-end path or dead continuations created after
+     break/continue/return.  In a non-void function they must still
+     verify, so they return a zero of the right type. *)
+  if f.fret <> Ast.Void then
+    List.iter
+      (fun (blk : Func.block) ->
+        if blk.Func.term = Instr.Ret None then begin
+          let z = Func.fresh_reg fn (ir_ty f.fret) in
+          blk.Func.instrs <-
+            blk.Func.instrs @ [ Instr.Const (z, Value.zero (ir_ty f.fret)) ];
+          blk.Func.term <- Instr.Ret (Some z)
+        end)
+      fn.Func.blocks;
+  fn
+
+(** Compile a type-checked program to PVIR.  The result passes
+    {!Pvir.Verify.program}. *)
+let program ?(name = "minic") (tp : Check.tprogram) : Prog.t =
+  let p = Prog.create name in
+  List.iter
+    (fun (g : Check.tglobal) ->
+      let elem = Ast.scalar_of_ty g.gelem in
+      let init =
+        Option.map
+          (fun exprs ->
+            let vals = List.map Check.const_fold_init exprs in
+            let arr = Array.make g.gcount (Value.zero (Types.Scalar elem)) in
+            List.iteri (fun i v -> arr.(i) <- v) vals;
+            arr)
+          g.ginit
+      in
+      Prog.add_global p g.gname elem g.gcount ?init)
+    tp.globals;
+  List.iter
+    (fun (x : Ast.extern_decl) ->
+      let params = List.map (fun t -> ir_ty (Check.decay t)) x.Ast.xparams in
+      let ret = if x.Ast.xret = Ast.Void then None else Some (ir_ty x.Ast.xret) in
+      Prog.add_extern p x.Ast.xname params ret)
+    tp.externs;
+  List.iter (fun f -> Prog.add_func p (lower_func f)) tp.funcs;
+  p
+
+(** One-call frontend: source text to verified PVIR. *)
+let compile ?(name = "minic") (src : string) : Prog.t =
+  let ast = Parser.program src in
+  let typed = Check.program ast in
+  let p = program ~name typed in
+  Verify.program p;
+  p

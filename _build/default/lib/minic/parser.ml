@@ -1,0 +1,386 @@
+(** Recursive-descent parser for MiniC with standard C precedence. *)
+
+exception Error of string
+
+let fail lx fmt =
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" (Lexer.line lx) s)))
+    fmt
+
+let expect_punct lx p =
+  match Lexer.next lx with
+  | Lexer.PUNCT q when String.equal p q -> ()
+  | t -> fail lx "expected '%s', got %s" p (Lexer.token_to_string t)
+
+let accept_punct lx p =
+  match Lexer.peek lx with
+  | Lexer.PUNCT q when String.equal p q ->
+    ignore (Lexer.next lx);
+    true
+  | _ -> false
+
+let ident lx =
+  match Lexer.next lx with
+  | Lexer.IDENT s -> s
+  | t -> fail lx "expected identifier, got %s" (Lexer.token_to_string t)
+
+let base_ty_of_kw = function
+  | "void" -> Some Ast.Void
+  | "i8" -> Some (Ast.Int (Pvir.Types.I8, true))
+  | "i16" -> Some (Ast.Int (Pvir.Types.I16, true))
+  | "i32" -> Some (Ast.Int (Pvir.Types.I32, true))
+  | "i64" -> Some (Ast.Int (Pvir.Types.I64, true))
+  | "u8" -> Some (Ast.Int (Pvir.Types.I8, false))
+  | "u16" -> Some (Ast.Int (Pvir.Types.I16, false))
+  | "u32" -> Some (Ast.Int (Pvir.Types.I32, false))
+  | "u64" -> Some (Ast.Int (Pvir.Types.I64, false))
+  | "f32" -> Some (Ast.Flt Pvir.Types.F32)
+  | "f64" -> Some (Ast.Flt Pvir.Types.F64)
+  | _ -> None
+
+(** Is the current token the start of a type? *)
+let peek_ty lx =
+  match Lexer.peek lx with
+  | Lexer.KW k -> base_ty_of_kw k <> None
+  | _ -> false
+
+let parse_base_ty lx =
+  match Lexer.next lx with
+  | Lexer.KW k -> (
+    match base_ty_of_kw k with
+    | Some t -> t
+    | None -> fail lx "expected type, got %s" k)
+  | t -> fail lx "expected type, got %s" (Lexer.token_to_string t)
+
+(* type = base ('*')* *)
+let parse_ty lx =
+  let t = ref (parse_base_ty lx) in
+  while accept_punct lx "*" do
+    t := Ast.Ptr !t
+  done;
+  !t
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_primary lx =
+  match Lexer.next lx with
+  | Lexer.INT (v, suffixed) ->
+    Ast.Int_lit (v, if suffixed then Some (Ast.Int (Pvir.Types.I64, true)) else None)
+  | Lexer.FLOAT (v, suffixed) ->
+    Ast.Float_lit (v, if suffixed then Some (Ast.Flt Pvir.Types.F32) else None)
+  | Lexer.IDENT name ->
+    if accept_punct lx "(" then (
+      let args = ref [] in
+      (if not (accept_punct lx ")") then
+         let rec go () =
+           args := parse_expr lx :: !args;
+           if accept_punct lx "," then go () else expect_punct lx ")"
+         in
+         go ());
+      Ast.Call (name, List.rev !args))
+    else Ast.Var name
+  | Lexer.PUNCT "(" ->
+    if peek_ty lx then (
+      let ty = parse_ty lx in
+      expect_punct lx ")";
+      Ast.Cast (ty, parse_unary lx))
+    else (
+      let e = parse_expr lx in
+      expect_punct lx ")";
+      e)
+  | t -> fail lx "expected expression, got %s" (Lexer.token_to_string t)
+
+and parse_postfix lx =
+  let e = ref (parse_primary lx) in
+  while accept_punct lx "[" do
+    let idx = parse_expr lx in
+    expect_punct lx "]";
+    e := Ast.Index (!e, idx)
+  done;
+  !e
+
+and parse_unary lx =
+  match Lexer.peek lx with
+  | Lexer.PUNCT "-" ->
+    ignore (Lexer.next lx);
+    Ast.Unary (Ast.Neg, parse_unary lx)
+  | Lexer.PUNCT "!" ->
+    ignore (Lexer.next lx);
+    Ast.Unary (Ast.Lnot, parse_unary lx)
+  | Lexer.PUNCT "~" ->
+    ignore (Lexer.next lx);
+    Ast.Unary (Ast.Bnot, parse_unary lx)
+  | Lexer.PUNCT "*" ->
+    ignore (Lexer.next lx);
+    Ast.Deref (parse_unary lx)
+  | _ -> parse_postfix lx
+
+(* precedence climbing; higher binds tighter *)
+and binop_of_punct = function
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Rem, 10)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "&" -> Some (Ast.Band, 5)
+  | "^" -> Some (Ast.Bxor, 4)
+  | "|" -> Some (Ast.Bor, 3)
+  | "&&" -> Some (Ast.Land, 2)
+  | "||" -> Some (Ast.Lor, 1)
+  | _ -> None
+
+and parse_binary lx min_prec =
+  let lhs = ref (parse_unary lx) in
+  let continue_ = ref true in
+  while !continue_ do
+    match Lexer.peek lx with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        ignore (Lexer.next lx);
+        let rhs = parse_binary lx (prec + 1) in
+        lhs := Ast.Binary (op, !lhs, rhs)
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_expr lx =
+  let cond = parse_binary lx 1 in
+  if accept_punct lx "?" then (
+    let then_e = parse_expr lx in
+    expect_punct lx ":";
+    let else_e = parse_expr lx in
+    Ast.Ternary (cond, then_e, else_e))
+  else cond
+
+(* ---------------- statements ---------------- *)
+
+let is_lvalue = function
+  | Ast.Var _ | Ast.Index _ | Ast.Deref _ -> true
+  | _ -> false
+
+let rec parse_stmt lx : Ast.stmt =
+  match Lexer.peek lx with
+  | Lexer.PUNCT "{" ->
+    ignore (Lexer.next lx);
+    Ast.Block (parse_block_tail lx)
+  | Lexer.KW "if" ->
+    ignore (Lexer.next lx);
+    expect_punct lx "(";
+    let cond = parse_expr lx in
+    expect_punct lx ")";
+    let then_s = parse_stmt_as_block lx in
+    let else_s =
+      match Lexer.peek lx with
+      | Lexer.KW "else" ->
+        ignore (Lexer.next lx);
+        parse_stmt_as_block lx
+      | _ -> []
+    in
+    Ast.If (cond, then_s, else_s)
+  | Lexer.KW "while" ->
+    ignore (Lexer.next lx);
+    expect_punct lx "(";
+    let cond = parse_expr lx in
+    expect_punct lx ")";
+    Ast.While (cond, parse_stmt_as_block lx)
+  | Lexer.KW "for" ->
+    ignore (Lexer.next lx);
+    expect_punct lx "(";
+    let init =
+      if accept_punct lx ";" then None
+      else (
+        let s = parse_simple_stmt lx in
+        expect_punct lx ";";
+        Some s)
+    in
+    let cond = if accept_punct lx ";" then None
+      else (
+        let e = parse_expr lx in
+        expect_punct lx ";";
+        Some e)
+    in
+    let step =
+      if accept_punct lx ")" then None
+      else (
+        let s = parse_simple_stmt lx in
+        expect_punct lx ")";
+        Some s)
+    in
+    Ast.For (init, cond, step, parse_stmt_as_block lx)
+  | Lexer.KW "return" ->
+    ignore (Lexer.next lx);
+    if accept_punct lx ";" then Ast.Return None
+    else (
+      let e = parse_expr lx in
+      expect_punct lx ";";
+      Ast.Return (Some e))
+  | Lexer.KW "break" ->
+    ignore (Lexer.next lx);
+    expect_punct lx ";";
+    Ast.Break
+  | Lexer.KW "continue" ->
+    ignore (Lexer.next lx);
+    expect_punct lx ";";
+    Ast.Continue
+  | _ ->
+    let s = parse_simple_stmt lx in
+    expect_punct lx ";";
+    s
+
+(* declaration / assignment / expression, without the trailing ';' *)
+and parse_simple_stmt lx : Ast.stmt =
+  if peek_ty lx then (
+    let ty = parse_ty lx in
+    let name = ident lx in
+    let ty =
+      if accept_punct lx "[" then (
+        match Lexer.next lx with
+        | Lexer.INT (n, _) ->
+          expect_punct lx "]";
+          Ast.Arr (ty, Int64.to_int n)
+        | t -> fail lx "expected array size, got %s" (Lexer.token_to_string t))
+      else ty
+    in
+    let init = if accept_punct lx "=" then Some (parse_expr lx) else None in
+    Ast.Decl (ty, name, init))
+  else
+    let e = parse_expr lx in
+    let compound op =
+      if not (is_lvalue e) then fail lx "assignment to non-lvalue";
+      Ast.Assign (e, Ast.Binary (op, e, parse_expr lx))
+    in
+    if accept_punct lx "=" then (
+      if not (is_lvalue e) then fail lx "assignment to non-lvalue";
+      Ast.Assign (e, parse_expr lx))
+    else if accept_punct lx "+=" then compound Ast.Add
+    else if accept_punct lx "-=" then compound Ast.Sub
+    else if accept_punct lx "*=" then compound Ast.Mul
+    else if accept_punct lx "/=" then compound Ast.Div
+    else if accept_punct lx "%=" then compound Ast.Rem
+    else if accept_punct lx "&=" then compound Ast.Band
+    else if accept_punct lx "|=" then compound Ast.Bor
+    else if accept_punct lx "^=" then compound Ast.Bxor
+    else if accept_punct lx "++" then (
+      if not (is_lvalue e) then fail lx "++ on non-lvalue";
+      Ast.Assign (e, Ast.Binary (Ast.Add, e, Ast.Int_lit (1L, None))))
+    else if accept_punct lx "--" then (
+      if not (is_lvalue e) then fail lx "-- on non-lvalue";
+      Ast.Assign (e, Ast.Binary (Ast.Sub, e, Ast.Int_lit (1L, None))))
+    else Ast.Expr_stmt e
+
+and parse_stmt_as_block lx =
+  match parse_stmt lx with Ast.Block stmts -> stmts | s -> [ s ]
+
+and parse_block_tail lx =
+  let stmts = ref [] in
+  while not (accept_punct lx "}") do
+    stmts := parse_stmt lx :: !stmts
+  done;
+  List.rev !stmts
+
+(* ---------------- top level ---------------- *)
+
+let parse_top lx (globals, funcs, externs) =
+  match Lexer.peek lx with
+  | Lexer.KW "extern" ->
+    ignore (Lexer.next lx);
+    let xret = parse_ty lx in
+    let xname = ident lx in
+    expect_punct lx "(";
+    let params = ref [] in
+    (if not (accept_punct lx ")") then
+       let rec go () =
+         let pty = parse_ty lx in
+         (* parameter name is optional in a declaration *)
+         (match Lexer.peek lx with
+         | Lexer.IDENT _ -> ignore (Lexer.next lx)
+         | _ -> ());
+         params := pty :: !params;
+         if accept_punct lx "," then go () else expect_punct lx ")"
+       in
+       go ());
+    expect_punct lx ";";
+    ( globals,
+      funcs,
+      { Ast.xname; xret; xparams = List.rev !params } :: externs )
+  | _ ->
+  let ty = parse_ty lx in
+  let name = ident lx in
+  if accept_punct lx "(" then (
+    let params = ref [] in
+    (if not (accept_punct lx ")") then
+       let rec go () =
+         let pty = parse_ty lx in
+         let pname = ident lx in
+         params := (pty, pname) :: !params;
+         if accept_punct lx "," then go () else expect_punct lx ")"
+       in
+       go ());
+    expect_punct lx "{";
+    let body = parse_block_tail lx in
+    ( globals,
+      { Ast.fname = name; fret = ty; fparams = List.rev !params; fbody = body }
+      :: funcs,
+      externs ))
+  else
+    let ty =
+      if accept_punct lx "[" then (
+        match Lexer.next lx with
+        | Lexer.INT (n, _) ->
+          expect_punct lx "]";
+          Ast.Arr (ty, Int64.to_int n)
+        | t -> fail lx "expected array size, got %s" (Lexer.token_to_string t))
+      else ty
+    in
+    let init =
+      if accept_punct lx "=" then
+        if accept_punct lx "{" then (
+          let elems = ref [] in
+          (if not (accept_punct lx "}") then
+             let rec go () =
+               elems := parse_expr lx :: !elems;
+               if accept_punct lx "," then go () else expect_punct lx "}"
+             in
+             go ());
+          Some (List.rev !elems))
+        else Some [ parse_expr lx ]
+      else None
+    in
+    expect_punct lx ";";
+    ({ Ast.gname = name; gty = ty; ginit = init } :: globals, funcs, externs)
+
+(** Parse a full MiniC translation unit.
+    @raise Error or {!Lexer.Error} on malformed input. *)
+let program (src : string) : Ast.program =
+  let lx = Lexer.tokenize src in
+  let rec go acc =
+    match Lexer.peek lx with
+    | Lexer.EOF ->
+      let globals, funcs, externs = acc in
+      {
+        Ast.globals = List.rev globals;
+        funcs = List.rev funcs;
+        externs = List.rev externs;
+      }
+    | _ -> go (parse_top lx acc)
+  in
+  go ([], [], [])
+
+(** Parse a single expression (for tests). *)
+let expr (src : string) : Ast.expr =
+  let lx = Lexer.tokenize src in
+  let e = parse_expr lx in
+  (match Lexer.peek lx with
+  | Lexer.EOF -> ()
+  | t -> fail lx "trailing tokens after expression: %s" (Lexer.token_to_string t));
+  e

@@ -1,0 +1,1 @@
+lib/pvir/account.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/pvir/annot.ml: Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/pvir/annot.mli: Format

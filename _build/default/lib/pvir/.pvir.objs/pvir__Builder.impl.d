@@ -1,0 +1,1 @@
+lib/pvir/builder.ml: Func Instr Int64 Option Types Value

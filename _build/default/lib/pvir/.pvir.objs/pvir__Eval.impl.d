@@ -1,0 +1,1 @@
+lib/pvir/eval.ml: Array Float Instr Int64 Printf Types Value

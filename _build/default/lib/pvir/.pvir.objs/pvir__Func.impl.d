@@ -1,0 +1,1 @@
+lib/pvir/func.ml: Annot Hashtbl Instr List Option Printf Types

@@ -1,0 +1,1 @@
+lib/pvir/instr.ml: List Option Types Value

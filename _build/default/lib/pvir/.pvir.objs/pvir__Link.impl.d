@@ -1,0 +1,1 @@
+lib/pvir/link.ml: Annot Func Hashtbl Instr List Printf Prog Types Verify

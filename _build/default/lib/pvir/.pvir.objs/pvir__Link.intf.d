@@ -1,0 +1,1 @@
+lib/pvir/link.mli: Prog

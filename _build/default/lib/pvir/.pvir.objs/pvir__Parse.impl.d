@@ -1,0 +1,1 @@
+lib/pvir/parse.ml: Annot Array Func Hashtbl Instr Int64 List Printf Prog Scanf String Types Value

@@ -1,0 +1,1 @@
+lib/pvir/pp.ml: Annot Array Format Func Instr List Prog Types Value

@@ -1,0 +1,1 @@
+lib/pvir/prog.ml: Annot Array Func List Option Printf String Types Value

@@ -1,0 +1,1 @@
+lib/pvir/serial.ml: Annot Array Buffer Char Fun Func Hashtbl Instr Int64 List Printf Prog String Types Value

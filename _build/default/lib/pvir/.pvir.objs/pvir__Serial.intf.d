@@ -1,0 +1,1 @@
+lib/pvir/serial.mli: Prog

@@ -1,0 +1,1 @@
+lib/pvir/types.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/pvir/types.mli: Format

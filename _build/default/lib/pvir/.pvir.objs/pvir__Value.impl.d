@@ -1,0 +1,1 @@
+lib/pvir/value.ml: Array Bytes Format Int32 Int64 Printf String Types

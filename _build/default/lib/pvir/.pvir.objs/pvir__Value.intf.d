@@ -1,0 +1,1 @@
+lib/pvir/value.mli: Bytes Format Types

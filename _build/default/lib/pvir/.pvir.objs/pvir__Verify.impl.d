@@ -1,0 +1,1 @@
+lib/pvir/verify.ml: Func Instr List Printf Prog String Types Value

@@ -1,0 +1,1 @@
+lib/pvir/verify.mli: Func Prog

@@ -1,0 +1,43 @@
+(** Compilation work accounting.
+
+    The paper's core economic argument (§3, §5) is that JIT compilers run
+    under a CPU and memory budget, so expensive analyses must move offline
+    and flow forward as annotations.  To make that measurable, every
+    compiler pass — offline or online — reports its work here in abstract
+    *work units* (roughly: simple operations per IR instruction processed,
+    with super-linear analyses charging their asymptotic factor).  The
+    Figure-1 experiment (E2) compares, per compilation mode, online work
+    units against the quality of the generated code. *)
+
+type t = {
+  mutable entries : (string * int) list;  (** pass name, work units *)
+  mutable total : int;
+}
+
+let create () = { entries = []; total = 0 }
+
+(** [charge t ~pass n] records [n] work units against [pass]. *)
+let charge t ~pass n =
+  let n = max 0 n in
+  t.total <- t.total + n;
+  t.entries <-
+    (match List.assoc_opt pass t.entries with
+    | Some old ->
+      (pass, old + n) :: List.remove_assoc pass t.entries
+    | None -> (pass, n) :: t.entries)
+
+let total t = t.total
+let by_pass t = List.rev t.entries
+
+let to_string t =
+  let items =
+    List.map (fun (p, n) -> Printf.sprintf "%s=%d" p n) (by_pass t)
+  in
+  Printf.sprintf "%d work units (%s)" t.total (String.concat ", " items)
+
+(** A sink that records nothing — used when accounting is irrelevant. *)
+let ignore_sink = create ()
+
+(** Charge helper tolerating an absent accountant. *)
+let charge_opt t ~pass n =
+  match t with Some t -> charge t ~pass n | None -> ()

@@ -1,0 +1,119 @@
+(** Bytecode annotations — the central mechanism of split compilation.
+
+    An annotation is a key/value pair attached to a program, a function, a
+    loop or a register.  The offline compiler distills the results of its
+    expensive analyses into annotations; the online compiler *may* use them
+    to skip the analysis, and must be free to ignore them (a correct JIT on
+    a target that does not understand an annotation simply drops it).  This
+    mirrors the paper's design: "annotations and coding conventions in the
+    intermediate language coordinate the optimization process over the
+    entire lifetime of the program". *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Flt of float
+  | Str of string
+  | List of value list
+
+type t = (string * value) list
+
+let empty : t = []
+
+let add key v (a : t) : t = (key, v) :: List.remove_assoc key a
+let remove key (a : t) : t = List.remove_assoc key a
+let find key (a : t) = List.assoc_opt key a
+let mem key (a : t) = List.mem_assoc key a
+
+let find_int key a =
+  match find key a with Some (Int i) -> Some i | _ -> None
+
+let find_bool key a =
+  match find key a with Some (Bool b) -> Some b | _ -> None
+
+let find_str key a =
+  match find key a with Some (Str s) -> Some s | _ -> None
+
+let find_list key a =
+  match find key a with Some (List l) -> Some l | _ -> None
+
+let has_flag key a = match find_bool key a with Some b -> b | None -> false
+
+(* Well-known annotation keys.  Keeping them in one place documents the
+   "coding conventions" half of the split-compilation contract. *)
+
+(** Function was auto-vectorized offline; value is the lane width used. *)
+let key_vectorized = "pv.vectorized"
+
+(** Loop annotation: the loop is countable with unit stride. *)
+let key_unit_stride = "pv.unit_stride"
+
+(** Loop annotation: statically known trip count, when available. *)
+let key_trip_count = "pv.trip_count"
+
+(** Loop annotation: memory accesses in the loop body do not alias. *)
+let key_no_alias = "pv.no_alias"
+
+(** Function annotation: split register-allocation payload.  The value is a
+    list of [List [Int reg; Int priority]] pairs: registers the offline
+    allocator decided to spill first under pressure, best-first. *)
+let key_spill_order = "pv.spill_order"
+
+(** Function annotation: maximum register pressure measured offline. *)
+let key_pressure = "pv.pressure"
+
+(** Function annotation: estimated hotness in [0;1] from offline profiling. *)
+let key_hotness = "pv.hotness"
+
+(** Function annotation: hardware capabilities this code benefits from
+    (list of capability name strings, e.g. "simd128", "dsp_mac", "fpu"). *)
+let key_hw_prefs = "pv.hw_prefs"
+
+(** Function annotation: pure function (no memory writes, no calls). *)
+let key_pure = "pv.pure"
+
+(** Function annotation: profitable inlining candidate. *)
+let key_inline = "pv.inline"
+
+let rec value_to_string = function
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Flt f -> Printf.sprintf "%h" f
+  | Str s -> Printf.sprintf "%S" s
+  | List l -> "[" ^ String.concat " " (List.map value_to_string l) ^ "]"
+
+let to_string (a : t) =
+  String.concat ", "
+    (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) a)
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let rec equal_value a b =
+  match (a, b) with
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Flt x, Flt y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Str x, Str y -> String.equal x y
+  | List x, List y ->
+    List.length x = List.length y && List.for_all2 equal_value x y
+  | (Bool _ | Int _ | Flt _ | Str _ | List _), _ -> false
+
+(** Order-insensitive equality on annotation sets. *)
+let equal (a : t) (b : t) =
+  let cmp (k1, _) (k2, _) = String.compare k1 k2 in
+  let a = List.sort cmp a and b = List.sort cmp b in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal_value v1 v2)
+       a b
+
+(** Total serialized size in bytes (used by the compactness experiment). *)
+let rec value_size = function
+  | Bool _ -> 2
+  | Int _ -> 5
+  | Flt _ -> 9
+  | Str s -> 5 + String.length s
+  | List l -> List.fold_left (fun acc v -> acc + value_size v) 5 l
+
+let size (a : t) =
+  List.fold_left (fun acc (k, v) -> acc + 4 + String.length k + value_size v) 0 a

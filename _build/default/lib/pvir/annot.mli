@@ -1,0 +1,81 @@
+(** Bytecode annotations — the central mechanism of split compilation.
+
+    Key/value metadata attached to programs, functions and loops.  The
+    offline compiler distills expensive analyses into annotations; the
+    online compiler may consume them and must be free to ignore them (the
+    code stays correct either way).  The [key_*] values below document
+    the coding conventions both halves agree on. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Flt of float
+  | Str of string
+  | List of value list
+
+type t = (string * value) list
+
+val empty : t
+
+(** [add key v a] binds [key] (replacing any previous binding). *)
+val add : string -> value -> t -> t
+
+val remove : string -> t -> t
+val find : string -> t -> value option
+val mem : string -> t -> bool
+val find_int : string -> t -> int option
+val find_bool : string -> t -> bool option
+val find_str : string -> t -> string option
+val find_list : string -> t -> value list option
+
+(** [has_flag k a] is [true] iff [k] is bound to [Bool true]. *)
+val has_flag : string -> t -> bool
+
+(** {1 Well-known keys} *)
+
+(** Function was auto-vectorized offline; value is the lane width used. *)
+val key_vectorized : string
+
+(** Loop: countable with unit stride. *)
+val key_unit_stride : string
+
+(** Loop: statically known trip count. *)
+val key_trip_count : string
+
+(** Loop: memory accesses in the body do not alias. *)
+val key_no_alias : string
+
+(** Function: split register-allocation payload — a list of
+    [List [Int reg; Int cost]] pairs, cheapest-to-spill first. *)
+val key_spill_order : string
+
+(** Function: maximum register pressure measured offline. *)
+val key_pressure : string
+
+(** Function: estimated hotness in [0;1] from profiling. *)
+val key_hotness : string
+
+(** Function: hardware capabilities this code benefits from (list of
+    capability name strings, e.g. "simd128", "dsp_mac"). *)
+val key_hw_prefs : string
+
+(** Function: pure (no memory writes, no calls). *)
+val key_pure : string
+
+(** Function: profitable inlining candidate. *)
+val key_inline : string
+
+(** {1 Utilities} *)
+
+val value_to_string : value -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal_value : value -> value -> bool
+
+(** Order-insensitive equality on annotation sets. *)
+val equal : t -> t -> bool
+
+val value_size : value -> int
+
+(** Approximate serialized size in bytes (compactness experiment E5). *)
+val size : t -> int

@@ -1,0 +1,142 @@
+(** Imperative convenience layer for constructing PVIR functions.
+
+    A builder keeps a current insertion block; [emit]-style helpers allocate
+    the destination register with the right type and return it, which keeps
+    hand-written IR (tests, kernels, lowering) short and well-typed. *)
+
+type t = {
+  fn : Func.t;
+  mutable cur : Func.block;
+}
+
+let create ~name ~params ~ret =
+  let fn = Func.create ~name ~params ~ret in
+  let entry = Func.add_block fn in
+  { fn; cur = entry }
+
+let func b = b.fn
+
+(** Parameter registers, in declaration order. *)
+let params b = Func.(b.fn.params)
+
+let new_block b = Func.add_block b.fn
+
+(** Move the insertion point. *)
+let position b blk = b.cur <- blk
+
+let current b = b.cur
+
+let append b i = b.cur.instrs <- b.cur.instrs @ [ i ]
+
+let set_term b t = b.cur.term <- t
+
+(* -- value-producing helpers ---------------------------------------- *)
+
+let const b v =
+  let d = Func.fresh_reg b.fn (Value.ty v) in
+  append b (Instr.Const (d, v));
+  d
+
+let iconst b ?(ty = Types.I64) x = const b (Value.of_int ty x)
+let fconst b ?(ty = Types.F64) x = const b (Value.float ty x)
+
+let binop b op x y =
+  let d = Func.fresh_reg b.fn (Func.reg_type b.fn x) in
+  append b (Instr.Binop (op, d, x, y));
+  d
+
+let add b x y = binop b Instr.Add x y
+let sub b x y = binop b Instr.Sub x y
+let mul b x y = binop b Instr.Mul x y
+
+let unop b op x =
+  let d = Func.fresh_reg b.fn (Func.reg_type b.fn x) in
+  append b (Instr.Unop (op, d, x));
+  d
+
+let conv b kind ~dst_ty x =
+  let d = Func.fresh_reg b.fn dst_ty in
+  append b (Instr.Conv (kind, d, x));
+  d
+
+let cmp b op x y =
+  let d = Func.fresh_reg b.fn Types.i32 in
+  append b (Instr.Cmp (op, d, x, y));
+  d
+
+let select b c x y =
+  let d = Func.fresh_reg b.fn (Func.reg_type b.fn x) in
+  append b (Instr.Select (d, c, x, y));
+  d
+
+let load b ty ~base ?(off = 0) () =
+  let d = Func.fresh_reg b.fn ty in
+  append b (Instr.Load (ty, d, base, off));
+  d
+
+let store b ty ~src ~base ?(off = 0) () =
+  append b (Instr.Store (ty, src, base, off))
+
+let alloca b ~elem ~count =
+  let bytes = Types.scalar_size elem * count in
+  let bytes = (bytes + 7) land lnot 7 in
+  let d = Func.fresh_reg b.fn (Types.ptr elem) in
+  append b (Instr.Alloca (d, bytes));
+  d
+
+let call b ?ret name args =
+  let d = Option.map (Func.fresh_reg b.fn) ret in
+  append b (Instr.Call (d, name, args));
+  d
+
+let splat b ~lanes x =
+  let s = Types.elem (Func.reg_type b.fn x) in
+  let d = Func.fresh_reg b.fn (Types.vec s lanes) in
+  append b (Instr.Splat (d, x));
+  d
+
+let extract b x lane =
+  let s = Types.elem (Func.reg_type b.fn x) in
+  let d = Func.fresh_reg b.fn (Types.Scalar s) in
+  append b (Instr.Extract (d, x, lane));
+  d
+
+let reduce b op x =
+  let s = Types.elem (Func.reg_type b.fn x) in
+  let d = Func.fresh_reg b.fn (Types.Scalar s) in
+  append b (Instr.Reduce (op, d, x));
+  d
+
+(* -- control flow ---------------------------------------------------- *)
+
+let br b (blk : Func.block) = set_term b (Instr.Br blk.label)
+
+let cbr b c (bt : Func.block) (bf : Func.block) =
+  set_term b (Instr.Cbr (c, bt.label, bf.label))
+
+let ret b r = set_term b (Instr.Ret r)
+
+(** Build a counted loop [for i = 0 to n-1 by step].  [body] receives the
+    builder positioned inside the loop body and the induction register;
+    after [body] returns, control falls through to the increment.  The
+    builder is left positioned in the exit block.  Returns the header block
+    label (useful for attaching loop annotations). *)
+let counted_loop b ~n ~step body =
+  let fn = b.fn in
+  let i = Func.fresh_reg fn Types.i64 in
+  let zero = const b (Value.i64 0L) in
+  append b (Instr.Binop (Instr.Add, i, zero, zero));
+  let header = new_block b in
+  let body_blk = new_block b in
+  let exit_blk = new_block b in
+  br b header;
+  position b header;
+  let c = cmp b Instr.Slt i n in
+  cbr b c body_blk exit_blk;
+  position b body_blk;
+  body b i;
+  let stepr = const b (Value.i64 (Int64.of_int step)) in
+  append b (Instr.Binop (Instr.Add, i, i, stepr));
+  br b header;
+  position b exit_blk;
+  header.label

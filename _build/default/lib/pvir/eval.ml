@@ -1,0 +1,193 @@
+(** Evaluation of PVIR operations on {!Value.t}.
+
+    This is the single source of truth for operator semantics: the constant
+    folder, the bytecode interpreter and the machine simulator all call into
+    this module, so an optimization can never change the meaning of an
+    operation without the test suite noticing. *)
+
+exception Division_by_zero
+
+let ( %% ) = Int64.rem
+
+(* Scalar integer binop at scalar type [s]; both operands normalized. *)
+let int_binop op s a b =
+  let u = Value.unsigned s in
+  let r =
+    match (op : Instr.binop) with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | Div ->
+      if Int64.equal b 0L then raise Division_by_zero else Int64.div a b
+    | Udiv ->
+      if Int64.equal b 0L then raise Division_by_zero
+      else Int64.unsigned_div (u a) (u b)
+    | Rem -> if Int64.equal b 0L then raise Division_by_zero else a %% b
+    | Urem ->
+      if Int64.equal b 0L then raise Division_by_zero
+      else Int64.unsigned_rem (u a) (u b)
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Shl -> Int64.shift_left a (Int64.to_int b land 63)
+    | Lshr -> Int64.shift_right_logical (u a) (Int64.to_int b land 63)
+    | Ashr -> Int64.shift_right a (Int64.to_int b land 63)
+    | Min -> if Int64.compare a b <= 0 then a else b
+    | Max -> if Int64.compare a b >= 0 then a else b
+    | Umin -> if Int64.unsigned_compare (u a) (u b) <= 0 then a else b
+    | Umax -> if Int64.unsigned_compare (u a) (u b) >= 0 then a else b
+  in
+  Value.int s r
+
+let float_binop op s a b =
+  let r =
+    match (op : Instr.binop) with
+    | Add -> a +. b
+    | Sub -> a -. b
+    | Mul -> a *. b
+    | Div -> a /. b
+    | Min -> Float.min a b
+    | Max -> Float.max a b
+    | Udiv | Rem | Urem | And | Or | Xor | Shl | Lshr | Ashr | Umin | Umax ->
+      invalid_arg
+        (Printf.sprintf "Eval: binop %s on float" (Instr.binop_name op))
+  in
+  Value.float s r
+
+let scalar_binop op a b =
+  match (a, b) with
+  | Value.Int (s, x), Value.Int (_, y) -> int_binop op s x y
+  | Value.Float (s, x), Value.Float (_, y) -> float_binop op s x y
+  | _ -> invalid_arg "Eval.scalar_binop: mixed or vector operands"
+
+(** Apply a binary operation; vector operands are processed lane-wise. *)
+let binop op a b =
+  match (a, b) with
+  | Value.Vec ea, Value.Vec eb ->
+    if Array.length ea <> Array.length eb then
+      invalid_arg "Eval.binop: lane count mismatch";
+    Value.Vec (Array.mapi (fun i x -> scalar_binop op x eb.(i)) ea)
+  | _ -> scalar_binop op a b
+
+let scalar_unop op v =
+  match ((op : Instr.unop), v) with
+  | Neg, Value.Int (s, x) -> Value.int s (Int64.neg x)
+  | Neg, Value.Float (s, x) -> Value.float s (-.x)
+  | Not, Value.Int (s, x) -> Value.int s (Int64.lognot x)
+  | Not, Value.Float _ -> invalid_arg "Eval: not on float"
+  | _, Value.Vec _ -> invalid_arg "Eval.scalar_unop: vector"
+
+let unop op = function
+  | Value.Vec elems -> Value.Vec (Array.map (scalar_unop op) elems)
+  | v -> scalar_unop op v
+
+let scalar_cmp op a b =
+  let bool_to_value c = Value.i32 (if c then 1 else 0) in
+  match (a, b) with
+  | Value.Int (s, x), Value.Int (_, y) ->
+    let u = Value.unsigned s in
+    let c =
+      match (op : Instr.relop) with
+      | Eq -> Int64.equal x y
+      | Ne -> not (Int64.equal x y)
+      | Slt -> Int64.compare x y < 0
+      | Sle -> Int64.compare x y <= 0
+      | Sgt -> Int64.compare x y > 0
+      | Sge -> Int64.compare x y >= 0
+      | Ult -> Int64.unsigned_compare (u x) (u y) < 0
+      | Ule -> Int64.unsigned_compare (u x) (u y) <= 0
+      | Ugt -> Int64.unsigned_compare (u x) (u y) > 0
+      | Uge -> Int64.unsigned_compare (u x) (u y) >= 0
+    in
+    bool_to_value c
+  | Value.Float (_, x), Value.Float (_, y) ->
+    let c =
+      match (op : Instr.relop) with
+      | Eq -> x = y
+      | Ne -> x <> y
+      | Slt -> x < y
+      | Sle -> x <= y
+      | Sgt -> x > y
+      | Sge -> x >= y
+      | Ult | Ule | Ugt | Uge ->
+        invalid_arg "Eval: unsigned comparison on float"
+    in
+    bool_to_value c
+  | _ -> invalid_arg "Eval.scalar_cmp: mixed or vector operands"
+
+(** Comparisons always produce a scalar [i32] 0/1 (vector compares are not
+    part of the portable builtin set; the vectorizer uses min/max/select
+    shapes instead). *)
+let cmp op a b = scalar_cmp op a b
+
+let select cond if_true if_false =
+  if Value.to_bool cond then if_true else if_false
+
+(** Conversion to the destination type [dst_ty].  Vector conversions apply
+    lane-wise (both sides must have the same lane count — checked by the
+    verifier). *)
+let rec conv kind (dst_ty : Types.t) v =
+  match (dst_ty, v) with
+  | Types.Vector (s, n), Value.Vec elems ->
+    if Array.length elems <> n then
+      invalid_arg "Eval.conv: lane count mismatch";
+    Value.Vec (Array.map (conv kind (Types.Scalar s)) elems)
+  | _ -> conv_scalar kind dst_ty v
+
+and conv_scalar kind (dst_ty : Types.t) v =
+  let s =
+    match dst_ty with
+    | Types.Scalar s -> s
+    | Types.Ptr _ -> Types.I64
+    | Types.Vector _ -> invalid_arg "Eval.conv: vector destination"
+  in
+  match ((kind : Instr.conv), v) with
+  | Zext, Value.Int (src, x) -> Value.int s (Value.unsigned src x)
+  | Sext, Value.Int (_, x) -> Value.int s x
+  | Trunc, Value.Int (_, x) -> Value.int s x
+  | Sitofp, Value.Int (_, x) -> Value.float s (Int64.to_float x)
+  | Uitofp, Value.Int (src, x) ->
+    let u = Value.unsigned src x in
+    let f =
+      if Int64.compare u 0L >= 0 then Int64.to_float u
+      else Int64.to_float u +. 0x1p64
+    in
+    Value.float s f
+  | Fptosi, Value.Float (_, x) -> Value.int s (Int64.of_float x)
+  | Fptoui, Value.Float (_, x) ->
+    let i =
+      if x >= 0x1p63 then Int64.add Int64.min_int (Int64.of_float (x -. 0x1p63))
+      else Int64.of_float x
+    in
+    Value.int s i
+  | Fpconv, Value.Float (_, x) -> Value.float s x
+  | _, Value.Vec _ -> invalid_arg "Eval.conv: vector operand"
+  | _ -> invalid_arg "Eval.conv: ill-typed conversion"
+
+let reduce op v =
+  match v with
+  | Value.Vec elems ->
+    let bin =
+      match (op : Instr.redop) with
+      | Radd -> Instr.Add
+      | Rmin -> Instr.Min
+      | Rmax -> Instr.Max
+      | Rumin -> Instr.Umin
+      | Rumax -> Instr.Umax
+    in
+    let acc = ref elems.(0) in
+    for i = 1 to Array.length elems - 1 do
+      acc := scalar_binop bin !acc elems.(i)
+    done;
+    !acc
+  | Value.Int _ | Value.Float _ -> invalid_arg "Eval.reduce: scalar operand"
+
+let extract v lane =
+  match v with
+  | Value.Vec elems ->
+    if lane < 0 || lane >= Array.length elems then
+      invalid_arg "Eval.extract: lane out of range";
+    elems.(lane)
+  | Value.Int _ | Value.Float _ -> invalid_arg "Eval.extract: scalar operand"
+
+let splat n v = Value.splat n v

@@ -1,0 +1,115 @@
+(** PVIR functions: a CFG of basic blocks plus per-register type
+    information and split-compilation annotations. *)
+
+type block = {
+  label : int;
+  mutable instrs : Instr.t list;
+  mutable term : Instr.term;
+}
+
+type t = {
+  name : string;
+  params : Instr.reg list;
+  ret : Types.t option;
+  mutable blocks : block list;  (** entry block first *)
+  reg_ty : (Instr.reg, Types.t) Hashtbl.t;
+  mutable next_reg : int;
+  mutable next_label : int;
+  mutable annots : Annot.t;
+  mutable loop_annots : (int * Annot.t) list;
+      (** keyed by loop-header block label *)
+}
+
+let create ~name ~params ~ret =
+  let reg_ty = Hashtbl.create 32 in
+  List.iteri (fun i (ty : Types.t) -> Hashtbl.replace reg_ty i ty) params;
+  {
+    name;
+    params = List.mapi (fun i _ -> i) params;
+    ret;
+    blocks = [];
+    reg_ty;
+    next_reg = List.length params;
+    next_label = 0;
+    annots = Annot.empty;
+    loop_annots = [];
+  }
+
+(** Allocate a fresh virtual register of type [ty]. *)
+let fresh_reg fn ty =
+  let r = fn.next_reg in
+  fn.next_reg <- r + 1;
+  Hashtbl.replace fn.reg_ty r ty;
+  r
+
+let reg_type fn r =
+  match Hashtbl.find_opt fn.reg_ty r with
+  | Some ty -> ty
+  | None -> invalid_arg (Printf.sprintf "Func.reg_type: unknown register r%d in %s" r fn.name)
+
+let set_reg_type fn r ty = Hashtbl.replace fn.reg_ty r ty
+
+(** Append an empty block (terminated by [Ret None] until sealed). *)
+let add_block fn =
+  let label = fn.next_label in
+  fn.next_label <- label + 1;
+  let b = { label; instrs = []; term = Instr.Ret None } in
+  fn.blocks <- fn.blocks @ [ b ];
+  b
+
+let find_block fn label =
+  match List.find_opt (fun b -> b.label = label) fn.blocks with
+  | Some b -> b
+  | None ->
+    invalid_arg (Printf.sprintf "Func.find_block: no block %d in %s" label fn.name)
+
+let entry fn =
+  match fn.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" fn.name)
+
+let iter_blocks f fn = List.iter f fn.blocks
+
+let iter_instrs f fn =
+  List.iter (fun b -> List.iter (f b) b.instrs) fn.blocks
+
+(** Number of instructions, terminators included — the unit in which the
+    JIT work accountant measures pass costs. *)
+let instr_count fn =
+  List.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 fn.blocks
+
+let loop_annot fn header =
+  match List.assoc_opt header fn.loop_annots with
+  | Some a -> a
+  | None -> Annot.empty
+
+let set_loop_annot fn header a =
+  fn.loop_annots <- (header, a) :: List.remove_assoc header fn.loop_annots
+
+let add_annot fn key v = fn.annots <- Annot.add key v fn.annots
+
+(** All registers mentioned anywhere in the function (defs, uses, params). *)
+let all_regs fn =
+  let seen = Hashtbl.create 64 in
+  let touch r = Hashtbl.replace seen r () in
+  List.iter touch fn.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          Option.iter touch (Instr.def i);
+          List.iter touch (Instr.uses i))
+        b.instrs;
+      List.iter touch (Instr.term_uses b.term))
+    fn.blocks;
+  Hashtbl.fold (fun r () acc -> r :: acc) seen [] |> List.sort compare
+
+(** Deep copy (blocks and tables are fresh; annotations are shared since
+    they are immutable). *)
+let copy fn =
+  {
+    fn with
+    blocks =
+      List.map (fun b -> { b with instrs = b.instrs }) fn.blocks;
+    reg_ty = Hashtbl.copy fn.reg_ty;
+  }

@@ -1,0 +1,239 @@
+(** PVIR instructions.
+
+    The IR is a conventional three-address code over an unbounded set of
+    *mutable* virtual registers (like CLI locals — the distribution format
+    the paper builds on — and unlike SSA).  A function is a control-flow
+    graph of basic blocks; every block ends in exactly one terminator. *)
+
+(** Virtual register.  Types are recorded per-function in [Func.t]. *)
+type reg = int
+
+(** Binary operations.  Integer ops are sign-agnostic except where a signed
+    and unsigned variant exist.  On float types, [Div] is float division and
+    [Min]/[Max] are IEEE min/max; [Udiv], [Urem], shifts and bitwise ops are
+    invalid on floats (rejected by the verifier). *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** signed division on integers, ordinary division on floats *)
+  | Udiv
+  | Rem  (** signed remainder on integers *)
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr  (** logical shift right *)
+  | Ashr  (** arithmetic shift right *)
+  | Min  (** signed min on integers, fmin on floats *)
+  | Max
+  | Umin
+  | Umax
+
+(** Comparison predicates.  [S*] are signed (and the only valid ordering
+    predicates on floats); [U*] are unsigned. *)
+type relop = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Not  (** bitwise complement (integers only) *)
+
+(** Conversions.  The destination type is the type of the destination
+    register. *)
+type conv =
+  | Zext  (** integer zero extension *)
+  | Sext  (** integer sign extension *)
+  | Trunc  (** integer truncation *)
+  | Sitofp  (** signed integer to float *)
+  | Uitofp
+  | Fptosi  (** float to signed integer (truncating) *)
+  | Fptoui
+  | Fpconv  (** f32 <-> f64 *)
+
+(** Horizontal vector reductions. *)
+type redop =
+  | Radd
+  | Rmin  (** signed *)
+  | Rmax
+  | Rumin
+  | Rumax
+
+(** Instructions.  [Load]/[Store] take a pointer register plus a static byte
+    offset.  The vector operations ([Splat], [Extract], [Reduce], and any
+    [Binop]/[Unop]/[Load]/[Store] at a vector type) are the paper's
+    "portable vectorization builtins": a JIT without SIMD hardware is free
+    to scalarize them. *)
+type t =
+  | Const of reg * Value.t
+  | Mov of reg * reg  (** register copy (MiniC locals are mutable) *)
+  | Gaddr of reg * string  (** address of a global, resolved at load time *)
+  | Binop of binop * reg * reg * reg  (** dst, lhs, rhs *)
+  | Unop of unop * reg * reg
+  | Conv of conv * reg * reg
+  | Cmp of relop * reg * reg * reg  (** dst (i32 0/1), lhs, rhs *)
+  | Select of reg * reg * reg * reg  (** dst, cond, if-true, if-false *)
+  | Load of Types.t * reg * reg * int  (** ty, dst, base pointer, offset *)
+  | Store of Types.t * reg * reg * int  (** ty, src, base pointer, offset *)
+  | Alloca of reg * int  (** dst pointer, frame bytes (8-byte aligned) *)
+  | Call of reg option * string * reg list
+  | Splat of reg * reg  (** dst vector, scalar source *)
+  | Extract of reg * reg * int  (** dst scalar, vector source, lane *)
+  | Reduce of redop * reg * reg  (** dst scalar, vector source *)
+
+(** Block terminators.  Labels are block ids local to the function. *)
+type term =
+  | Br of int
+  | Cbr of reg * int * int  (** condition, if-true, if-false *)
+  | Ret of reg option
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Udiv -> "udiv"
+  | Rem -> "rem"
+  | Urem -> "urem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+  | Min -> "min"
+  | Max -> "max"
+  | Umin -> "umin"
+  | Umax -> "umax"
+
+let relop_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+
+let unop_name = function Neg -> "neg" | Not -> "not"
+
+let conv_name = function
+  | Zext -> "zext"
+  | Sext -> "sext"
+  | Trunc -> "trunc"
+  | Sitofp -> "sitofp"
+  | Uitofp -> "uitofp"
+  | Fptosi -> "fptosi"
+  | Fptoui -> "fptoui"
+  | Fpconv -> "fpconv"
+
+let redop_name = function
+  | Radd -> "radd"
+  | Rmin -> "rmin"
+  | Rmax -> "rmax"
+  | Rumin -> "rumin"
+  | Rumax -> "rumax"
+
+let all_binops =
+  [ Add; Sub; Mul; Div; Udiv; Rem; Urem; And; Or; Xor; Shl; Lshr; Ashr;
+    Min; Max; Umin; Umax ]
+
+let all_relops = [ Eq; Ne; Slt; Sle; Sgt; Sge; Ult; Ule; Ugt; Uge ]
+let all_redops = [ Radd; Rmin; Rmax; Rumin; Rumax ]
+
+(** [binop_valid_on op s] — is [op] defined at element scalar [s]? *)
+let binop_valid_on op s =
+  if Types.is_float_scalar s then
+    match op with
+    | Add | Sub | Mul | Div | Min | Max -> true
+    | Udiv | Rem | Urem | And | Or | Xor | Shl | Lshr | Ashr | Umin | Umax ->
+      false
+  else true
+
+(** Destination register of an instruction, if any. *)
+let def = function
+  | Const (d, _)
+  | Mov (d, _)
+  | Gaddr (d, _)
+  | Binop (_, d, _, _)
+  | Unop (_, d, _)
+  | Conv (_, d, _)
+  | Cmp (_, d, _, _)
+  | Select (d, _, _, _)
+  | Load (_, d, _, _)
+  | Alloca (d, _)
+  | Splat (d, _)
+  | Extract (d, _, _)
+  | Reduce (_, d, _) -> Some d
+  | Store _ -> None
+  | Call (d, _, _) -> d
+
+(** Registers read by an instruction. *)
+let uses = function
+  | Const _ | Gaddr _ -> []
+  | Binop (_, _, a, b) | Cmp (_, _, a, b) -> [ a; b ]
+  | Mov (_, a) | Unop (_, _, a) | Conv (_, _, a) | Splat (_, a)
+  | Extract (_, a, _)
+  | Reduce (_, _, a) -> [ a ]
+  | Select (_, c, a, b) -> [ c; a; b ]
+  | Load (_, _, base, _) -> [ base ]
+  | Store (_, src, base, _) -> [ src; base ]
+  | Alloca _ -> []
+  | Call (_, _, args) -> args
+
+(** Registers read by a terminator. *)
+let term_uses = function
+  | Br _ | Ret None -> []
+  | Cbr (c, _, _) -> [ c ]
+  | Ret (Some r) -> [ r ]
+
+(** Successor labels of a terminator. *)
+let successors = function
+  | Br l -> [ l ]
+  | Cbr (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | Ret _ -> []
+
+(** Does the instruction touch memory or have other side effects?  Pure
+    instructions can be removed when dead and hoisted when invariant. *)
+let has_side_effect = function
+  | Store _ | Call _ | Alloca _ -> true
+  | Const _ | Mov _ | Gaddr _ | Binop _ | Unop _ | Conv _ | Cmp _ | Select _
+  | Load _ | Splat _ | Extract _ | Reduce _ -> false
+
+(** Loads are not side effects but cannot be removed across stores. *)
+let reads_memory = function
+  | Load _ -> true
+  | Const _ | Mov _ | Gaddr _ | Binop _ | Unop _ | Conv _ | Cmp _ | Select _
+  | Store _ | Alloca _ | Call _ | Splat _ | Extract _ | Reduce _ -> false
+
+(** Rewrite every register of the instruction through [f] (definitions and
+    uses alike).  Used by the inliner and the vectorizer when renaming. *)
+let map_regs f = function
+  | Const (d, v) -> Const (f d, v)
+  | Mov (d, a) -> Mov (f d, f a)
+  | Gaddr (d, g) -> Gaddr (f d, g)
+  | Binop (op, d, a, b) -> Binop (op, f d, f a, f b)
+  | Unop (op, d, a) -> Unop (op, f d, f a)
+  | Conv (c, d, a) -> Conv (c, f d, f a)
+  | Cmp (r, d, a, b) -> Cmp (r, f d, f a, f b)
+  | Select (d, c, a, b) -> Select (f d, f c, f a, f b)
+  | Load (t, d, base, off) -> Load (t, f d, f base, off)
+  | Store (t, s, base, off) -> Store (t, f s, f base, off)
+  | Alloca (d, n) -> Alloca (f d, n)
+  | Call (d, name, args) -> Call (Option.map f d, name, List.map f args)
+  | Splat (d, a) -> Splat (f d, f a)
+  | Extract (d, a, i) -> Extract (f d, f a, i)
+  | Reduce (op, d, a) -> Reduce (op, f d, f a)
+
+let map_term_regs f = function
+  | Br l -> Br l
+  | Cbr (c, l1, l2) -> Cbr (f c, l1, l2)
+  | Ret r -> Ret (Option.map f r)
+
+let map_term_labels f = function
+  | Br l -> Br (f l)
+  | Cbr (c, l1, l2) -> Cbr (c, f l1, f l2)
+  | Ret r -> Ret r

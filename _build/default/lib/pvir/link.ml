@@ -1,0 +1,118 @@
+(** Install-time linker: combine separately-compiled PVIR modules into one
+    whole program.
+
+    This is the paper's §4 "whole-program and link-time optimization"
+    direction: because deployment goes through the virtualization layer,
+    the device (or installer) sees *all* the bytecode of an application at
+    once, no matter how many vendors shipped pieces of it.  After
+    {!link}, the ordinary offline/online pipelines run on the merged
+    program — so cross-module inlining, whole-program dependence analysis
+    and annotation generation need no special machinery — and
+    {!treeshake} drops everything unreachable, the code-size
+    optimization embedded systems care about. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(** Link modules into one program.
+
+    Rules: function and global names must be unique across modules; every
+    [extern] declaration must be resolved by a function with the exact
+    same signature (VM intrinsics never need externs); resolved externs
+    disappear.  The result is verified.
+    @raise Error on duplicate symbols, unresolved externs, or signature
+    mismatches. *)
+let link ?(name = "linked") (modules : Prog.t list) : Prog.t =
+  let out = Prog.create name in
+  let fun_owner = Hashtbl.create 32 in
+  let glob_owner = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Prog.t) ->
+      List.iter
+        (fun (fn : Func.t) ->
+          (match Hashtbl.find_opt fun_owner fn.Func.name with
+          | Some other ->
+            fail "duplicate symbol @%s (defined in %s and %s)" fn.Func.name
+              other m.Prog.pname
+          | None -> Hashtbl.replace fun_owner fn.Func.name m.Prog.pname);
+          Prog.add_func out fn)
+        m.Prog.funcs;
+      List.iter
+        (fun (g : Prog.global) ->
+          (match Hashtbl.find_opt glob_owner g.Prog.gname with
+          | Some other ->
+            fail "duplicate global @%s (defined in %s and %s)" g.Prog.gname
+              other m.Prog.pname
+          | None -> Hashtbl.replace glob_owner g.Prog.gname m.Prog.pname);
+          out.Prog.globals <- out.Prog.globals @ [ g ])
+        m.Prog.globals;
+      out.Prog.annots <-
+        List.fold_left
+          (fun acc (k, v) -> Annot.add k v acc)
+          out.Prog.annots (List.rev m.Prog.annots))
+    modules;
+  (* resolve externs against the merged function set *)
+  List.iter
+    (fun (m : Prog.t) ->
+      List.iter
+        (fun (e : Prog.extern) ->
+          match Prog.find_func out e.Prog.ename with
+          | None ->
+            if Prog.intrinsic_sig e.Prog.ename = None then
+              fail "unresolved extern @%s (declared in %s)" e.Prog.ename
+                m.Prog.pname
+          | Some fn ->
+            let params = List.map (Func.reg_type fn) fn.Func.params in
+            if
+              not
+                (List.length params = List.length e.Prog.eparams
+                && List.for_all2 Types.equal params e.Prog.eparams
+                &&
+                match (fn.Func.ret, e.Prog.eret) with
+                | None, None -> true
+                | Some a, Some b -> Types.equal a b
+                | _ -> false)
+            then
+              fail "extern @%s (declared in %s) does not match its definition"
+                e.Prog.ename m.Prog.pname)
+        m.Prog.externs)
+    modules;
+  Verify.program out;
+  out
+
+(** Whole-program dead-code elimination: keep only the functions reachable
+    from [roots] (by call) and the globals they reference (by [Gaddr]).
+    Returns [(functions removed, globals removed)].
+    @raise Error if a root does not exist. *)
+let treeshake ~(roots : string list) (p : Prog.t) : int * int =
+  List.iter
+    (fun r ->
+      if Prog.find_func p r = None then fail "treeshake: no root function @%s" r)
+    roots;
+  let live_funcs = Hashtbl.create 32 in
+  let live_globs = Hashtbl.create 32 in
+  let rec visit name =
+    if not (Hashtbl.mem live_funcs name) then begin
+      Hashtbl.replace live_funcs name ();
+      match Prog.find_func p name with
+      | None -> ()  (* intrinsic *)
+      | Some fn ->
+        Func.iter_instrs
+          (fun _ i ->
+            match i with
+            | Instr.Call (_, callee, _) -> visit callee
+            | Instr.Gaddr (_, g) -> Hashtbl.replace live_globs g ()
+            | _ -> ())
+          fn
+    end
+  in
+  List.iter visit roots;
+  let before_f = List.length p.Prog.funcs in
+  let before_g = List.length p.Prog.globals in
+  p.Prog.funcs <-
+    List.filter (fun (fn : Func.t) -> Hashtbl.mem live_funcs fn.Func.name) p.Prog.funcs;
+  p.Prog.globals <-
+    List.filter (fun (g : Prog.global) -> Hashtbl.mem live_globs g.Prog.gname) p.Prog.globals;
+  ( before_f - List.length p.Prog.funcs,
+    before_g - List.length p.Prog.globals )

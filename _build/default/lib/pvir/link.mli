@@ -1,0 +1,25 @@
+(** Install-time linker: combine separately-compiled PVIR modules into one
+    whole program (the paper's §4 "whole-program and link-time
+    optimization" direction).
+
+    After {!link}, the ordinary offline/online pipelines run on the merged
+    program, so cross-module inlining and whole-program analyses need no
+    special machinery; {!treeshake} then drops everything unreachable. *)
+
+exception Error of string
+
+(** Link modules into one program.
+
+    Function and global names must be unique across modules; every
+    [extern] declaration must be resolved by a function with the exact
+    same signature (VM intrinsics never need resolution).  The result is
+    verified.
+    @raise Error on duplicate symbols, unresolved externs, or signature
+    mismatches. *)
+val link : ?name:string -> Prog.t list -> Prog.t
+
+(** Whole-program dead-code elimination: keep only the functions reachable
+    from [roots] (by call) and the globals they reference (by [Gaddr]).
+    Mutates [p]; returns [(functions removed, globals removed)].
+    @raise Error if a root does not exist. *)
+val treeshake : roots:string list -> Prog.t -> int * int

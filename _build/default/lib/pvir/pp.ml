@@ -1,0 +1,143 @@
+(** Textual form of PVIR programs.
+
+    The printer emits a stable, line-oriented syntax that {!Parse} reads
+    back; [Parse.program (Pp.program_to_string p)] round-trips every
+    construct.  Example:
+
+    {v
+    program "kernels"
+    global @a : f32 x 1024
+    func @saxpy(r0 : i64, r1 : f32 ptr) : f32 {
+      !pv.vectorized = 4
+      block 0:
+        r2 = const 0:i64
+        br 1
+      block 1:
+        r3 = cmp slt r2, r0
+        cbr r3, 2, 3
+      ...
+    }
+    v} *)
+
+open Format
+
+let pp_reg ppf r = fprintf ppf "r%d" r
+
+let pp_operand_list ppf regs =
+  pp_print_list
+    ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+    pp_reg ppf regs
+
+let pp_instr ppf (i : Instr.t) =
+  match i with
+  | Const (d, v) -> fprintf ppf "%a = const %a" pp_reg d Value.pp v
+  | Mov (d, a) -> fprintf ppf "%a = mov %a" pp_reg d pp_reg a
+  | Gaddr (d, g) -> fprintf ppf "%a = gaddr @%s" pp_reg d g
+  | Binop (op, d, a, b) ->
+    fprintf ppf "%a = %s %a, %a" pp_reg d (Instr.binop_name op) pp_reg a
+      pp_reg b
+  | Unop (op, d, a) ->
+    fprintf ppf "%a = %s %a" pp_reg d (Instr.unop_name op) pp_reg a
+  | Conv (c, d, a) ->
+    fprintf ppf "%a = %s %a" pp_reg d (Instr.conv_name c) pp_reg a
+  | Cmp (op, d, a, b) ->
+    fprintf ppf "%a = cmp %s %a, %a" pp_reg d (Instr.relop_name op) pp_reg a
+      pp_reg b
+  | Select (d, c, a, b) ->
+    fprintf ppf "%a = select %a, %a, %a" pp_reg d pp_reg c pp_reg a pp_reg b
+  | Load (ty, d, base, off) ->
+    fprintf ppf "%a = load %a %a + %d" pp_reg d Types.pp ty pp_reg base off
+  | Store (ty, s, base, off) ->
+    fprintf ppf "store %a %a, %a + %d" Types.pp ty pp_reg s pp_reg base off
+  | Alloca (d, n) -> fprintf ppf "%a = alloca %d" pp_reg d n
+  | Call (None, name, args) ->
+    fprintf ppf "call @%s(%a)" name pp_operand_list args
+  | Call (Some d, name, args) ->
+    fprintf ppf "%a = call @%s(%a)" pp_reg d name pp_operand_list args
+  | Splat (d, a) -> fprintf ppf "%a = splat %a" pp_reg d pp_reg a
+  | Extract (d, a, lane) ->
+    fprintf ppf "%a = extract %a, %d" pp_reg d pp_reg a lane
+  | Reduce (op, d, a) ->
+    fprintf ppf "%a = %s %a" pp_reg d (Instr.redop_name op) pp_reg a
+
+let pp_term ppf (t : Instr.term) =
+  match t with
+  | Br l -> fprintf ppf "br %d" l
+  | Cbr (c, l1, l2) -> fprintf ppf "cbr %a, %d, %d" pp_reg c l1 l2
+  | Ret None -> fprintf ppf "ret"
+  | Ret (Some r) -> fprintf ppf "ret %a" pp_reg r
+
+let pp_annots ~indent ppf (a : Annot.t) =
+  List.iter
+    (fun (k, v) ->
+      fprintf ppf "%s!%s = %s@\n" indent k (Annot.value_to_string v))
+    (List.rev a)
+
+let pp_block fn ppf (b : Func.block) =
+  ignore fn;
+  fprintf ppf "  block %d:@\n" b.label;
+  List.iter (fun i -> fprintf ppf "    %a@\n" pp_instr i) b.instrs;
+  fprintf ppf "    %a@\n" pp_term b.term
+
+let pp_func ppf (fn : Func.t) =
+  let pp_param ppf r =
+    fprintf ppf "%a : %a" pp_reg r Types.pp (Func.reg_type fn r)
+  in
+  fprintf ppf "func @%s(%a)" fn.name
+    (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_param)
+    fn.params;
+  (match fn.ret with
+  | Some ty -> fprintf ppf " : %a" Types.pp ty
+  | None -> ());
+  fprintf ppf " {@\n";
+  (* Register declarations for non-parameter registers, so that the parser
+     can rebuild the type table without inference. *)
+  let param_set = List.sort_uniq compare fn.params in
+  let decls =
+    List.filter (fun r -> not (List.mem r param_set)) (Func.all_regs fn)
+  in
+  List.iter
+    (fun r ->
+      fprintf ppf "  reg %a : %a@\n" pp_reg r Types.pp (Func.reg_type fn r))
+    decls;
+  pp_annots ~indent:"  " ppf fn.annots;
+  List.iter
+    (fun (header, a) ->
+      if a <> Annot.empty then
+        fprintf ppf "  loop %d { @[%a@] }@\n" header Annot.pp a)
+    (List.sort compare fn.loop_annots);
+  List.iter (fun b -> pp_block fn ppf b) fn.blocks;
+  fprintf ppf "}@\n"
+
+let pp_global ppf (g : Prog.global) =
+  fprintf ppf "global @@%s : %a x %d" g.gname Types.pp_scalar g.gelem g.gcount;
+  (match g.ginit with
+  | None -> ()
+  | Some init ->
+    fprintf ppf " = {";
+    Array.iteri
+      (fun i v ->
+        if i > 0 then fprintf ppf ", ";
+        Value.pp ppf v)
+      init;
+    fprintf ppf "}");
+  fprintf ppf "@\n"
+
+let pp_extern ppf (e : Prog.extern) =
+  fprintf ppf "extern @@%s(%a)" e.ename
+    (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") Types.pp)
+    e.eparams;
+  (match e.eret with
+  | Some ty -> fprintf ppf " : %a" Types.pp ty
+  | None -> ());
+  fprintf ppf "@\n"
+
+let pp_program ppf (p : Prog.t) =
+  fprintf ppf "program %S@\n" p.pname;
+  pp_annots ~indent:"" ppf p.annots;
+  List.iter (pp_extern ppf) p.externs;
+  List.iter (pp_global ppf) p.globals;
+  List.iter (fun fn -> fprintf ppf "@\n%a" pp_func fn) p.funcs
+
+let func_to_string fn = Format.asprintf "%a" pp_func fn
+let program_to_string p = Format.asprintf "%a" pp_program p

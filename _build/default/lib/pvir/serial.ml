@@ -1,0 +1,575 @@
+(** Binary serialization of PVIR programs — the actual "bytecode" format.
+
+    Layout goals follow the paper's compactness argument (§2.1, ref [15]):
+    compact varint-style integers, one byte per opcode, annotations stored
+    out of line so a reader that does not understand them can skip them
+    wholesale.  [decode (encode p)] reproduces [p] exactly (checked by the
+    round-trip property tests). *)
+
+let magic = "PVIR"
+let version = 1
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---------------- primitive writers ---------------- *)
+
+type writer = Buffer.t
+
+let w_u8 (b : writer) v = Buffer.add_uint8 b (v land 0xFF)
+
+(* LEB128-style unsigned varint over int64 *)
+let w_varint b (v : int64) =
+  let v = ref v in
+  let continue_ = ref true in
+  while !continue_ do
+    let byte = Int64.to_int (Int64.logand !v 0x7FL) in
+    v := Int64.shift_right_logical !v 7;
+    if Int64.equal !v 0L then (
+      w_u8 b byte;
+      continue_ := false)
+    else w_u8 b (byte lor 0x80)
+  done
+
+let w_int b (v : int) = w_varint b (Int64.of_int v)
+
+(* zig-zag for signed values *)
+let w_svarint b (v : int64) =
+  w_varint b (Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63))
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_f64 b (v : float) =
+  Buffer.add_int64_le b (Int64.bits_of_float v)
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_option b f = function
+  | None -> w_u8 b 0
+  | Some x ->
+    w_u8 b 1;
+    f b x
+
+let w_list b f l =
+  w_int b (List.length l);
+  List.iter (f b) l
+
+(* ---------------- primitive readers ---------------- *)
+
+type reader = { buf : string; mutable pos : int }
+
+let r_u8 r =
+  if r.pos >= String.length r.buf then corrupt "unexpected end of input";
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_varint r =
+  let rec go shift acc =
+    if shift > 63 then corrupt "varint too long";
+    let byte = r_u8 r in
+    let acc =
+      Int64.logor acc (Int64.shift_left (Int64.of_int (byte land 0x7F)) shift)
+    in
+    if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0L
+
+let r_int r = Int64.to_int (r_varint r)
+
+let r_svarint r =
+  let v = r_varint r in
+  Int64.logxor (Int64.shift_right_logical v 1) (Int64.neg (Int64.logand v 1L))
+
+let r_string r =
+  let n = r_int r in
+  if n < 0 || r.pos + n > String.length r.buf then corrupt "bad string length";
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_f64 r =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.buf.[r.pos + i]))
+  done;
+  r.pos <- r.pos + 8;
+  Int64.float_of_bits !v
+
+let r_bool r = r_u8 r <> 0
+
+let r_option r f = match r_u8 r with 0 -> None | _ -> Some (f r)
+
+let r_list r f =
+  let n = r_int r in
+  if n < 0 then corrupt "bad list length";
+  List.init n (fun _ -> f r)
+
+(* ---------------- enums ---------------- *)
+
+let scalar_tag = function
+  | Types.I8 -> 0
+  | Types.I16 -> 1
+  | Types.I32 -> 2
+  | Types.I64 -> 3
+  | Types.F32 -> 4
+  | Types.F64 -> 5
+
+let scalar_of_tag = function
+  | 0 -> Types.I8
+  | 1 -> Types.I16
+  | 2 -> Types.I32
+  | 3 -> Types.I64
+  | 4 -> Types.F32
+  | 5 -> Types.F64
+  | t -> corrupt "bad scalar tag %d" t
+
+let w_ty b = function
+  | Types.Scalar s -> w_u8 b (scalar_tag s)
+  | Types.Vector (s, n) ->
+    w_u8 b (0x10 lor scalar_tag s);
+    w_int b n
+  | Types.Ptr s -> w_u8 b (0x20 lor scalar_tag s)
+
+let r_ty r =
+  let t = r_u8 r in
+  let s = scalar_of_tag (t land 0x0F) in
+  match t land 0xF0 with
+  | 0 -> Types.Scalar s
+  | 0x10 -> Types.Vector (s, r_int r)
+  | 0x20 -> Types.Ptr s
+  | _ -> corrupt "bad type tag %d" t
+
+let index_of x l =
+  let rec go i = function
+    | [] -> invalid_arg "Serial.index_of"
+    | y :: tl -> if y = x then i else go (i + 1) tl
+  in
+  go 0 l
+
+let nth_or_corrupt name l i =
+  match List.nth_opt l i with
+  | Some x -> x
+  | None -> corrupt "bad %s tag %d" name i
+
+let w_binop b op = w_u8 b (index_of op Instr.all_binops)
+let r_binop r = nth_or_corrupt "binop" Instr.all_binops (r_u8 r)
+let w_relop b op = w_u8 b (index_of op Instr.all_relops)
+let r_relop r = nth_or_corrupt "relop" Instr.all_relops (r_u8 r)
+let w_redop b op = w_u8 b (index_of op Instr.all_redops)
+let r_redop r = nth_or_corrupt "redop" Instr.all_redops (r_u8 r)
+
+let all_convs =
+  Instr.[ Zext; Sext; Trunc; Sitofp; Uitofp; Fptosi; Fptoui; Fpconv ]
+
+let w_conv b c = w_u8 b (index_of c all_convs)
+let r_conv r = nth_or_corrupt "conv" all_convs (r_u8 r)
+
+let all_unops = Instr.[ Neg; Not ]
+let w_unop b u = w_u8 b (index_of u all_unops)
+let r_unop r = nth_or_corrupt "unop" all_unops (r_u8 r)
+
+(* ---------------- values ---------------- *)
+
+let rec w_value b = function
+  | Value.Int (s, x) ->
+    w_u8 b 0;
+    w_u8 b (scalar_tag s);
+    w_svarint b x
+  | Value.Float (s, x) ->
+    w_u8 b 1;
+    w_u8 b (scalar_tag s);
+    w_f64 b x
+  | Value.Vec elems ->
+    w_u8 b 2;
+    w_int b (Array.length elems);
+    Array.iter (w_value b) elems
+
+let rec r_value r =
+  match r_u8 r with
+  | 0 ->
+    let s = scalar_of_tag (r_u8 r) in
+    Value.Int (s, Value.normalize s (r_svarint r))
+  | 1 ->
+    let s = scalar_of_tag (r_u8 r) in
+    Value.Float (s, Value.normalize_float s (r_f64 r))
+  | 2 ->
+    let n = r_int r in
+    if n < 2 then corrupt "vector with %d lanes" n;
+    Value.Vec (Array.init n (fun _ -> r_value r))
+  | t -> corrupt "bad value tag %d" t
+
+(* ---------------- annotations ---------------- *)
+
+let rec w_annot_value b = function
+  | Annot.Bool v ->
+    w_u8 b 0;
+    w_bool b v
+  | Annot.Int v ->
+    w_u8 b 1;
+    w_svarint b (Int64.of_int v)
+  | Annot.Flt v ->
+    w_u8 b 2;
+    w_f64 b v
+  | Annot.Str v ->
+    w_u8 b 3;
+    w_string b v
+  | Annot.List v ->
+    w_u8 b 4;
+    w_list b w_annot_value v
+
+let rec r_annot_value r =
+  match r_u8 r with
+  | 0 -> Annot.Bool (r_bool r)
+  | 1 -> Annot.Int (Int64.to_int (r_svarint r))
+  | 2 -> Annot.Flt (r_f64 r)
+  | 3 -> Annot.Str (r_string r)
+  | 4 -> Annot.List (r_list r r_annot_value)
+  | t -> corrupt "bad annotation tag %d" t
+
+let w_annots b (a : Annot.t) =
+  w_list b
+    (fun b (k, v) ->
+      w_string b k;
+      w_annot_value b v)
+    a
+
+let r_annots r : Annot.t =
+  r_list r (fun r ->
+      let k = r_string r in
+      let v = r_annot_value r in
+      (k, v))
+
+(* ---------------- instructions ---------------- *)
+
+let w_instr b (i : Instr.t) =
+  match i with
+  | Const (d, v) ->
+    w_u8 b 0;
+    w_int b d;
+    w_value b v
+  | Binop (op, d, x, y) ->
+    w_u8 b 1;
+    w_binop b op;
+    w_int b d;
+    w_int b x;
+    w_int b y
+  | Unop (op, d, x) ->
+    w_u8 b 2;
+    w_unop b op;
+    w_int b d;
+    w_int b x
+  | Conv (c, d, x) ->
+    w_u8 b 3;
+    w_conv b c;
+    w_int b d;
+    w_int b x
+  | Cmp (op, d, x, y) ->
+    w_u8 b 4;
+    w_relop b op;
+    w_int b d;
+    w_int b x;
+    w_int b y
+  | Select (d, c, x, y) ->
+    w_u8 b 5;
+    w_int b d;
+    w_int b c;
+    w_int b x;
+    w_int b y
+  | Load (ty, d, base, off) ->
+    w_u8 b 6;
+    w_ty b ty;
+    w_int b d;
+    w_int b base;
+    w_svarint b (Int64.of_int off)
+  | Store (ty, s, base, off) ->
+    w_u8 b 7;
+    w_ty b ty;
+    w_int b s;
+    w_int b base;
+    w_svarint b (Int64.of_int off)
+  | Alloca (d, n) ->
+    w_u8 b 8;
+    w_int b d;
+    w_int b n
+  | Call (d, name, args) ->
+    w_u8 b 9;
+    w_option b w_int d;
+    w_string b name;
+    w_list b w_int args
+  | Splat (d, x) ->
+    w_u8 b 10;
+    w_int b d;
+    w_int b x
+  | Extract (d, x, lane) ->
+    w_u8 b 11;
+    w_int b d;
+    w_int b x;
+    w_int b lane
+  | Reduce (op, d, x) ->
+    w_u8 b 12;
+    w_redop b op;
+    w_int b d;
+    w_int b x
+  | Mov (d, x) ->
+    w_u8 b 13;
+    w_int b d;
+    w_int b x
+  | Gaddr (d, g) ->
+    w_u8 b 14;
+    w_int b d;
+    w_string b g
+
+let r_instr r : Instr.t =
+  match r_u8 r with
+  | 0 ->
+    let d = r_int r in
+    Const (d, r_value r)
+  | 1 ->
+    let op = r_binop r in
+    let d = r_int r in
+    let x = r_int r in
+    let y = r_int r in
+    Binop (op, d, x, y)
+  | 2 ->
+    let op = r_unop r in
+    let d = r_int r in
+    Unop (op, d, r_int r)
+  | 3 ->
+    let c = r_conv r in
+    let d = r_int r in
+    Conv (c, d, r_int r)
+  | 4 ->
+    let op = r_relop r in
+    let d = r_int r in
+    let x = r_int r in
+    let y = r_int r in
+    Cmp (op, d, x, y)
+  | 5 ->
+    let d = r_int r in
+    let c = r_int r in
+    let x = r_int r in
+    let y = r_int r in
+    Select (d, c, x, y)
+  | 6 ->
+    let ty = r_ty r in
+    let d = r_int r in
+    let base = r_int r in
+    Load (ty, d, base, Int64.to_int (r_svarint r))
+  | 7 ->
+    let ty = r_ty r in
+    let s = r_int r in
+    let base = r_int r in
+    Store (ty, s, base, Int64.to_int (r_svarint r))
+  | 8 ->
+    let d = r_int r in
+    Alloca (d, r_int r)
+  | 9 ->
+    let d = r_option r r_int in
+    let name = r_string r in
+    Call (d, name, r_list r r_int)
+  | 10 ->
+    let d = r_int r in
+    Splat (d, r_int r)
+  | 11 ->
+    let d = r_int r in
+    let x = r_int r in
+    Extract (d, x, r_int r)
+  | 12 ->
+    let op = r_redop r in
+    let d = r_int r in
+    Reduce (op, d, r_int r)
+  | 13 ->
+    let d = r_int r in
+    Mov (d, r_int r)
+  | 14 ->
+    let d = r_int r in
+    Gaddr (d, r_string r)
+  | t -> corrupt "bad instruction tag %d" t
+
+let w_term b (t : Instr.term) =
+  match t with
+  | Br l ->
+    w_u8 b 0;
+    w_int b l
+  | Cbr (c, l1, l2) ->
+    w_u8 b 1;
+    w_int b c;
+    w_int b l1;
+    w_int b l2
+  | Ret None -> w_u8 b 2
+  | Ret (Some x) ->
+    w_u8 b 3;
+    w_int b x
+
+let r_term r : Instr.term =
+  match r_u8 r with
+  | 0 -> Br (r_int r)
+  | 1 ->
+    let c = r_int r in
+    let l1 = r_int r in
+    let l2 = r_int r in
+    Cbr (c, l1, l2)
+  | 2 -> Ret None
+  | 3 -> Ret (Some (r_int r))
+  | t -> corrupt "bad terminator tag %d" t
+
+(* ---------------- functions & programs ---------------- *)
+
+let w_func b (fn : Func.t) =
+  w_string b fn.name;
+  w_list b
+    (fun b r ->
+      w_int b r;
+      w_ty b (Func.reg_type fn r))
+    fn.params;
+  w_option b w_ty fn.ret;
+  (* full register type table *)
+  let regs = Hashtbl.fold (fun r ty acc -> (r, ty) :: acc) fn.reg_ty [] in
+  let regs = List.sort compare regs in
+  w_list b
+    (fun b (r, ty) ->
+      w_int b r;
+      w_ty b ty)
+    regs;
+  w_int b fn.next_reg;
+  w_int b fn.next_label;
+  w_annots b fn.annots;
+  w_list b
+    (fun b (header, a) ->
+      w_int b header;
+      w_annots b a)
+    fn.loop_annots;
+  w_list b
+    (fun b (blk : Func.block) ->
+      w_int b blk.label;
+      w_list b w_instr blk.instrs;
+      w_term b blk.term)
+    fn.blocks
+
+let r_func r : Func.t =
+  let name = r_string r in
+  let params =
+    r_list r (fun r ->
+        let reg = r_int r in
+        let ty = r_ty r in
+        (reg, ty))
+  in
+  let ret = r_option r r_ty in
+  let reg_list =
+    r_list r (fun r ->
+        let reg = r_int r in
+        let ty = r_ty r in
+        (reg, ty))
+  in
+  let next_reg = r_int r in
+  let next_label = r_int r in
+  let annots = r_annots r in
+  let loop_annots =
+    r_list r (fun r ->
+        let h = r_int r in
+        let a = r_annots r in
+        (h, a))
+  in
+  let blocks =
+    r_list r (fun r ->
+        let label = r_int r in
+        let instrs = r_list r r_instr in
+        let term = r_term r in
+        { Func.label; instrs; term })
+  in
+  let reg_ty = Hashtbl.create 32 in
+  List.iter (fun (reg, ty) -> Hashtbl.replace reg_ty reg ty) reg_list;
+  {
+    Func.name;
+    params = List.map fst params;
+    ret;
+    blocks;
+    reg_ty;
+    next_reg;
+    next_label;
+    annots;
+    loop_annots;
+  }
+
+let w_extern b (e : Prog.extern) =
+  w_string b e.Prog.ename;
+  w_list b w_ty e.Prog.eparams;
+  w_option b w_ty e.Prog.eret
+
+let r_extern r : Prog.extern =
+  let ename = r_string r in
+  let eparams = r_list r r_ty in
+  let eret = r_option r r_ty in
+  { ename; eparams; eret }
+
+let w_global b (g : Prog.global) =
+  w_string b g.gname;
+  w_u8 b (scalar_tag g.gelem);
+  w_int b g.gcount;
+  w_option b (fun b a -> w_list b w_value (Array.to_list a)) g.ginit;
+  w_annots b g.gannots
+
+let r_global r : Prog.global =
+  let gname = r_string r in
+  let gelem = scalar_of_tag (r_u8 r) in
+  let gcount = r_int r in
+  let ginit = r_option r (fun r -> Array.of_list (r_list r r_value)) in
+  let gannots = r_annots r in
+  { gname; gelem; gcount; ginit; gannots }
+
+(** Serialize a program to its binary bytecode form. *)
+let encode (p : Prog.t) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  w_u8 b version;
+  w_string b p.pname;
+  w_annots b p.annots;
+  w_list b w_extern p.externs;
+  w_list b w_global p.globals;
+  w_list b w_func p.funcs;
+  Buffer.contents b
+
+(** Parse binary bytecode back into a program.
+    @raise Corrupt on malformed input. *)
+let decode (s : string) : Prog.t =
+  if String.length s < 5 || not (String.equal (String.sub s 0 4) magic) then
+    corrupt "bad magic";
+  let r = { buf = s; pos = 4 } in
+  let v = r_u8 r in
+  if v <> version then corrupt "unsupported version %d" v;
+  let pname = r_string r in
+  let annots = r_annots r in
+  let externs = r_list r r_extern in
+  let globals = r_list r r_global in
+  let funcs = r_list r r_func in
+  { Prog.pname; globals; funcs; externs; annots }
+
+(** Encoded size in bytes of a program with its annotations stripped —
+    used by the size/compactness experiment (E5). *)
+let encode_stripped (p : Prog.t) : string =
+  let p' = Prog.copy p in
+  p'.annots <- Annot.empty;
+  List.iter
+    (fun (fn : Func.t) ->
+      fn.annots <- Annot.empty;
+      fn.loop_annots <- [])
+    p'.funcs;
+  encode p'
+
+let to_file path p =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode p))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      decode (really_input_string ic n))

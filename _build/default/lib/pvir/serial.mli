@@ -1,0 +1,29 @@
+(** Binary serialization of PVIR programs — the bytecode distribution
+    format.
+
+    Compact varint-based encoding; annotations are stored as a skippable
+    section so readers that do not understand a key can ignore it.
+    [decode (encode p)] reproduces [p] exactly (checked by round-trip
+    property tests). *)
+
+(** Raised by {!decode} / {!of_file} on malformed input. *)
+exception Corrupt of string
+
+(** File magic ("PVIR") and format version. *)
+val magic : string
+
+val version : int
+
+(** Serialize a program to its binary bytecode form. *)
+val encode : Prog.t -> string
+
+(** Parse binary bytecode back into a program.
+    @raise Corrupt on malformed input. *)
+val decode : string -> Prog.t
+
+(** Encode with every annotation stripped — the size baseline of the
+    compactness experiment (E5). *)
+val encode_stripped : Prog.t -> string
+
+val to_file : string -> Prog.t -> unit
+val of_file : string -> Prog.t

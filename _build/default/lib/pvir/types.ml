@@ -1,0 +1,98 @@
+(** Types of the portable virtual IR (PVIR).
+
+    PVIR is the target-independent distribution format of the toolchain: the
+    moral equivalent of the CLI bytecode used by the paper, except that it is
+    register-based (like PTX or LLVM bitcode).  Types are deliberately
+    low-level — sized integers, IEEE floats, short vectors and pointers — so
+    that a JIT can map them onto any embedded target. *)
+
+(** Scalar machine types.  Integers are sign-agnostic bit patterns; the
+    operations (not the types) carry signedness, exactly as in LLVM. *)
+type scalar = I8 | I16 | I32 | I64 | F32 | F64
+
+(** A PVIR type: a scalar, a short SIMD vector of [lanes] scalars, or a
+    pointer to values of a given scalar type.  Pointers are byte addresses
+    into the VM's flat memory. *)
+type t =
+  | Scalar of scalar
+  | Vector of scalar * int
+  | Ptr of scalar
+
+let i8 = Scalar I8
+let i16 = Scalar I16
+let i32 = Scalar I32
+let i64 = Scalar I64
+let f32 = Scalar F32
+let f64 = Scalar F64
+
+let ptr s = Ptr s
+let vec s lanes =
+  if lanes < 2 then invalid_arg "Types.vec: lanes < 2";
+  Vector (s, lanes)
+
+let scalar_size = function
+  | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 -> 8
+  | F32 -> 4
+  | F64 -> 8
+
+(** Size of a value of this type in bytes.  Pointers are 64-bit. *)
+let size = function
+  | Scalar s -> scalar_size s
+  | Vector (s, n) -> scalar_size s * n
+  | Ptr _ -> 8
+
+let is_float_scalar = function F32 | F64 -> true | I8 | I16 | I32 | I64 -> false
+
+let is_float = function
+  | Scalar s | Vector (s, _) -> is_float_scalar s
+  | Ptr _ -> false
+
+let is_integer = function
+  | Scalar s | Vector (s, _) -> not (is_float_scalar s)
+  | Ptr _ -> false
+
+let is_vector = function Vector _ -> true | Scalar _ | Ptr _ -> false
+let is_pointer = function Ptr _ -> true | Scalar _ | Vector _ -> false
+
+(** Element scalar of a type: the scalar itself, the vector lane type, or the
+    pointee type. *)
+let elem = function Scalar s | Vector (s, _) | Ptr s -> s
+
+let lanes = function Vector (_, n) -> n | Scalar _ | Ptr _ -> 1
+
+(** [with_lanes s n] is the scalar [s] when [n = 1] and the [n]-lane vector
+    of [s] otherwise. *)
+let with_lanes s n = if n = 1 then Scalar s else Vector (s, n)
+
+let equal_scalar (a : scalar) (b : scalar) = a = b
+let equal (a : t) (b : t) = a = b
+
+let scalar_name = function
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+
+let scalar_of_name = function
+  | "i8" -> Some I8
+  | "i16" -> Some I16
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "f32" -> Some F32
+  | "f64" -> Some F64
+  | _ -> None
+
+let to_string = function
+  | Scalar s -> scalar_name s
+  | Vector (s, n) -> Printf.sprintf "<%d x %s>" n (scalar_name s)
+  | Ptr s -> scalar_name s ^ "*"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let pp_scalar ppf s = Format.pp_print_string ppf (scalar_name s)
+
+let all_scalars = [ I8; I16; I32; I64; F32; F64 ]

@@ -1,0 +1,53 @@
+(** Types of the portable virtual IR (PVIR).
+
+    Deliberately low-level — sized sign-agnostic integers, IEEE floats,
+    short SIMD vectors, byte-address pointers — so a JIT can map them onto
+    any embedded target.  Signedness lives on operations, not types (as in
+    LLVM). *)
+
+type scalar = I8 | I16 | I32 | I64 | F32 | F64
+
+type t =
+  | Scalar of scalar
+  | Vector of scalar * int  (** element scalar, lane count >= 2 *)
+  | Ptr of scalar  (** byte address of values of the given scalar *)
+
+val i8 : t
+val i16 : t
+val i32 : t
+val i64 : t
+val f32 : t
+val f64 : t
+val ptr : scalar -> t
+
+(** [vec s lanes] — @raise Invalid_argument when [lanes < 2]. *)
+val vec : scalar -> int -> t
+
+val scalar_size : scalar -> int
+
+(** Size in bytes (pointers are 64-bit). *)
+val size : t -> int
+
+val is_float_scalar : scalar -> bool
+val is_float : t -> bool
+val is_integer : t -> bool
+val is_vector : t -> bool
+val is_pointer : t -> bool
+
+(** Element scalar: the scalar itself, the lane type, or the pointee. *)
+val elem : t -> scalar
+
+(** Lane count; 1 for scalars and pointers. *)
+val lanes : t -> int
+
+(** [with_lanes s n] is [Scalar s] when [n = 1], else the [n]-lane vector. *)
+val with_lanes : scalar -> int -> t
+
+val equal_scalar : scalar -> scalar -> bool
+val equal : t -> t -> bool
+val scalar_name : scalar -> string
+val scalar_of_name : string -> scalar option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val pp_scalar : Format.formatter -> scalar -> unit
+val all_scalars : scalar list

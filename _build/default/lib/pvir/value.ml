@@ -1,0 +1,167 @@
+(** Runtime and compile-time constant values.
+
+    Integers are stored as [int64] normalized to the bit width of their
+    scalar type (sign-extended from the low bits, so an [I8] value is always
+    in [-128, 127] as an [int64]); unsigned interpretations mask back to the
+    width.  This single representation is shared by the constant folder, the
+    interpreter and the machine simulator, which guarantees that "optimized"
+    and "executed" arithmetic agree bit-for-bit. *)
+
+type t =
+  | Int of Types.scalar * int64
+  | Float of Types.scalar * float
+  | Vec of t array
+
+(** Bit width of an integer scalar. *)
+let bits = function
+  | Types.I8 -> 8
+  | Types.I16 -> 16
+  | Types.I32 -> 32
+  | Types.I64 -> 64
+  | Types.F32 | Types.F64 -> invalid_arg "Value.bits: float scalar"
+
+(** Sign-extend the low [bits s] bits of [x]. *)
+let normalize s x =
+  match s with
+  | Types.I64 -> x
+  | Types.I8 | Types.I16 | Types.I32 ->
+    let b = bits s in
+    let shift = 64 - b in
+    Int64.shift_right (Int64.shift_left x shift) shift
+  | Types.F32 | Types.F64 -> invalid_arg "Value.normalize: float scalar"
+
+(** Zero-extended (unsigned) view of the low bits of a normalized value. *)
+let unsigned s x =
+  match s with
+  | Types.I64 -> x
+  | Types.I8 | Types.I16 | Types.I32 ->
+    let b = bits s in
+    Int64.logand x (Int64.sub (Int64.shift_left 1L b) 1L)
+  | Types.F32 | Types.F64 -> invalid_arg "Value.unsigned: float scalar"
+
+(** Round a float to F32 precision when the scalar type demands it. *)
+let normalize_float s (x : float) =
+  match s with
+  | Types.F32 -> Int32.float_of_bits (Int32.bits_of_float x)
+  | Types.F64 -> x
+  | _ -> invalid_arg "Value.normalize_float: integer scalar"
+
+let int s x =
+  if Types.is_float_scalar s then invalid_arg "Value.int: float scalar";
+  Int (s, normalize s x)
+
+let float s x =
+  if not (Types.is_float_scalar s) then invalid_arg "Value.float: int scalar";
+  Float (s, normalize_float s x)
+
+let of_int s (x : int) = int s (Int64.of_int x)
+
+let i8 x = of_int Types.I8 x
+let i16 x = of_int Types.I16 x
+let i32 x = of_int Types.I32 x
+let i64 x = int Types.I64 x
+let f32 x = float Types.F32 x
+let f64 x = float Types.F64 x
+
+let vec elems =
+  if Array.length elems < 2 then invalid_arg "Value.vec: fewer than 2 lanes";
+  Vec elems
+
+(** Replicate a scalar value into an [n]-lane vector. *)
+let splat n v = Vec (Array.make n v)
+
+let rec ty = function
+  | Int (s, _) -> Types.Scalar s
+  | Float (s, _) -> Types.Scalar s
+  | Vec elems ->
+    let s = Types.elem (ty elems.(0)) in
+    Types.Vector (s, Array.length elems)
+
+(** Zero value of a given type. *)
+let rec zero (t : Types.t) =
+  match t with
+  | Types.Scalar s | Types.Ptr s ->
+    if Types.is_float_scalar s then Float (s, 0.0) else Int (s, 0L)
+  | Types.Vector (s, n) -> Vec (Array.init n (fun _ -> zero (Types.Scalar s)))
+
+let to_int64 = function
+  | Int (_, x) -> x
+  | Float _ | Vec _ -> invalid_arg "Value.to_int64: not an integer"
+
+let to_float = function
+  | Float (_, x) -> x
+  | Int _ | Vec _ -> invalid_arg "Value.to_float: not a float"
+
+let to_bool = function
+  | Int (_, x) -> x <> 0L
+  | Float (_, x) -> x <> 0.0
+  | Vec _ -> invalid_arg "Value.to_bool: vector"
+
+let lanes = function
+  | Vec elems -> Array.to_list elems
+  | (Int _ | Float _) as v -> [ v ]
+
+let rec equal a b =
+  match (a, b) with
+  | Int (sa, xa), Int (sb, xb) -> sa = sb && Int64.equal xa xb
+  | Float (sa, xa), Float (sb, xb) ->
+    sa = sb
+    && Int64.equal (Int64.bits_of_float xa) (Int64.bits_of_float xb)
+  | Vec ea, Vec eb ->
+    Array.length ea = Array.length eb
+    && (let ok = ref true in
+        Array.iteri (fun i x -> if not (equal x eb.(i)) then ok := false) ea;
+        !ok)
+  | (Int _ | Float _ | Vec _), _ -> false
+
+let rec to_string = function
+  | Int (s, x) -> Printf.sprintf "%Ld:%s" x (Types.scalar_name s)
+  | Float (s, x) -> Printf.sprintf "%h:%s" x (Types.scalar_name s)
+  | Vec elems ->
+    "<"
+    ^ String.concat ", " (Array.to_list (Array.map to_string elems))
+    ^ ">"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level encoding, shared by the VM memory and the serializer.    *)
+
+(** [write_bytes buf off v] stores [v] at byte offset [off] (little endian).
+    Vectors are stored lane after lane. *)
+let rec write_bytes (buf : Bytes.t) off v =
+  match v with
+  | Int (s, x) ->
+    let n = Types.scalar_size s in
+    let u = unsigned s x in
+    for i = 0 to n - 1 do
+      Bytes.set_uint8 buf (off + i)
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical u (8 * i)) 0xFFL))
+    done
+  | Float (Types.F32, x) ->
+    Bytes.set_int32_le buf off (Int32.bits_of_float x)
+  | Float (_, x) -> Bytes.set_int64_le buf off (Int64.bits_of_float x)
+  | Vec elems ->
+    let esz = Types.scalar_size (Types.elem (ty v)) in
+    Array.iteri (fun i e -> write_bytes buf (off + (i * esz)) e) elems
+
+(** [read_bytes buf off t] loads a value of type [t] from byte offset [off].
+    Pointer-typed loads produce an [I64] address value. *)
+let rec read_bytes (buf : Bytes.t) off (t : Types.t) =
+  match t with
+  | Types.Ptr _ -> read_bytes buf off Types.i64
+  | Types.Scalar s when not (Types.is_float_scalar s) ->
+    let n = Types.scalar_size s in
+    let u = ref 0L in
+    for i = n - 1 downto 0 do
+      u := Int64.logor (Int64.shift_left !u 8)
+             (Int64.of_int (Bytes.get_uint8 buf (off + i)))
+    done;
+    Int (s, normalize s !u)
+  | Types.Scalar Types.F32 ->
+    Float (Types.F32, Int32.float_of_bits (Bytes.get_int32_le buf off))
+  | Types.Scalar _ ->
+    Float (Types.F64, Int64.float_of_bits (Bytes.get_int64_le buf off))
+  | Types.Vector (s, n) ->
+    let esz = Types.scalar_size s in
+    Vec (Array.init n (fun i -> read_bytes buf (off + (i * esz)) (Types.Scalar s)))

@@ -1,0 +1,65 @@
+(** Runtime and compile-time constant values.
+
+    One representation shared by the constant folder, the interpreter and
+    the machine simulator, so optimized and executed arithmetic agree
+    bit-for-bit.  Integers are [int64]s normalized (sign-extended) to the
+    width of their scalar type; [F32] floats are rounded to single
+    precision on construction. *)
+
+type t =
+  | Int of Types.scalar * int64  (** always normalized, see {!normalize} *)
+  | Float of Types.scalar * float
+  | Vec of t array
+
+(** Bit width of an integer scalar.
+    @raise Invalid_argument on float scalars. *)
+val bits : Types.scalar -> int
+
+(** Sign-extend the low [bits s] bits. *)
+val normalize : Types.scalar -> int64 -> int64
+
+(** Zero-extended (unsigned) view of a normalized value. *)
+val unsigned : Types.scalar -> int64 -> int64
+
+(** Round to F32 precision when the scalar demands it. *)
+val normalize_float : Types.scalar -> float -> float
+
+(** Constructors (normalizing).  [int]/[float] raise [Invalid_argument]
+    when the scalar kind does not match. *)
+
+val int : Types.scalar -> int64 -> t
+val float : Types.scalar -> float -> t
+val of_int : Types.scalar -> int -> t
+val i8 : int -> t
+val i16 : int -> t
+val i32 : int -> t
+val i64 : int64 -> t
+val f32 : float -> t
+val f64 : float -> t
+
+(** @raise Invalid_argument on fewer than 2 lanes. *)
+val vec : t array -> t
+
+(** Replicate a scalar into an [n]-lane vector. *)
+val splat : int -> t -> t
+
+val ty : t -> Types.t
+val zero : Types.t -> t
+
+val to_int64 : t -> int64
+val to_float : t -> float
+val to_bool : t -> bool
+
+(** The value's lanes ([[v]] for scalars). *)
+val lanes : t -> t list
+
+(** Structural equality; floats compare by bit pattern. *)
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Little-endian byte encoding, shared by VM memory and the harness. *)
+
+val write_bytes : Bytes.t -> int -> t -> unit
+val read_bytes : Bytes.t -> int -> Types.t -> t

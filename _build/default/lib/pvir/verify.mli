@@ -1,0 +1,18 @@
+(** PVIR verifier: the gate every program passes offline after compilation
+    and online at load time — a device never JITs an ill-typed program.
+
+    Checks register typing of every instruction, branch-target existence,
+    call signatures against visible callees (program functions and
+    intrinsics), pointer-typed memory operands, return-type agreement, and
+    name uniqueness. *)
+
+exception Error of string
+
+(** @raise Error describing the first problem found. *)
+val program : Prog.t -> unit
+
+(** [Ok ()] or [Error message]. *)
+val program_result : Prog.t -> (unit, string) result
+
+(** Verify a single function in the context of [p] (exposed for tests). *)
+val check_func : Prog.t -> Func.t -> unit

@@ -1,0 +1,1 @@
+lib/pvjit/immfold.ml: Hashtbl List Mir Pvir Pvmach

@@ -1,0 +1,1 @@
+lib/pvjit/jit.ml: Array Hashtbl Immfold Legalize List Lower Machine Mir Peephole Pvir Pvmach Pvopt Pvvm Regalloc

@@ -1,0 +1,1 @@
+lib/pvjit/legalize.ml: Array Hashtbl List Machine Mir Printf Pvir Pvmach

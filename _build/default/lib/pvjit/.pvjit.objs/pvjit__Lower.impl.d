@@ -1,0 +1,1 @@
+lib/pvjit/lower.ml: Hashtbl Int64 List Machine Mir Option Printf Pvir Pvmach

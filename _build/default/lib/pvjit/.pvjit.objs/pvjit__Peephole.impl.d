@@ -1,0 +1,1 @@
+lib/pvjit/peephole.ml: List Mir Pvir Pvmach

@@ -1,0 +1,1 @@
+lib/pvjit/regalloc.ml: Hashtbl List Machine Mir Option Printf Pvir Pvmach Queue String Sys

@@ -1,0 +1,115 @@
+(** The online compiler: bytecode to target code at load/run time.
+
+    [compile_program] drives the per-function pipeline
+
+    {v  lower -> legalize (scalarize w/o SIMD) -> regalloc -> peephole  v}
+
+    and registers the results in a {!Pvvm.Sim} ready to execute.  The
+    register-allocation spill choice depends on [hints]:
+
+    - [Hints_none]: the blind heuristic of a budget-constrained JIT;
+    - [Hints_annotation]: consume the offline {!Pvir.Annot.key_spill_order}
+      annotation — the split-compilation path (near-free online);
+    - [Hints_recompute]: recompute offline-quality weights online, paying
+      the full analysis price (the pure-online upper bound).
+
+    All work is charged to [account]. *)
+
+open Pvmach
+
+type hints = Hints_none | Hints_annotation | Hints_recompute
+
+type func_report = {
+  fname : string;
+  ra : Regalloc.stats;
+  mir_size : int;  (** instructions after compilation, "native code size" *)
+}
+
+type report = {
+  funcs : func_report list;
+  work : Pvir.Account.t;  (** online work spent *)
+}
+
+let weight_fun_of_annotation (fn : Pvir.Func.t) : (int -> float) option =
+  match Pvopt.Regalloc_annotate.decode_spill_order fn with
+  | None -> None
+  | Some order ->
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (r, c) -> Hashtbl.replace tbl r (float_of_int c)) order;
+    Some
+      (fun v ->
+        match Hashtbl.find_opt tbl v with Some w -> w | None -> infinity)
+
+let weight_fun_recomputed ?account (fn : Pvir.Func.t) : int -> float =
+  (* same analysis as the offline annotator, but paid for online *)
+  Pvir.Account.charge_opt account ~pass:"jit.online_weights"
+    (6 * Pvir.Func.instr_count fn);
+  let costs = Pvopt.Regalloc_annotate.spill_costs fn in
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (r, c) -> Hashtbl.replace tbl r c) costs;
+  fun v ->
+    match Hashtbl.find_opt tbl v with Some w -> w | None -> infinity
+
+(** Extend vreg weights across scalarization: a lane register inherits the
+    weight of the vector register it came from. *)
+let extend_weights (exp : Legalize.expansion) (w : int -> float) : int -> float =
+  let lane_parent = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun parent lanes ->
+      Array.iter
+        (fun r ->
+          match r with
+          | Mir.V v -> Hashtbl.replace lane_parent v parent
+          | Mir.P _ -> ())
+        lanes)
+    exp.Legalize.lanes_of;
+  fun v ->
+    match Hashtbl.find_opt lane_parent v with
+    | Some parent -> w parent
+    | None -> w v
+
+(** Compile one function for [machine]. *)
+let compile_func ?account ~(machine : Machine.t) ~(img : Pvvm.Image.t)
+    ~(hints : hints) (fn : Pvir.Func.t) : Mir.func * func_report =
+  let mf =
+    Lower.run ?account ~machine
+      ~resolve_global:(Pvvm.Image.global_address img)
+      fn
+  in
+  let exp = Legalize.run ?account mf in
+  ignore (Immfold.run ?account mf);
+  let quality =
+    match hints with
+    | Hints_none -> Regalloc.Heuristic
+    | Hints_annotation -> (
+      match weight_fun_of_annotation fn with
+      | Some w ->
+        (* reading the annotation is (nearly) free *)
+        Pvir.Account.charge_opt account ~pass:"jit.read_annotations"
+          (List.length fn.params + 4);
+        Regalloc.Weights (extend_weights exp w)
+      | None -> Regalloc.Heuristic)
+    | Hints_recompute ->
+      Regalloc.Weights (extend_weights exp (weight_fun_recomputed ?account fn))
+  in
+  let ra = Regalloc.run ?account ~quality mf in
+  ignore (Peephole.run ?account mf);
+  (mf, { fname = fn.name; ra; mir_size = Mir.size mf })
+
+(** Compile all functions of the image's program and return a simulator
+    loaded with the generated code. *)
+let compile_program ?account ~(machine : Machine.t) ~(hints : hints)
+    (img : Pvvm.Image.t) : Pvvm.Sim.t * report =
+  let sim = Pvvm.Sim.create img machine in
+  let reports =
+    List.map
+      (fun fn ->
+        let mf, report = compile_func ?account ~machine ~img ~hints fn in
+        Pvvm.Sim.add_func sim mf;
+        report)
+      img.Pvvm.Image.prog.Pvir.Prog.funcs
+  in
+  let work =
+    match account with Some a -> a | None -> Pvir.Account.create ()
+  in
+  (sim, { funcs = reports; work })

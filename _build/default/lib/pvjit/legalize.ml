@@ -1,0 +1,177 @@
+(** Target legalization: scalarize portable vector builtins on machines
+    without SIMD.
+
+    This is the "simply ignores the vectorization" path of Table 1: on
+    UltraSparc- and PowerPC-class targets the JIT expands every
+    vector-typed MIR instruction into per-lane scalar instructions.  The
+    expansion is the implicit unrolling the paper credits for scalarized
+    code sometimes *beating* plain scalar code — one loop back-edge now
+    covers 4–16 elements — while the extra architectural state (one
+    virtual register per lane) is what makes it lose when the register
+    allocator runs out of registers.
+
+    Vectors are kept intact on machines with any SIMD capability; vectors
+    wider than the machine's SIMD register are handled by the cost model
+    (split into chunks), not by this pass. *)
+
+open Pvmach
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(** Map each vector vreg to one scalar vreg per lane; weights of the parent
+    propagate to the lanes (so split-regalloc hints survive
+    scalarization). *)
+type expansion = { lanes_of : (int, Mir.reg array) Hashtbl.t }
+
+let scalar_ty (ty : Pvir.Types.t) =
+  Pvir.Types.Scalar (Pvir.Types.elem ty)
+
+let run ?account (mf : Mir.func) : expansion =
+  let machine = mf.Mir.target in
+  let exp = { lanes_of = Hashtbl.create 16 } in
+  if Machine.has_simd machine then exp
+  else begin
+    Pvir.Account.charge_opt account ~pass:"jit.legalize" (Mir.size mf);
+    let lanes_of (r : Mir.reg) ~(ty : Pvir.Types.t) : Mir.reg array =
+      let vr = match r with Mir.V v -> v | Mir.P _ -> fail "legalize after RA" in
+      match Hashtbl.find_opt exp.lanes_of vr with
+      | Some a -> a
+      | None ->
+        let n = Pvir.Types.lanes ty in
+        let a =
+          Array.init n (fun _ -> Mir.fresh_vreg mf (scalar_ty ty))
+        in
+        Hashtbl.replace exp.lanes_of vr a;
+        a
+    in
+    let expand (i : Mir.inst) : Mir.inst list =
+      match i.Mir.ty with
+      | Pvir.Types.Scalar _ | Pvir.Types.Ptr _ -> [ i ]
+      | Pvir.Types.Vector (s, n) -> (
+        let sty = Pvir.Types.Scalar s in
+        let esz = Pvir.Types.scalar_size s in
+        let dst_lanes () =
+          match i.Mir.dst with
+          | Some d -> lanes_of d ~ty:i.Mir.ty
+          | None -> fail "vector instruction lacks destination"
+        in
+        match i.Mir.op with
+        | Mir.Mli value ->
+          let vals =
+            match value with
+            | Pvir.Value.Vec elems -> elems
+            | _ -> fail "vector Mli with scalar immediate"
+          in
+          let d = dst_lanes () in
+          List.init n (fun l ->
+              Mir.inst ~dst:d.(l) (Mir.Mli vals.(l)) sty)
+        | Mir.Mmov ->
+          let d = dst_lanes () in
+          let s' =
+            match i.Mir.srcs with
+            | [ s' ] -> lanes_of s' ~ty:i.Mir.ty
+            | _ -> fail "mov arity"
+          in
+          List.init n (fun l -> Mir.inst ~dst:d.(l) ~srcs:[ s'.(l) ] Mir.Mmov sty)
+        | Mir.Mbin op ->
+          let d = dst_lanes () in
+          (match i.Mir.srcs with
+          | [ a; b ] ->
+            let la = lanes_of a ~ty:i.Mir.ty
+            and lb = lanes_of b ~ty:i.Mir.ty in
+            List.init n (fun l ->
+                Mir.inst ~dst:d.(l) ~srcs:[ la.(l); lb.(l) ] (Mir.Mbin op) sty)
+          | _ -> fail "binop arity")
+        | Mir.Mun op ->
+          let d = dst_lanes () in
+          (match i.Mir.srcs with
+          | [ a ] ->
+            let la = lanes_of a ~ty:i.Mir.ty in
+            List.init n (fun l ->
+                Mir.inst ~dst:d.(l) ~srcs:[ la.(l) ] (Mir.Mun op) sty)
+          | _ -> fail "unop arity")
+        | Mir.Mconv kind ->
+          (* vector conversion: lane counts match between src and dst *)
+          let d = dst_lanes () in
+          (match i.Mir.srcs with
+          | [ a ] ->
+            let src_ty =
+              match a with
+              | Mir.V va -> (
+                match Hashtbl.find_opt mf.Mir.vreg_ty va with
+                | Some t -> t
+                | None -> fail "legalize: untyped conv source")
+              | Mir.P _ -> fail "legalize after RA"
+            in
+            let la = lanes_of a ~ty:src_ty in
+            List.init n (fun l ->
+                Mir.inst ~dst:d.(l) ~srcs:[ la.(l) ] (Mir.Mconv kind) sty)
+          | _ -> fail "conv arity")
+        | Mir.Mload off ->
+          let d = dst_lanes () in
+          (match i.Mir.srcs with
+          | [ base ] ->
+            List.init n (fun l ->
+                Mir.inst ~dst:d.(l) ~srcs:[ base ]
+                  (Mir.Mload (off + (l * esz)))
+                  sty)
+          | _ -> fail "load arity")
+        | Mir.Mstore off ->
+          (match i.Mir.srcs with
+          | [ src; base ] ->
+            let ls = lanes_of src ~ty:i.Mir.ty in
+            List.init n (fun l ->
+                Mir.inst ~srcs:[ ls.(l); base ]
+                  (Mir.Mstore (off + (l * esz)))
+                  sty)
+          | _ -> fail "store arity")
+        | Mir.Msplat ->
+          let d = dst_lanes () in
+          (match i.Mir.srcs with
+          | [ a ] ->
+            List.init n (fun l -> Mir.inst ~dst:d.(l) ~srcs:[ a ] Mir.Mmov sty)
+          | _ -> fail "splat arity")
+        | Mir.Mextract lane ->
+          (match i.Mir.srcs with
+          | [ a ] ->
+            let la = lanes_of a ~ty:i.Mir.ty in
+            [
+              Mir.inst ?dst:i.Mir.dst ~srcs:[ la.(lane) ] Mir.Mmov sty;
+            ]
+          | _ -> fail "extract arity")
+        | Mir.Mreduce op ->
+          (match i.Mir.srcs with
+          | [ a ] ->
+            let la = lanes_of a ~ty:i.Mir.ty in
+            let bin =
+              match op with
+              | Pvir.Instr.Radd -> Pvir.Instr.Add
+              | Pvir.Instr.Rmin -> Pvir.Instr.Min
+              | Pvir.Instr.Rmax -> Pvir.Instr.Max
+              | Pvir.Instr.Rumin -> Pvir.Instr.Umin
+              | Pvir.Instr.Rumax -> Pvir.Instr.Umax
+            in
+            let d =
+              match i.Mir.dst with
+              | Some d -> d
+              | None -> fail "reduce lacks destination"
+            in
+            (* left fold over the lanes into the destination *)
+            let first = Mir.inst ~dst:d ~srcs:[ la.(0) ] Mir.Mmov sty in
+            first
+            :: List.init (n - 1) (fun l ->
+                   Mir.inst ~dst:d ~srcs:[ d; la.(l + 1) ] (Mir.Mbin bin) sty)
+          | _ -> fail "reduce arity")
+        | Mir.Msel | Mir.Mcmp _ -> fail "vector select/compare not legal"
+        | Mir.Mframe_addr _ | Mir.Mframe_ld _ | Mir.Mframe_st _ | Mir.Mcall _
+          -> fail "unexpected vector-typed instruction")
+    in
+    (* the extract source type must come from the vreg table before we
+       rewrite; Mextract carries the *vector* ty in our lowering *)
+    List.iter
+      (fun (b : Mir.block) -> b.Mir.insts <- List.concat_map expand b.Mir.insts)
+      mf.Mir.mblocks;
+    exp
+  end

@@ -1,0 +1,40 @@
+(** Post-allocation peephole cleanup.
+
+    After linear scan, copy coalescing falls out for free: a [mov] whose
+    source and destination landed in the same physical register is a
+    no-op and is deleted.  Also removes immediate reloads of a value just
+    stored to the same spill slot (store-to-load forwarding within a
+    block). *)
+
+open Pvmach
+
+let run ?account (mf : Mir.func) : int =
+  Pvir.Account.charge_opt account ~pass:"jit.peephole" (Mir.size mf);
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Mir.block) ->
+      (* self-movs *)
+      b.Mir.insts <-
+        List.filter
+          (fun (i : Mir.inst) ->
+            match (i.Mir.op, i.Mir.dst, i.Mir.srcs) with
+            | Mir.Mmov, Some d, [ s ] when d = s ->
+              incr removed;
+              false
+            | _ -> true)
+          b.Mir.insts;
+      (* store-to-load forwarding: [spill slot <- r; t <- reload slot]
+         becomes [spill slot <- r; t <- mov r] *)
+      let rec forward = function
+        | ({ Mir.op = Mir.Mframe_st slot; srcs = [ r ]; _ } as st)
+          :: { Mir.op = Mir.Mframe_ld slot'; dst = Some t; ty; _ }
+          :: rest
+          when slot = slot' ->
+          incr removed;
+          st :: Mir.inst ~dst:t ~srcs:[ r ] Mir.Mmov ty :: forward rest
+        | i :: rest -> i :: forward rest
+        | [] -> []
+      in
+      b.Mir.insts <- forward b.Mir.insts)
+    mf.Mir.mblocks;
+  !removed

@@ -1,0 +1,1 @@
+lib/pvkernels/harness.ml: Account Array Core Int64 Kernels List Printf Prog Pvir Pvjit Pvmach Pvopt Pvvm String Types Value

@@ -1,0 +1,1 @@
+lib/pvkernels/kernels.ml: List Printf String

@@ -1,0 +1,153 @@
+(** Execution harness shared by the test suite and the benchmark drivers:
+    deterministic input data, end-to-end compilation in every mode, and
+    observable-state comparison (return value + all global memory +
+    printed output) between JIT-compiled code and the reference
+    interpreter. *)
+
+open Pvir
+
+(* deterministic LCG so every run sees identical inputs *)
+let lcg seed =
+  let state = ref (Int64.of_int (0x9E3779B9 land 0xFFFFFF lor (seed + 1))) in
+  fun () ->
+    state := Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.logand (Int64.shift_right_logical !state 33) 0x7FFFFFFFL)
+
+(** Fill every global of the image with deterministic pseudo-random data.
+    Floats get small integer values so that reassociated (vectorized)
+    float reductions stay bit-exact. *)
+let fill_inputs (img : Pvvm.Image.t) : unit =
+  List.iteri
+    (fun gi (g : Prog.global) ->
+      let next = lcg (gi * 7919) in
+      let mk _ =
+        match g.gelem with
+        | Types.F32 -> Value.f32 (float_of_int ((next () mod 17) - 8))
+        | Types.F64 -> Value.f64 (float_of_int ((next () mod 23) - 11))
+        | s -> Value.int s (Int64.of_int (next ()))
+      in
+      Pvvm.Image.write_global img g.gname (Array.init g.gcount mk))
+    img.Pvvm.Image.prog.Prog.globals
+
+(** Default argument list for a kernel at element count [n]. *)
+let args (k : Kernels.t) (n : int) : Value.t list =
+  let n64 = Value.i64 (Int64.of_int n) in
+  match k.Kernels.name with
+  | "saxpy_fp" -> [ n64; Value.f32 3.0 ]
+  | "dscal_fp" -> [ n64; Value.f64 1.5 ]
+  | "poly8" ->
+    n64
+    :: List.map (fun c -> Value.i32 c) [ 3; -2; 5; 1; -4; 2; -1; 7 ]
+  | "filterbank" ->
+    [ n64; Value.i32 3; Value.i32 5; Value.i32 7; Value.i32 11 ]
+  | "blur3x3" -> [ Value.i64 66L; Value.i64 66L ]
+  | "horner2" ->
+    n64
+    :: List.map (fun c -> Value.i32 c) [ 2; -3; 4; -5; 6; -7; 8; -9 ]
+  | _ -> [ n64 ]
+
+(** Everything observable after a run. *)
+type observation = {
+  result : Value.t option;
+  globals : (string * Value.t array) list;
+  printed : string;
+}
+
+let observe_globals (img : Pvvm.Image.t) =
+  List.map
+    (fun (g : Prog.global) -> (g.gname, Pvvm.Image.read_global img g.gname))
+    img.Pvvm.Image.prog.Prog.globals
+
+let observation_equal (a : observation) (b : observation) =
+  let value_opt_equal x y =
+    match (x, y) with
+    | None, None -> true
+    | Some x, Some y -> Value.equal x y
+    | _ -> false
+  in
+  value_opt_equal a.result b.result
+  && String.equal a.printed b.printed
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) ->
+         String.equal n1 n2
+         && Array.length a1 = Array.length a2
+         && Array.for_all2 Value.equal a1 a2)
+       a.globals b.globals
+
+(** Run [k] under the reference interpreter (on unoptimized bytecode).
+    Returns the observation and the interpreter cycle count. *)
+let run_interp ?(n = Kernels.n_default) (k : Kernels.t) :
+    observation * int64 =
+  let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  let img = Pvvm.Image.load p in
+  fill_inputs img;
+  let it = Pvvm.Interp.create img in
+  let result = Pvvm.Interp.run it k.Kernels.entry (args k n) in
+  ( { result; globals = observe_globals img; printed = Pvvm.Interp.output it },
+    Pvvm.Interp.cycles it )
+
+type run = {
+  obs : observation;
+  cycles : int64;
+  spill_ops : int64;
+  online_work : int;
+  offline_work : int;
+  bytecode_bytes : int;
+  native_instrs : int;
+  vectorized : bool;
+}
+
+(** Compile [k] in [mode] for [machine] and execute once with [n]
+    elements. *)
+let run_jit ?(n = Kernels.n_default) ~mode ~machine (k : Kernels.t) : run =
+  let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  let off = Core.Splitc.offline ~mode p in
+  let bc = Core.Splitc.distribute off in
+  let on = Core.Splitc.online ~mode ~machine bc in
+  fill_inputs on.Core.Splitc.img;
+  let result = Pvvm.Sim.run on.Core.Splitc.sim k.Kernels.entry (args k n) in
+  let sim = on.Core.Splitc.sim in
+  {
+    obs =
+      {
+        result;
+        globals = observe_globals on.Core.Splitc.img;
+        printed = Pvvm.Sim.output sim;
+      };
+    cycles = Pvvm.Sim.cycles sim;
+    spill_ops = sim.Pvvm.Sim.stats.Pvvm.Sim.spill_ops;
+    online_work = Account.total on.Core.Splitc.online_work;
+    offline_work = Account.total off.Core.Splitc.offline_work;
+    bytecode_bytes = String.length bc;
+    native_instrs =
+      List.fold_left
+        (fun acc (f : Pvjit.Jit.func_report) -> acc + f.Pvjit.Jit.mir_size)
+        0 on.Core.Splitc.jit.Pvjit.Jit.funcs;
+    vectorized =
+      List.exists
+        (fun (_, (r : Pvopt.Vectorize.result)) -> r.Pvopt.Vectorize.vectorized <> [])
+        off.Core.Splitc.vectorized;
+  }
+
+(** The Table-1 measurement for one kernel on one machine: scalar cycles
+    (traditional bytecode) vs vectorized cycles (split bytecode), plus the
+    relative speedup. *)
+type table1_cell = {
+  scalar_cycles : int64;
+  vector_cycles : int64;
+  speedup : float;
+}
+
+let table1_cell ?(n = Kernels.n_default) ~machine (k : Kernels.t) :
+    table1_cell =
+  let scalar = run_jit ~n ~mode:Core.Splitc.Traditional_deferred ~machine k in
+  let vector = run_jit ~n ~mode:Core.Splitc.Split ~machine k in
+  if not (observation_equal scalar.obs vector.obs) then
+    failwith
+      (Printf.sprintf "kernel %s: scalar and vectorized results differ on %s"
+         k.Kernels.name machine.Pvmach.Machine.name);
+  {
+    scalar_cycles = scalar.cycles;
+    vector_cycles = vector.cycles;
+    speedup = Int64.to_float scalar.cycles /. Int64.to_float vector.cycles;
+  }

@@ -1,0 +1,380 @@
+(** Benchmark kernels.
+
+    The six kernels of the paper's Table 1 ([vecadd fp], [saxpy fp],
+    [dscal fp], [max u8], [sum u8], [sum u16]) written in MiniC exactly as
+    their BLAS/DSP archetypes: [fp] is f32 except [dscal] (double
+    precision, as in BLAS), the byte/halfword kernels use unsigned data.
+    All arrays are globals so the offline dependence analysis can prove
+    them distinct (the paper's originals were compiled with equivalent
+    knowledge via the vectorization builtins of ref [42]).
+
+    Extra kernels exercise the rest of the system: [dot_f32] (float
+    reduction — only vectorizes under the fast-math annotation), [fir]
+    (inner loop with two live arrays), [memcpy8], and a register-pressure
+    kernel [poly8] for the split-regalloc experiment E3. *)
+
+type t = {
+  name : string;
+  source : string;  (** self-contained MiniC translation unit *)
+  entry : string;  (** function to run *)
+  elem_bytes : int;  (** element size the vectorizer keys on *)
+  description : string;
+}
+
+let n_default = 1024
+
+(* All kernels take the element count as their first argument. *)
+
+let vecadd_fp =
+  {
+    name = "vecadd_fp";
+    entry = "vecadd";
+    elem_bytes = 4;
+    description = "c[i] = a[i] + b[i] over f32";
+    source =
+      {|
+f32 va_a[1024];
+f32 va_b[1024];
+f32 va_c[1024];
+
+void vecadd(i64 n) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    va_c[i] = va_a[i] + va_b[i];
+  }
+}
+|};
+  }
+
+let saxpy_fp =
+  {
+    name = "saxpy_fp";
+    entry = "saxpy";
+    elem_bytes = 4;
+    description = "y[i] = a*x[i] + y[i] over f32";
+    source =
+      {|
+f32 sx_x[1024];
+f32 sx_y[1024];
+
+void saxpy(i64 n, f32 a) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    sx_y[i] = a * sx_x[i] + sx_y[i];
+  }
+}
+|};
+  }
+
+let dscal_fp =
+  {
+    name = "dscal_fp";
+    entry = "dscal";
+    elem_bytes = 8;
+    description = "x[i] = a*x[i] over f64 (BLAS dscal)";
+    source =
+      {|
+f64 ds_x[1024];
+
+void dscal(i64 n, f64 a) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    ds_x[i] = a * ds_x[i];
+  }
+}
+|};
+  }
+
+let max_u8 =
+  {
+    name = "max_u8";
+    entry = "max_u8";
+    elem_bytes = 1;
+    description = "unsigned byte maximum reduction";
+    source =
+      {|
+u8 mx_a[1024];
+
+u8 max_u8(i64 n) {
+  u8 m = 0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    m = mx_a[i] > m ? mx_a[i] : m;
+  }
+  return m;
+}
+|};
+  }
+
+let sum_u8 =
+  {
+    name = "sum_u8";
+    entry = "sum_u8";
+    elem_bytes = 1;
+    description = "unsigned byte sum into u32 (widening reduction)";
+    source =
+      {|
+u8 su8_a[1024];
+
+u32 sum_u8(i64 n) {
+  u32 s = 0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    s = s + (u32)su8_a[i];
+  }
+  return s;
+}
+|};
+  }
+
+let sum_u16 =
+  {
+    name = "sum_u16";
+    entry = "sum_u16";
+    elem_bytes = 2;
+    description = "unsigned halfword sum into u32 (widening reduction)";
+    source =
+      {|
+u16 su16_a[1024];
+
+u32 sum_u16(i64 n) {
+  u32 s = 0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    s = s + (u32)su16_a[i];
+  }
+  return s;
+}
+|};
+  }
+
+(** The six kernels of Table 1, in the paper's row order. *)
+let table1 = [ vecadd_fp; saxpy_fp; dscal_fp; max_u8; sum_u8; sum_u16 ]
+
+(* ---------------- extra workloads ---------------- *)
+
+let dot_f32 =
+  {
+    name = "dot_f32";
+    entry = "dot";
+    elem_bytes = 4;
+    description = "f32 dot product (float reduction; needs fast-math)";
+    source =
+      {|
+f32 dp_a[1024];
+f32 dp_b[1024];
+
+f32 dot(i64 n) {
+  f32 s = 0.0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    s = s + dp_a[i] * dp_b[i];
+  }
+  return s;
+}
+|};
+  }
+
+let fir =
+  {
+    name = "fir";
+    entry = "fir";
+    elem_bytes = 4;
+    description = "4-tap FIR filter (unrolled taps, shifted loads)";
+    source =
+      {|
+f32 fir_x[1032];
+f32 fir_y[1024];
+f32 fir_c0;
+f32 fir_c1;
+f32 fir_c2;
+f32 fir_c3;
+
+void fir(i64 n) {
+  f32 c0 = fir_c0;
+  f32 c1 = fir_c1;
+  f32 c2 = fir_c2;
+  f32 c3 = fir_c3;
+  for (i64 i = 0; i < n; i = i + 1) {
+    fir_y[i] = c0 * fir_x[i] + c1 * fir_x[i + 1]
+             + c2 * fir_x[i + 2] + c3 * fir_x[i + 3];
+  }
+}
+|};
+  }
+
+let memcpy8 =
+  {
+    name = "memcpy8";
+    entry = "copy";
+    elem_bytes = 1;
+    description = "byte copy between distinct arrays";
+    source =
+      {|
+u8 mc_src[1024];
+u8 mc_dst[1024];
+
+void copy(i64 n) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    mc_dst[i] = mc_src[i];
+  }
+}
+|};
+  }
+
+(** Register-pressure stress: a degree-7 polynomial evaluated with eight
+    live coefficients plus running state — more simultaneously-live
+    values than x86ish has registers, the E3 scenario. *)
+let poly8 =
+  {
+    name = "poly8";
+    entry = "poly8";
+    elem_bytes = 4;
+    description = "degree-7 Horner polynomial, register pressure stress";
+    source =
+      {|
+i32 p8_x[1024];
+i32 p8_y[1024];
+
+void poly8(i64 n, i32 c0, i32 c1, i32 c2, i32 c3, i32 c4, i32 c5, i32 c6, i32 c7) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    i32 x = p8_x[i];
+    i32 acc = c7;
+    acc = acc * x + c6;
+    acc = acc * x + c5;
+    acc = acc * x + c4;
+    acc = acc * x + c3;
+    acc = acc * x + c2;
+    acc = acc * x + c1;
+    acc = acc * x + c0;
+    p8_y[i] = acc;
+  }
+}
+|};
+  }
+
+(** Four interacting running accumulators plus a loaded value: more live
+    integers than x86ish's six registers (E3 workload). *)
+let mix4 =
+  {
+    name = "mix4";
+    entry = "mix4";
+    elem_bytes = 4;
+    description = "4 interlocking accumulators, register pressure stress";
+    source =
+      {|
+u32 mx4_g[1024];
+
+u32 mix4(i64 n) {
+  u32 a = 1;
+  u32 b = 2;
+  u32 c = 3;
+  u32 d = 4;
+  for (i64 i = 0; i < n; i = i + 1) {
+    u32 x = mx4_g[i];
+    a = a + x;
+    b = b ^ (a << 3);
+    c = c + (b >> 2);
+    d = d ^ (c + x);
+  }
+  return a + b + c + d;
+}
+|};
+  }
+
+(** Two interleaved Horner evaluations sharing one input stream: twice the
+    live coefficients of [poly8] (E3 workload). *)
+let horner2 =
+  {
+    name = "horner2";
+    entry = "horner2";
+    elem_bytes = 4;
+    description = "two interleaved Horner chains, extreme register pressure";
+    source =
+      {|
+i32 h2_x[1024];
+i32 h2_y[1024];
+
+void horner2(i64 n, i32 p0, i32 p1, i32 p2, i32 p3, i32 q0, i32 q1, i32 q2, i32 q3) {
+  for (i64 i = 0; i < n; i = i + 1) {
+    i32 x = h2_x[i];
+    i32 p = p3;
+    p = p * x + p2;
+    p = p * x + p1;
+    p = p * x + p0;
+    i32 q = q3;
+    q = q * x + q2;
+    q = q * x + q1;
+    q = q * x + q0;
+    h2_y[i] = p ^ q;
+  }
+}
+|};
+  }
+
+(** Six channel accumulators with four gain parameters: accumulators
+    outlive the loop (they merge at the end), so a blind furthest-end
+    allocator evicts exactly the wrong registers (E3 workload). *)
+let filterbank =
+  {
+    name = "filterbank";
+    entry = "filterbank";
+    elem_bytes = 4;
+    description = "6 channel accumulators + 4 gains, adversarial for blind RA";
+    source =
+      {|
+u32 fb_x[1024];
+
+u32 filterbank(i64 n, u32 g0, u32 g1, u32 g2, u32 g3) {
+  u32 a0 = 0;
+  u32 a1 = 0;
+  u32 a2 = 0;
+  u32 a3 = 0;
+  u32 a4 = 0;
+  u32 a5 = 0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    u32 x = fb_x[i];
+    a0 = a0 + x * g0;
+    a1 = a1 + x * g1;
+    a2 = a2 + x * g2;
+    a3 = a3 + x * g3;
+    a4 = a4 + (x >> 3);
+    a5 = a5 ^ x;
+  }
+  return a0 + a1 + a2 + a3 + a4 + a5;
+}
+|};
+  }
+
+(** 3x3 box blur on a padded 66x66 byte image: the 2D stencil case — the
+    inner loop's addresses are affine in x with a loop-invariant row
+    offset, so it vectorizes at 16 lanes with widening accumulation. *)
+let blur3x3 =
+  {
+    name = "blur3x3";
+    entry = "blur";
+    elem_bytes = 1;
+    description = "3x3 box blur over a 2D byte image (stencil, 16 lanes)";
+    source =
+      {|
+u8 bl_src[4356];
+u8 bl_dst[4356];
+
+void blur(i64 w, i64 h) {
+  for (i64 y = 1; y < h - 1; y++) {
+    i64 row = y * 66;
+    for (i64 x = 1; x < w - 1; x++) {
+      u32 s = (u32)bl_src[row + x - 67] + (u32)bl_src[row + x - 66]
+            + (u32)bl_src[row + x - 65] + (u32)bl_src[row + x - 1]
+            + (u32)bl_src[row + x]      + (u32)bl_src[row + x + 1]
+            + (u32)bl_src[row + x + 65] + (u32)bl_src[row + x + 66]
+            + (u32)bl_src[row + x + 67];
+      bl_dst[row + x] = (u8)(s / 9);
+    }
+  }
+}
+|};
+  }
+
+let extras = [ dot_f32; fir; memcpy8; poly8; mix4; horner2; filterbank; blur3x3 ]
+let all = table1 @ extras
+
+let find name = List.find_opt (fun k -> String.equal k.name name) all
+
+let find_exn name =
+  match find name with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Kernels.find: unknown kernel %s" name)

@@ -1,0 +1,1 @@
+lib/pvmach/capability.ml: Printf String

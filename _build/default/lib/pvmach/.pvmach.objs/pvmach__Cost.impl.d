@@ -1,0 +1,1 @@
+lib/pvmach/cost.ml: Capability List Machine Mir Pvir

@@ -1,0 +1,1 @@
+lib/pvmach/machine.ml: Capability List Printf String

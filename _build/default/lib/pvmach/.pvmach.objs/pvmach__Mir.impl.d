@@ -1,0 +1,1 @@
+lib/pvmach/mir.ml: Buffer Hashtbl List Machine Option Printf Pvir String

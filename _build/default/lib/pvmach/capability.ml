@@ -1,0 +1,39 @@
+(** Hardware capabilities of a target core.
+
+    Capabilities drive the two target-specific decisions the paper
+    describes: the JIT's choice between SIMD emission and scalarization of
+    the portable vector builtins, and the heterogeneous scheduler's mapping
+    of annotated kernels onto cores. *)
+
+type t =
+  | Simd of int  (** SIMD unit with a register width of [n] bytes *)
+  | Fpu  (** hardware floating point *)
+  | Narrow_alu  (** native 8/16-bit ALU operations (no masking needed) *)
+  | Dsp_mac  (** single-cycle multiply-accumulate *)
+
+let to_string = function
+  | Simd n -> Printf.sprintf "simd%d" (n * 8)
+  | Fpu -> "fpu"
+  | Narrow_alu -> "narrow_alu"
+  | Dsp_mac -> "dsp_mac"
+
+let of_string s =
+  match s with
+  | "fpu" -> Some Fpu
+  | "narrow_alu" -> Some Narrow_alu
+  | "dsp_mac" -> Some Dsp_mac
+  | _ ->
+    if String.length s > 4 && String.sub s 0 4 = "simd" then
+      match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+      | Some bits when bits mod 8 = 0 && bits > 0 -> Some (Simd (bits / 8))
+      | _ -> None
+    else None
+
+let equal (a : t) (b : t) = a = b
+
+(** [satisfies have want] — does capability [have] provide [want]?  A wider
+    SIMD unit satisfies a narrower requirement. *)
+let satisfies have want =
+  match (have, want) with
+  | Simd w, Simd r -> w >= r
+  | _ -> equal have want

@@ -1,0 +1,131 @@
+(** Cycle cost model: how many cycles one MIR instruction takes on a given
+    machine.
+
+    The model is deliberately simple — in-order, no cache hierarchy — but
+    it carries the three effects the paper's Table 1 turns on:
+
+    + a SIMD operation processes a whole vector register per [vec_op_cost],
+      and a vector wider than the machine's SIMD register is split into
+      chunks that each pay full price (this is what keeps the widening
+      [sum u8] speedup below the 16x lane count);
+    + machines without {!Capability.Narrow_alu} pay [narrow_penalty] per
+      8/16-bit ALU operation (masking to preserve wraparound);
+    + branches cost [branch_cost], so the implicit unrolling of scalarized
+      vector code is a real (small) win on branch-heavy machines. *)
+
+let is_narrow (s : Pvir.Types.scalar) =
+  match s with
+  | Pvir.Types.I8 | Pvir.Types.I16 -> true
+  | Pvir.Types.I32 | Pvir.Types.I64 | Pvir.Types.F32 | Pvir.Types.F64 -> false
+
+(** Number of machine-register-sized chunks a vector type occupies. *)
+let vec_chunks (m : Machine.t) (ty : Pvir.Types.t) =
+  match ty with
+  | Pvir.Types.Vector _ ->
+    let w = Machine.simd_width m in
+    if w = 0 then invalid_arg "Cost.vec_chunks: machine has no SIMD"
+    else max 1 ((Pvir.Types.size ty + w - 1) / w)
+  | _ -> 1
+
+let scalar_bin_cost (m : Machine.t) (op : Pvir.Instr.binop) (s : Pvir.Types.scalar) =
+  let base =
+    if Pvir.Types.is_float_scalar s then
+      match op with
+      | Pvir.Instr.Div -> m.fdiv_cost
+      | Pvir.Instr.Mul when Machine.has_cap m Capability.Dsp_mac -> 1
+      | _ -> m.fp_cost
+    else
+      match op with
+      | Pvir.Instr.Mul -> m.mul_cost
+      | Pvir.Instr.Div | Pvir.Instr.Udiv | Pvir.Instr.Rem | Pvir.Instr.Urem ->
+        m.div_cost
+      | Pvir.Instr.Min | Pvir.Instr.Max | Pvir.Instr.Umin | Pvir.Instr.Umax ->
+        (* compare + conditional move *)
+        2 * m.alu_cost
+      | _ -> m.alu_cost
+  in
+  let narrow =
+    if is_narrow s && not (Machine.has_narrow_alu m) then m.narrow_penalty
+    else 0
+  in
+  base + narrow
+
+(** Cost of one MIR instruction.  [inst.ty] must already be legal for the
+    machine (the JIT legalizes before emitting): vector-typed instructions
+    only reach machines with SIMD. *)
+let of_inst (m : Machine.t) (i : Mir.inst) : int =
+  let scalar = Pvir.Types.elem i.ty in
+  match i.op with
+  | Mir.Mli _ -> m.mov_cost
+  | Mir.Mmov -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.mov_cost * vec_chunks m i.ty
+    | _ -> m.mov_cost)
+  | Mir.Mbin op -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_op_cost * vec_chunks m i.ty
+    | _ -> scalar_bin_cost m op scalar)
+  | Mir.Mun _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_op_cost * vec_chunks m i.ty
+    | _ -> m.alu_cost)
+  | Mir.Mconv _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ ->
+      (* widening/narrowing needs an unpack/pack step per produced chunk *)
+      vec_chunks m i.ty * (m.vec_op_cost + m.vec_pack_cost)
+    | Pvir.Types.Scalar s when Pvir.Types.is_float_scalar s ->
+      if Machine.has_cap m Capability.Fpu then m.fp_cost else m.fp_cost
+    | _ -> m.alu_cost)
+  | Mir.Mcmp _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_op_cost * vec_chunks m i.ty
+    | Pvir.Types.Scalar s when Pvir.Types.is_float_scalar s -> m.fp_cost
+    | _ -> m.alu_cost)
+  | Mir.Msel -> 2 * m.alu_cost
+  | Mir.Mload _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_mem_cost * vec_chunks m i.ty
+    | _ -> m.load_cost)
+  | Mir.Mstore _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_mem_cost * vec_chunks m i.ty
+    | _ -> m.store_cost)
+  | Mir.Mframe_addr _ -> m.alu_cost
+  | Mir.Mframe_ld _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_mem_cost * vec_chunks m i.ty
+    | _ -> m.load_cost)
+  | Mir.Mframe_st _ -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_mem_cost * vec_chunks m i.ty
+    | _ -> m.store_cost)
+  | Mir.Msplat -> (
+    match i.ty with
+    | Pvir.Types.Vector _ -> m.vec_pack_cost * vec_chunks m i.ty
+    | _ -> m.mov_cost)
+  | Mir.Mextract _ -> m.vec_pack_cost + m.mov_cost
+  | Mir.Mreduce _ -> (
+    (* log2(lanes) shuffle+op steps, plus a final extract *)
+    match i.ty with
+    | Pvir.Types.Vector (_, n) ->
+      let steps = max 1 (int_of_float (ceil (log (float_of_int n) /. log 2.))) in
+      (steps * (m.vec_pack_cost + m.vec_op_cost)) + m.vec_pack_cost
+    | _ -> m.alu_cost)
+  | Mir.Mcall _ -> m.call_cost
+
+let of_term (m : Machine.t) (t : Mir.term) : int =
+  match t with
+  | Mir.Tbr _ -> m.branch_cost
+  | Mir.Tcbr _ -> m.branch_cost
+  | Mir.Tret _ -> m.branch_cost
+
+(** Static cost estimate of a whole function: sum over instructions with
+    every block weighted once.  Used by the scheduler's placement
+    heuristic, not by the simulator (which counts real dynamic cycles). *)
+let static_estimate (m : Machine.t) (fn : Mir.func) : int =
+  List.fold_left
+    (fun acc (b : Mir.block) ->
+      List.fold_left (fun acc i -> acc + of_inst m i) acc b.insts
+      + of_term m b.mterm)
+    0 fn.mblocks

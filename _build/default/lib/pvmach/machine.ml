@@ -1,0 +1,212 @@
+(** Target machine descriptions.
+
+    These stand in for the paper's evaluation hardware (x86 with SSE,
+    UltraSparc, PowerPC) plus the heterogeneous-offload cores of the §3
+    scenario (a microcontroller host and a DSP-style accelerator).  Each
+    description captures the properties that shaped Table 1:
+
+    - SIMD width decides whether the JIT emits vector code or scalarizes;
+    - register-file size decides how much scalarized vector state spills;
+    - [narrow_penalty] models ISAs without native 8/16-bit ALU operations
+      (per-op masking to preserve wraparound semantics);
+    - branch/loop costs decide how much the implicit unrolling of
+      scalarized vector code pays off.
+
+    The cycle numbers are cost-model parameters, not claims about real
+    silicon; the experiments only rely on their relative shape. *)
+
+type t = {
+  name : string;
+  description : string;
+  caps : Capability.t list;
+  int_regs : int;  (** allocatable general-purpose registers *)
+  fp_regs : int;  (** allocatable floating-point registers *)
+  vec_regs : int;  (** allocatable vector registers (0 if no SIMD) *)
+  alu_cost : int;
+  mul_cost : int;
+  div_cost : int;
+  fp_cost : int;  (** fp add/sub/mul *)
+  fdiv_cost : int;
+  load_cost : int;
+  store_cost : int;
+  branch_cost : int;  (** taken-branch / loop back-edge cost *)
+  mov_cost : int;
+  narrow_penalty : int;  (** extra cycles per 8/16-bit ALU op *)
+  vec_op_cost : int;  (** cost of one SIMD ALU operation on a full register *)
+  vec_mem_cost : int;  (** cost of one SIMD load/store *)
+  vec_pack_cost : int;  (** cost of one pack/unpack/permute step *)
+  call_cost : int;
+  clock_mhz : int;  (** nominal clock, for cycle->time conversion *)
+}
+
+let simd_width m =
+  List.fold_left
+    (fun acc c -> match c with Capability.Simd w -> max acc w | _ -> acc)
+    0 m.caps
+
+let has_simd m = simd_width m > 0
+let has_cap m c = List.exists (fun h -> Capability.satisfies h c) m.caps
+let has_narrow_alu m = has_cap m Capability.Narrow_alu
+
+let regs_of_class m = function
+  | `Gpr -> m.int_regs
+  | `Fpr -> m.fp_regs
+  | `Vec -> m.vec_regs
+
+(** How many leading parameters arrive in registers; the rest are passed
+    on the stack (they arrive in frame slots). *)
+let arg_regs m = max 1 (m.int_regs / 2)
+
+(** x86-class desktop/console core: 128-bit SSE-style SIMD, byte ALU,
+    but a small architectural register file — exactly the combination that
+    makes both vectorization (Table 1) and split register allocation (E3)
+    profitable. *)
+let x86ish =
+  {
+    name = "x86ish";
+    description = "x86-class: 128-bit SIMD, byte ALU, register-poor";
+    caps = [ Capability.Simd 16; Capability.Fpu; Capability.Narrow_alu ];
+    int_regs = 6;
+    fp_regs = 8;
+    vec_regs = 8;
+    alu_cost = 1;
+    mul_cost = 3;
+    div_cost = 18;
+    fp_cost = 2;
+    fdiv_cost = 14;
+    load_cost = 2;
+    store_cost = 2;
+    branch_cost = 2;
+    mov_cost = 1;
+    narrow_penalty = 0;
+    vec_op_cost = 1;
+    vec_mem_cost = 2;
+    vec_pack_cost = 1;
+    call_cost = 10;
+    clock_mhz = 2000;
+  }
+
+(** UltraSparc-class RISC: many registers, no usable SIMD in the JIT, no
+    byte/halfword ALU (narrow operations pay a masking penalty). *)
+let sparcish =
+  {
+    name = "sparcish";
+    description = "UltraSparc-class: no SIMD, masking penalty on narrow ops";
+    caps = [ Capability.Fpu ];
+    (* register windows reserve in/out registers: fewer allocatable GPRs *)
+    int_regs = 16;
+    fp_regs = 16;
+    vec_regs = 0;
+    alu_cost = 1;
+    mul_cost = 4;
+    div_cost = 20;
+    fp_cost = 2;
+    fdiv_cost = 16;
+    load_cost = 2;
+    store_cost = 2;
+    branch_cost = 1;
+    mov_cost = 1;
+    narrow_penalty = 1;
+    vec_op_cost = 1;
+    vec_mem_cost = 2;
+    vec_pack_cost = 1;
+    call_cost = 12;
+    clock_mhz = 1200;
+  }
+
+(** PowerPC-class RISC: many registers, cheap bit-field ops (no narrow
+    penalty), relatively expensive branches — so the unrolling implicit in
+    scalarized vector code pays off, as observed in Table 1. *)
+let ppcish =
+  {
+    name = "ppcish";
+    description = "PowerPC-class: no SIMD used, free masking, costly branches";
+    caps = [ Capability.Fpu; Capability.Narrow_alu ];
+    int_regs = 28;
+    fp_regs = 32;
+    vec_regs = 0;
+    alu_cost = 1;
+    mul_cost = 3;
+    div_cost = 19;
+    fp_cost = 2;
+    fdiv_cost = 15;
+    load_cost = 2;
+    store_cost = 2;
+    branch_cost = 4;
+    mov_cost = 1;
+    narrow_penalty = 0;
+    vec_op_cost = 1;
+    vec_mem_cost = 2;
+    vec_pack_cost = 1;
+    call_cost = 12;
+    clock_mhz = 1000;
+  }
+
+(** DSP-style accelerator (the SPU of the paper's Cell scenario): wide
+    SIMD and single-cycle MAC, but branches hurt and scalar control code is
+    comparatively slow. *)
+let dspish =
+  {
+    name = "dspish";
+    description = "DSP/SPU-class accelerator: wide SIMD + MAC, bad branches";
+    caps =
+      [ Capability.Simd 16; Capability.Fpu; Capability.Dsp_mac;
+        Capability.Narrow_alu ];
+    int_regs = 32;
+    fp_regs = 32;
+    vec_regs = 32;
+    alu_cost = 2;
+    mul_cost = 2;
+    div_cost = 30;
+    fp_cost = 2;
+    fdiv_cost = 20;
+    load_cost = 2;
+    store_cost = 2;
+    branch_cost = 8;
+    mov_cost = 1;
+    narrow_penalty = 0;
+    vec_op_cost = 1;
+    vec_mem_cost = 1;
+    vec_pack_cost = 1;
+    call_cost = 20;
+    clock_mhz = 800;
+  }
+
+(** Microcontroller host: no FPU, no SIMD, tiny register file — the "host
+    processor" third-party code is usually confined to. *)
+let uchost =
+  {
+    name = "uchost";
+    description = "microcontroller host: no FPU, no SIMD, tiny register file";
+    caps = [ Capability.Narrow_alu ];
+    int_regs = 8;
+    fp_regs = 4;  (* soft-float value slots *)
+    vec_regs = 0;
+    alu_cost = 1;
+    mul_cost = 5;
+    div_cost = 24;
+    fp_cost = 30;  (* software floating point *)
+    fdiv_cost = 60;
+    load_cost = 3;
+    store_cost = 3;
+    branch_cost = 2;
+    mov_cost = 1;
+    narrow_penalty = 0;
+    vec_op_cost = 2;
+    vec_mem_cost = 3;
+    vec_pack_cost = 2;
+    call_cost = 8;
+    clock_mhz = 200;
+  }
+
+let all = [ x86ish; sparcish; ppcish; dspish; uchost ]
+
+(** The three targets of the paper's Table 1. *)
+let table1_targets = [ x86ish; sparcish; ppcish ]
+
+let find name = List.find_opt (fun m -> String.equal m.name name) all
+
+let find_exn name =
+  match find name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Machine.find: unknown target %s" name)

@@ -1,0 +1,183 @@
+(** MIR — the generic machine-level IR produced by the online compiler.
+
+    MIR is the common shape of the native code of all simulated targets:
+    finite register classes, explicit spill code, resolved global
+    addresses and frame slots.  A target's identity lives in (a) which MIR
+    the JIT may emit for it (no vector MIR on machines without SIMD) and
+    (b) the {!Cost} table used when the simulator executes it. *)
+
+type reg_class = Gpr | Fpr | Vec
+
+(** Registers: virtual before register allocation, physical after.
+    The simulator accepts both, so lowering can be tested in isolation. *)
+type reg =
+  | V of int  (** virtual *)
+  | P of reg_class * int  (** physical *)
+
+type op =
+  | Mli of Pvir.Value.t  (** load immediate *)
+  | Mmov
+  | Mbin of Pvir.Instr.binop
+  | Mun of Pvir.Instr.unop
+  | Mconv of Pvir.Instr.conv
+  | Mcmp of Pvir.Instr.relop
+  | Msel  (** srcs = [cond; if_true; if_false] *)
+  | Mload of int  (** dst <- mem[src + offset] *)
+  | Mstore of int  (** mem[src2 + offset] <- src1 *)
+  | Mframe_addr of int  (** dst <- frame_pointer + offset (allocas) *)
+  | Mframe_ld of int  (** dst <- frame slot (spill reload) *)
+  | Mframe_st of int  (** frame slot <- src (spill store) *)
+  | Msplat
+  | Mextract of int
+  | Mreduce of Pvir.Instr.redop
+  | Mcall of string  (** dst <- call; srcs are arguments *)
+
+type inst = {
+  op : op;
+  ty : Pvir.Types.t;  (** operating type: drives semantics and cost *)
+  dst : reg option;
+  srcs : reg list;
+  imm : Pvir.Value.t option;
+      (** immediate operand, always the *last* operand of the operation;
+          folded in by [Pvjit.Immfold] to relieve register pressure *)
+}
+
+type term =
+  | Tbr of int
+  | Tcbr of reg * int * int
+  | Tret of reg option
+
+type block = { mlabel : int; mutable insts : inst list; mutable mterm : term }
+
+type func = {
+  mname : string;
+  mutable mparams : reg list;
+      (** parameters arriving in registers (the first
+          {!Machine.arg_regs} of the signature) *)
+  marg_slots : (int * Pvir.Types.t) list;
+      (** frame slots for the remaining (stack-passed) parameters, in
+          signature order after [mparams] *)
+  mret : Pvir.Types.t option;
+  mutable mblocks : block list;  (** entry first *)
+  mutable frame_size : int;  (** bytes: allocas + spill slots *)
+  vreg_ty : (int, Pvir.Types.t) Hashtbl.t;
+  mutable next_vreg : int;
+  target : Machine.t;
+}
+
+let class_of_type (ty : Pvir.Types.t) =
+  match ty with
+  | Pvir.Types.Vector _ -> Vec
+  | Pvir.Types.Scalar s when Pvir.Types.is_float_scalar s -> Fpr
+  | Pvir.Types.Scalar _ | Pvir.Types.Ptr _ -> Gpr
+
+let inst ?dst ?(srcs = []) ?imm op ty = { op; ty; dst; srcs; imm }
+
+let fresh_vreg fn ty =
+  let v = fn.next_vreg in
+  fn.next_vreg <- v + 1;
+  Hashtbl.replace fn.vreg_ty v ty;
+  V v
+
+let vreg_type fn v =
+  match Hashtbl.find_opt fn.vreg_ty v with
+  | Some ty -> ty
+  | None -> invalid_arg (Printf.sprintf "Mir.vreg_type: unknown v%d" v)
+
+let reg_type fn = function
+  | V v -> vreg_type fn v
+  | P _ -> invalid_arg "Mir.reg_type: physical register"
+
+let find_block fn l =
+  match List.find_opt (fun b -> b.mlabel = l) fn.mblocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Mir.find_block: no block %d in %s" l fn.mname)
+
+let entry fn =
+  match fn.mblocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Mir.entry: %s has no blocks" fn.mname)
+
+let term_successors = function
+  | Tbr l -> [ l ]
+  | Tcbr (_, l1, l2) -> if l1 = l2 then [ l1 ] else [ l1; l2 ]
+  | Tret _ -> []
+
+(** Number of instructions (terminators included). *)
+let size fn =
+  List.fold_left (fun acc b -> acc + List.length b.insts + 1) 0 fn.mblocks
+
+(** Instructions defining / using registers, for liveness. *)
+let inst_uses i = i.srcs
+let inst_def i = i.dst
+
+let term_uses = function
+  | Tbr _ | Tret None -> []
+  | Tcbr (c, _, _) -> [ c ]
+  | Tret (Some r) -> [ r ]
+
+let map_inst_regs f i =
+  { i with dst = Option.map f i.dst; srcs = List.map f i.srcs }
+
+let map_term_regs f = function
+  | Tbr l -> Tbr l
+  | Tcbr (c, l1, l2) -> Tcbr (f c, l1, l2)
+  | Tret r -> Tret (Option.map f r)
+
+(* ---------------- printing (debugging aid) ---------------- *)
+
+let reg_to_string = function
+  | V v -> Printf.sprintf "v%d" v
+  | P (Gpr, i) -> Printf.sprintf "g%d" i
+  | P (Fpr, i) -> Printf.sprintf "f%d" i
+  | P (Vec, i) -> Printf.sprintf "x%d" i
+
+let op_to_string = function
+  | Mli v -> Printf.sprintf "li %s" (Pvir.Value.to_string v)
+  | Mmov -> "mov"
+  | Mbin op -> Pvir.Instr.binop_name op
+  | Mun op -> Pvir.Instr.unop_name op
+  | Mconv c -> Pvir.Instr.conv_name c
+  | Mcmp op -> "cmp." ^ Pvir.Instr.relop_name op
+  | Msel -> "sel"
+  | Mload off -> Printf.sprintf "ld[+%d]" off
+  | Mstore off -> Printf.sprintf "st[+%d]" off
+  | Mframe_addr off -> Printf.sprintf "frame+%d" off
+  | Mframe_ld slot -> Printf.sprintf "reload[%d]" slot
+  | Mframe_st slot -> Printf.sprintf "spill[%d]" slot
+  | Msplat -> "splat"
+  | Mextract lane -> Printf.sprintf "extract.%d" lane
+  | Mreduce op -> Pvir.Instr.redop_name op
+  | Mcall name -> "call @" ^ name
+
+let inst_to_string i =
+  let dst = match i.dst with Some d -> reg_to_string d ^ " = " | None -> "" in
+  let srcs = String.concat ", " (List.map reg_to_string i.srcs) in
+  let imm =
+    match i.imm with
+    | Some v -> Printf.sprintf " #%s" (Pvir.Value.to_string v)
+    | None -> ""
+  in
+  Printf.sprintf "%s%s.%s %s%s" dst (op_to_string i.op)
+    (Pvir.Types.to_string i.ty)
+    srcs imm
+
+let func_to_string fn =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "mfunc %s (frame %d) on %s\n" fn.mname fn.frame_size
+    fn.target.Machine.name;
+  List.iter
+    (fun b ->
+      Printf.bprintf buf " L%d:\n" b.mlabel;
+      List.iter (fun i -> Printf.bprintf buf "   %s\n" (inst_to_string i)) b.insts;
+      let t =
+        match b.mterm with
+        | Tbr l -> Printf.sprintf "br L%d" l
+        | Tcbr (c, l1, l2) ->
+          Printf.sprintf "cbr %s, L%d, L%d" (reg_to_string c) l1 l2
+        | Tret None -> "ret"
+        | Tret (Some r) -> "ret " ^ reg_to_string r
+      in
+      Printf.bprintf buf "   %s\n" t)
+    fn.mblocks;
+  Buffer.contents buf

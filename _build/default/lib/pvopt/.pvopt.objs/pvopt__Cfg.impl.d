@@ -1,0 +1,1 @@
+lib/pvopt/cfg.ml: Array Func Hashtbl Instr List Option Pvir

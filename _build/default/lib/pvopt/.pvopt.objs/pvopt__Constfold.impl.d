@@ -1,0 +1,1 @@
+lib/pvopt/constfold.ml: Account Eval Func Hashtbl Instr Int64 List Pvir Value

@@ -1,0 +1,1 @@
+lib/pvopt/copyprop.ml: Account Func Hashtbl Instr List Pvir Types

@@ -1,0 +1,1 @@
+lib/pvopt/cse.ml: Account Func Hashtbl Instr List Option Pvir Types Value

@@ -1,0 +1,1 @@
+lib/pvopt/dce.ml: Account Cfg Func Hashtbl Instr List Pvir

@@ -1,0 +1,1 @@
+lib/pvopt/idiom.ml: Account Copyprop Func Hashtbl Instr List Pvir Types

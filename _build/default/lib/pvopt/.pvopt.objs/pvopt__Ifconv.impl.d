@@ -1,0 +1,1 @@
+lib/pvopt/ifconv.ml: Account Cfg Func Hashtbl Instr List Option Pvir String Types Value

@@ -1,0 +1,1 @@
+lib/pvopt/inline.ml: Account Annot Func Hashtbl Instr List Prog Pvir String

@@ -1,0 +1,1 @@
+lib/pvopt/licm.ml: Account Cfg Func Hashtbl Instr List Loops Option Pvir

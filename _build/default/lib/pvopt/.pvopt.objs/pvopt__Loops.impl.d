@@ -1,0 +1,1 @@
+lib/pvopt/loops.ml: Cfg Func Hashtbl Instr List Option Pvir Value

@@ -1,0 +1,1 @@
+lib/pvopt/passes.ml: Constfold Copyprop Cse Dce Idiom Ifconv Inline Licm List Prog Pvir Regalloc_annotate Simplify_cfg Strength Vectorize Verify

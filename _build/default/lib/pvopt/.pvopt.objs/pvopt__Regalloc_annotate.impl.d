@@ -1,0 +1,1 @@
+lib/pvopt/regalloc_annotate.ml: Account Annot Cfg Float Func Hashtbl Instr List Loops Option Prog Pvir

@@ -1,0 +1,1 @@
+lib/pvopt/simplify_cfg.ml: Account Cfg Func Instr List Pvir

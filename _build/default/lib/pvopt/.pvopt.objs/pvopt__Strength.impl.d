@@ -1,0 +1,1 @@
+lib/pvopt/strength.ml: Account Cfg Func Hashtbl Instr Int64 List Loops Option Pvir Types Value Vectorize

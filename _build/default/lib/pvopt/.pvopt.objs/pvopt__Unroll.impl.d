@@ -1,0 +1,1 @@
+lib/pvopt/unroll.ml: Account Cfg Func Hashtbl Instr Int64 List Loops Printf Prog Pvir Types Value Vectorize

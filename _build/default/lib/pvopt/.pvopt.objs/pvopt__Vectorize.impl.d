@@ -1,0 +1,1 @@
+lib/pvopt/vectorize.ml: Account Annot Cfg Func Hashtbl Instr Int64 List Loops Option Printf Prog Pvir String Types Value

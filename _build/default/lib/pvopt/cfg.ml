@@ -1,0 +1,188 @@
+(** Control-flow-graph utilities over {!Pvir.Func} used by every pass:
+    predecessor maps, reachability, reverse postorder, and block-level
+    liveness. *)
+
+open Pvir
+
+type t = {
+  fn : Func.t;
+  preds : (int, int list) Hashtbl.t;
+  succs : (int, int list) Hashtbl.t;
+  rpo : int list;  (** reverse postorder of reachable labels, entry first *)
+}
+
+let successors (b : Func.block) = Instr.successors b.term
+
+let build (fn : Func.t) : t =
+  let preds = Hashtbl.create 16 in
+  let succs = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) ->
+      Hashtbl.replace succs b.label (successors b);
+      if not (Hashtbl.mem preds b.label) then Hashtbl.replace preds b.label [])
+    fn.blocks;
+  List.iter
+    (fun (b : Func.block) ->
+      List.iter
+        (fun s ->
+          let old = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (b.label :: old))
+        (successors b))
+    fn.blocks;
+  (* depth-first postorder from entry *)
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then (
+      Hashtbl.replace visited l ();
+      List.iter dfs (try Hashtbl.find succs l with Not_found -> []);
+      order := l :: !order)
+  in
+  dfs (Func.entry fn).label;
+  { fn; preds; succs; rpo = !order }
+
+let preds t l = try Hashtbl.find t.preds l with Not_found -> []
+let succs t l = try Hashtbl.find t.succs l with Not_found -> []
+let reachable t l = List.mem l t.rpo
+
+(** Remove blocks unreachable from the entry.  Returns true if anything
+    changed. *)
+let prune_unreachable (fn : Func.t) : bool =
+  let t = build fn in
+  let keep = List.filter (fun (b : Func.block) -> reachable t b.label) fn.blocks in
+  let changed = List.length keep <> List.length fn.blocks in
+  if changed then fn.blocks <- keep;
+  changed
+
+(* ---------------- dominators (Cooper-Harvey-Kennedy) ---------------- *)
+
+type dom = { idom : (int, int) Hashtbl.t (* entry maps to itself *) }
+
+let dominators (t : t) : dom =
+  let rpo = Array.of_list t.rpo in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace index l i) rpo;
+  let idom = Hashtbl.create 16 in
+  let entry = (Func.entry t.fn).label in
+  Hashtbl.replace idom entry entry;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else
+        let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+        if ia > ib then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        if l <> entry then
+          let processed =
+            List.filter (fun p -> Hashtbl.mem idom p && Hashtbl.mem index p)
+              (preds t l)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if Hashtbl.find_opt idom l <> Some new_idom then (
+              Hashtbl.replace idom l new_idom;
+              changed := true))
+      rpo
+  done;
+  { idom }
+
+(** [dominates dom a b] — does block [a] dominate block [b]? *)
+let dominates (d : dom) a b =
+  let rec go b =
+    if a = b then true
+    else
+      match Hashtbl.find_opt d.idom b with
+      | Some p when p <> b -> go p
+      | _ -> false
+  in
+  go b
+
+(* ---------------- liveness ---------------- *)
+
+type liveness = {
+  live_in : (int, (Pvir.Instr.reg, unit) Hashtbl.t) Hashtbl.t;
+  live_out : (int, (Pvir.Instr.reg, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let block_use_def (b : Func.block) =
+  let use = Hashtbl.create 8 and def = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r -> if not (Hashtbl.mem def r) then Hashtbl.replace use r ())
+        (Instr.uses i);
+      Option.iter (fun d -> Hashtbl.replace def d ()) (Instr.def i))
+    b.instrs;
+  List.iter
+    (fun r -> if not (Hashtbl.mem def r) then Hashtbl.replace use r ())
+    (Instr.term_uses b.term);
+  (use, def)
+
+(** Classic backward block-level liveness. *)
+let liveness (t : t) : liveness =
+  let fn = t.fn in
+  let use_def = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) -> Hashtbl.replace use_def b.label (block_use_def b))
+    fn.blocks;
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Func.block) ->
+      Hashtbl.replace live_in b.label (Hashtbl.create 8);
+      Hashtbl.replace live_out b.label (Hashtbl.create 8))
+    fn.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in postorder (reverse of rpo) for fast convergence *)
+    List.iter
+      (fun l ->
+        let out = Hashtbl.find live_out l in
+        List.iter
+          (fun s ->
+            match Hashtbl.find_opt live_in s with
+            | Some sin ->
+              Hashtbl.iter
+                (fun r () ->
+                  if not (Hashtbl.mem out r) then (
+                    Hashtbl.replace out r ();
+                    changed := true))
+                sin
+            | None -> ())
+          (succs t l);
+        let use, def = Hashtbl.find use_def l in
+        let inn = Hashtbl.find live_in l in
+        Hashtbl.iter
+          (fun r () ->
+            if not (Hashtbl.mem inn r) then (
+              Hashtbl.replace inn r ();
+              changed := true))
+          use;
+        Hashtbl.iter
+          (fun r () ->
+            if (not (Hashtbl.mem def r)) && not (Hashtbl.mem inn r) then (
+              Hashtbl.replace inn r ();
+              changed := true))
+          out)
+      (List.rev t.rpo)
+  done;
+  { live_in; live_out }
+
+let live_out_of (lv : liveness) l =
+  match Hashtbl.find_opt lv.live_out l with
+  | Some h -> h
+  | None -> Hashtbl.create 1
+
+let live_in_of (lv : liveness) l =
+  match Hashtbl.find_opt lv.live_in l with
+  | Some h -> h
+  | None -> Hashtbl.create 1

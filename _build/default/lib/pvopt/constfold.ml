@@ -1,0 +1,115 @@
+(** Constant folding, local constant propagation, algebraic simplification
+    and branch folding.
+
+    Works block-locally (PVIR registers are mutable, so global propagation
+    would need reaching definitions; the block-local version already
+    catches everything the frontend generates, because lowering emits
+    constants next to their uses). *)
+
+open Pvir
+
+let fold_block (fn : Func.t) (b : Func.block) : bool =
+  let changed = ref false in
+  let consts : (Instr.reg, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let const_of r = Hashtbl.find_opt consts r in
+  let kill d =
+    Hashtbl.remove consts d
+  in
+  let as_const i =
+    (* evaluate instruction when all operands are known constants *)
+    match i with
+    | Instr.Binop (op, _, a, b') -> (
+      match (const_of a, const_of b') with
+      | Some va, Some vb -> (
+        try Some (Eval.binop op va vb) with
+        | Eval.Division_by_zero -> None
+        | Invalid_argument _ -> None)
+      | _ -> None)
+    | Instr.Unop (op, _, a) -> (
+      match const_of a with
+      | Some va -> ( try Some (Eval.unop op va) with Invalid_argument _ -> None)
+      | None -> None)
+    | Instr.Conv (kind, d, a) -> (
+      match const_of a with
+      | Some va -> (
+        try Some (Eval.conv kind (Func.reg_type fn d) va)
+        with Invalid_argument _ -> None)
+      | None -> None)
+    | Instr.Cmp (op, _, a, b') -> (
+      match (const_of a, const_of b') with
+      | Some va, Some vb -> (
+        try Some (Eval.cmp op va vb) with Invalid_argument _ -> None)
+      | _ -> None)
+    | Instr.Select (_, c, a, b') -> (
+      match (const_of c, const_of a, const_of b') with
+      | Some vc, Some va, Some vb -> Some (Eval.select vc va vb)
+      | _ -> None)
+    | Instr.Mov (_, a) -> const_of a
+    | _ -> None
+  in
+  let is_int_const r v =
+    match const_of r with
+    | Some (Value.Int (_, x)) -> Int64.equal x v
+    | _ -> false
+  in
+  let algebraic i =
+    (* identity/zero simplifications that keep typing intact *)
+    match i with
+    | Instr.Binop (Instr.Add, d, a, b') when is_int_const b' 0L ->
+      Some (Instr.Mov (d, a))
+    | Instr.Binop (Instr.Add, d, a, b') when is_int_const a 0L ->
+      Some (Instr.Mov (d, b'))
+    | Instr.Binop (Instr.Sub, d, a, b') when is_int_const b' 0L ->
+      Some (Instr.Mov (d, a))
+    | Instr.Binop (Instr.Mul, d, a, b') when is_int_const b' 1L ->
+      Some (Instr.Mov (d, a))
+    | Instr.Binop (Instr.Mul, d, a, b') when is_int_const a 1L ->
+      Some (Instr.Mov (d, b'))
+    | Instr.Binop ((Instr.Div | Instr.Udiv), d, a, b') when is_int_const b' 1L
+      -> Some (Instr.Mov (d, a))
+    | Instr.Binop ((Instr.Shl | Instr.Lshr | Instr.Ashr), d, a, b')
+      when is_int_const b' 0L -> Some (Instr.Mov (d, a))
+    | Instr.Binop ((Instr.Or | Instr.Xor), d, a, b') when is_int_const b' 0L
+      -> Some (Instr.Mov (d, a))
+    | _ -> None
+  in
+  let rewrite i =
+    let i =
+      match algebraic i with
+      | Some i' ->
+        changed := true;
+        i'
+      | None -> i
+    in
+    let i =
+      match Instr.def i with
+      | Some d when not (Instr.has_side_effect i) -> (
+        match as_const i with
+        | Some v ->
+          (match i with Instr.Const _ -> () | _ -> changed := true);
+          Instr.Const (d, v)
+        | None -> i)
+      | _ -> i
+    in
+    (* update the constant environment *)
+    (match Instr.def i with Some d -> kill d | None -> ());
+    (match i with
+    | Instr.Const (d, v) -> Hashtbl.replace consts d v
+    | _ -> ());
+    i
+  in
+  b.instrs <- List.map rewrite b.instrs;
+  (* branch folding *)
+  (match b.term with
+  | Instr.Cbr (c, l1, l2) -> (
+    match const_of c with
+    | Some v ->
+      b.term <- Instr.Br (if Value.to_bool v then l1 else l2);
+      changed := true
+    | None -> if l1 = l2 then (b.term <- Instr.Br l1; changed := true))
+  | _ -> ());
+  !changed
+
+let run ?account (fn : Func.t) : bool =
+  Account.charge_opt account ~pass:"constfold" (Func.instr_count fn);
+  List.fold_left (fun acc b -> fold_block fn b || acc) false fn.blocks

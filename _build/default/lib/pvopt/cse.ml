@@ -1,0 +1,115 @@
+(** Local common-subexpression elimination.
+
+    Within a block, a pure computation whose operands have not been
+    redefined since an identical earlier computation is replaced by a copy
+    of the earlier result.  Loads participate until the next store or call
+    invalidates memory.  (Copy propagation then erases the copies.) *)
+
+open Pvir
+
+(* key identifying a computation up to its destination *)
+type key =
+  | Kbin of Instr.binop * Instr.reg * Instr.reg
+  | Kun of Instr.unop * Instr.reg
+  | Kconv of Instr.conv * Types.t * Instr.reg
+  | Kcmp of Instr.relop * Instr.reg * Instr.reg
+  | Ksel of Instr.reg * Instr.reg * Instr.reg
+  | Kload of Types.t * Instr.reg * int
+  | Kgaddr of string
+  | Ksplat of Types.t * Instr.reg
+  | Kextract of Instr.reg * int
+  | Kreduce of Instr.redop * Instr.reg
+  | Kconst of string  (** printed value, cheap structural key *)
+
+let key_of (fn : Func.t) (i : Instr.t) : key option =
+  match i with
+  | Instr.Binop (op, _, a, b) ->
+    (* exploit commutativity for a canonical key *)
+    let a, b =
+      match op with
+      | Instr.Add | Instr.Mul | Instr.And | Instr.Or | Instr.Xor | Instr.Min
+      | Instr.Max | Instr.Umin | Instr.Umax ->
+        if a <= b then (a, b) else (b, a)
+      | _ -> (a, b)
+    in
+    Some (Kbin (op, a, b))
+  | Instr.Unop (op, _, a) -> Some (Kun (op, a))
+  | Instr.Conv (c, d, a) -> Some (Kconv (c, Func.reg_type fn d, a))
+  | Instr.Cmp (op, _, a, b) -> Some (Kcmp (op, a, b))
+  | Instr.Select (_, c, a, b) -> Some (Ksel (c, a, b))
+  | Instr.Load (ty, _, base, off) -> Some (Kload (ty, base, off))
+  | Instr.Gaddr (_, g) -> Some (Kgaddr g)
+  | Instr.Splat (d, a) -> Some (Ksplat (Func.reg_type fn d, a))
+  | Instr.Extract (_, a, lane) -> Some (Kextract (a, lane))
+  | Instr.Reduce (op, _, a) -> Some (Kreduce (op, a))
+  | Instr.Const (_, v) -> Some (Kconst (Value.to_string v))
+  | Instr.Mov _ | Instr.Store _ | Instr.Alloca _ | Instr.Call _ -> None
+
+let run_block (fn : Func.t) (b : Func.block) : bool =
+  let changed = ref false in
+  let available : (key, Instr.reg) Hashtbl.t = Hashtbl.create 16 in
+  let kill_defs d =
+    (* drop table entries mentioning d (as operand or result) *)
+    let stale =
+      Hashtbl.fold
+        (fun k r acc ->
+          let mentions =
+            r = d
+            ||
+            match k with
+            | Kbin (_, a, b') | Kcmp (_, a, b') -> a = d || b' = d
+            | Kun (_, a) | Kconv (_, _, a) | Kload (_, a, _) | Ksplat (_, a)
+            | Kextract (a, _)
+            | Kreduce (_, a) -> a = d
+            | Ksel (c, a, b') -> c = d || a = d || b' = d
+            | Kgaddr _ | Kconst _ -> false
+          in
+          if mentions then k :: acc else acc)
+        available []
+    in
+    List.iter (Hashtbl.remove available) stale
+  in
+  let kill_memory () =
+    let stale =
+      Hashtbl.fold
+        (fun k _ acc -> match k with Kload _ -> k :: acc | _ -> acc)
+        available []
+    in
+    List.iter (Hashtbl.remove available) stale
+  in
+  let rewrite i =
+    match i with
+    | Instr.Store _ ->
+      kill_memory ();
+      i
+    | Instr.Call _ ->
+      kill_memory ();
+      Option.iter kill_defs (Instr.def i);
+      i
+    | _ -> (
+      match (key_of fn i, Instr.def i) with
+      | Some k, Some d -> (
+        match Hashtbl.find_opt available k with
+        | Some r
+          when Types.equal (Func.reg_type fn r) (Func.reg_type fn d)
+               (* never rewrite self-referential updates (i = add i, 1):
+                  they are the canonical induction-variable shape *)
+               && not (List.mem d (Instr.uses i)) ->
+          changed := true;
+          kill_defs d;
+          Instr.Mov (d, r)
+        | _ ->
+          kill_defs d;
+          (* do not record self-referential computations (d = add d, x) *)
+          if not (List.mem d (Instr.uses i)) then Hashtbl.replace available k d;
+          i)
+      | _ ->
+        Option.iter kill_defs (Instr.def i);
+        i)
+  in
+  b.instrs <- List.map rewrite b.instrs;
+  !changed
+
+let run ?account (fn : Func.t) : bool =
+  Account.charge_opt account ~pass:"cse" (2 * Func.instr_count fn);
+  List.fold_left (fun acc b -> run_block fn b || acc) false fn.blocks

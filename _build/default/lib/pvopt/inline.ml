@@ -1,0 +1,111 @@
+(** Function inlining.
+
+    Small or annotation-marked ({!Pvir.Annot.key_inline}) callees are
+    inlined at their call sites: callee blocks are copied with registers
+    and labels renamed, parameters become movs, and returns become jumps
+    to a continuation block.  Recursive callees are never inlined. *)
+
+open Pvir
+
+let default_threshold = 24  (* instructions *)
+
+let is_recursive (fn : Func.t) =
+  let found = ref false in
+  Func.iter_instrs
+    (fun _ i ->
+      match i with
+      | Instr.Call (_, name, _) when String.equal name fn.name -> found := true
+      | _ -> ())
+    fn;
+  !found
+
+let should_inline ~threshold (callee : Func.t) =
+  (not (is_recursive callee))
+  && (Annot.has_flag Annot.key_inline callee.annots
+     || Func.instr_count callee <= threshold)
+
+(* splice one call; returns true if inlined *)
+let inline_call (p : Prog.t) (fn : Func.t) (blk : Func.block) ~threshold :
+    bool =
+  let call_site =
+    let rec find idx = function
+      | [] -> None
+      | Instr.Call (dst, name, args) :: _
+        when (match Prog.find_func p name with
+             | Some callee ->
+               (not (String.equal callee.name fn.name))
+               && should_inline ~threshold callee
+             | None -> false) ->
+        let callee = Prog.find_func_exn p name in
+        Some (idx, dst, callee, args)
+      | _ :: rest -> find (idx + 1) rest
+    in
+    find 0 blk.instrs
+  in
+  match call_site with
+  | None -> false
+  | Some (idx, dst, callee, args) ->
+    (* split the block at the call *)
+    let before = List.filteri (fun i _ -> i < idx) blk.instrs in
+    let after = List.filteri (fun i _ -> i > idx) blk.instrs in
+    let cont = Func.add_block fn in
+    cont.instrs <- after;
+    cont.term <- blk.term;
+    (* rename callee registers and labels into fn *)
+    let reg_map = Hashtbl.create 32 in
+    let map_reg r =
+      match Hashtbl.find_opt reg_map r with
+      | Some r' -> r'
+      | None ->
+        let r' = Func.fresh_reg fn (Func.reg_type callee r) in
+        Hashtbl.replace reg_map r r';
+        r'
+    in
+    let label_map = Hashtbl.create 8 in
+    List.iter
+      (fun (cb : Func.block) ->
+        let nb = Func.add_block fn in
+        Hashtbl.replace label_map cb.label nb.label)
+      callee.blocks;
+    let map_label l = Hashtbl.find label_map l in
+    List.iter
+      (fun (cb : Func.block) ->
+        let nb = Func.find_block fn (map_label cb.label) in
+        nb.instrs <- List.map (Instr.map_regs map_reg) cb.instrs;
+        nb.term <-
+          (match cb.term with
+          | Instr.Ret None -> Instr.Br cont.label
+          | Instr.Ret (Some r) -> (
+            match dst with
+            | Some d ->
+              nb.instrs <- nb.instrs @ [ Instr.Mov (d, map_reg r) ];
+              Instr.Br cont.label
+            | None -> Instr.Br cont.label)
+          | t -> Instr.map_term_labels map_label (Instr.map_term_regs map_reg t)))
+      callee.blocks;
+    (* argument movs, then jump into the inlined entry *)
+    let param_movs =
+      List.map2
+        (fun param arg -> Instr.Mov (map_reg param, arg))
+        callee.params args
+    in
+    blk.instrs <- before @ param_movs;
+    blk.term <- Instr.Br (map_label (Func.entry callee).label);
+    true
+
+let run ?account ?(threshold = default_threshold) (p : Prog.t) : bool =
+  let changed = ref false in
+  List.iter
+    (fun (fn : Func.t) ->
+      Account.charge_opt account ~pass:"inline" (Func.instr_count fn);
+      let budget = ref 8 in
+      let continue_ = ref true in
+      while !continue_ && !budget > 0 do
+        decr budget;
+        let did =
+          List.exists (fun b -> inline_call p fn b ~threshold) fn.blocks
+        in
+        if did then changed := true else continue_ := false
+      done)
+    p.funcs;
+  !changed

@@ -1,0 +1,97 @@
+(** Loop-invariant code motion.
+
+    Pure instructions whose operands are loop-invariant move to a
+    preheader block inserted on the non-backedge entries of the loop.
+    Because PVIR registers are mutable, an instruction is only hoisted if
+    its destination has a single definition inside the loop and is not
+    live into the loop header from outside (the hoisted def must not
+    clobber a value the first iteration still needs). *)
+
+open Pvir
+
+let hoist_loop (fn : Func.t) (lp : Loops.loop) : bool =
+  let cfg = Cfg.build fn in
+  let lv = Cfg.liveness cfg in
+  (* build/locate the preheader: a fresh block taking every entry edge *)
+  let outside_preds =
+    List.filter (fun p -> not (Loops.in_loop lp p)) (Cfg.preds cfg lp.header)
+  in
+  if outside_preds = [] then false
+  else begin
+    let defs = Loops.defs_in fn lp in
+    (* count defs per register inside the loop *)
+    let def_count = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        let b = Func.find_block fn l in
+        List.iter
+          (fun i ->
+            Option.iter
+              (fun d ->
+                Hashtbl.replace def_count d
+                  (1 + try Hashtbl.find def_count d with Not_found -> 0))
+              (Instr.def i))
+          b.instrs)
+      lp.blocks;
+    let live_into_header = Cfg.live_in_of lv lp.header in
+    let hoistable = ref [] in
+    let invariant = Hashtbl.create 16 in
+    let is_invariant_reg r =
+      Loops.invariant_reg defs r || Hashtbl.mem invariant r
+    in
+    (* single forward scan over loop blocks in rpo; catches chains in order *)
+    let loop_blocks_rpo = List.filter (fun l -> Loops.in_loop lp l) cfg.rpo in
+    List.iter
+      (fun l ->
+        let b = Func.find_block fn l in
+        List.iter
+          (fun i ->
+            match Instr.def i with
+            | Some d
+              when (not (Instr.has_side_effect i))
+                   && (not (Instr.reads_memory i))
+                   && List.for_all is_invariant_reg (Instr.uses i)
+                   && (try Hashtbl.find def_count d with Not_found -> 0) = 1
+                   && not (Hashtbl.mem live_into_header d) ->
+              Hashtbl.replace invariant d ();
+              hoistable := i :: !hoistable
+            | _ -> ())
+          b.instrs)
+      loop_blocks_rpo;
+    let hoistable = List.rev !hoistable in
+    if hoistable = [] then false
+    else begin
+      (* create the preheader and retarget outside edges *)
+      let pre = Func.add_block fn in
+      pre.instrs <- hoistable;
+      pre.term <- Instr.Br lp.header;
+      List.iter
+        (fun p ->
+          let pb = Func.find_block fn p in
+          pb.term <-
+            Instr.map_term_labels
+              (fun l -> if l = lp.header then pre.label else l)
+              pb.term)
+        outside_preds;
+      (* remove hoisted instructions from the loop *)
+      List.iter
+        (fun l ->
+          let b = Func.find_block fn l in
+          b.instrs <-
+            List.filter (fun i -> not (List.memq i hoistable)) b.instrs)
+        lp.blocks;
+      true
+    end
+  end
+
+let run ?account (fn : Func.t) : bool =
+  Account.charge_opt account ~pass:"licm" (3 * Func.instr_count fn);
+  let cfg = Cfg.build fn in
+  let loops = Loops.find cfg in
+  (* innermost first so invariants can bubble outward over repeated runs *)
+  let sorted =
+    List.sort
+      (fun (a : Loops.loop) b -> compare b.depth a.depth)
+      loops.Loops.loops
+  in
+  List.fold_left (fun acc lp -> hoist_loop fn lp || acc) false sorted

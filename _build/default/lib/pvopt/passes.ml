@@ -1,0 +1,69 @@
+(** Pass manager: named pipelines corresponding to the compilation modes
+    of the Figure-1 experiment.
+
+    - {!cleanup}: the target-independent scalar pipeline every mode runs
+      (copy propagation, constant folding, CSE, DCE, CFG simplification,
+      idiom recognition, LICM) to a fixpoint.
+    - {!offline_split}: the full offline step of split compilation —
+      cleanup, inlining, vectorization to portable builtins, register
+      allocation annotations, hotness defaults.
+    - {!offline_traditional}: what a conventional deferred-compilation
+      toolchain ships — cleanup only; target-dependent optimizations are
+      dropped rather than annotated (this is the strawman the paper
+      argues against).
+    - {!online_full}: what a Pure-online JIT must redo by itself; the same
+      passes as {!offline_split}, charged to the online accountant. *)
+
+open Pvir
+
+let cleanup ?account (p : Prog.t) : unit =
+  List.iter
+    (fun fn ->
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < 6 do
+        incr rounds;
+        let c1 = Copyprop.run ?account fn in
+        let c2 = Constfold.run ?account fn in
+        let c3 = Cse.run ?account fn in
+        let c4 = Ifconv.run ?account fn in
+        let c5 = Idiom.run ?account fn in
+        let c6 = Dce.run ?account fn in
+        let c7 = Simplify_cfg.run ?account fn in
+        changed := c1 || c2 || c3 || c4 || c5 || c6 || c7
+      done)
+    p.funcs
+
+let licm_all ?account (p : Prog.t) : unit =
+  List.iter (fun fn -> ignore (Licm.run ?account fn)) p.funcs
+
+(** Offline pipeline of the split-compilation flow: everything expensive
+    runs here; the results ship as vector builtins + annotations. *)
+let offline_split ?account (p : Prog.t) : (string * Vectorize.result) list =
+  cleanup ?account p;
+  ignore (Inline.run ?account p);
+  cleanup ?account p;
+  licm_all ?account p;
+  let vect = Vectorize.run ?account p in
+  List.iter (fun fn -> ignore (Strength.run ?account fn)) p.funcs;
+  cleanup ?account p;
+  Regalloc_annotate.run ?account p;
+  Verify.program p;
+  vect
+
+(** Traditional deferred compilation: target-independent cleanup only;
+    vectorization is dropped because it is "target-dependent" and regalloc
+    annotations do not exist. *)
+let offline_traditional ?account (p : Prog.t) : unit =
+  cleanup ?account p;
+  ignore (Inline.run ?account p);
+  cleanup ?account p;
+  licm_all ?account p;
+  List.iter (fun fn -> ignore (Strength.run ?account fn)) p.funcs;
+  cleanup ?account p;
+  Verify.program p
+
+(** The work a pure-online JIT has to do by itself on the device, charged
+    to the (online) accountant. *)
+let online_full ?account (p : Prog.t) : (string * Vectorize.result) list =
+  offline_split ?account p

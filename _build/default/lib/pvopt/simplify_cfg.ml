@@ -1,0 +1,75 @@
+(** CFG cleanup: remove unreachable blocks, thread trivial jumps, merge
+    single-predecessor/single-successor block pairs.
+
+    Keeps the IR small for later passes (and for the bytecode size
+    experiment E5) without changing semantics. *)
+
+open Pvir
+
+(* block whose body is empty and terminator is an unconditional branch *)
+let trivial_target (fn : Func.t) l =
+  let b = Func.find_block fn l in
+  match (b.instrs, b.term) with
+  | [], Instr.Br t when t <> l -> Some t
+  | _ -> None
+
+(* follow chains of empty forwarding blocks (with cycle guard) *)
+let rec resolve fn seen l =
+  if List.mem l seen then l
+  else
+    match trivial_target fn l with
+    | Some t -> resolve fn (l :: seen) t
+    | None -> l
+
+let thread_jumps (fn : Func.t) : bool =
+  let changed = ref false in
+  List.iter
+    (fun (b : Func.block) ->
+      let retarget l =
+        let t = resolve fn [ b.label ] l in
+        if t <> l then changed := true;
+        t
+      in
+      b.term <- Instr.map_term_labels retarget b.term)
+    fn.blocks;
+  !changed
+
+let merge_pairs (fn : Func.t) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let cfg = Cfg.build fn in
+    let candidate =
+      List.find_opt
+        (fun (b : Func.block) ->
+          match b.term with
+          | Instr.Br t ->
+            t <> b.label
+            && t <> (Func.entry fn).label
+            && (match Cfg.preds cfg t with [ _ ] -> true | _ -> false)
+          | _ -> false)
+        (List.filter (fun (b : Func.block) -> Cfg.reachable cfg b.label) fn.blocks)
+    in
+    match candidate with
+    | Some b -> (
+      match b.term with
+      | Instr.Br t ->
+        let tb = Func.find_block fn t in
+        b.instrs <- b.instrs @ tb.instrs;
+        b.term <- tb.term;
+        fn.blocks <-
+          List.filter (fun (x : Func.block) -> x.label <> t) fn.blocks;
+        changed := true;
+        continue_ := true
+      | _ -> ())
+    | None -> ()
+  done;
+  !changed
+
+let run ?account (fn : Func.t) : bool =
+  Account.charge_opt account ~pass:"simplify_cfg" (Func.instr_count fn);
+  let a = thread_jumps fn in
+  let b = Cfg.prune_unreachable fn in
+  let c = merge_pairs fn in
+  a || b || c

@@ -1,0 +1,129 @@
+(** Loop unrolling on canonical counted loops.
+
+    Used by the adaptive-optimization layer (the paper's §4 "iterative
+    compilation" direction): unrolling is the textbook example of a
+    transformation whose *legality* is target-independent but whose
+    *profitability* is not — it trades code size for loop overhead, so the
+    right factor depends on the target's branch cost and I-cache budget.
+    The offline compiler proves legality; the factor is chosen per target,
+    either by a heuristic or by the VM-driven iterative search in
+    [Core.Adaptive].
+
+    Mechanics mirror the vectorizer's epilogue scheme: the loop runs on
+    [n & ~(k-1)] with the body repeated [k] times, and the original loop
+    finishes the remainder.  Registers private to one body iteration
+    (first occurrence is a definition) are renamed per copy; loop-carried
+    registers (first occurrence is a use — accumulators, derived pointers)
+    keep their names so cross-iteration dataflow is preserved by
+    sequential order. *)
+
+open Pvir
+
+exception Bail of string
+
+let bail fmt = Printf.ksprintf (fun s -> raise (Bail s)) fmt
+
+(* reuse the vectorizer's canonical-loop recognizer *)
+let recognize = Vectorize.recognize
+
+(** Unroll one recognized loop by [factor] (a power of two >= 2).
+    Returns unit; raises [Bail] when the loop shape does not allow it. *)
+let transform (fn : Func.t) (info : Vectorize.loop_info) ~factor : unit =
+  if factor < 2 || factor land (factor - 1) <> 0 then
+    bail "factor must be a power of two >= 2";
+  let body =
+    List.concat_map
+      (fun l -> (Func.find_block fn l).instrs)
+      info.Vectorize.body_blocks
+  in
+  List.iter
+    (fun i ->
+      match i with
+      | Instr.Call _ -> bail "call inside loop"
+      | Instr.Alloca _ -> bail "alloca inside loop"
+      | _ -> ())
+    body;
+  (* classify: private (first occurrence is a def) vs loop-carried *)
+  let seen_use = Hashtbl.create 16 in
+  let private_regs = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      List.iter (fun u -> Hashtbl.replace seen_use u ()) (Instr.uses i);
+      match Instr.def i with
+      | Some d when (not (Hashtbl.mem seen_use d)) && d <> info.Vectorize.iv ->
+        Hashtbl.replace private_regs d ()
+      | _ -> ())
+    body;
+  (* fresh blocks: upre (guard computation), uheader, ubody, -> original *)
+  let upre = Func.add_block fn in
+  let uheader = Func.add_block fn in
+  let ubody = Func.add_block fn in
+  List.iter
+    (fun p ->
+      let pb = Func.find_block fn p in
+      pb.term <-
+        Instr.map_term_labels
+          (fun l -> if l = info.Vectorize.header then upre.label else l)
+          pb.term)
+    info.Vectorize.preheaders;
+  let mask = Func.fresh_reg fn Types.i64 in
+  let n_unroll = Func.fresh_reg fn Types.i64 in
+  upre.instrs <-
+    [
+      Instr.Const (mask, Value.i64 (Int64.lognot (Int64.of_int (factor - 1))));
+      Instr.Binop (Instr.And, n_unroll, info.Vectorize.bound, mask);
+    ];
+  upre.term <- Instr.Br uheader.label;
+  let ucmp = Func.fresh_reg fn Types.i32 in
+  uheader.instrs <- [ Instr.Cmp (Instr.Slt, ucmp, info.Vectorize.iv, n_unroll) ];
+  uheader.term <- Instr.Cbr (ucmp, ubody.label, info.Vectorize.header);
+  (* repeat the body; private regs renamed per copy *)
+  let out = ref [] in
+  for copy = 0 to factor - 1 do
+    let rename = Hashtbl.create 16 in
+    let map r =
+      if copy = 0 then r
+      else
+        match Hashtbl.find_opt rename r with
+        | Some r' -> r'
+        | None ->
+          if Hashtbl.mem private_regs r then begin
+            let r' = Func.fresh_reg fn (Func.reg_type fn r) in
+            Hashtbl.replace rename r r';
+            r'
+          end
+          else r
+    in
+    List.iter (fun i -> out := Instr.map_regs map i :: !out) body
+  done;
+  ubody.instrs <- List.rev !out;
+  ubody.term <- Instr.Br uheader.label
+
+(** Unroll every eligible innermost loop of [fn] by [factor].  Returns the
+    number of loops unrolled. *)
+let run ?account ~factor (p : Prog.t) (fn : Func.t) : int =
+  Account.charge_opt account ~pass:"unroll" (2 * Func.instr_count fn);
+  let cfg = Cfg.build fn in
+  let loops = Loops.find cfg in
+  let innermost =
+    List.filter
+      (fun (lp : Loops.loop) ->
+        not
+          (List.exists
+             (fun (other : Loops.loop) ->
+               other.Loops.header <> lp.Loops.header
+               && List.mem other.Loops.header lp.Loops.blocks)
+             loops.Loops.loops))
+      loops.Loops.loops
+  in
+  ignore p;
+  List.fold_left
+    (fun acc lp ->
+      match
+        let info = recognize fn cfg lp in
+        transform fn info ~factor
+      with
+      | () -> acc + 1
+      | exception Bail _ -> acc
+      | exception Vectorize.Bail _ -> acc)
+    0 innermost

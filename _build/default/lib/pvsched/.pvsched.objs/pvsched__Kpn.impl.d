@@ -1,0 +1,1 @@
+lib/pvsched/kpn.ml: Hashtbl List Printf Pvir Queue

@@ -1,0 +1,1 @@
+lib/pvsched/kpn.mli: Hashtbl Pvir Queue

@@ -1,0 +1,1 @@
+lib/pvsched/mapper.ml: Hashtbl Int64 Kpn List Printf Pvir Pvmach Queue String

@@ -1,0 +1,162 @@
+(** Heterogeneous mapping of process networks onto multicore platforms.
+
+    Implements the paper's §3 scenario: "the JIT compiler for an IBM Cell
+    processor could process the same code and decide to offload some of the
+    numerical computations to a vector accelerator (SPU), running the
+    control-oriented code on the PowerPC core."  Because the final code
+    generation happens at run time, the mapper knows the actual platform;
+    because the bytecode carries {!Pvir.Annot.key_hw_prefs} annotations, it
+    knows what each kernel wants.
+
+    The makespan simulation is a simple list schedule over the KPN firing
+    trace: a firing starts when its core is free and all its input tokens
+    have arrived (plus an inter-core transfer latency when producer and
+    consumer sit on different cores). *)
+
+type core = {
+  cname : string;
+  machine : Pvmach.Machine.t;
+}
+
+type platform = {
+  cores : core list;
+  transfer_cost : int;  (** cycles to move one token between cores *)
+}
+
+(** Per-(process, core) firing cost in cycles.  Typically obtained by
+    JIT-compiling the process kernel for each core's machine and measuring
+    (or statically estimating) it — see the offload example. *)
+type cost_model = Kpn.process -> core -> int
+
+type placement = (string * core) list  (** process name -> core *)
+
+let core_of (pl : placement) (p : Kpn.process) =
+  match List.assoc_opt p.Kpn.pname pl with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Mapper.core_of: %s unplaced" p.Kpn.pname)
+
+(** Greedy annotation- and load-aware placement.  Processes are placed
+    heaviest-first; each goes to the core minimizing
+    [accumulated load + firing cost], with hardware-preference
+    satisfaction breaking ties.  The load term spreads parallel numeric
+    stages across multiple accelerators instead of piling them onto the
+    single cheapest core. *)
+let place (platform : platform) (cost : cost_model) (ps : Kpn.process list) :
+    placement =
+  if platform.cores = [] then invalid_arg "Mapper.place: empty platform";
+  let load = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace load c.cname 0) platform.cores;
+  (* heaviest processes first so they get first pick of the fast cores *)
+  let by_weight =
+    List.stable_sort
+      (fun (a : Kpn.process) (b : Kpn.process) -> compare b.Kpn.work a.Kpn.work)
+      ps
+  in
+  let placed =
+    List.map
+      (fun (p : Kpn.process) ->
+        let prefs =
+          match Pvir.Annot.find_list Pvir.Annot.key_hw_prefs p.Kpn.annots with
+          | Some l ->
+            List.filter_map
+              (function
+                | Pvir.Annot.Str s -> Pvmach.Capability.of_string s
+                | _ -> None)
+              l
+          | None -> []
+        in
+        let score c =
+          let prefs_met =
+            List.length
+              (List.filter (fun cap -> Pvmach.Machine.has_cap c.machine cap) prefs)
+          in
+          let l = try Hashtbl.find load c.cname with Not_found -> 0 in
+          (l + cost p c, -prefs_met)
+        in
+        let best =
+          match platform.cores with
+          | c :: rest ->
+            List.fold_left
+              (fun acc c' -> if score c' < score acc then c' else acc)
+              c rest
+          | [] -> assert false
+        in
+        Hashtbl.replace load best.cname
+          ((try Hashtbl.find load best.cname with Not_found -> 0)
+          + cost p best);
+        (p.Kpn.pname, best))
+      by_weight
+  in
+  (* return in the caller's process order *)
+  List.map (fun (p : Kpn.process) -> (p.Kpn.pname, List.assoc p.Kpn.pname placed)) ps
+
+(** Place everything on a single core (the baseline the paper's scenario
+    contrasts against: third-party code confined to the host). *)
+let place_all_on (c : core) (ps : Kpn.process list) : placement =
+  List.map (fun (p : Kpn.process) -> (p.Kpn.pname, c)) ps
+
+(** Simulate the makespan of running [net]'s firing trace under a
+    placement.  Returns total cycles (on the slowest path). *)
+let makespan (platform : platform) (cost : cost_model) (pl : placement)
+    (net : Kpn.t) : int64 =
+  (* tokens already in a channel before the run are external inputs,
+     available at time 0; internally produced tokens come after them *)
+  let external_count = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name q -> Hashtbl.replace external_count name (Queue.length q))
+    net.Kpn.channels;
+  let tr = Kpn.trace net in
+  (* core availability and per-channel last-producer info *)
+  let core_free = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace core_free c.cname 0L) platform.cores;
+  (* time at which the k-th token of each channel is available, plus the
+     core that produced it *)
+  let chan_tokens : (string, (int64 * string) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let chan_consumed = Hashtbl.create 16 in
+  let token_ready chan ~consumer_core =
+    let produced =
+      match Hashtbl.find_opt chan_tokens chan with
+      | Some l -> List.rev !l
+      | None -> []
+    in
+    let k = try Hashtbl.find chan_consumed chan with Not_found -> 0 in
+    Hashtbl.replace chan_consumed chan (k + 1);
+    let ext = try Hashtbl.find external_count chan with Not_found -> 0 in
+    if k < ext then 0L
+    else
+    match List.nth_opt produced (k - ext) with
+    | Some (t, producer_core) ->
+      if String.equal producer_core consumer_core then t
+      else Int64.add t (Int64.of_int platform.transfer_cost)
+    | None -> 0L  (* externally provided input: available at time 0 *)
+  in
+  let finish = ref 0L in
+  List.iter
+    (fun ((p : Kpn.process), _) ->
+      let core = core_of pl p in
+      let inputs_ready =
+        List.fold_left
+          (fun acc chan -> max acc (token_ready chan ~consumer_core:core.cname))
+          0L p.Kpn.inputs
+      in
+      let free = try Hashtbl.find core_free core.cname with Not_found -> 0L in
+      let start = max inputs_ready free in
+      let t_end = Int64.add start (Int64.of_int (cost p core)) in
+      Hashtbl.replace core_free core.cname t_end;
+      List.iter
+        (fun chan ->
+          let l =
+            match Hashtbl.find_opt chan_tokens chan with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace chan_tokens chan l;
+              l
+          in
+          l := (t_end, core.cname) :: !l)
+        p.Kpn.outputs;
+      if Int64.compare t_end !finish > 0 then finish := t_end)
+    tr;
+  !finish

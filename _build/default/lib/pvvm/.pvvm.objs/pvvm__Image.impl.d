@@ -1,0 +1,1 @@
+lib/pvvm/image.ml: Hashtbl List Memory Printf Pvir

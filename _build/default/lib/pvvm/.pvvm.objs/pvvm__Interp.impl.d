@@ -1,0 +1,1 @@
+lib/pvvm/interp.ml: Array Buffer Image Int64 List Memory Option Printf Profile Pvir

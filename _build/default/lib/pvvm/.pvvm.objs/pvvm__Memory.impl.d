@@ -1,0 +1,1 @@
+lib/pvvm/memory.ml: Array Bytes Char Printf Pvir

@@ -1,0 +1,1 @@
+lib/pvvm/profile.ml: Hashtbl List Pvir String

@@ -1,0 +1,1 @@
+lib/pvvm/sim.ml: Array Buffer Cost Hashtbl Image Int64 List Machine Memory Mir Printf Pvir Pvmach

@@ -1,0 +1,68 @@
+(** Loaded program image: the runtime's view of a PVIR program after the
+    load step of the program lifetime (§2.2 of the paper).
+
+    Loading verifies the bytecode, lays out globals in low memory and runs
+    their initializers.  Global addresses become load-time constants, which
+    is what lets the online compiler burn them into the generated code. *)
+
+type t = {
+  prog : Pvir.Prog.t;
+  mem : Memory.t;
+  global_addr : (string, int) Hashtbl.t;
+  globals_end : int;  (** first free byte after the globals *)
+}
+
+let align8 n = (n + 7) land lnot 7
+
+(** [load ?mem_size prog] verifies and loads [prog] into a fresh memory.
+    @raise Pvir.Verify.Error if the bytecode does not verify. *)
+let load ?(mem_size = 1 lsl 20) (prog : Pvir.Prog.t) : t =
+  Pvir.Verify.program prog;
+  (* a module with unresolved externs must be linked before it can run *)
+  List.iter
+    (fun (e : Pvir.Prog.extern) ->
+      if
+        Pvir.Prog.find_func prog e.Pvir.Prog.ename = None
+        && Pvir.Prog.intrinsic_sig e.Pvir.Prog.ename = None
+      then
+        raise
+          (Pvir.Verify.Error
+             (Printf.sprintf "unresolved extern @%s: link the module first"
+                e.Pvir.Prog.ename)))
+    prog.Pvir.Prog.externs;
+  let mem = Memory.create mem_size in
+  let global_addr = Hashtbl.create 16 in
+  let cursor = ref 8 (* keep address 0 as an unmapped null *) in
+  List.iter
+    (fun (g : Pvir.Prog.global) ->
+      let addr = !cursor in
+      Hashtbl.replace global_addr g.gname addr;
+      (match g.ginit with
+      | Some init -> Memory.store_array mem addr init
+      | None -> ());
+      cursor := align8 (addr + Pvir.Prog.global_size g))
+    prog.globals;
+  if !cursor >= mem_size then
+    Memory.fault "globals (%d bytes) exceed memory (%d bytes)" !cursor mem_size;
+  { prog; mem; global_addr; globals_end = !cursor }
+
+let global_address img name =
+  match Hashtbl.find_opt img.global_addr name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Image.global_address: no global %s" name)
+
+(** Initial stack pointer: the top of memory (the stack grows down). *)
+let initial_sp img = Memory.size img.mem
+
+let find_func img name = Pvir.Prog.find_func img.prog name
+
+(** Read back a global array (test/bench helper). *)
+let read_global img name =
+  match Pvir.Prog.find_global img.prog name with
+  | None -> invalid_arg (Printf.sprintf "Image.read_global: no global %s" name)
+  | Some g ->
+    Memory.load_array img.mem (global_address img name) g.gelem g.gcount
+
+(** Overwrite a global array (test/bench helper for setting up inputs). *)
+let write_global img name (vs : Pvir.Value.t array) =
+  Memory.store_array img.mem (global_address img name) vs

@@ -1,0 +1,180 @@
+(** PVIR bytecode interpreter.
+
+    This is the "first virtual machines only had an interpreter" baseline
+    from §2.1 of the paper: correct on every target, no compilation cost,
+    but a dispatch penalty on every instruction.  It doubles as the
+    reference semantics — every optimization and every JIT backend is
+    tested for result-equality against it.
+
+    Cost model: each interpreted instruction costs [dispatch_cost] cycles of
+    decode/dispatch plus the work of the operation itself (vector builtins
+    are scalarized lane by lane, as a portable interpreter would). *)
+
+exception Trap of string
+
+type stats = {
+  mutable cycles : int64;
+  mutable instrs : int64;
+  mutable calls : int;
+}
+
+type t = {
+  img : Image.t;
+  mutable sp : int;
+  out : Buffer.t;  (** captured output of the print intrinsics *)
+  stats : stats;
+  dispatch_cost : int;
+  profile : Profile.t option;
+  fuel : int64;  (** execution budget; Trap when exhausted *)
+}
+
+let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L) img =
+  {
+    img;
+    sp = Image.initial_sp img;
+    out = Buffer.create 64;
+    stats = { cycles = 0L; instrs = 0L; calls = 0 };
+    dispatch_cost;
+    profile;
+    fuel;
+  }
+
+let output t = Buffer.contents t.out
+let cycles t = t.stats.cycles
+
+let charge t n =
+  t.stats.cycles <- Int64.add t.stats.cycles (Int64.of_int n);
+  t.stats.instrs <- Int64.add t.stats.instrs 1L;
+  if Int64.compare t.stats.instrs t.fuel > 0 then
+    raise (Trap "interpreter fuel exhausted (infinite loop?)")
+
+(* operation cost on top of dispatch: 1 per produced lane *)
+let op_cost (i : Pvir.Instr.t) =
+  match i with
+  | Pvir.Instr.Binop (_, d, _, _)
+  | Pvir.Instr.Unop (_, d, _)
+  | Pvir.Instr.Conv (_, d, _) ->
+    ignore d;
+    1
+  | _ -> 1
+
+type frame = {
+  regs : Pvir.Value.t option array;
+  fn : Pvir.Func.t;
+}
+
+let reg_value frame r =
+  match frame.regs.(r) with
+  | Some v -> v
+  | None ->
+    raise
+      (Trap
+         (Printf.sprintf "read of uninitialized register r%d in %s" r
+            frame.fn.name))
+
+let set_reg frame r v = frame.regs.(r) <- Some v
+
+let intrinsic t name (args : Pvir.Value.t list) : Pvir.Value.t option =
+  match (name, args) with
+  | "print_i64", [ v ] ->
+    Buffer.add_string t.out (Int64.to_string (Pvir.Value.to_int64 v));
+    Buffer.add_char t.out '\n';
+    None
+  | "print_f64", [ v ] ->
+    Buffer.add_string t.out (Printf.sprintf "%.6g" (Pvir.Value.to_float v));
+    Buffer.add_char t.out '\n';
+    None
+  | "abort", [] -> raise (Trap "abort called")
+  | _ -> raise (Trap (Printf.sprintf "unknown intrinsic %s" name))
+
+let rec call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
+  t.stats.calls <- t.stats.calls + 1;
+  Option.iter (fun p -> Profile.enter p fn.name) t.profile;
+  if List.length args <> List.length fn.params then
+    raise (Trap (Printf.sprintf "arity mismatch calling %s" fn.name));
+  let frame = { regs = Array.make fn.next_reg None; fn } in
+  List.iter2 (fun r v -> set_reg frame r v) fn.params args;
+  let saved_sp = t.sp in
+  let result = exec_block t frame (Pvir.Func.entry fn) in
+  t.sp <- saved_sp;
+  result
+
+and exec_block t frame (blk : Pvir.Func.block) : Pvir.Value.t option =
+  List.iter (exec_instr t frame) blk.instrs;
+  charge t t.dispatch_cost;
+  Option.iter
+    (fun p -> Profile.block p frame.fn.name blk.label)
+    t.profile;
+  match blk.term with
+  | Pvir.Instr.Br l -> exec_block t frame (Pvir.Func.find_block frame.fn l)
+  | Pvir.Instr.Cbr (c, l1, l2) ->
+    let target = if Pvir.Value.to_bool (reg_value frame c) then l1 else l2 in
+    exec_block t frame (Pvir.Func.find_block frame.fn target)
+  | Pvir.Instr.Ret None -> None
+  | Pvir.Instr.Ret (Some r) -> Some (reg_value frame r)
+
+and exec_instr t frame (i : Pvir.Instr.t) : unit =
+  let v = reg_value frame in
+  let lanes_of r = Pvir.Types.lanes (Pvir.Value.ty (v r)) in
+  (match i with
+  | Pvir.Instr.Binop (_, _, a, _) -> charge t (t.dispatch_cost + lanes_of a)
+  | Pvir.Instr.Load (ty, _, _, _) | Pvir.Instr.Store (ty, _, _, _) ->
+    charge t (t.dispatch_cost + Pvir.Types.lanes ty)
+  | _ -> charge t (t.dispatch_cost + op_cost i));
+  match i with
+  | Pvir.Instr.Const (d, value) -> set_reg frame d value
+  | Pvir.Instr.Mov (d, a) -> set_reg frame d (v a)
+  | Pvir.Instr.Gaddr (d, g) ->
+    set_reg frame d (Pvir.Value.i64 (Int64.of_int (Image.global_address t.img g)))
+  | Pvir.Instr.Binop (op, d, a, b) -> (
+    try set_reg frame d (Pvir.Eval.binop op (v a) (v b))
+    with Pvir.Eval.Division_by_zero -> raise (Trap "division by zero"))
+  | Pvir.Instr.Unop (op, d, a) -> set_reg frame d (Pvir.Eval.unop op (v a))
+  | Pvir.Instr.Conv (kind, d, a) ->
+    let dst_ty = Pvir.Func.reg_type frame.fn d in
+    set_reg frame d (Pvir.Eval.conv kind dst_ty (v a))
+  | Pvir.Instr.Cmp (op, d, a, b) ->
+    set_reg frame d (Pvir.Eval.cmp op (v a) (v b))
+  | Pvir.Instr.Select (d, c, a, b) ->
+    set_reg frame d (Pvir.Eval.select (v c) (v a) (v b))
+  | Pvir.Instr.Load (ty, d, base, off) ->
+    let addr = Int64.to_int (Pvir.Value.to_int64 (v base)) + off in
+    set_reg frame d (Memory.load t.img.mem addr ty)
+  | Pvir.Instr.Store (_, src, base, off) ->
+    let addr = Int64.to_int (Pvir.Value.to_int64 (v base)) + off in
+    Memory.store t.img.mem addr (v src)
+  | Pvir.Instr.Alloca (d, bytes) ->
+    t.sp <- t.sp - bytes;
+    if t.sp < t.img.globals_end then raise (Trap "stack overflow");
+    set_reg frame d (Pvir.Value.i64 (Int64.of_int t.sp))
+  | Pvir.Instr.Call (d, name, args) -> (
+    let argv = List.map v args in
+    let result =
+      match Image.find_func t.img name with
+      | Some callee -> call t callee argv
+      | None -> intrinsic t name argv
+    in
+    match (d, result) with
+    | None, _ -> ()
+    | Some d, Some r -> set_reg frame d r
+    | Some _, None ->
+      raise (Trap (Printf.sprintf "call to %s produced no value" name)))
+  | Pvir.Instr.Splat (d, a) ->
+    let n =
+      match Pvir.Func.reg_type frame.fn d with
+      | Pvir.Types.Vector (_, n) -> n
+      | _ -> raise (Trap "splat destination is not a vector")
+    in
+    set_reg frame d (Pvir.Eval.splat n (v a))
+  | Pvir.Instr.Extract (d, a, lane) ->
+    set_reg frame d (Pvir.Eval.extract (v a) lane)
+  | Pvir.Instr.Reduce (op, d, a) ->
+    set_reg frame d (Pvir.Eval.reduce op (v a))
+
+(** Run function [name] with [args].  Returns the result value (if any)
+    and leaves cycle/instruction counts in [stats]. *)
+let run t name args =
+  match Image.find_func t.img name with
+  | Some fn -> call t fn args
+  | None -> raise (Trap (Printf.sprintf "no function %s" name))

@@ -1,0 +1,54 @@
+(** Flat byte-addressed memory of the virtual machine.
+
+    One address space shared by globals (low addresses) and the call stack
+    (growing down from the top).  All accesses are bounds-checked; a fault
+    raises {!Fault} rather than corrupting the host. *)
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type t = { bytes : Bytes.t; size : int; null_guard : int }
+
+(** [create ?null_guard size] — the first [null_guard] bytes (default 8)
+    are unmapped, so null-pointer dereferences fault. *)
+let create ?(null_guard = 8) size =
+  if size <= 0 then invalid_arg "Memory.create: non-positive size";
+  if null_guard < 0 || null_guard >= size then
+    invalid_arg "Memory.create: bad null guard";
+  { bytes = Bytes.make size '\000'; size; null_guard }
+
+let size m = m.size
+
+let check m addr len =
+  if addr < m.null_guard || len < 0 || addr + len > m.size then
+    fault "access [%d, %d) outside memory of %d bytes" addr (addr + len) m.size
+
+(** [load m addr ty] reads a value of type [ty] at byte address [addr]. *)
+let load m addr (ty : Pvir.Types.t) =
+  check m addr (Pvir.Types.size ty);
+  Pvir.Value.read_bytes m.bytes addr ty
+
+(** [store m addr v] writes [v] at byte address [addr]. *)
+let store m addr (v : Pvir.Value.t) =
+  check m addr (Pvir.Types.size (Pvir.Value.ty v));
+  Pvir.Value.write_bytes m.bytes addr v
+
+let fill m ~addr ~len byte =
+  check m addr len;
+  Bytes.fill m.bytes addr len (Char.chr (byte land 0xFF))
+
+(** Read a whole array of [count] elements of scalar type [s] at [addr]
+    (convenient in tests and harnesses). *)
+let load_array m addr s count =
+  let esz = Pvir.Types.scalar_size s in
+  check m addr (esz * count);
+  Array.init count (fun i ->
+      Pvir.Value.read_bytes m.bytes (addr + (i * esz)) (Pvir.Types.Scalar s))
+
+let store_array m addr (vs : Pvir.Value.t array) =
+  Array.iteri
+    (fun i v ->
+      let esz = Pvir.Types.size (Pvir.Value.ty v) in
+      store m (addr + (i * esz)) v)
+    vs

@@ -1,0 +1,51 @@
+(** Execution profiler.
+
+    Implements the "idle time between different runs" step of the program
+    lifetime (§2.2): profiles collected by the VM feed back into the
+    offline compiler, which turns them into hotness annotations
+    ({!Pvir.Annot.key_hotness}) for the next deployment. *)
+
+type t = {
+  fn_calls : (string, int ref) Hashtbl.t;
+  block_visits : (string * int, int ref) Hashtbl.t;
+}
+
+let create () = { fn_calls = Hashtbl.create 16; block_visits = Hashtbl.create 64 }
+
+let bump tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace tbl key (ref 1)
+
+let enter p fname = bump p.fn_calls fname
+let block p fname label = bump p.block_visits (fname, label)
+
+let calls p fname =
+  match Hashtbl.find_opt p.fn_calls fname with Some r -> !r | None -> 0
+
+let block_count p fname label =
+  match Hashtbl.find_opt p.block_visits (fname, label) with
+  | Some r -> !r
+  | None -> 0
+
+(** Total block visits per function — a proxy for time spent. *)
+let weight p fname =
+  Hashtbl.fold
+    (fun (f, _) r acc -> if String.equal f fname then acc + !r else acc)
+    p.block_visits 0
+
+(** Annotate every function of [prog] with its measured hotness in [0;1]
+    (fraction of total profile weight).  This is the feedback edge of the
+    split-compilation flow. *)
+let annotate_hotness p (prog : Pvir.Prog.t) =
+  let total =
+    List.fold_left
+      (fun acc (fn : Pvir.Func.t) -> acc + weight p fn.name)
+      0 prog.funcs
+  in
+  if total > 0 then
+    List.iter
+      (fun (fn : Pvir.Func.t) ->
+        let h = float_of_int (weight p fn.name) /. float_of_int total in
+        Pvir.Func.add_annot fn Pvir.Annot.key_hotness (Pvir.Annot.Flt h))
+      prog.funcs

@@ -1,0 +1,236 @@
+(** Cycle-counting simulator for MIR — the stand-in for real silicon.
+
+    Executes the native code the JIT produced against the VM memory and a
+    per-target register file, accumulating cycles from the {!Pvmach.Cost}
+    model.  Values flow through the same {!Pvir.Value} representation as
+    the interpreter, so JIT-compiled code can be checked for bit-exact
+    equality with interpreted bytecode. *)
+
+open Pvmach
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type stats = {
+  mutable cycles : int64;
+  mutable instrs : int64;
+  mutable spill_ops : int64;  (** executed spill stores + reloads *)
+}
+
+type t = {
+  img : Image.t;
+  code : (string, Mir.func) Hashtbl.t;  (** compiled code cache *)
+  machine : Machine.t;
+  mutable sp : int;
+  out : Buffer.t;
+  stats : stats;
+  fuel : int64;
+}
+
+let create ?(fuel = 2_000_000_000L) img machine =
+  {
+    img;
+    code = Hashtbl.create 16;
+    machine;
+    sp = Image.initial_sp img;
+    out = Buffer.create 64;
+    stats = { cycles = 0L; instrs = 0L; spill_ops = 0L };
+    fuel;
+  }
+
+let add_func t (fn : Mir.func) = Hashtbl.replace t.code fn.mname fn
+let output t = Buffer.contents t.out
+let cycles t = t.stats.cycles
+let reset_cycles t = t.stats.cycles <- 0L
+
+let charge t n =
+  t.stats.cycles <- Int64.add t.stats.cycles (Int64.of_int n);
+  t.stats.instrs <- Int64.add t.stats.instrs 1L;
+  if Int64.compare t.stats.instrs t.fuel > 0 then
+    trap "simulation fuel exhausted (infinite loop?)"
+
+(* Register state: physical files per class plus a spill-free virtual
+   environment (so pre-RA MIR can be simulated in tests). *)
+type regfile = {
+  gpr : Pvir.Value.t option array;
+  fpr : Pvir.Value.t option array;
+  vec : Pvir.Value.t option array;
+  virt : (int, Pvir.Value.t) Hashtbl.t;
+}
+
+let new_regfile (m : Machine.t) =
+  {
+    (* size generously; the RA respects the machine's allocatable counts,
+       and the simulator checks that indices stay within them *)
+    gpr = Array.make (max 1 m.int_regs) None;
+    fpr = Array.make (max 1 m.fp_regs) None;
+    vec = Array.make (max 1 m.vec_regs) None;
+    virt = Hashtbl.create 64;
+  }
+
+let class_file rf = function
+  | Mir.Gpr -> rf.gpr
+  | Mir.Fpr -> rf.fpr
+  | Mir.Vec -> rf.vec
+
+let get_reg rf (r : Mir.reg) =
+  match r with
+  | Mir.V v -> (
+    match Hashtbl.find_opt rf.virt v with
+    | Some x -> x
+    | None -> trap "read of uninitialized virtual register v%d" v)
+  | Mir.P (cls, i) -> (
+    let file = class_file rf cls in
+    if i < 0 || i >= Array.length file then
+      trap "physical register index %d out of range" i;
+    match file.(i) with
+    | Some x -> x
+    | None -> trap "read of uninitialized register %s" (Mir.reg_to_string r))
+
+let set_reg rf (r : Mir.reg) v =
+  match r with
+  | Mir.V vr -> Hashtbl.replace rf.virt vr v
+  | Mir.P (cls, i) ->
+    let file = class_file rf cls in
+    if i < 0 || i >= Array.length file then
+      trap "physical register index %d out of range" i;
+    file.(i) <- Some v
+
+type frame = {
+  rf : regfile;
+  fp : int;  (** frame base address *)
+  slots : (int, Pvir.Value.t) Hashtbl.t;  (** spill slots *)
+  fn : Mir.func;
+}
+
+let intrinsic t name (args : Pvir.Value.t list) : Pvir.Value.t option =
+  match (name, args) with
+  | "print_i64", [ v ] ->
+    Buffer.add_string t.out (Int64.to_string (Pvir.Value.to_int64 v));
+    Buffer.add_char t.out '\n';
+    None
+  | "print_f64", [ v ] ->
+    Buffer.add_string t.out (Printf.sprintf "%.6g" (Pvir.Value.to_float v));
+    Buffer.add_char t.out '\n';
+    None
+  | "abort", [] -> trap "abort called"
+  | _ -> trap "unknown intrinsic %s" name
+
+let rec call t (fn : Mir.func) (args : Pvir.Value.t list) : Pvir.Value.t option =
+  charge t t.machine.Machine.call_cost;
+  let n_reg = List.length fn.mparams in
+  if List.length args <> n_reg + List.length fn.marg_slots then
+    trap "arity mismatch calling %s" fn.mname;
+  let saved_sp = t.sp in
+  t.sp <- t.sp - fn.frame_size;
+  if t.sp < t.img.globals_end then trap "stack overflow in %s" fn.mname;
+  let frame =
+    { rf = new_regfile t.machine; fp = t.sp; slots = Hashtbl.create 16; fn }
+  in
+  (* calling convention: leading args in registers, the rest in the
+     callee's argument frame slots *)
+  let reg_args = List.filteri (fun i _ -> i < n_reg) args in
+  let stack_args = List.filteri (fun i _ -> i >= n_reg) args in
+  List.iter2 (fun r v -> set_reg frame.rf r v) fn.mparams reg_args;
+  List.iter2
+    (fun (slot, _) v -> Hashtbl.replace frame.slots slot v)
+    fn.marg_slots stack_args;
+  let result = exec_block t frame (Mir.entry fn) in
+  t.sp <- saved_sp;
+  result
+
+and exec_block t frame (blk : Mir.block) : Pvir.Value.t option =
+  List.iter (exec_inst t frame) blk.insts;
+  charge t (Cost.of_term t.machine blk.mterm);
+  match blk.mterm with
+  | Mir.Tbr l -> exec_block t frame (Mir.find_block frame.fn l)
+  | Mir.Tcbr (c, l1, l2) ->
+    let target =
+      if Pvir.Value.to_bool (get_reg frame.rf c) then l1 else l2
+    in
+    exec_block t frame (Mir.find_block frame.fn target)
+  | Mir.Tret None -> None
+  | Mir.Tret (Some r) -> Some (get_reg frame.rf r)
+
+and exec_inst t frame (i : Mir.inst) : unit =
+  charge t (Cost.of_inst t.machine i);
+  (match i.Mir.op with
+  | Mir.Mframe_ld _ | Mir.Mframe_st _ ->
+    t.stats.spill_ops <- Int64.add t.stats.spill_ops 1L
+  | _ -> ());
+  let rf = frame.rf in
+  let v r = get_reg rf r in
+  let dst () =
+    match i.dst with
+    | Some d -> d
+    | None -> trap "instruction %s lacks a destination" (Mir.inst_to_string i)
+  in
+  (* operands: the immediate, when present, is always the last operand *)
+  let operand k =
+    let n_regs = List.length i.srcs in
+    if k < n_regs then v (List.nth i.srcs k)
+    else
+      match i.imm with
+      | Some value when k = n_regs -> value
+      | _ -> trap "instruction %s lacks operand %d" (Mir.inst_to_string i) k
+  in
+  let src1 () = operand 0 in
+  let src2 () = operand 1 in
+  match i.op with
+  | Mir.Mli value -> set_reg rf (dst ()) value
+  | Mir.Mmov -> set_reg rf (dst ()) (src1 ())
+  | Mir.Mbin op -> (
+    try set_reg rf (dst ()) (Pvir.Eval.binop op (src1 ()) (src2 ()))
+    with Pvir.Eval.Division_by_zero -> trap "division by zero")
+  | Mir.Mun op -> set_reg rf (dst ()) (Pvir.Eval.unop op (src1 ()))
+  | Mir.Mconv kind -> set_reg rf (dst ()) (Pvir.Eval.conv kind i.ty (src1 ()))
+  | Mir.Mcmp op -> set_reg rf (dst ()) (Pvir.Eval.cmp op (src1 ()) (src2 ()))
+  | Mir.Msel ->
+    set_reg rf (dst ()) (Pvir.Eval.select (operand 0) (operand 1) (operand 2))
+  | Mir.Mload off ->
+    let addr = Int64.to_int (Pvir.Value.to_int64 (src1 ())) + off in
+    set_reg rf (dst ()) (Memory.load t.img.mem addr i.ty)
+  | Mir.Mstore off ->
+    (* store operands are (value, base); with a folded immediate the value
+       is the immediate and the base is the remaining register *)
+    let value, base =
+      match (i.srcs, i.imm) with
+      | [ s; b ], None -> (v s, v b)
+      | [ b ], Some value -> (value, v b)
+      | _ -> trap "store expects (value, base)"
+    in
+    let addr = Int64.to_int (Pvir.Value.to_int64 base) + off in
+    Memory.store t.img.mem addr value
+  | Mir.Mframe_addr off ->
+    set_reg rf (dst ()) (Pvir.Value.i64 (Int64.of_int (frame.fp + off)))
+  | Mir.Mframe_ld slot -> (
+    match Hashtbl.find_opt frame.slots slot with
+    | Some value -> set_reg rf (dst ()) value
+    | None -> trap "reload of empty spill slot %d in %s" slot frame.fn.mname)
+  | Mir.Mframe_st slot -> Hashtbl.replace frame.slots slot (src1 ())
+  | Mir.Msplat -> (
+    match i.ty with
+    | Pvir.Types.Vector (_, n) ->
+      set_reg rf (dst ()) (Pvir.Eval.splat n (src1 ()))
+    | _ -> trap "splat at non-vector type")
+  | Mir.Mextract lane -> set_reg rf (dst ()) (Pvir.Eval.extract (src1 ()) lane)
+  | Mir.Mreduce op -> set_reg rf (dst ()) (Pvir.Eval.reduce op (src1 ()))
+  | Mir.Mcall name -> (
+    let argv = List.map v i.srcs in
+    let result =
+      match Hashtbl.find_opt t.code name with
+      | Some callee -> call t callee argv
+      | None -> intrinsic t name argv
+    in
+    match (i.dst, result) with
+    | None, _ -> ()
+    | Some d, Some value -> set_reg rf d value
+    | Some _, None -> trap "call to %s produced no value" name)
+
+(** Run compiled function [name].  All callees it reaches must have been
+    registered with {!add_func} (the cache models the JIT's code cache). *)
+let run t name args =
+  match Hashtbl.find_opt t.code name with
+  | Some fn -> call t fn args
+  | None -> trap "no compiled code for %s" name

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Core Int64 List Printf Pvir Pvjit Pvkernels Pvmach Pvopt Pvvm

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Core Filename Fun Int64 List Printf Pvir Pvjit Pvkernels Pvmach Pvopt Pvvm String Sys

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Array Core Int64 List Printf Pvir Pvjit Pvmach Pvvm String

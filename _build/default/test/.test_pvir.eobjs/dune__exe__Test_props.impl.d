@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bytes Core Int64 List Printf Pvir Pvkernels Pvmach Pvsched Pvvm QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pvir.ml: Account Alcotest Annot Array Builder Bytes Eval Filename Fun Func Instr Int64 List Parse Pp Prog Pvir Serial String Sys Types Value Verify

@@ -1,0 +1,1 @@
+test/test_pvjit.ml: Alcotest Core Cost Hashtbl Int64 List Machine Mir Printf Pvir Pvjit Pvkernels Pvmach Pvopt Pvvm

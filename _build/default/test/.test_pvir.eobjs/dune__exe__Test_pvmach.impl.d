@@ -1,0 +1,1 @@
+test/test_pvmach.ml: Alcotest Capability Cost Hashtbl List Machine Mir Pvir Pvmach

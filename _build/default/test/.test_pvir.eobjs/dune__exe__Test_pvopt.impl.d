@@ -1,0 +1,1 @@
+test/test_pvopt.ml: Alcotest Array Core Hashtbl Int64 List Printf Pvir Pvkernels Pvopt Pvvm String

@@ -1,0 +1,1 @@
+test/test_pvvm.ml: Alcotest Array Core Int64 List Pvir Pvkernels Pvmach Pvvm

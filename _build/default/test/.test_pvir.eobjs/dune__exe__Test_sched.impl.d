@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Int64 List Pvir Pvmach Pvsched

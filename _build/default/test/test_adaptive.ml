@@ -1,0 +1,231 @@
+(* Tests for loop unrolling and the adaptive (idle-time / iterative)
+   optimization layer. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let observe (p : Pvir.Prog.t) entry args =
+  let img = Pvvm.Image.load (Pvir.Prog.copy p) in
+  Pvkernels.Harness.fill_inputs img;
+  let it = Pvvm.Interp.create img in
+  let r = Pvvm.Interp.run it entry args in
+  let globals =
+    List.map
+      (fun (g : Pvir.Prog.global) ->
+        (g.Pvir.Prog.gname, Pvvm.Image.read_global img g.Pvir.Prog.gname))
+      img.Pvvm.Image.prog.Pvir.Prog.globals
+  in
+  (r, globals)
+
+let same (a, ga) (b, gb) =
+  (match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Pvir.Value.equal x y
+  | _ -> false)
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) -> n1 = n2 && Array.for_all2 Pvir.Value.equal a1 a2)
+       ga gb
+
+(* ---------------- unroll ---------------- *)
+
+let unrolled src ~factor =
+  let p = Core.Splitc.frontend src in
+  Pvopt.Passes.cleanup p;
+  Pvopt.Passes.licm_all p;
+  let n =
+    List.fold_left
+      (fun acc fn -> acc + Pvopt.Unroll.run ~factor p fn)
+      0 p.Pvir.Prog.funcs
+  in
+  Pvopt.Passes.cleanup p;
+  Pvir.Verify.program p;
+  (p, n)
+
+let test_unroll_fires_and_preserves () =
+  let src =
+    {|
+i32 a[200];
+i32 f(i64 n) {
+  i32 s = 0;
+  for (i64 i = 0; i < n; i = i + 1) { a[i] = a[i] * 3 + 1; s = s + a[i]; }
+  return s;
+}
+|}
+  in
+  List.iter
+    (fun factor ->
+      let p0 = Core.Splitc.frontend src in
+      (* 173 is not a multiple of any factor: remainder loop must run *)
+      let before = observe p0 "f" [ Pvir.Value.i64 173L ] in
+      let p, n = unrolled src ~factor in
+      check int_t (Printf.sprintf "one loop unrolled (x%d)" factor) 1 n;
+      let after = observe p "f" [ Pvir.Value.i64 173L ] in
+      check bool_t
+        (Printf.sprintf "semantics preserved (x%d)" factor)
+        true (same before after))
+    [ 2; 4; 8 ]
+
+let test_unroll_rejects_bad_factor () =
+  let p = Core.Splitc.frontend "void f(i64 n) { }" in
+  let fn = Pvir.Prog.find_func_exn p "f" in
+  (* factor 3 is not a power of two: no loop gets unrolled, no exception
+     escapes (the per-loop Bail is caught) *)
+  check int_t "no loops" 0 (Pvopt.Unroll.run ~factor:3 p fn)
+
+let test_unroll_skips_calls () =
+  let src =
+    {|
+i32 g = 0;
+void touch() { g = g + 1; }
+void f(i64 n) { for (i64 i = 0; i < n; i = i + 1) { touch(); } }
+|}
+  in
+  let p = Core.Splitc.frontend src in
+  Pvopt.Passes.cleanup p;
+  let n =
+    List.fold_left
+      (fun acc fn -> acc + Pvopt.Unroll.run ~factor:2 p fn)
+      0 p.Pvir.Prog.funcs
+  in
+  (* the call gets inlined only by the inliner; here the raw loop has a
+     call and must not unroll *)
+  check int_t "call loop not unrolled" 0 n
+
+let test_unroll_reduction_and_kernels () =
+  (* the Table-1 kernels stay correct under unrolling at awkward sizes *)
+  List.iter
+    (fun (k : Pvkernels.Kernels.t) ->
+      let p0 = Core.Splitc.frontend k.Pvkernels.Kernels.source in
+      let args = Pvkernels.Harness.args k 157 in
+      let before = observe p0 k.Pvkernels.Kernels.entry args in
+      let p, _ = unrolled k.Pvkernels.Kernels.source ~factor:4 in
+      let after = observe p k.Pvkernels.Kernels.entry args in
+      check bool_t (k.Pvkernels.Kernels.name ^ " unrolled x4") true
+        (same before after))
+    Pvkernels.Kernels.table1
+
+let test_unroll_reduces_branches () =
+  (* dynamic branch count shrinks roughly by the unroll factor *)
+  let src =
+    {|
+i32 a[512];
+void f(i64 n) { for (i64 i = 0; i < n; i = i + 1) { a[i] = a[i] + 1; } }
+|}
+  in
+  let run p =
+    let img = Pvvm.Image.load (Pvir.Prog.copy p) in
+    let sim, _ =
+      Pvjit.Jit.compile_program ~machine:Pvmach.Machine.ppcish
+        ~hints:Pvjit.Jit.Hints_none img
+    in
+    Pvkernels.Harness.fill_inputs img;
+    ignore (Pvvm.Sim.run sim "f" [ Pvir.Value.i64 512L ]);
+    Pvvm.Sim.cycles sim
+  in
+  let p0 = Core.Splitc.frontend src in
+  Pvopt.Passes.offline_traditional p0;
+  let base = run p0 in
+  let p4, n = unrolled src ~factor:4 in
+  List.iter (fun fn -> ignore (Pvopt.Strength.run fn)) p4.Pvir.Prog.funcs;
+  Pvopt.Passes.cleanup p4;
+  check int_t "unrolled" 1 n;
+  let fast = run p4 in
+  check bool_t
+    (Printf.sprintf "x4 faster on branchy target (%Ld vs %Ld)" fast base)
+    true
+    (Int64.compare fast base < 0)
+
+(* ---------------- adaptive ---------------- *)
+
+let raw_bytecode (k : Pvkernels.Kernels.t) =
+  let p = Core.Splitc.frontend ~name:k.Pvkernels.Kernels.name k.Pvkernels.Kernels.source in
+  Core.Splitc.distribute (Core.Splitc.offline ~mode:Core.Splitc.Pure_online p)
+
+let test_adaptive_generations_improve () =
+  let k = Pvkernels.Kernels.sum_u16 in
+  let bc = raw_bytecode k in
+  List.iter
+    (fun machine ->
+      let gens =
+        Core.Adaptive.generations ~machine
+          ~prepare:Pvkernels.Harness.fill_inputs
+          ~entry:k.Pvkernels.Kernels.entry
+          ~args:(Pvkernels.Harness.args k 500)
+          bc
+      in
+      match gens with
+      | [ g0; g1; g2 ] ->
+        check bool_t "gen1 beats interpreter" true
+          (Int64.compare g1.Core.Adaptive.exec_cycles g0.Core.Adaptive.exec_cycles < 0);
+        check bool_t "gen2 no worse than gen1" true
+          (Int64.compare g2.Core.Adaptive.exec_cycles g1.Core.Adaptive.exec_cycles <= 0);
+        check bool_t "tuning costs compile work" true
+          (g2.Core.Adaptive.gcompile_work > g1.Core.Adaptive.gcompile_work)
+      | _ -> Alcotest.fail "expected three generations")
+    Pvmach.Machine.table1_targets
+
+let test_adaptive_search_agrees () =
+  (* all configurations must compute the same result (checked internally;
+     a failure raises) and come back sorted best-first *)
+  let k = Pvkernels.Kernels.max_u8 in
+  let bc = raw_bytecode k in
+  let samples =
+    Core.Adaptive.search ~machine:Pvmach.Machine.x86ish
+      ~prepare:Pvkernels.Harness.fill_inputs
+      ~entry:k.Pvkernels.Kernels.entry
+      ~args:(Pvkernels.Harness.args k 300)
+      (Pvir.Serial.decode bc)
+  in
+  let cycles = List.map (fun s -> s.Core.Adaptive.cycles) samples in
+  check bool_t "sorted best-first" true (List.sort Int64.compare cycles = cycles);
+  check int_t "all configs measured" (List.length Core.Adaptive.default_configs)
+    (List.length samples)
+
+let test_adaptive_picks_simd_on_x86 () =
+  let k = Pvkernels.Kernels.max_u8 in
+  let bc = raw_bytecode k in
+  let samples =
+    Core.Adaptive.search ~machine:Pvmach.Machine.x86ish
+      ~prepare:Pvkernels.Harness.fill_inputs
+      ~entry:k.Pvkernels.Kernels.entry
+      ~args:(Pvkernels.Harness.args k 1000)
+      (Pvir.Serial.decode bc)
+  in
+  let best = List.hd samples in
+  check bool_t "x86 winner vectorizes" true best.Core.Adaptive.config.Core.Adaptive.vectorize
+
+let test_adaptive_profile_feedback () =
+  (* generations annotates hotness from the gen-0 profile *)
+  let k = Pvkernels.Kernels.saxpy_fp in
+  let bc = raw_bytecode k in
+  let prog = Pvir.Serial.decode bc in
+  let img = Pvvm.Image.load prog in
+  let profile = Pvvm.Profile.create () in
+  let it = Pvvm.Interp.create ~profile img in
+  Pvkernels.Harness.fill_inputs img;
+  ignore (Pvvm.Interp.run it k.Pvkernels.Kernels.entry (Pvkernels.Harness.args k 100));
+  Pvvm.Profile.annotate_hotness profile prog;
+  let fn = Pvir.Prog.find_func_exn prog k.Pvkernels.Kernels.entry in
+  check bool_t "hotness annotated" true
+    (Pvir.Annot.find Pvir.Annot.key_hotness fn.Pvir.Func.annots <> None)
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "unroll",
+        [
+          Alcotest.test_case "fires and preserves" `Quick test_unroll_fires_and_preserves;
+          Alcotest.test_case "bad factor" `Quick test_unroll_rejects_bad_factor;
+          Alcotest.test_case "skips calls" `Quick test_unroll_skips_calls;
+          Alcotest.test_case "kernels x4" `Quick test_unroll_reduction_and_kernels;
+          Alcotest.test_case "reduces branch overhead" `Quick test_unroll_reduces_branches;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "generations improve" `Quick test_adaptive_generations_improve;
+          Alcotest.test_case "search agrees + sorted" `Quick test_adaptive_search_agrees;
+          Alcotest.test_case "x86 picks SIMD" `Quick test_adaptive_picks_simd_on_x86;
+          Alcotest.test_case "profile feedback" `Quick test_adaptive_profile_feedback;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Integration tests for the command-line tools: pvsc (offline compiler)
+   and pvrun (device VM), exercised as real processes over real files. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let pvsc = "../bin/pvsc.exe"
+let pvrun = "../bin/pvrun.exe"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* run a command, capture stdout, return (exit code, output) *)
+let run cmd =
+  let out = Filename.temp_file "cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code = Sys.command (Printf.sprintf "%s > %s 2>/dev/null" cmd out) in
+      (code, read_file out))
+
+let sample_source =
+  {|
+f64 acc_store;
+
+f64 triangle(i64 n) {
+  f64 s = 0.0;
+  for (i64 i = 1; i <= n; i = i + 1) {
+    s = s + (f64)i;
+  }
+  acc_store = s;
+  return s;
+}
+
+i64 main() {
+  f64 t = triangle(100);
+  print_f64(t);
+  return (i64)t;
+}
+|}
+
+let with_compiled f =
+  let src = Filename.temp_file "cli" ".mc" in
+  let out = Filename.temp_file "cli" ".pvir" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove src;
+      if Sys.file_exists out then Sys.remove out)
+    (fun () ->
+      write_file src sample_source;
+      let code, _ = run (Printf.sprintf "%s %s -o %s" pvsc src out) in
+      check int_t "pvsc exit code" 0 code;
+      f out)
+
+let test_pvsc_produces_bytecode () =
+  with_compiled (fun out ->
+      let bc = read_file out in
+      check bool_t "magic" true (String.length bc > 4 && String.sub bc 0 4 = "PVIR");
+      (* and it decodes + verifies *)
+      let p = Pvir.Serial.decode bc in
+      Pvir.Verify.program p)
+
+let test_pvsc_emit_text () =
+  let src = Filename.temp_file "cli" ".mc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove src)
+    (fun () ->
+      write_file src sample_source;
+      let code, text = run (Printf.sprintf "%s %s --emit-text" pvsc src) in
+      check int_t "exit" 0 code;
+      check bool_t "textual program" true
+        (String.length text > 0
+        && String.sub text 0 7 = "program");
+      (* the emitted text parses back *)
+      let p = Pvir.Parse.program text in
+      Pvir.Verify.program p)
+
+let test_pvsc_rejects_bad_source () =
+  let src = Filename.temp_file "cli" ".mc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove src)
+    (fun () ->
+      write_file src "i64 main( { return }";
+      let code, _ = run (Printf.sprintf "%s %s" pvsc src) in
+      check bool_t "nonzero exit" true (code <> 0))
+
+let test_pvrun_executes () =
+  with_compiled (fun out ->
+      List.iter
+        (fun target ->
+          let code, output =
+            run (Printf.sprintf "%s %s -e main -t %s" pvrun out target)
+          in
+          check int_t (target ^ " exit") 0 code;
+          (* triangle(100) = 5050 *)
+          check bool_t (target ^ " prints 5050") true
+            (let re = "5050" in
+             let rec find i =
+               i + String.length re <= String.length output
+               && (String.sub output i (String.length re) = re || find (i + 1))
+             in
+             find 0))
+        [ "x86ish"; "sparcish"; "ppcish"; "dspish"; "uchost" ])
+
+let test_pvrun_interp_matches () =
+  with_compiled (fun out ->
+      let _, jit_out = run (Printf.sprintf "%s %s -e main -t x86ish" pvrun out) in
+      let _, int_out = run (Printf.sprintf "%s %s -e main --interp" pvrun out) in
+      let first_line s =
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      check Alcotest.string "same printed value" (first_line jit_out)
+        (first_line int_out))
+
+let test_pvrun_entry_args () =
+  with_compiled (fun out ->
+      let code, output =
+        run (Printf.sprintf "%s %s -e triangle -t ppcish 10" pvrun out)
+      in
+      check int_t "exit" 0 code;
+      check bool_t "result 55" true
+        (let re = "55" in
+         let rec find i =
+           i + String.length re <= String.length output
+           && (String.sub output i (String.length re) = re || find (i + 1))
+         in
+         find 0))
+
+let test_pvrun_rejects_unknown_target () =
+  with_compiled (fun out ->
+      let code, _ = run (Printf.sprintf "%s %s -t z80" pvrun out) in
+      check bool_t "nonzero exit" true (code <> 0))
+
+let test_pvrun_rejects_corrupt_file () =
+  let path = Filename.temp_file "cli" ".pvir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "definitely not bytecode";
+      let code, _ = run (Printf.sprintf "%s %s -e main" pvrun path) in
+      check bool_t "nonzero exit" true (code <> 0))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pvsc",
+        [
+          Alcotest.test_case "produces bytecode" `Quick test_pvsc_produces_bytecode;
+          Alcotest.test_case "emit text" `Quick test_pvsc_emit_text;
+          Alcotest.test_case "rejects bad source" `Quick test_pvsc_rejects_bad_source;
+        ] );
+      ( "pvrun",
+        [
+          Alcotest.test_case "executes on all targets" `Quick test_pvrun_executes;
+          Alcotest.test_case "interp matches jit" `Quick test_pvrun_interp_matches;
+          Alcotest.test_case "entry with args" `Quick test_pvrun_entry_args;
+          Alcotest.test_case "unknown target" `Quick test_pvrun_rejects_unknown_target;
+          Alcotest.test_case "corrupt file" `Quick test_pvrun_rejects_corrupt_file;
+        ] );
+    ]

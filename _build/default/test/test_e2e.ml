@@ -1,0 +1,330 @@
+(* End-to-end integration tests: the full lifecycle (source -> offline ->
+   bytecode bytes -> decode -> verify -> JIT -> run) for every benchmark
+   kernel, on every Table-1 target, in every compilation mode — and the
+   qualitative *shape* assertions the reproduced experiments rely on. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* ---------------- correctness matrix ---------------- *)
+
+(* every kernel, every mode, every machine: results equal the reference
+   interpreter (on an n that exercises remainder loops) *)
+let test_kernel_matrix () =
+  List.iter
+    (fun (k : Pvkernels.Kernels.t) ->
+      let interp_obs, _ = Pvkernels.Harness.run_interp ~n:173 k in
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun mode ->
+              let r = Pvkernels.Harness.run_jit ~n:173 ~mode ~machine k in
+              check bool_t
+                (Printf.sprintf "%s/%s/%s" k.Pvkernels.Kernels.name
+                   machine.Pvmach.Machine.name (Core.Splitc.mode_name mode))
+                true
+                (Pvkernels.Harness.observation_equal interp_obs
+                   r.Pvkernels.Harness.obs))
+            Core.Splitc.all_modes)
+        Pvmach.Machine.table1_targets)
+    Pvkernels.Kernels.all
+
+(* the remaining machines, split mode only (keeps runtime in check) *)
+let test_kernel_other_machines () =
+  List.iter
+    (fun (k : Pvkernels.Kernels.t) ->
+      let interp_obs, _ = Pvkernels.Harness.run_interp ~n:96 k in
+      List.iter
+        (fun machine ->
+          let r =
+            Pvkernels.Harness.run_jit ~n:96 ~mode:Core.Splitc.Split ~machine k
+          in
+          check bool_t
+            (Printf.sprintf "%s/%s" k.Pvkernels.Kernels.name
+               machine.Pvmach.Machine.name)
+            true
+            (Pvkernels.Harness.observation_equal interp_obs
+               r.Pvkernels.Harness.obs))
+        [ Pvmach.Machine.dspish; Pvmach.Machine.uchost ])
+    Pvkernels.Kernels.table1
+
+(* ---------------- distribution format ---------------- *)
+
+let test_bytecode_is_the_contract () =
+  (* the bytecode string fully determines behaviour: re-decoding it on a
+     different "device" gives the same results *)
+  let k = Pvkernels.Kernels.sum_u16 in
+  let p = Core.Splitc.frontend k.Pvkernels.Kernels.source in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+  let bc = Core.Splitc.distribute off in
+  let results =
+    List.map
+      (fun machine ->
+        let on = Core.Splitc.online ~mode:Core.Splitc.Split ~machine bc in
+        Pvkernels.Harness.fill_inputs on.Core.Splitc.img;
+        match
+          Pvvm.Sim.run on.Core.Splitc.sim k.Pvkernels.Kernels.entry
+            (Pvkernels.Harness.args k 200)
+        with
+        | Some v -> v
+        | None -> Alcotest.fail "no result")
+      Pvmach.Machine.all
+  in
+  match results with
+  | first :: rest ->
+    List.iter
+      (fun v -> check bool_t "same result everywhere" true (Pvir.Value.equal first v))
+      rest
+  | [] -> ()
+
+(* ---------------- Table 1 shape ---------------- *)
+
+let test_table1_shape_x86 () =
+  (* on the SIMD machine every kernel must speed up, with max_u8 the
+     largest (the paper's 15.6x row) and all fp kernels more modest *)
+  let machine = Pvmach.Machine.x86ish in
+  let cells =
+    List.map
+      (fun k -> (k.Pvkernels.Kernels.name, Pvkernels.Harness.table1_cell ~machine k))
+      Pvkernels.Kernels.table1
+  in
+  List.iter
+    (fun (name, (c : Pvkernels.Harness.table1_cell)) ->
+      check bool_t (name ^ " speeds up on x86ish") true (c.speedup > 1.3))
+    cells;
+  let speedup name = (List.assoc name cells).Pvkernels.Harness.speedup in
+  check bool_t "max_u8 is the largest win" true
+    (List.for_all
+       (fun (n, c) -> n = "max_u8" || c.Pvkernels.Harness.speedup <= speedup "max_u8")
+       cells);
+  check bool_t "byte kernels beat fp kernels" true
+    (speedup "sum_u8" > speedup "vecadd_fp");
+  check bool_t "dscal (f64, 2 lanes) is the smallest fp win" true
+    (speedup "dscal_fp" <= speedup "vecadd_fp"
+    && speedup "dscal_fp" <= speedup "saxpy_fp")
+
+let test_table1_shape_scalarized () =
+  (* on non-SIMD machines scalarized vector bytecode lands close to scalar
+     ("no or little penalty"): every ratio within [0.7, 2.9] *)
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun k ->
+          let c = Pvkernels.Harness.table1_cell ~machine k in
+          let r = c.Pvkernels.Harness.speedup in
+          check bool_t
+            (Printf.sprintf "%s on %s in [0.7, 2.9] (got %.2f)"
+               k.Pvkernels.Kernels.name machine.Pvmach.Machine.name r)
+            true
+            (r > 0.7 && r < 2.9))
+        Pvkernels.Kernels.table1)
+    [ Pvmach.Machine.sparcish; Pvmach.Machine.ppcish ]
+
+let test_table1_x86_dominates () =
+  (* the SIMD target's speedup exceeds both scalarizing targets on every
+     kernel — the crossover structure of Table 1 *)
+  List.iter
+    (fun k ->
+      let x86 = Pvkernels.Harness.table1_cell ~machine:Pvmach.Machine.x86ish k in
+      let sparc = Pvkernels.Harness.table1_cell ~machine:Pvmach.Machine.sparcish k in
+      let ppc = Pvkernels.Harness.table1_cell ~machine:Pvmach.Machine.ppcish k in
+      check bool_t (k.Pvkernels.Kernels.name ^ ": x86 wins most") true
+        (x86.Pvkernels.Harness.speedup > sparc.Pvkernels.Harness.speedup
+        && x86.Pvkernels.Harness.speedup > ppc.Pvkernels.Harness.speedup))
+    Pvkernels.Kernels.table1
+
+(* ---------------- Figure 1 / E2 shape ---------------- *)
+
+let test_mode_economics () =
+  (* split compilation: traditional-level online cost, pure-online-level
+     code quality *)
+  let k = Pvkernels.Kernels.saxpy_fp in
+  let machine = Pvmach.Machine.x86ish in
+  let trad = Pvkernels.Harness.run_jit ~mode:Core.Splitc.Traditional_deferred ~machine k in
+  let split = Pvkernels.Harness.run_jit ~mode:Core.Splitc.Split ~machine k in
+  let pure = Pvkernels.Harness.run_jit ~mode:Core.Splitc.Pure_online ~machine k in
+  (* code quality: split == pure-online, both beat traditional *)
+  check bool_t "split == pure-online cycles" true
+    (Int64.equal split.Pvkernels.Harness.cycles pure.Pvkernels.Harness.cycles);
+  check bool_t "split beats traditional" true
+    (Int64.compare split.Pvkernels.Harness.cycles trad.Pvkernels.Harness.cycles < 0);
+  (* online budget: split is in the traditional ballpark, far below
+     pure-online *)
+  check bool_t "split online << pure-online" true
+    (split.Pvkernels.Harness.online_work * 3 < pure.Pvkernels.Harness.online_work);
+  (* offline work: split pays offline what pure-online pays online *)
+  check bool_t "split offline work > traditional offline work" true
+    (split.Pvkernels.Harness.offline_work > trad.Pvkernels.Harness.offline_work)
+
+let test_interpreter_is_the_floor () =
+  let k = Pvkernels.Kernels.vecadd_fp in
+  let _, interp_cycles = Pvkernels.Harness.run_interp k in
+  List.iter
+    (fun machine ->
+      let r = Pvkernels.Harness.run_jit ~mode:Core.Splitc.Split ~machine k in
+      check bool_t
+        ("JIT beats interpreter on " ^ machine.Pvmach.Machine.name)
+        true
+        (Int64.compare r.Pvkernels.Harness.cycles interp_cycles < 0))
+    Pvmach.Machine.table1_targets
+
+(* ---------------- E5 size shape ---------------- *)
+
+let test_bytecode_compactness () =
+  (* annotations cost a bounded fraction of the bytecode; and bytecode is
+     not larger than the native code it turns into (CLI compactness) *)
+  List.iter
+    (fun (k : Pvkernels.Kernels.t) ->
+      let p = Core.Splitc.frontend k.Pvkernels.Kernels.source in
+      let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+      let full = String.length (Core.Splitc.distribute off) in
+      let stripped = String.length (Pvir.Serial.encode_stripped off.Core.Splitc.prog) in
+      check bool_t
+        (k.Pvkernels.Kernels.name ^ ": annotations < 55% of bytecode")
+        true
+        (float_of_int (full - stripped) /. float_of_int full < 0.55))
+    Pvkernels.Kernels.table1
+
+
+(* ---------------- a realistic multi-stage application ---------------- *)
+
+(* an audio-style pipeline: DC removal (float reduction -> stays scalar
+   without fast-math), gain (vectorizes), clipping via min/max idioms
+   (vectorizes), peak detection (float max reduction -> vectorizes).
+   Multiple functions, calls, globals, and mixed vectorization outcomes in
+   one translation unit. *)
+let pipeline_src =
+  {|
+f32 pipe_buf[512];
+f32 pipe_mean;
+
+f32 mean(i64 n) {
+  f32 s = 0.0;
+  for (i64 i = 0; i < n; i++) { s += pipe_buf[i]; }
+  return s / (f32)n;
+}
+
+void remove_dc(i64 n, f32 m) {
+  for (i64 i = 0; i < n; i++) { pipe_buf[i] -= m; }
+}
+
+void gain(i64 n, f32 g) {
+  for (i64 i = 0; i < n; i++) { pipe_buf[i] *= g; }
+}
+
+void clip(i64 n, f32 lim) {
+  for (i64 i = 0; i < n; i++) {
+    pipe_buf[i] = __min(__max(pipe_buf[i], -lim), lim);
+  }
+}
+
+f32 peak(i64 n) {
+  f32 m = 0.0;
+  for (i64 i = 0; i < n; i++) { m = __max(m, __max(pipe_buf[i], -pipe_buf[i])); }
+  return m;
+}
+
+f32 process(i64 n) {
+  pipe_mean = mean(n);
+  remove_dc(n, pipe_mean);
+  gain(n, 4.0);
+  clip(n, 40.0);
+  return peak(n);
+}
+|}
+
+let test_pipeline_application () =
+  (* reference observation via the interpreter *)
+  let p0 = Core.Splitc.frontend pipeline_src in
+  let img0 = Pvvm.Image.load p0 in
+  Pvkernels.Harness.fill_inputs img0;
+  let it = Pvvm.Interp.create img0 in
+  let r0 = Pvvm.Interp.run it "process" [ Pvir.Value.i64 500L ] in
+  let buf0 = Pvvm.Image.read_global img0 "pipe_buf" in
+  (* split compilation must vectorize the map stages and the float-max
+     reduction, but not the float-sum reduction *)
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split (Core.Splitc.frontend pipeline_src) in
+  let vect_of fname =
+    match List.assoc_opt fname off.Core.Splitc.vectorized with
+    | Some (r : Pvopt.Vectorize.result) -> r.Pvopt.Vectorize.vectorized <> []
+    | None -> false
+  in
+  check bool_t "gain vectorized" true (vect_of "gain");
+  check bool_t "clip vectorized" true (vect_of "clip");
+  check bool_t "peak vectorized" true (vect_of "peak");
+  check bool_t "remove_dc vectorized" true (vect_of "remove_dc");
+  check bool_t "mean NOT vectorized (float sum)" false (vect_of "mean");
+  (* every machine agrees with the interpreter, including memory state *)
+  let bc = Core.Splitc.distribute off in
+  List.iter
+    (fun machine ->
+      let on = Core.Splitc.online ~mode:Core.Splitc.Split ~machine bc in
+      Pvkernels.Harness.fill_inputs on.Core.Splitc.img;
+      let r = Pvvm.Sim.run on.Core.Splitc.sim "process" [ Pvir.Value.i64 500L ] in
+      (match (r0, r) with
+      | Some a, Some b ->
+        check bool_t (machine.Pvmach.Machine.name ^ " peak equal") true
+          (Pvir.Value.equal a b)
+      | _ -> Alcotest.fail "missing result");
+      let buf = Pvvm.Image.read_global on.Core.Splitc.img "pipe_buf" in
+      check bool_t (machine.Pvmach.Machine.name ^ " buffer equal") true
+        (Array.for_all2 Pvir.Value.equal buf0 buf))
+    Pvmach.Machine.all;
+  (* sanity on the value itself: clipped to the limit *)
+  match r0 with
+  | Some v ->
+    let x = Pvir.Value.to_float v in
+    check bool_t "peak within clip limit" true (x >= 0.0 && x <= 40.0)
+  | None -> Alcotest.fail "no result"
+
+(* ---------------- CLI binaries (wired as library calls) ------------- *)
+
+let test_pvir_file_flow () =
+  (* mimic pvsc | pvrun: write bytecode to disk, reload, run *)
+  let k = Pvkernels.Kernels.max_u8 in
+  let p = Core.Splitc.frontend k.Pvkernels.Kernels.source in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+  let path = Filename.temp_file "e2e" ".pvir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pvir.Serial.to_file path off.Core.Splitc.prog;
+      let reloaded = Pvir.Serial.of_file path in
+      Pvir.Verify.program reloaded;
+      let img = Pvvm.Image.load reloaded in
+      Pvkernels.Harness.fill_inputs img;
+      let sim, _ =
+        Pvjit.Jit.compile_program ~machine:Pvmach.Machine.x86ish
+          ~hints:Pvjit.Jit.Hints_annotation img
+      in
+      match Pvvm.Sim.run sim "max_u8" (Pvkernels.Harness.args k 256) with
+      | Some _ -> ()
+      | None -> Alcotest.fail "no result")
+
+let () =
+  Alcotest.run "e2e"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "kernel matrix" `Slow test_kernel_matrix;
+          Alcotest.test_case "other machines" `Quick test_kernel_other_machines;
+          Alcotest.test_case "bytecode contract" `Quick test_bytecode_is_the_contract;
+        ] );
+      ( "table1 shape",
+        [
+          Alcotest.test_case "x86 speedups" `Quick test_table1_shape_x86;
+          Alcotest.test_case "scalarized parity" `Quick test_table1_shape_scalarized;
+          Alcotest.test_case "x86 dominates" `Quick test_table1_x86_dominates;
+        ] );
+      ( "figure1 shape",
+        [
+          Alcotest.test_case "mode economics" `Quick test_mode_economics;
+          Alcotest.test_case "interpreter floor" `Quick test_interpreter_is_the_floor;
+        ] );
+      ( "application",
+        [ Alcotest.test_case "audio pipeline" `Quick test_pipeline_application ] );
+      ( "size shape",
+        [ Alcotest.test_case "compactness" `Quick test_bytecode_compactness ] );
+      ( "file flow",
+        [ Alcotest.test_case "pvir file" `Quick test_pvir_file_flow ] );
+    ]

@@ -1,0 +1,240 @@
+(* Tests for separate compilation and install-time linking: extern
+   declarations, symbol resolution, whole-program tree shaking, and
+   cross-module optimization after the link (the paper's §4 "link-time
+   optimization" direction). *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* a math "library" module: two used entry points, one dead function and
+   one dead global *)
+let mathlib_src =
+  {|
+i32 ml_scratch[16];
+i32 ml_dead_table[64];
+
+i64 square(i64 x) { return x * x; }
+
+i64 cube(i64 x) { return x * square(x); }
+
+i64 dead_helper(i64 x) {
+  ml_dead_table[0] = (i32)x;
+  return x + (i64)ml_dead_table[0];
+}
+
+void touch_scratch(i64 v) { ml_scratch[0] = (i32)v; }
+|}
+
+(* the application module, calling the library through extern decls *)
+let app_src =
+  {|
+extern i64 square(i64 x);
+extern i64 cube(i64);
+extern void touch_scratch(i64 v);
+
+i64 app_main(i64 n) {
+  i64 s = 0;
+  for (i64 i = 1; i <= n; i++) {
+    s += square(i) + cube(i);
+  }
+  touch_scratch(s);
+  return s;
+}
+|}
+
+let compile name src = Core.Splitc.frontend ~name src
+
+let linked () =
+  Pvir.Link.link ~name:"whole"
+    [ compile "mathlib" mathlib_src; compile "app" app_src ]
+
+(* sum_{1..5} i^2 + i^3 = 55 + 225 = 280 *)
+let expected = 280L
+
+let run_interp p entry args =
+  let img = Pvvm.Image.load p in
+  let it = Pvvm.Interp.create img in
+  (Pvvm.Interp.run it entry args, img)
+
+(* ---------------- linking ---------------- *)
+
+let test_link_resolves_and_runs () =
+  let p = linked () in
+  check bool_t "externs resolved away or matched" true
+    (List.for_all
+       (fun (e : Pvir.Prog.extern) ->
+         Pvir.Prog.find_func p e.Pvir.Prog.ename <> None)
+       p.Pvir.Prog.externs);
+  let r, img = run_interp (Pvir.Prog.copy p) "app_main" [ Pvir.Value.i64 5L ] in
+  (match r with
+  | Some v -> check bool_t "linked result" true (Pvir.Value.equal v (Pvir.Value.i64 expected))
+  | None -> Alcotest.fail "no result");
+  (* the store through the library function landed *)
+  let scratch = Pvvm.Image.read_global img "ml_scratch" in
+  check bool_t "cross-module store" true
+    (Pvir.Value.equal scratch.(0) (Pvir.Value.i32 280))
+
+let test_unlinked_module_rejected () =
+  (* the app alone has unresolved externs: loading it must fail *)
+  let app = compile "app" app_src in
+  match Pvvm.Image.load app with
+  | exception Pvir.Verify.Error _ -> ()
+  | _ -> Alcotest.fail "unlinked module loaded"
+
+let test_link_duplicate_symbol () =
+  let m1 = compile "m1" "i64 f(i64 x) { return x; }" in
+  let m2 = compile "m2" "i64 f(i64 x) { return x + 1; }" in
+  match Pvir.Link.link [ m1; m2 ] with
+  | exception Pvir.Link.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate symbol accepted"
+
+let test_link_duplicate_global () =
+  let m1 = compile "m1" "i32 g = 1;" in
+  let m2 = compile "m2" "i32 g = 2;" in
+  match Pvir.Link.link [ m1; m2 ] with
+  | exception Pvir.Link.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate global accepted"
+
+let test_link_signature_mismatch () =
+  let lib = compile "lib" "i64 f(i64 x) { return x; }" in
+  let app = compile "app" "extern i32 f(i32 x); i64 m() { return (i64)f(1); }" in
+  match Pvir.Link.link [ lib; app ] with
+  | exception Pvir.Link.Error _ -> ()
+  | _ -> Alcotest.fail "signature mismatch accepted"
+
+let test_link_unresolved_extern () =
+  let app = compile "app" "extern i64 nowhere(i64 x); i64 m() { return nowhere(1); }" in
+  match Pvir.Link.link [ app ] with
+  | exception Pvir.Link.Error _ -> ()
+  | _ -> Alcotest.fail "unresolved extern accepted"
+
+let test_extern_intrinsics_ok () =
+  (* declaring a VM intrinsic extern is legal and needs no resolution *)
+  let app =
+    compile "app"
+      "extern void print_i64(i64 x); i64 m() { print_i64(7); return 0; }"
+  in
+  let p = Pvir.Link.link [ app ] in
+  let img = Pvvm.Image.load p in
+  let it = Pvvm.Interp.create img in
+  ignore (Pvvm.Interp.run it "m" []);
+  check Alcotest.string "printed" "7\n" (Pvvm.Interp.output it)
+
+(* ---------------- tree shaking ---------------- *)
+
+let test_treeshake () =
+  let p = linked () in
+  let funcs_before = List.length p.Pvir.Prog.funcs in
+  let removed_f, removed_g = Pvir.Link.treeshake ~roots:[ "app_main" ] p in
+  check bool_t "dead function removed" true (removed_f >= 1);
+  check bool_t "dead global removed" true (removed_g >= 1);
+  check int_t "live functions kept"
+    (funcs_before - removed_f)
+    (List.length p.Pvir.Prog.funcs);
+  Pvir.Verify.program p;
+  (* still runs correctly after shaking *)
+  let r, _ = run_interp p "app_main" [ Pvir.Value.i64 5L ] in
+  match r with
+  | Some v -> check bool_t "result survives" true (Pvir.Value.equal v (Pvir.Value.i64 expected))
+  | None -> Alcotest.fail "no result"
+
+let test_treeshake_shrinks_bytecode () =
+  let p = linked () in
+  let before = String.length (Pvir.Serial.encode p) in
+  ignore (Pvir.Link.treeshake ~roots:[ "app_main" ] p);
+  let after = String.length (Pvir.Serial.encode p) in
+  check bool_t "bytecode shrank" true (after < before)
+
+let test_treeshake_missing_root () =
+  let p = linked () in
+  match Pvir.Link.treeshake ~roots:[ "nonexistent" ] p with
+  | exception Pvir.Link.Error _ -> ()
+  | _ -> Alcotest.fail "missing root accepted"
+
+(* ---------------- link-time optimization ---------------- *)
+
+let test_cross_module_inlining () =
+  (* after linking, the ordinary offline pipeline inlines across what used
+     to be module boundaries *)
+  let p = linked () in
+  ignore (Pvir.Link.treeshake ~roots:[ "app_main" ] p);
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+  let app = Pvir.Prog.find_func_exn off.Core.Splitc.prog "app_main" in
+  let lib_calls = ref 0 in
+  Pvir.Func.iter_instrs
+    (fun _ i ->
+      match i with
+      | Pvir.Instr.Call (_, ("square" | "cube"), _) -> incr lib_calls
+      | _ -> ())
+    app;
+  check int_t "library calls inlined away" 0 !lib_calls;
+  (* and the whole thing still computes the same result on a JIT target *)
+  let bc = Core.Splitc.distribute off in
+  let on = Core.Splitc.online ~mode:Core.Splitc.Split
+      ~machine:Pvmach.Machine.x86ish bc in
+  match Pvvm.Sim.run on.Core.Splitc.sim "app_main" [ Pvir.Value.i64 5L ] with
+  | Some v -> check bool_t "jit result" true (Pvir.Value.equal v (Pvir.Value.i64 expected))
+  | None -> Alcotest.fail "no result"
+
+let test_lto_speedup () =
+  (* link-time inlining pays: compare cycles with and without the offline
+     pipeline on the linked program *)
+  let run p =
+    let img = Pvvm.Image.load p in
+    let sim, _ =
+      Pvjit.Jit.compile_program ~machine:Pvmach.Machine.ppcish
+        ~hints:Pvjit.Jit.Hints_annotation img
+    in
+    match Pvvm.Sim.run sim "app_main" [ Pvir.Value.i64 100L ] with
+    | Some _ -> Pvvm.Sim.cycles sim
+    | None -> Alcotest.fail "no result"
+  in
+  let raw = linked () in
+  let baseline = run (Pvir.Prog.copy raw) in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split raw in
+  let optimized = run off.Core.Splitc.prog in
+  check bool_t
+    (Printf.sprintf "LTO speeds up (%Ld -> %Ld)" baseline optimized)
+    true
+    (Int64.compare optimized baseline < 0)
+
+(* extern declarations survive the serializers *)
+let test_extern_roundtrips () =
+  let app = compile "app" app_src in
+  let bin = Pvir.Serial.decode (Pvir.Serial.encode app) in
+  check int_t "binary externs" 3 (List.length bin.Pvir.Prog.externs);
+  check Alcotest.string "binary identical"
+    (Pvir.Pp.program_to_string app)
+    (Pvir.Pp.program_to_string bin);
+  let txt = Pvir.Parse.program (Pvir.Pp.program_to_string app) in
+  check Alcotest.string "text identical"
+    (Pvir.Pp.program_to_string app)
+    (Pvir.Pp.program_to_string txt)
+
+let () =
+  Alcotest.run "link"
+    [
+      ( "linking",
+        [
+          Alcotest.test_case "resolve and run" `Quick test_link_resolves_and_runs;
+          Alcotest.test_case "unlinked rejected" `Quick test_unlinked_module_rejected;
+          Alcotest.test_case "duplicate symbol" `Quick test_link_duplicate_symbol;
+          Alcotest.test_case "duplicate global" `Quick test_link_duplicate_global;
+          Alcotest.test_case "signature mismatch" `Quick test_link_signature_mismatch;
+          Alcotest.test_case "unresolved extern" `Quick test_link_unresolved_extern;
+          Alcotest.test_case "intrinsic externs" `Quick test_extern_intrinsics_ok;
+        ] );
+      ( "treeshake",
+        [
+          Alcotest.test_case "removes dead code" `Quick test_treeshake;
+          Alcotest.test_case "shrinks bytecode" `Quick test_treeshake_shrinks_bytecode;
+          Alcotest.test_case "missing root" `Quick test_treeshake_missing_root;
+        ] );
+      ( "lto",
+        [
+          Alcotest.test_case "cross-module inlining" `Quick test_cross_module_inlining;
+          Alcotest.test_case "lto speedup" `Quick test_lto_speedup;
+          Alcotest.test_case "extern roundtrips" `Quick test_extern_roundtrips;
+        ] );
+    ]

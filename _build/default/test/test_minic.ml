@@ -1,0 +1,420 @@
+(* Unit tests for the MiniC frontend: lexer, parser, type checker, and
+   lowering (checked by executing the produced IR in the interpreter). *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ---------------- lexer ---------------- *)
+
+let toks src =
+  let lx = Minic.Lexer.tokenize src in
+  let rec go acc =
+    match Minic.Lexer.next lx with
+    | Minic.Lexer.EOF -> List.rev acc
+    | t -> go (t :: acc)
+  in
+  go []
+
+let test_lexer_numbers () =
+  (match toks "42 0x1F 7L 1.5 2.5f 1e3" with
+  | [
+   Minic.Lexer.INT (42L, false);
+   Minic.Lexer.INT (31L, false);
+   Minic.Lexer.INT (7L, true);
+   Minic.Lexer.FLOAT (1.5, false);
+   Minic.Lexer.FLOAT (2.5, true);
+   Minic.Lexer.FLOAT (1000., false);
+  ] -> ()
+  | _ -> Alcotest.fail "number lexing wrong");
+  match toks "i64 foo_bar if" with
+  | [ Minic.Lexer.KW "i64"; Minic.Lexer.IDENT "foo_bar"; Minic.Lexer.KW "if" ]
+    -> ()
+  | _ -> Alcotest.fail "keyword/ident lexing wrong"
+
+let test_lexer_operators () =
+  match toks "a<<b <= == && ||" with
+  | [
+   Minic.Lexer.IDENT "a";
+   Minic.Lexer.PUNCT "<<";
+   Minic.Lexer.IDENT "b";
+   Minic.Lexer.PUNCT "<=";
+   Minic.Lexer.PUNCT "==";
+   Minic.Lexer.PUNCT "&&";
+   Minic.Lexer.PUNCT "||";
+  ] -> ()
+  | _ -> Alcotest.fail "operator lexing wrong"
+
+let test_lexer_comments () =
+  check int_t "comments skipped" 2
+    (List.length (toks "1 // line comment\n/* block\ncomment */ 2"))
+
+let test_lexer_errors () =
+  (try
+     ignore (toks "1 $ 2");
+     Alcotest.fail "accepted $"
+   with Minic.Lexer.Error _ -> ());
+  try
+    ignore (toks "/* unterminated");
+    Alcotest.fail "accepted unterminated comment"
+  with Minic.Lexer.Error _ -> ()
+
+(* ---------------- parser ---------------- *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match Minic.Parser.expr "1 + 2 * 3" with
+  | Minic.Ast.Binary (Minic.Ast.Add, Minic.Ast.Int_lit (1L, _), Minic.Ast.Binary (Minic.Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "precedence wrong"
+
+let test_parser_ternary_and_cast () =
+  (match Minic.Parser.expr "a > b ? a : (i32)b" with
+  | Minic.Ast.Ternary (_, Minic.Ast.Var "a", Minic.Ast.Cast (Minic.Ast.Int (Pvir.Types.I32, true), _)) -> ()
+  | _ -> Alcotest.fail "ternary/cast wrong");
+  match Minic.Parser.expr "f(x, y[2])" with
+  | Minic.Ast.Call ("f", [ _; Minic.Ast.Index _ ]) -> ()
+  | _ -> Alcotest.fail "call wrong"
+
+let test_parser_program_shapes () =
+  let p =
+    Minic.Parser.program
+      {|
+u8 buf[16];
+i32 g = 5;
+void f(i32 a, f32* p) { if (a > 0) { *p = 1.0; } else { *p = 2.0; } }
+i32 main() { f(g, buf); return 0; }
+|}
+  in
+  (* note: f(g, buf) is ill-typed, but parsing succeeds *)
+  check int_t "globals" 2 (List.length p.Minic.Ast.globals);
+  check int_t "funcs" 2 (List.length p.Minic.Ast.funcs)
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      try
+        ignore (Minic.Parser.program src);
+        Alcotest.fail (Printf.sprintf "accepted %S" src)
+      with Minic.Parser.Error _ | Minic.Lexer.Error _ -> ())
+    [
+      "void f( { }";
+      "void f() { return 1 }";
+      "void f() { x = ; }";
+      "i32 g[];";
+      "void f() { 1 = 2; }";
+    ]
+
+(* ---------------- type checker ---------------- *)
+
+let typecheck src = Minic.Check.program (Minic.Parser.program src)
+
+let test_check_rejects () =
+  List.iter
+    (fun (what, src) ->
+      try
+        ignore (typecheck src);
+        Alcotest.fail (Printf.sprintf "accepted %s" what)
+      with Minic.Check.Error _ -> ())
+    [
+      ("unknown variable", "void f() { x = 1; }");
+      ("unknown function", "void f() { g(); }");
+      ("arity mismatch", "void g(i32 x) {} void f() { g(); }");
+      ("return in void", "void f() { return 3; }");
+      ("missing return value", "i32 f() { return; }");
+      ("indexing a scalar", "void f(i32 x) { x[0] = 1; }");
+      ("deref non-pointer", "void f(i32 x) { *x = 1; }");
+      ("assign to array", "i32 a[4]; void f() { i32 b[4]; a = b; }");
+      ("float remainder", "void f(f32 x) { f32 y = x % x; }");
+      ("redeclaration", "void f() { i32 x = 1; i32 x = 2; }");
+      ("void variable", "void f() { void x; }");
+    ]
+
+let test_check_widths () =
+  (* u8 + u8 stays u8 (our documented deviation from ISO C) *)
+  let tp = typecheck "u8 f(u8 a, u8 b) { return a + b; }" in
+  match (List.hd tp.Minic.Check.funcs).Minic.Check.fbody with
+  | [ Minic.Check.Sreturn (Some e) ] ->
+    check bool_t "u8+u8 : u8" true
+      (e.Minic.Check.ty = Minic.Ast.Int (Pvir.Types.I8, false))
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_check_mixed_conversion () =
+  (* u8 + i32 promotes to i32 via zext *)
+  let tp = typecheck "i32 f(u8 a, i32 b) { return a + b; }" in
+  match (List.hd tp.Minic.Check.funcs).Minic.Check.fbody with
+  | [ Minic.Check.Sreturn (Some { Minic.Check.desc = Minic.Check.Tbinary (_, l, _); _ }) ] ->
+    (match l.Minic.Check.desc with
+    | Minic.Check.Tconv (Pvir.Instr.Zext, _) -> ()
+    | _ -> Alcotest.fail "expected zext of u8 operand")
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_check_for_scoping () =
+  (* two loops may both declare i *)
+  ignore
+    (typecheck
+       {|
+void f(i64 n) {
+  for (i64 i = 0; i < n; i = i + 1) { }
+  for (i64 i = 0; i < n; i = i + 1) { }
+}
+|})
+
+(* ---------------- lowering, validated by execution ---------------- *)
+
+(* run `i64 main()` through frontend + interpreter and return the result *)
+let run_main ?(expect_output = "") src =
+  let p = Minic.Lower.compile src in
+  let img = Pvvm.Image.load p in
+  let it = Pvvm.Interp.create img in
+  let r = Pvvm.Interp.run it "main" [] in
+  check Alcotest.string "printed" expect_output (Pvvm.Interp.output it);
+  match r with
+  | Some v -> Pvir.Value.to_int64 v
+  | None -> Alcotest.fail "main returned nothing"
+
+let check_main name src expected =
+  check Alcotest.int64 name expected (run_main src)
+
+let test_lower_arith () =
+  check_main "arith" "i64 main() { return (3 + 4) * 2 - 10 / 3; }" 11L;
+  check_main "unsigned div" "i64 main() { u32 x = 7; return (i64)(x / 2); }" 3L;
+  check_main "shift" "i64 main() { i64 x = 1; return x << 10; }" 1024L;
+  check_main "unsigned shr"
+    "i64 main() { u8 x = 255; u8 y = x >> 4; return (i64)y; }" 15L;
+  check_main "signed shr"
+    "i64 main() { i8 x = -16; i8 y = x >> 2; return (i64)y; }" (-4L);
+  check_main "bitops" "i64 main() { return (12 & 10) | (1 ^ 3); }" 10L;
+  check_main "neg/not" "i64 main() { return -(~0) ; }" 1L
+
+let test_lower_control () =
+  check_main "if" "i64 main() { i64 x = 5; if (x > 3) { x = 10; } else { x = 20; } return x; }" 10L;
+  check_main "while"
+    "i64 main() { i64 s = 0; i64 i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"
+    45L;
+  check_main "for"
+    "i64 main() { i64 s = 0; for (i64 i = 1; i <= 4; i = i + 1) { s = s * 10 + i; } return s; }"
+    1234L;
+  check_main "break"
+    "i64 main() { i64 i = 0; for (; i < 100; i = i + 1) { if (i == 7) { break; } } return i; }"
+    7L;
+  check_main "continue"
+    "i64 main() { i64 s = 0; for (i64 i = 0; i < 10; i = i + 1) { if (i % 2 == 1) { continue; } s = s + i; } return s; }"
+    20L;
+  check_main "nested loops"
+    "i64 main() { i64 s = 0; for (i64 i = 0; i < 3; i = i + 1) { for (i64 j = 0; j < 3; j = j + 1) { s = s + i * j; } } return s; }"
+    9L
+
+let test_lower_short_circuit () =
+  (* the right operand must not be evaluated when short-circuiting *)
+  check_main "and shortcut"
+    {|
+i32 g = 0;
+i32 touch() { g = g + 1; return 1; }
+i64 main() { i32 c = 0 && touch(); return (i64)(g * 10 + c); }
+|}
+    0L;
+  check_main "or shortcut"
+    {|
+i32 g = 0;
+i32 touch() { g = g + 1; return 0; }
+i64 main() { i32 c = 1 || touch(); return (i64)(g * 10 + c); }
+|}
+    1L;
+  check_main "and both"
+    {|
+i32 g = 0;
+i32 touch() { g = g + 1; return 1; }
+i64 main() { i32 c = 1 && touch(); return (i64)(g * 10 + c); }
+|}
+    11L
+
+let test_lower_ternary () =
+  check_main "pure ternary (select)"
+    "i64 main() { i64 a = 3; i64 b = 9; return a > b ? a : b; }" 9L;
+  check_main "effectful ternary (branches)"
+    {|
+i32 g = 0;
+i32 inc() { g = g + 1; return g; }
+i64 main() { i32 x = 1 ? 5 : inc(); return (i64)(x * 10 + g); }
+|}
+    50L
+
+let test_lower_arrays_pointers () =
+  check_main "global array"
+    {|
+i32 a[8];
+i64 main() {
+  for (i64 i = 0; i < 8; i = i + 1) { a[i] = (i32)i * 2; }
+  i64 s = 0;
+  for (i64 i = 0; i < 8; i = i + 1) { s = s + (i64)a[i]; }
+  return s;
+}
+|}
+    56L;
+  check_main "local array (alloca)"
+    {|
+i64 main() {
+  i16 t[4];
+  t[0] = 5; t[1] = 6; t[2] = 7; t[3] = 8;
+  return (i64)(t[0] + t[3]);
+}
+|}
+    13L;
+  check_main "pointer arithmetic"
+    {|
+i32 a[4];
+i64 main() {
+  i32* p = a;
+  *p = 10;
+  *(p + 3) = 40;
+  return (i64)(a[0] + a[3]);
+}
+|}
+    50L;
+  check_main "pointer parameter"
+    {|
+i32 a[4];
+void setit(i32* p, i64 i, i32 v) { p[i] = v; }
+i64 main() { setit(a, 2, 99); return (i64)a[2]; }
+|}
+    99L
+
+let test_lower_global_init () =
+  check_main "global initializers"
+    {|
+i32 tbl[4] = {10, 20, 30};
+i32 scalar = -5;
+i64 main() { return (i64)(tbl[0] + tbl[1] + tbl[2] + tbl[3] + scalar); }
+|}
+    55L
+
+let test_lower_floats () =
+  check_main "float math"
+    "i64 main() { f64 x = 1.5; f64 y = x * 4.0 + 0.25; return (i64)y; }" 6L;
+  check_main "f32 narrowing"
+    "i64 main() { f32 x = 0.5f; f64 y = (f64)x; return (i64)(y * 4.0); }" 2L;
+  check_main "float compare"
+    "i64 main() { f64 x = 2.0; if (x >= 2.0) { return 1; } return 0; }" 1L;
+  check_main "int/float conversions"
+    "i64 main() { i32 n = -7; f64 x = (f64)n; return (i64)(x / 2.0); }" (-3L)
+
+let test_lower_builtins () =
+  check_main "__min/__max signed"
+    "i64 main() { i32 a = -3; i32 b = 2; return (i64)(__max(a, b) * 10 + __min(a, b)); }"
+    17L;
+  check_main "__max unsigned"
+    "i64 main() { u8 a = 200; u8 b = 100; return (i64)__max(a, b); }" 200L
+
+let test_lower_print () =
+  let r =
+    run_main ~expect_output:"42\n3.5\n"
+      {|
+i64 main() {
+  print_i64(42);
+  print_f64(3.5);
+  return 0;
+}
+|}
+  in
+  check Alcotest.int64 "print result" 0L r
+
+let test_lower_recursion () =
+  check_main "recursion"
+    {|
+i64 fib(i64 n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+i64 main() { return fib(12); }
+|}
+    144L
+
+let test_compound_assignment () =
+  check_main "compound ops"
+    {|
+i64 main() {
+  i64 x = 10;
+  x += 5;
+  x -= 3;
+  x *= 4;
+  x /= 2;
+  x %= 17;
+  x &= 30;
+  x |= 1;
+  x ^= 6;
+  return x;
+}
+|}
+    1L;
+  check_main "incr/decr"
+    "i64 main() { i64 i = 0; i64 s = 0; while (i < 5) { s += i; i++; } i--; return s * 10 + i; }"
+    104L;
+  check_main "compound on array element"
+    {|
+i32 a[4];
+i64 main() { a[2] = 7; a[2] += 5; a[2] *= 2; return (i64)a[2]; }
+|}
+    24L;
+  check_main "compound narrow type"
+    "i64 main() { u8 x = 250; x += 10; return (i64)x; }" 4L
+
+let test_lower_narrow_semantics () =
+  check_main "u8 wraparound"
+    "i64 main() { u8 x = 250; x = x + 10; return (i64)x; }" 4L;
+  check_main "i8 sign"
+    "i64 main() { i8 x = 127; x = x + 1; return (i64)x; }" (-128L);
+  check_main "u16 compare"
+    "i64 main() { u16 a = 60000; u16 b = 1; if (a > b) { return 1; } return 0; }"
+    1L
+
+let test_verifies (src : string) =
+  let p = Minic.Lower.compile src in
+  Pvir.Verify.program p
+
+let test_lower_always_verifies () =
+  (* every lowered program must pass the verifier *)
+  List.iter test_verifies
+    [
+      "void f() { }";
+      "i64 main() { i64 x = 0; for (;;) { x = x + 1; if (x > 3) { break; } } return x; }";
+      "f32 g(f32* p, i64 n) { f32 s = 0.0; for (i64 i = 0; i < n; i = i + 1) { s = s + p[i]; } return s; }";
+    ]
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "ternary and cast" `Quick test_parser_ternary_and_cast;
+          Alcotest.test_case "program shapes" `Quick test_parser_program_shapes;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "rejections" `Quick test_check_rejects;
+          Alcotest.test_case "natural widths" `Quick test_check_widths;
+          Alcotest.test_case "mixed conversion" `Quick test_check_mixed_conversion;
+          Alcotest.test_case "for scoping" `Quick test_check_for_scoping;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_lower_arith;
+          Alcotest.test_case "control flow" `Quick test_lower_control;
+          Alcotest.test_case "short circuit" `Quick test_lower_short_circuit;
+          Alcotest.test_case "ternary" `Quick test_lower_ternary;
+          Alcotest.test_case "arrays and pointers" `Quick test_lower_arrays_pointers;
+          Alcotest.test_case "global init" `Quick test_lower_global_init;
+          Alcotest.test_case "floats" `Quick test_lower_floats;
+          Alcotest.test_case "builtins" `Quick test_lower_builtins;
+          Alcotest.test_case "print intrinsics" `Quick test_lower_print;
+          Alcotest.test_case "recursion" `Quick test_lower_recursion;
+          Alcotest.test_case "compound assignment" `Quick test_compound_assignment;
+          Alcotest.test_case "narrow semantics" `Quick test_lower_narrow_semantics;
+          Alcotest.test_case "verifies" `Quick test_lower_always_verifies;
+        ] );
+    ]

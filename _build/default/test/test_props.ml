@@ -1,0 +1,436 @@
+(* Property-based tests (qcheck, run under alcotest).
+
+   The central property of the whole system is *observational equivalence
+   across the lifetime of the program*: whatever the offline optimizer,
+   the serializer, the JIT, the register allocator and the simulated
+   target do, the result of running a program must match the reference
+   interpreter on the unoptimized bytecode.  The generators below build
+   random-but-well-formed MiniC programs to feed that property; smaller
+   algebraic properties pin down Value/Eval and the serializer. *)
+
+let seeded_test ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* ---------------- value properties ---------------- *)
+
+let scalar_gen =
+  QCheck.Gen.oneofl Pvir.Types.[ I8; I16; I32; I64 ]
+
+let int_scalar_arb =
+  QCheck.make
+    QCheck.Gen.(pair scalar_gen (map Int64.of_int small_signed_int))
+    ~print:(fun (s, x) -> Printf.sprintf "(%s, %Ld)" (Pvir.Types.scalar_name s) x)
+
+let big_int_scalar_arb =
+  QCheck.make
+    QCheck.Gen.(pair scalar_gen ui64)
+    ~print:(fun (s, x) -> Printf.sprintf "(%s, %Ld)" (Pvir.Types.scalar_name s) x)
+
+let prop_normalize_idempotent (s, x) =
+  let once = Pvir.Value.normalize s x in
+  Int64.equal once (Pvir.Value.normalize s once)
+
+let prop_bytes_roundtrip (s, x) =
+  let v = Pvir.Value.int s x in
+  let buf = Bytes.make 16 '\000' in
+  Pvir.Value.write_bytes buf 0 v;
+  Pvir.Value.equal v (Pvir.Value.read_bytes buf 0 (Pvir.Types.Scalar s))
+
+let prop_zext_trunc_identity (s, x) =
+  (* widening then truncating gives the original value back *)
+  let v = Pvir.Value.int s x in
+  let wide = Pvir.Eval.conv Pvir.Instr.Zext Pvir.Types.i64 v in
+  let back = Pvir.Eval.conv Pvir.Instr.Trunc (Pvir.Types.Scalar s) wide in
+  Pvir.Value.equal v back
+
+let prop_cmp_trichotomy (s, x) =
+  let v1 = Pvir.Value.int s x in
+  let v2 = Pvir.Value.int s (Int64.add x 1L) in
+  let as_bool r = Pvir.Value.to_bool r in
+  let lt = as_bool (Pvir.Eval.cmp Pvir.Instr.Slt v1 v2) in
+  let eq = as_bool (Pvir.Eval.cmp Pvir.Instr.Eq v1 v2) in
+  let gt = as_bool (Pvir.Eval.cmp Pvir.Instr.Sgt v1 v2) in
+  List.length (List.filter (fun b -> b) [ lt; eq; gt ]) = 1
+
+let commutative_ops =
+  Pvir.Instr.[ Add; Mul; And; Or; Xor; Min; Max; Umin; Umax ]
+
+let prop_binop_commutes ((s, x), (y : int64), op_idx) =
+  let op = List.nth commutative_ops (op_idx mod List.length commutative_ops) in
+  let a = Pvir.Value.int s x and b = Pvir.Value.int s y in
+  Pvir.Value.equal (Pvir.Eval.binop op a b) (Pvir.Eval.binop op b a)
+
+let commute_arb =
+  QCheck.make
+    QCheck.Gen.(
+      triple
+        (pair scalar_gen ui64)
+        ui64
+        (int_bound 100))
+    ~print:(fun ((s, x), y, i) ->
+      Printf.sprintf "(%s, %Ld, %Ld, %d)" (Pvir.Types.scalar_name s) x y i)
+
+let prop_add_associates ((s, x), y, z) =
+  let a = Pvir.Value.int s x
+  and b = Pvir.Value.int s y
+  and c = Pvir.Value.int s z in
+  let ( + ) u v = Pvir.Eval.binop Pvir.Instr.Add u v in
+  Pvir.Value.equal (a + (b + c)) (a + b + c)
+
+let assoc_arb =
+  QCheck.make
+    QCheck.Gen.(triple (pair scalar_gen ui64) ui64 ui64)
+    ~print:(fun ((s, x), y, z) ->
+      Printf.sprintf "(%s, %Ld, %Ld, %Ld)" (Pvir.Types.scalar_name s) x y z)
+
+(* ---------------- annotation / serializer properties ---------------- *)
+
+let annot_value_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof
+              [
+                map (fun b -> Pvir.Annot.Bool b) bool;
+                map (fun i -> Pvir.Annot.Int i) small_signed_int;
+                map (fun s -> Pvir.Annot.Str s) (string_size (int_bound 8));
+              ]
+          else
+            frequency
+              [
+                (3, self 1);
+                (1, map (fun l -> Pvir.Annot.List l) (list_size (int_bound 4) (self (n / 2))));
+              ])
+        n)
+
+let annot_arb =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_bound 6)
+        (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 10)) annot_value_gen))
+    ~print:(fun a -> Pvir.Annot.to_string a)
+
+(* dedupe keys so Annot.equal's set semantics apply *)
+let dedupe (a : Pvir.Annot.t) : Pvir.Annot.t =
+  List.fold_left (fun acc (k, v) -> Pvir.Annot.add k v acc) Pvir.Annot.empty a
+
+let prop_annot_roundtrip raw =
+  let a = dedupe raw in
+  let p = Pvir.Prog.create "t" in
+  p.Pvir.Prog.annots <- a;
+  let p' = Pvir.Serial.decode (Pvir.Serial.encode p) in
+  Pvir.Annot.equal a p'.Pvir.Prog.annots
+
+(* ---------------- random MiniC programs ---------------- *)
+
+(* a small expression language over three i64 variables a, b, c;
+   printed as MiniC source.  Division and shifts are guarded. *)
+type rexpr =
+  | Rlit of int
+  | Rvar of int
+  | Rbin of string * rexpr * rexpr
+  | Rmin of rexpr * rexpr
+  | Rmax of rexpr * rexpr
+  | Rsel of rexpr * rexpr * rexpr
+
+let rec rexpr_to_src = function
+  | Rlit n -> Printf.sprintf "%d" n
+  | Rvar v -> [| "a"; "b"; "c" |].(v mod 3)
+  | Rbin ("/", e1, e2) ->
+    Printf.sprintf "(%s / ((%s) | 1))" (rexpr_to_src e1) (rexpr_to_src e2)
+  | Rbin ("%", e1, e2) ->
+    Printf.sprintf "(%s %% ((%s) | 1))" (rexpr_to_src e1) (rexpr_to_src e2)
+  | Rbin (">>", e1, e2) ->
+    Printf.sprintf "(%s >> ((%s) & 15))" (rexpr_to_src e1) (rexpr_to_src e2)
+  | Rbin ("<<", e1, e2) ->
+    Printf.sprintf "(%s << ((%s) & 15))" (rexpr_to_src e1) (rexpr_to_src e2)
+  | Rbin (op, e1, e2) ->
+    Printf.sprintf "(%s %s %s)" (rexpr_to_src e1) op (rexpr_to_src e2)
+  | Rmin (e1, e2) ->
+    Printf.sprintf "__min(%s, %s)" (rexpr_to_src e1) (rexpr_to_src e2)
+  | Rmax (e1, e2) ->
+    Printf.sprintf "__max(%s, %s)" (rexpr_to_src e1) (rexpr_to_src e2)
+  | Rsel (c, t, f) ->
+    Printf.sprintf "((%s) > 0 ? %s : %s)" (rexpr_to_src c) (rexpr_to_src t)
+      (rexpr_to_src f)
+
+let rexpr_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof [ map (fun i -> Rlit (i - 50)) (int_bound 100); map (fun v -> Rvar v) (int_bound 2) ]
+          else
+            let sub = self (n / 2) in
+            frequency
+              [
+                (2, map (fun i -> Rlit (i - 50)) (int_bound 100));
+                (2, map (fun v -> Rvar v) (int_bound 2));
+                ( 6,
+                  map3
+                    (fun op e1 e2 -> Rbin (op, e1, e2))
+                    (oneofl [ "+"; "-"; "*"; "&"; "|"; "^"; "/"; "%"; "<<"; ">>" ])
+                    sub sub );
+                (1, map2 (fun a b -> Rmin (a, b)) sub sub);
+                (1, map2 (fun a b -> Rmax (a, b)) sub sub);
+                (1, map3 (fun a b c -> Rsel (a, b, c)) sub sub sub);
+              ])
+        (min n 12))
+
+(* a random program: assignments to a/b/c followed by a combining loop *)
+let rprog_gen =
+  let open QCheck.Gen in
+  map3
+    (fun e1 e2 e3 ->
+      Printf.sprintf
+        {|
+i64 main() {
+  i64 a = 3;
+  i64 b = -7;
+  i64 c = 11;
+  a = %s;
+  b = %s;
+  c = %s;
+  i64 s = 0;
+  for (i64 i = 0; i < 5; i = i + 1) {
+    s = s + a - b + (c ^ i);
+  }
+  return s;
+}
+|}
+        (rexpr_to_src e1) (rexpr_to_src e2) (rexpr_to_src e3))
+    rexpr_gen rexpr_gen rexpr_gen
+
+let rprog_arb = QCheck.make rprog_gen ~print:(fun s -> s)
+
+
+(* random programs with a global array and a loop: stresses the memory
+   path, the vectorizer's bail-or-transform decisions, strength reduction
+   and the scalarizing backends, all against the interpreter.  Inside the
+   loop, a/b/c are all derived from the loaded element so many generated
+   loops are genuinely vectorizable. *)
+let rloop_expr_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            oneof
+              [ map (fun i -> Rlit (i - 20)) (int_bound 40); map (fun v -> Rvar v) (int_bound 2) ]
+          else
+            let sub = self (n / 2) in
+            frequency
+              [
+                (2, map (fun i -> Rlit (i - 20)) (int_bound 40));
+                (3, map (fun v -> Rvar v) (int_bound 2));
+                ( 5,
+                  map3
+                    (fun op e1 e2 -> Rbin (op, e1, e2))
+                    (oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ])
+                    sub sub );
+                (1, map2 (fun a b -> Rmin (a, b)) sub sub);
+                (1, map2 (fun a b -> Rmax (a, b)) sub sub);
+              ])
+        (min n 8))
+
+let rloop_gen =
+  let open QCheck.Gen in
+  map3
+    (fun body_expr acc_expr n ->
+      Printf.sprintf
+        {|
+u32 arr[128];
+i64 main() {
+  for (i64 i = 0; i < 128; i++) { arr[i] = (u32)(i * 7 + 3); }
+  u32 acc = 1;
+  for (i64 i = 0; i < %d; i++) {
+    u32 x = arr[i];
+    u32 a = x;
+    u32 b = x * 3;
+    u32 c = x ^ 5;
+    arr[i] = %s;
+    acc = acc + (%s);
+  }
+  i64 out = 0;
+  for (i64 i = 0; i < 128; i++) { out = out + (i64)arr[i]; }
+  return out * 1000 + (i64)(acc %% 997);
+}
+|}
+        n body_expr acc_expr)
+    (map rexpr_to_src rloop_expr_gen)
+    (map rexpr_to_src rloop_expr_gen)
+    (int_bound 128)
+
+let rloop_arb = QCheck.make rloop_gen ~print:(fun s -> s)
+
+let interp_unopt src =
+  let p = Core.Splitc.frontend src in
+  let img = Pvvm.Image.load p in
+  let it = Pvvm.Interp.create img in
+  Pvvm.Interp.run it "main" []
+
+let prop_offline_preserves src =
+  let r0 = interp_unopt src in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split (Core.Splitc.frontend src) in
+  let img = Pvvm.Image.load off.Core.Splitc.prog in
+  let it = Pvvm.Interp.create img in
+  let r1 = Pvvm.Interp.run it "main" [] in
+  match (r0, r1) with
+  | Some a, Some b -> Pvir.Value.equal a b
+  | None, None -> true
+  | _ -> false
+
+let prop_jit_matches_interp src =
+  let r0 = interp_unopt src in
+  let _, on = Core.Splitc.run_source ~mode:Core.Splitc.Split
+      ~machine:Pvmach.Machine.x86ish src in
+  let r1 = Pvvm.Sim.run on.Core.Splitc.sim "main" [] in
+  match (r0, r1) with
+  | Some a, Some b -> Pvir.Value.equal a b
+  | None, None -> true
+  | _ -> false
+
+let prop_uchost_matches_interp src =
+  (* the register-poor machine exercises spilling heavily *)
+  let r0 = interp_unopt src in
+  let _, on = Core.Splitc.run_source ~mode:Core.Splitc.Pure_online
+      ~machine:Pvmach.Machine.uchost src in
+  let r1 = Pvvm.Sim.run on.Core.Splitc.sim "main" [] in
+  match (r0, r1) with
+  | Some a, Some b -> Pvir.Value.equal a b
+  | None, None -> true
+  | _ -> false
+
+let prop_bytecode_roundtrip src =
+  let p = Core.Splitc.frontend src in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+  let bc = Core.Splitc.distribute off in
+  let p' = Pvir.Serial.decode bc in
+  String.equal
+    (Pvir.Pp.program_to_string off.Core.Splitc.prog)
+    (Pvir.Pp.program_to_string p')
+
+let prop_text_roundtrip src =
+  let p = Core.Splitc.frontend src in
+  let txt = Pvir.Pp.program_to_string p in
+  let p' = Pvir.Parse.program txt in
+  String.equal txt (Pvir.Pp.program_to_string p')
+
+(* ---------------- vectorized kernels at random sizes ---------------- *)
+
+let kernel_n_arb =
+  QCheck.make
+    QCheck.Gen.(pair (int_bound (List.length Pvkernels.Kernels.table1 - 1)) (int_bound 300))
+    ~print:(fun (k, n) ->
+      Printf.sprintf "(%s, n=%d)"
+        (List.nth Pvkernels.Kernels.table1 k).Pvkernels.Kernels.name n)
+
+let prop_kernel_any_n (ki, n) =
+  let k = List.nth Pvkernels.Kernels.table1 ki in
+  let interp_obs, _ = Pvkernels.Harness.run_interp ~n k in
+  let r =
+    Pvkernels.Harness.run_jit ~n ~mode:Core.Splitc.Split
+      ~machine:Pvmach.Machine.x86ish k
+  in
+  Pvkernels.Harness.observation_equal interp_obs r.Pvkernels.Harness.obs
+
+(* ---------------- KPN determinism ---------------- *)
+
+let prop_kpn_determinism perm_seed =
+  let tok x = [| Pvir.Value.i64 (Int64.of_int x) |] in
+  let mk name inputs outputs f =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs;
+      outputs;
+      fire =
+        (fun toks ->
+          List.map
+            (fun t -> tok (f (Int64.to_int (Pvir.Value.to_int64 t.(0)))))
+            toks);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let processes =
+    [
+      mk "p1" [ "in" ] [ "m1" ] (fun x -> x * 3);
+      mk "p2" [ "m1" ] [ "m2" ] (fun x -> x - 1);
+      mk "p3" [ "m2" ] [ "out" ] (fun x -> x * x);
+    ]
+  in
+  let run order =
+    let net = Pvsched.Kpn.create processes in
+    List.iter (fun x -> Pvsched.Kpn.push net "in" (tok x)) [ 1; 2; 3; 4; 5 ];
+    ignore (Pvsched.Kpn.run ~order net);
+    List.map
+      (fun t -> Int64.to_int (Pvir.Value.to_int64 t.(0)))
+      (Pvsched.Kpn.drain net "out")
+  in
+  (* a deterministic "random" permutation from the seed *)
+  let permute ps =
+    let arr = Array.of_list ps in
+    let st = ref perm_seed in
+    let n = Array.length arr in
+    for i = n - 1 downto 1 do
+      st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+      let j = !st mod (i + 1) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list arr
+  in
+  run (fun ps -> ps) = run permute
+
+(* ---------------- registration ---------------- *)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "values",
+        [
+          seeded_test ~count:500 "normalize idempotent" big_int_scalar_arb
+            prop_normalize_idempotent;
+          seeded_test ~count:500 "memory byte roundtrip" big_int_scalar_arb
+            prop_bytes_roundtrip;
+          seeded_test ~count:500 "zext;trunc = id" big_int_scalar_arb
+            prop_zext_trunc_identity;
+          seeded_test ~count:200 "signed trichotomy" int_scalar_arb
+            prop_cmp_trichotomy;
+          seeded_test ~count:500 "commutativity" commute_arb prop_binop_commutes;
+          seeded_test ~count:500 "add associativity" assoc_arb prop_add_associates;
+        ] );
+      ( "serialization",
+        [ seeded_test ~count:200 "annotation roundtrip" annot_arb prop_annot_roundtrip ] );
+      ( "pipeline",
+        [
+          seeded_test ~count:60 "offline optimizer preserves semantics"
+            rprog_arb prop_offline_preserves;
+          seeded_test ~count:40 "jit (x86ish) matches interpreter" rprog_arb
+            prop_jit_matches_interp;
+          seeded_test ~count:30 "jit (uchost, heavy spilling) matches interpreter"
+            rprog_arb prop_uchost_matches_interp;
+          seeded_test ~count:40 "bytecode roundtrip" rprog_arb
+            prop_bytecode_roundtrip;
+          seeded_test ~count:40 "text roundtrip" rprog_arb prop_text_roundtrip;
+          seeded_test ~count:40 "array-loop programs: offline preserves"
+            rloop_arb prop_offline_preserves;
+          seeded_test ~count:30 "array-loop programs: jit (x86ish) matches"
+            rloop_arb prop_jit_matches_interp;
+          seeded_test ~count:20 "array-loop programs: jit (uchost) matches"
+            rloop_arb prop_uchost_matches_interp;
+        ] );
+      ( "kernels",
+        [ seeded_test ~count:25 "vectorized kernels at any n" kernel_n_arb prop_kernel_any_n ] );
+      ( "kpn",
+        [
+          seeded_test ~count:50 "scheduling-order determinism"
+            (QCheck.make QCheck.Gen.(int_bound 1000000) ~print:string_of_int)
+            prop_kpn_determinism;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for the target machine models, capabilities, MIR utilities and
+   the cost model invariants the experiments lean on. *)
+
+open Pvmach
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ---------------- capabilities ---------------- *)
+
+let test_capability_strings () =
+  List.iter
+    (fun c ->
+      match Capability.of_string (Capability.to_string c) with
+      | Some c' -> check bool_t "roundtrip" true (Capability.equal c c')
+      | None -> Alcotest.fail "capability string did not parse")
+    [ Capability.Simd 16; Capability.Simd 8; Capability.Fpu;
+      Capability.Narrow_alu; Capability.Dsp_mac ];
+  check bool_t "bad string" true (Capability.of_string "simdX" = None);
+  check bool_t "bad width" true (Capability.of_string "simd7" = None)
+
+let test_capability_satisfies () =
+  check bool_t "wider simd satisfies narrower" true
+    (Capability.satisfies (Capability.Simd 16) (Capability.Simd 8));
+  check bool_t "narrower does not satisfy wider" false
+    (Capability.satisfies (Capability.Simd 8) (Capability.Simd 16));
+  check bool_t "fpu satisfies fpu" true
+    (Capability.satisfies Capability.Fpu Capability.Fpu);
+  check bool_t "fpu does not satisfy simd" false
+    (Capability.satisfies Capability.Fpu (Capability.Simd 8))
+
+(* ---------------- machines ---------------- *)
+
+let test_machine_lookup () =
+  List.iter
+    (fun (m : Machine.t) ->
+      match Machine.find m.Machine.name with
+      | Some m' -> check bool_t "find self" true (m == m')
+      | None -> Alcotest.fail "machine not found by name")
+    Machine.all;
+  check bool_t "unknown machine" true (Machine.find "vax" = None)
+
+let test_machine_simd_profile () =
+  check int_t "x86ish simd width" 16 (Machine.simd_width Machine.x86ish);
+  check int_t "sparcish no simd" 0 (Machine.simd_width Machine.sparcish);
+  check bool_t "dspish has mac" true
+    (Machine.has_cap Machine.dspish Capability.Dsp_mac);
+  check bool_t "uchost lacks fpu" false
+    (Machine.has_cap Machine.uchost Capability.Fpu);
+  (* the Table-1 cast: exactly one SIMD machine *)
+  check int_t "one SIMD target in table1" 1
+    (List.length (List.filter Machine.has_simd Machine.table1_targets))
+
+let test_machine_sanity () =
+  List.iter
+    (fun (m : Machine.t) ->
+      check bool_t (m.Machine.name ^ " alu positive") true (m.Machine.alu_cost > 0);
+      check bool_t (m.Machine.name ^ " regs positive") true (m.Machine.int_regs > 0);
+      check bool_t (m.Machine.name ^ " div >= mul >= alu") true
+        (m.Machine.div_cost >= m.Machine.mul_cost
+        && m.Machine.mul_cost >= m.Machine.alu_cost);
+      check bool_t (m.Machine.name ^ " arg regs sane") true
+        (Machine.arg_regs m >= 1 && Machine.arg_regs m <= m.Machine.int_regs);
+      if Machine.has_simd m then
+        check bool_t (m.Machine.name ^ " simd needs vec regs") true
+          (m.Machine.vec_regs > 0))
+    Machine.all
+
+(* ---------------- MIR utilities ---------------- *)
+
+let test_mir_class_of_type () =
+  check bool_t "int -> gpr" true (Mir.class_of_type Pvir.Types.i32 = Mir.Gpr);
+  check bool_t "ptr -> gpr" true
+    (Mir.class_of_type (Pvir.Types.ptr Pvir.Types.F32) = Mir.Gpr);
+  check bool_t "float -> fpr" true (Mir.class_of_type Pvir.Types.f64 = Mir.Fpr);
+  check bool_t "vector -> vec" true
+    (Mir.class_of_type (Pvir.Types.vec Pvir.Types.F32 4) = Mir.Vec)
+
+let test_mir_uses_defs () =
+  let i =
+    Mir.inst ~dst:(Mir.V 1) ~srcs:[ Mir.V 2; Mir.V 3 ]
+      (Mir.Mbin Pvir.Instr.Add) Pvir.Types.i32
+  in
+  check bool_t "def" true (Mir.inst_def i = Some (Mir.V 1));
+  check bool_t "uses" true (Mir.inst_uses i = [ Mir.V 2; Mir.V 3 ]);
+  let t = Mir.Tcbr (Mir.V 4, 1, 2) in
+  check bool_t "term uses" true (Mir.term_uses t = [ Mir.V 4 ]);
+  check bool_t "successors" true (Mir.term_successors t = [ 1; 2 ]);
+  check bool_t "same-target cbr" true
+    (Mir.term_successors (Mir.Tcbr (Mir.V 0, 3, 3)) = [ 3 ])
+
+let test_mir_fresh_vregs () =
+  let mf =
+    {
+      Mir.mname = "t";
+      mparams = [];
+      marg_slots = [];
+      mret = None;
+      mblocks = [];
+      frame_size = 0;
+      vreg_ty = Hashtbl.create 4;
+      next_vreg = 10;
+      target = Machine.x86ish;
+    }
+  in
+  let a = Mir.fresh_vreg mf Pvir.Types.i64 in
+  let b = Mir.fresh_vreg mf Pvir.Types.f32 in
+  check bool_t "distinct" true (a <> b);
+  check bool_t "typed" true
+    (Pvir.Types.equal (Mir.reg_type mf a) Pvir.Types.i64
+    && Pvir.Types.equal (Mir.reg_type mf b) Pvir.Types.f32)
+
+(* ---------------- cost model invariants ---------------- *)
+
+let test_cost_scalar_positive () =
+  (* every op class costs at least one cycle on every machine *)
+  let ops =
+    [
+      Mir.inst (Mir.Mli (Pvir.Value.i32 0)) Pvir.Types.i32;
+      Mir.inst Mir.Mmov Pvir.Types.i64;
+      Mir.inst (Mir.Mbin Pvir.Instr.Add) Pvir.Types.i8;
+      Mir.inst (Mir.Mbin Pvir.Instr.Div) Pvir.Types.i64;
+      Mir.inst (Mir.Mbin Pvir.Instr.Mul) Pvir.Types.f32;
+      Mir.inst (Mir.Mcmp Pvir.Instr.Slt) Pvir.Types.i32;
+      Mir.inst (Mir.Mload 0) Pvir.Types.f64;
+      Mir.inst (Mir.Mstore 0) Pvir.Types.i16;
+      Mir.inst (Mir.Mframe_ld 0) Pvir.Types.i64;
+      Mir.inst (Mir.Mcall "f") Pvir.Types.i32;
+    ]
+  in
+  List.iter
+    (fun (m : Machine.t) ->
+      List.iter
+        (fun i -> check bool_t (m.Machine.name ^ " positive") true (Cost.of_inst m i > 0))
+        ops)
+    Machine.all
+
+let test_cost_simd_beats_lanes () =
+  (* one 16-lane SIMD add is much cheaper than 16 scalar adds *)
+  let m = Machine.x86ish in
+  let vadd = Mir.inst (Mir.Mbin Pvir.Instr.Add) (Pvir.Types.vec Pvir.Types.I8 16) in
+  let sadd = Mir.inst (Mir.Mbin Pvir.Instr.Add) Pvir.Types.i8 in
+  check bool_t "simd wins" true (Cost.of_inst m vadd * 8 <= Cost.of_inst m sadd * 16)
+
+let test_cost_mac_on_dsp () =
+  (* the DSP's single-cycle MAC shows up as cheap float multiplies *)
+  let fmul = Mir.inst (Mir.Mbin Pvir.Instr.Mul) Pvir.Types.f32 in
+  check bool_t "dsp mac cheap" true
+    (Cost.of_inst Machine.dspish fmul < Cost.of_inst Machine.sparcish fmul)
+
+let test_cost_soft_float () =
+  (* the microcontroller pays dearly for floats *)
+  let fadd = Mir.inst (Mir.Mbin Pvir.Instr.Add) Pvir.Types.f64 in
+  let iadd = Mir.inst (Mir.Mbin Pvir.Instr.Add) Pvir.Types.i32 in
+  check bool_t "uchost soft float" true
+    (Cost.of_inst Machine.uchost fadd >= 10 * Cost.of_inst Machine.uchost iadd)
+
+let test_cost_reduce_log () =
+  (* reductions cost O(log lanes), not O(lanes) *)
+  let m = Machine.x86ish in
+  let red n = Mir.inst (Mir.Mreduce Pvir.Instr.Radd) (Pvir.Types.vec Pvir.Types.I8 n) in
+  let c4 = Cost.of_inst m (red 4) and c16 = Cost.of_inst m (red 16) in
+  check bool_t "log growth" true (c16 < 4 * c4)
+
+let test_static_estimate () =
+  (* static estimate orders machines the same way the simulator does for
+     straight-line code *)
+  let mk target =
+    {
+      Mir.mname = "t";
+      mparams = [];
+      marg_slots = [];
+      mret = None;
+      mblocks =
+        [
+          {
+            Mir.mlabel = 0;
+            insts =
+              [
+                Mir.inst ~dst:(Mir.V 0) (Mir.Mli (Pvir.Value.f64 1.0)) Pvir.Types.f64;
+                Mir.inst ~dst:(Mir.V 1) ~srcs:[ Mir.V 0; Mir.V 0 ]
+                  (Mir.Mbin Pvir.Instr.Mul) Pvir.Types.f64;
+              ];
+            mterm = Mir.Tret None;
+          };
+        ];
+      frame_size = 0;
+      vreg_ty = Hashtbl.create 4;
+      next_vreg = 2;
+      target;
+    }
+  in
+  let est m = Cost.static_estimate m (mk m) in
+  check bool_t "uchost slowest at floats" true
+    (est Machine.uchost > est Machine.x86ish)
+
+let () =
+  Alcotest.run "pvmach"
+    [
+      ( "capability",
+        [
+          Alcotest.test_case "strings" `Quick test_capability_strings;
+          Alcotest.test_case "satisfies" `Quick test_capability_satisfies;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "lookup" `Quick test_machine_lookup;
+          Alcotest.test_case "simd profile" `Quick test_machine_simd_profile;
+          Alcotest.test_case "sanity" `Quick test_machine_sanity;
+        ] );
+      ( "mir",
+        [
+          Alcotest.test_case "class of type" `Quick test_mir_class_of_type;
+          Alcotest.test_case "uses/defs" `Quick test_mir_uses_defs;
+          Alcotest.test_case "fresh vregs" `Quick test_mir_fresh_vregs;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "positive" `Quick test_cost_scalar_positive;
+          Alcotest.test_case "simd beats lanes" `Quick test_cost_simd_beats_lanes;
+          Alcotest.test_case "dsp mac" `Quick test_cost_mac_on_dsp;
+          Alcotest.test_case "soft float" `Quick test_cost_soft_float;
+          Alcotest.test_case "reduce is log" `Quick test_cost_reduce_log;
+          Alcotest.test_case "static estimate" `Quick test_static_estimate;
+        ] );
+    ]

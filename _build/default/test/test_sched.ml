@@ -1,0 +1,234 @@
+(* Tests for the Kahn process network runtime and the heterogeneous
+   mapper. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let tok x = [| Pvir.Value.i64 (Int64.of_int x) |]
+let tok_val (t : Pvsched.Kpn.token) = Int64.to_int (Pvir.Value.to_int64 t.(0))
+
+(* a 3-stage pipeline: double -> add1 -> out *)
+let pipeline () =
+  let map name inputs outputs f =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs;
+      outputs;
+      fire =
+        (fun toks -> List.map (fun t -> tok (f (tok_val t))) toks);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  [
+    map "double" [ "in" ] [ "mid" ] (fun x -> x * 2);
+    map "add1" [ "mid" ] [ "out" ] (fun x -> x + 1);
+  ]
+
+let test_kpn_pipeline () =
+  let net = Pvsched.Kpn.create (pipeline ()) in
+  List.iter (fun x -> Pvsched.Kpn.push net "in" (tok x)) [ 1; 2; 3 ];
+  let firings = Pvsched.Kpn.run net in
+  check int_t "firings" 6 firings;
+  let out = List.map tok_val (Pvsched.Kpn.drain net "out") in
+  check bool_t "fifo order preserved" true (out = [ 3; 5; 7 ])
+
+let test_kpn_determinism () =
+  (* Kahn's theorem: any scheduling order produces the same streams *)
+  let run_with order =
+    let net = Pvsched.Kpn.create (pipeline ()) in
+    List.iter (fun x -> Pvsched.Kpn.push net "in" (tok x)) [ 5; 6; 7; 8 ];
+    ignore (Pvsched.Kpn.run ~order net);
+    List.map tok_val (Pvsched.Kpn.drain net "out")
+  in
+  let forward = run_with (fun ps -> ps) in
+  let reverse = run_with List.rev in
+  let rotated = run_with (fun ps -> List.tl ps @ [ List.hd ps ]) in
+  check bool_t "reverse order same" true (forward = reverse);
+  check bool_t "rotated order same" true (forward = rotated)
+
+let test_kpn_multi_input () =
+  (* a join process consumes one token from each input per firing *)
+  let join =
+    {
+      Pvsched.Kpn.pname = "join";
+      inputs = [ "a"; "b" ];
+      outputs = [ "sum" ];
+      fire =
+        (fun toks ->
+          match toks with
+          | [ x; y ] -> [ tok (tok_val x + tok_val y) ]
+          | _ -> assert false);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let net = Pvsched.Kpn.create [ join ] in
+  List.iter (fun x -> Pvsched.Kpn.push net "a" (tok x)) [ 1; 2; 3 ];
+  List.iter (fun x -> Pvsched.Kpn.push net "b" (tok x)) [ 10; 20 ];
+  ignore (Pvsched.Kpn.run net);
+  (* only two firings possible: channel b has two tokens *)
+  let out = List.map tok_val (Pvsched.Kpn.drain net "sum") in
+  check bool_t "join sums pairwise" true (out = [ 11; 22 ]);
+  (* the unmatched token remains *)
+  check int_t "leftover" 1 (List.length (Pvsched.Kpn.drain net "a"))
+
+let test_kpn_firing_budget () =
+  (* a self-feeding process never terminates: the budget must trip *)
+  let loop_p =
+    {
+      Pvsched.Kpn.pname = "loop";
+      inputs = [ "c" ];
+      outputs = [ "c" ];
+      fire = (fun toks -> toks);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let net = Pvsched.Kpn.create [ loop_p ] in
+  Pvsched.Kpn.push net "c" (tok 1);
+  match Pvsched.Kpn.run ~max_firings:100 net with
+  | exception Pvsched.Kpn.Deadlock _ -> ()
+  | _ -> Alcotest.fail "self-feeding network terminated"
+
+(* ---------------- mapper ---------------- *)
+
+let platform () =
+  let host = { Pvsched.Mapper.cname = "host"; machine = Pvmach.Machine.ppcish } in
+  let accel = { Pvsched.Mapper.cname = "accel"; machine = Pvmach.Machine.dspish } in
+  (host, accel, { Pvsched.Mapper.cores = [ host; accel ]; transfer_cost = 100 })
+
+let offload_processes () =
+  let control name inputs outputs =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs;
+      outputs;
+      fire = (fun toks -> toks);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let numeric =
+    {
+      Pvsched.Kpn.pname = "numeric";
+      inputs = [ "raw" ];
+      outputs = [ "cooked" ];
+      fire = (fun toks -> toks);
+      annots =
+        Pvir.Annot.add Pvir.Annot.key_hw_prefs
+          (Pvir.Annot.List [ Pvir.Annot.Str "simd128" ])
+          Pvir.Annot.empty;
+      work = 100;
+    }
+  in
+  [ control "src" [ "in" ] [ "raw" ]; numeric; control "snk" [ "cooked" ] [ "out" ] ]
+
+let cost (p : Pvsched.Kpn.process) (c : Pvsched.Mapper.core) =
+  match p.Pvsched.Kpn.pname with
+  | "numeric" -> if c.Pvsched.Mapper.cname = "accel" then 500 else 2000
+  | _ -> if c.Pvsched.Mapper.cname = "accel" then 400 else 50
+
+let test_mapper_placement () =
+  let _, accel, plat = platform () in
+  let ps = offload_processes () in
+  let placement = Pvsched.Mapper.place plat cost ps in
+  check bool_t "numeric offloaded" true
+    (List.assoc "numeric" placement == accel);
+  check bool_t "control on host" true
+    ((List.assoc "src" placement).Pvsched.Mapper.cname = "host")
+
+let fresh_net n =
+  let net = Pvsched.Kpn.create (offload_processes ()) in
+  for i = 1 to n do
+    Pvsched.Kpn.push net "in" (tok i)
+  done;
+  net
+
+let test_mapper_makespan_offload_wins () =
+  let host, _, plat = platform () in
+  let ps = offload_processes () in
+  let host_only = Pvsched.Mapper.place_all_on host ps in
+  let auto = Pvsched.Mapper.place plat cost ps in
+  let t_host = Pvsched.Mapper.makespan plat cost host_only (fresh_net 32) in
+  let t_auto = Pvsched.Mapper.makespan plat cost auto (fresh_net 32) in
+  check bool_t "offload faster" true (Int64.compare t_auto t_host < 0);
+  (* with the numeric stage dominant, the win approaches the stage ratio *)
+  let ratio = Int64.to_float t_host /. Int64.to_float t_auto in
+  check bool_t "meaningful speedup" true (ratio > 1.5)
+
+let test_mapper_transfer_cost_matters () =
+  (* an extreme transfer cost makes offload lose *)
+  let host, _, plat0 = platform () in
+  let plat = { plat0 with Pvsched.Mapper.transfer_cost = 1_000_000 } in
+  let ps = offload_processes () in
+  let host_only = Pvsched.Mapper.place_all_on host ps in
+  let auto = Pvsched.Mapper.place plat0 cost ps in
+  let t_host = Pvsched.Mapper.makespan plat cost host_only (fresh_net 8) in
+  let t_auto = Pvsched.Mapper.makespan plat cost auto (fresh_net 8) in
+  check bool_t "expensive transfers kill offload" true
+    (Int64.compare t_auto t_host > 0)
+
+let test_makespan_monotone_in_tokens () =
+  let host, _, plat = platform () in
+  let ps = offload_processes () in
+  let pl = Pvsched.Mapper.place_all_on host ps in
+  let t8 = Pvsched.Mapper.makespan plat cost pl (fresh_net 8) in
+  let t16 = Pvsched.Mapper.makespan plat cost pl (fresh_net 16) in
+  check bool_t "more tokens, more time" true (Int64.compare t16 t8 > 0)
+
+
+let test_mapper_balances_two_accelerators () =
+  (* two heavy parallel numeric stages, one host + two identical
+     accelerators: load-aware placement must use both accelerators *)
+  let accel1 = { Pvsched.Mapper.cname = "dsp1"; machine = Pvmach.Machine.dspish } in
+  let accel2 = { Pvsched.Mapper.cname = "dsp2"; machine = Pvmach.Machine.dspish } in
+  let host2 = { Pvsched.Mapper.cname = "host"; machine = Pvmach.Machine.ppcish } in
+  let plat =
+    { Pvsched.Mapper.cores = [ host2; accel1; accel2 ]; transfer_cost = 50 }
+  in
+  let numeric name =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs = [ name ^ "_in" ];
+      outputs = [ name ^ "_out" ];
+      fire = (fun toks -> toks);
+      annots =
+        Pvir.Annot.add Pvir.Annot.key_hw_prefs
+          (Pvir.Annot.List [ Pvir.Annot.Str "simd128" ])
+          Pvir.Annot.empty;
+      work = 100;
+    }
+  in
+  let ps = [ numeric "fft"; numeric "filter2" ] in
+  let cost2 (p : Pvsched.Kpn.process) (c : Pvsched.Mapper.core) =
+    ignore p;
+    if c.Pvsched.Mapper.cname = "host" then 2000 else 500
+  in
+  let pl = Pvsched.Mapper.place plat cost2 ps in
+  let c1 = (List.assoc "fft" pl).Pvsched.Mapper.cname in
+  let c2 = (List.assoc "filter2" pl).Pvsched.Mapper.cname in
+  check bool_t "both on accelerators" true
+    (c1 <> "host" && c2 <> "host");
+  check bool_t "spread across both" true (c1 <> c2)
+
+let () =
+  Alcotest.run "pvsched"
+    [
+      ( "kpn",
+        [
+          Alcotest.test_case "pipeline" `Quick test_kpn_pipeline;
+          Alcotest.test_case "determinism" `Quick test_kpn_determinism;
+          Alcotest.test_case "multi input" `Quick test_kpn_multi_input;
+          Alcotest.test_case "firing budget" `Quick test_kpn_firing_budget;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "placement" `Quick test_mapper_placement;
+          Alcotest.test_case "offload wins" `Quick test_mapper_makespan_offload_wins;
+          Alcotest.test_case "transfer cost" `Quick test_mapper_transfer_cost_matters;
+          Alcotest.test_case "monotone" `Quick test_makespan_monotone_in_tokens;
+          Alcotest.test_case "balances accelerators" `Quick test_mapper_balances_two_accelerators;
+        ] );
+    ]
