@@ -23,6 +23,78 @@ let line = String.make 78 '-'
 let header title = Printf.printf "\n%s\n%s\n%s\n" line title line
 
 (* ------------------------------------------------------------------ *)
+(* Minimal JSON emitter for --json (machine-readable results; no
+   external dependency) *)
+
+module Json = struct
+  type t =
+    | Int of int64
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Int i -> Buffer.add_string buf (Int64.to_string i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (Str k);
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 1024 in
+    write buf j;
+    Buffer.contents buf
+end
+
+let json_file : string option ref = ref None
+let recorded : (string * Json.t) list ref = ref []
+let record key j = recorded := (key, j) :: !recorded
+
+(* host execution engines under measurement (--engine; simulated cycle
+   counts are engine-independent, so every experiment must print the same
+   numbers under both settings) *)
+let sim_engine = ref Pvvm.Sim.Threaded
+let interp_engine = ref Pvvm.Interp.Threaded
+
+(* ------------------------------------------------------------------ *)
 (* E1: Table 1 *)
 
 let paper_table1 =
@@ -51,20 +123,33 @@ let table1 () =
     (fun _ -> Printf.printf " %7s %7s %10s |" "scalar" "vect." "rel (ppr)")
     Pvmach.Machine.table1_targets;
   print_newline ();
+  let rows = ref [] in
   List.iter
     (fun (k : Pvkernels.Kernels.t) ->
       Printf.printf "%-10s |" k.Pvkernels.Kernels.name;
       let px, ps, pp = List.assoc k.Pvkernels.Kernels.name paper_table1 in
       List.iteri
         (fun i machine ->
-          let c = Pvkernels.Harness.table1_cell ~machine k in
+          let c = Pvkernels.Harness.table1_cell ~engine:!sim_engine ~machine k in
           let paper = match i with 0 -> px | 1 -> ps | _ -> pp in
+          rows :=
+            Json.Obj
+              [
+                ("kernel", Json.Str k.Pvkernels.Kernels.name);
+                ("machine", Json.Str machine.Pvmach.Machine.name);
+                ("scalar_cycles", Json.Int c.Pvkernels.Harness.scalar_cycles);
+                ("vector_cycles", Json.Int c.Pvkernels.Harness.vector_cycles);
+                ("speedup", Json.Float c.Pvkernels.Harness.speedup);
+                ("paper_speedup", Json.Float paper);
+              ]
+            :: !rows;
           Printf.printf " %7Ld %7Ld %4.2f (%4.2g) |"
             c.Pvkernels.Harness.scalar_cycles c.Pvkernels.Harness.vector_cycles
             c.Pvkernels.Harness.speedup paper)
         Pvmach.Machine.table1_targets;
       print_newline ())
     Pvkernels.Kernels.table1;
+  record "table1" (Json.List (List.rev !rows));
   Printf.printf
     "\nshape checks: SIMD target wins everywhere, byte kernels most (max_u8\n\
      first); non-SIMD targets sit near scalar parity, crossing below 1.0 for\n\
@@ -83,20 +168,40 @@ let figure1 () =
   let kernels = Pvkernels.Kernels.[ saxpy_fp; sum_u8; fir ] in
   Printf.printf "%-10s %-12s %14s %14s %14s\n" "kernel" "mode" "offline work"
     "online work" "exec cycles";
+  let rows = ref [] in
   List.iter
     (fun (k : Pvkernels.Kernels.t) ->
-      let _, icycles = Pvkernels.Harness.run_interp k in
+      let _, icycles = Pvkernels.Harness.run_interp ~engine:!interp_engine k in
+      rows :=
+        Json.Obj
+          [
+            ("kernel", Json.Str k.Pvkernels.Kernels.name);
+            ("mode", Json.Str "interp");
+            ("exec_cycles", Json.Int icycles);
+          ]
+        :: !rows;
       Printf.printf "%-10s %-12s %14s %14s %14Ld\n" k.Pvkernels.Kernels.name
         "interp" "-" "-" icycles;
       List.iter
         (fun mode ->
-          let r = Pvkernels.Harness.run_jit ~mode ~machine k in
+          let r = Pvkernels.Harness.run_jit ~engine:!sim_engine ~mode ~machine k in
+          rows :=
+            Json.Obj
+              [
+                ("kernel", Json.Str k.Pvkernels.Kernels.name);
+                ("mode", Json.Str (Core.Splitc.mode_name mode));
+                ("offline_work", Json.Int (Int64.of_int r.Pvkernels.Harness.offline_work));
+                ("online_work", Json.Int (Int64.of_int r.Pvkernels.Harness.online_work));
+                ("exec_cycles", Json.Int r.Pvkernels.Harness.cycles);
+              ]
+            :: !rows;
           Printf.printf "%-10s %-12s %14d %14d %14Ld\n" k.Pvkernels.Kernels.name
             (Core.Splitc.mode_name mode) r.Pvkernels.Harness.offline_work
             r.Pvkernels.Harness.online_work r.Pvkernels.Harness.cycles)
         Core.Splitc.all_modes;
       print_newline ())
     kernels;
+  record "figure1" (Json.List (List.rev !rows));
   Printf.printf
     "shape checks: split reaches pure-online code quality at a small multiple\n\
      of traditional online cost; pure-online pays ~10x more online; the\n\
@@ -136,6 +241,7 @@ let regalloc () =
         let prog = Pvir.Serial.decode bc in
         let img = Pvvm.Image.load prog in
         let sim, report = Pvjit.Jit.compile_program ~account ~machine ~hints img in
+        sim.Pvvm.Sim.engine <- !sim_engine;
         Pvkernels.Harness.fill_inputs img;
         let result =
           Pvvm.Sim.run sim k.Pvkernels.Kernels.entry
@@ -320,7 +426,7 @@ let ablation () =
   let run ~immfold ~peephole ~hints =
     let prog = Pvir.Serial.decode bc in
     let img = Pvvm.Image.load prog in
-    let sim = Pvvm.Sim.create img machine in
+    let sim = Pvvm.Sim.create ~engine:!sim_engine img machine in
     List.iter
       (fun fn ->
         let mf =
@@ -374,6 +480,7 @@ let ablation () =
   Pvopt.Passes.cleanup p2;
   let img = Pvvm.Image.load p2 in
   let sim, _ = Pvjit.Jit.compile_program ~machine ~hints:Pvjit.Jit.Hints_none img in
+  sim.Pvvm.Sim.engine <- !sim_engine;
   Pvkernels.Harness.fill_inputs img;
   ignore
     (Pvvm.Sim.run sim k.Pvkernels.Kernels.entry
@@ -467,6 +574,7 @@ i64 app_main(i64 n) {
       Pvjit.Jit.compile_program ~machine:Pvmach.Machine.x86ish
         ~hints:Pvjit.Jit.Hints_annotation img
     in
+    sim.Pvvm.Sim.engine <- !sim_engine;
     ignore (Pvvm.Sim.run sim "app_main" [ Pvir.Value.i64 256L ]);
     Pvvm.Sim.cycles sim
   in
@@ -567,6 +675,148 @@ let bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Execution engines: pre-decoded direct-threaded dispatch vs the
+   tree-walking reference, on the VM's own hot loops *)
+
+let engines () =
+  header
+    "execution engines: pre-decoded (threaded) vs tree-walking dispatch\n\
+     (host wall-clock via Bechamel OLS on the interpreter and simulator hot\n\
+     loops, sum_u16 over 1024 elements; simulated cycle counts are\n\
+     engine-independent and are asserted identical before timing)";
+  let open Bechamel in
+  let k = Pvkernels.Kernels.sum_u16 in
+  let n = 1024 in
+  let kargs = Pvkernels.Harness.args k n in
+  let entry = k.Pvkernels.Kernels.entry in
+  let measure name f =
+    (* an empty major heap at the start of each series keeps GC noise from
+       leaking between the engines under comparison *)
+    Gc.full_major ();
+    let raw =
+      Benchmark.all
+        (Benchmark.cfg ~quota:(Time.second 1.0) ~kde:None ())
+        Toolkit.Instance.[ monotonic_clock ]
+        (Test.make ~name (Staged.stage f))
+    in
+    let results =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+        Toolkit.Instance.monotonic_clock raw
+    in
+    let est = ref nan in
+    Hashtbl.iter
+      (fun _ ols ->
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> est := e
+        | _ -> ())
+      results;
+    !est
+  in
+  let check_equal what (ra, outa, ca) (rb, outb, cb) =
+    let vopt_equal = function
+      | None, None -> true
+      | Some x, Some y -> Pvir.Value.equal x y
+      | _ -> false
+    in
+    if not (vopt_equal (ra, rb)) then
+      failwith (Printf.sprintf "%s: engines disagree on the result" what);
+    if not (String.equal outa outb) then
+      failwith (Printf.sprintf "%s: engines disagree on printed output" what);
+    if not (Int64.equal ca cb) then
+      failwith
+        (Printf.sprintf "%s: engines disagree on cycles (%Ld vs %Ld)" what ca
+           cb)
+  in
+  let report what tw th =
+    let speedup = tw /. th in
+    Printf.printf "%-12s %12.0f ns/run tree-walk %12.0f ns/run threaded  %5.2fx\n"
+      what tw th speedup;
+    speedup
+  in
+  (* interpreter: unoptimized bytecode, one VM per engine *)
+  let interp_of engine =
+    let p =
+      Core.Splitc.frontend ~name:k.Pvkernels.Kernels.name
+        k.Pvkernels.Kernels.source
+    in
+    let img = Pvvm.Image.load p in
+    Pvkernels.Harness.fill_inputs img;
+    Pvvm.Interp.create ~fuel:Int64.max_int ~engine img
+  in
+  let it_tw = interp_of Pvvm.Interp.Tree_walk in
+  let it_th = interp_of Pvvm.Interp.Threaded in
+  let once_i it = (Pvvm.Interp.run it entry kargs, Pvvm.Interp.output it, Pvvm.Interp.cycles it) in
+  check_equal "interpreter" (once_i it_tw) (once_i it_th);
+  let i_tw = measure "interp/tree-walk" (fun () -> ignore (Pvvm.Interp.run it_tw entry kargs)) in
+  let i_th = measure "interp/threaded" (fun () -> ignore (Pvvm.Interp.run it_th entry kargs)) in
+  let i_speedup = report "interpreter" i_tw i_th in
+  (* simulator: JIT output on x86ish, one sim per engine.  The scalar
+     (traditional-mode) pipeline is the dispatch-bound hot loop; the
+     vectorized (split-mode) pipeline amortizes dispatch across 16 lanes,
+     so its engine ratio is bounded by the shared per-lane work. *)
+  let sim_pair what mode =
+    let bc =
+      Core.Splitc.distribute
+        (Core.Splitc.offline ~mode
+           (Core.Splitc.frontend ~name:k.Pvkernels.Kernels.name
+              k.Pvkernels.Kernels.source))
+    in
+    let sim_of engine =
+      let on =
+        Core.Splitc.online ~mode ~machine:Pvmach.Machine.x86ish ~engine bc
+      in
+      Pvkernels.Harness.fill_inputs on.Core.Splitc.img;
+      on.Core.Splitc.sim
+    in
+    let sim_tw = sim_of Pvvm.Sim.Tree_walk in
+    let sim_th = sim_of Pvvm.Sim.Threaded in
+    let once_s sim =
+      (Pvvm.Sim.run sim entry kargs, Pvvm.Sim.output sim, Pvvm.Sim.cycles sim)
+    in
+    check_equal what (once_s sim_tw) (once_s sim_th);
+    let s_tw =
+      measure (what ^ "/tree-walk") (fun () ->
+          ignore (Pvvm.Sim.run sim_tw entry kargs))
+    in
+    let s_th =
+      measure (what ^ "/threaded") (fun () ->
+          ignore (Pvvm.Sim.run sim_th entry kargs))
+    in
+    let s_speedup = report what s_tw s_th in
+    ( what,
+      Json.Obj
+        [
+          ("tree_walk_ns", Json.Float s_tw);
+          ("threaded_ns", Json.Float s_th);
+          ("speedup", Json.Float s_speedup);
+        ] )
+  in
+  let scalar_row = sim_pair "sim/scalar" Core.Splitc.Traditional_deferred in
+  let vector_row = sim_pair "sim/vector" Core.Splitc.Split in
+  record "engines"
+    (Json.Obj
+       [
+         ("kernel", Json.Str k.Pvkernels.Kernels.name);
+         ("n", Json.Int (Int64.of_int n));
+         ( "interp",
+           Json.Obj
+             [
+               ("tree_walk_ns", Json.Float i_tw);
+               ("threaded_ns", Json.Float i_th);
+               ("speedup", Json.Float i_speedup);
+             ] );
+         scalar_row;
+         vector_row;
+       ]);
+  Printf.printf
+    "\nshape check: pre-decoding pays off on every hot loop (target >= 3x on\n\
+     the dispatch-bound interpreter and scalar-simulator loops; the\n\
+     vectorized loop amortizes dispatch over 16 lanes, so its ratio is\n\
+     bounded by shared per-lane work).  Cycle counts, results and printed\n\
+     output are identical across engines by construction.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments () =
   table1 ();
@@ -579,11 +829,39 @@ let all_experiments () =
   lto ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] | [] ->
+  (* global flags may appear anywhere: --json FILE writes machine-readable
+     results; --engine tree-walk|threaded selects the host execution
+     engine (simulated cycle counts do not depend on it) *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | "--engine" :: name :: rest ->
+      (match name with
+      | "tree-walk" ->
+        sim_engine := Pvvm.Sim.Tree_walk;
+        interp_engine := Pvvm.Interp.Tree_walk
+      | "threaded" ->
+        sim_engine := Pvvm.Sim.Threaded;
+        interp_engine := Pvvm.Interp.Threaded
+      | other ->
+        Printf.eprintf "unknown engine %s (try: tree-walk threaded)\n" other;
+        exit 1);
+      parse acc rest
+    | ("--json" | "--engine") :: [] ->
+      Printf.eprintf "--json and --engine need an argument\n";
+      exit 1
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args =
+    parse [] (match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest)
+  in
+  (match args with
+  | [] ->
     all_experiments ();
     bechamel ()
-  | _ :: args ->
+  | args ->
     List.iter
       (function
         | "table1" -> table1 ()
@@ -595,11 +873,19 @@ let () =
         | "adaptive" -> adaptive ()
         | "lto" -> lto ()
         | "bechamel" -> bechamel ()
+        | "engines" -> engines ()
         | "all" -> all_experiments ()
         | other ->
           Printf.eprintf
             "unknown experiment %s (try: table1 figure1 regalloc offload size \
-             ablation bechamel)\n"
+             ablation adaptive lto bechamel engines)\n"
             other;
           exit 1)
-      args
+      args);
+  match !json_file with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Json.to_string (Json.Obj (List.rev !recorded)));
+    output_char oc '\n';
+    close_out oc
+  | None -> ()

@@ -70,7 +70,7 @@ let distribute (r : offline_result) : string = Pvir.Serial.encode r.prog
 (** The on-device step: decode, verify, load, optimize (per mode), and JIT
     for [machine].  [bytecode] is the string produced by {!distribute}. *)
 let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
-    (bytecode : string) : online_result =
+    ?(engine = Pvvm.Sim.Threaded) (bytecode : string) : online_result =
   let account = Pvir.Account.create () in
   let p = Pvir.Serial.decode bytecode in
   let p, hints =
@@ -84,18 +84,20 @@ let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
   in
   let img = Pvvm.Image.load ~mem_size p in
   let sim, jit = Pvjit.Jit.compile_program ~account ~machine ~hints img in
+  sim.Pvvm.Sim.engine <- engine;
   { sim; online_work = account; jit; img }
 
 (** Interpret the bytecode instead of JIT-compiling it (the baseline
     execution mode of early virtual machines). *)
-let interpret ?(mem_size = 1 lsl 20) (bytecode : string) : Pvvm.Interp.t =
+let interpret ?(mem_size = 1 lsl 20) ?(engine = Pvvm.Interp.Threaded)
+    (bytecode : string) : Pvvm.Interp.t =
   let p = Pvir.Serial.decode bytecode in
   let img = Pvvm.Image.load ~mem_size p in
-  Pvvm.Interp.create img
+  Pvvm.Interp.create ~engine img
 
 (** One call from source text to a device-resident simulator. *)
-let run_source ?(mode = Split) ~(machine : Pvmach.Machine.t) ?mem_size
+let run_source ?(mode = Split) ~(machine : Pvmach.Machine.t) ?mem_size ?engine
     (src : string) : offline_result * online_result =
   let off = offline ~mode (frontend src) in
-  let on = online ~mode ~machine ?mem_size (distribute off) in
+  let on = online ~mode ~machine ?mem_size ?engine (distribute off) in
   (off, on)

@@ -50,17 +50,23 @@ val offline : ?mode:mode -> Pvir.Prog.t -> offline_result
 val distribute : offline_result -> string
 
 (** The on-device step: decode, verify, load, optimize per [mode], JIT for
-    [machine].  [mem_size] is the device memory in bytes (default 1 MiB).
+    [machine].  [mem_size] is the device memory in bytes (default 1 MiB);
+    [engine] selects the simulator's host execution engine (default
+    [Threaded]; cycle counts do not depend on it).
     @raise Pvir.Serial.Corrupt or Pvir.Verify.Error on bad bytecode. *)
 val online :
   ?mode:mode ->
   machine:Pvmach.Machine.t ->
   ?mem_size:int ->
+  ?engine:Pvvm.Sim.engine ->
   string ->
   online_result
 
-(** Interpret the bytecode instead of JIT-compiling it. *)
-val interpret : ?mem_size:int -> string -> Pvvm.Interp.t
+(** Interpret the bytecode instead of JIT-compiling it.  [engine] selects
+    the interpreter's host execution engine (default [Threaded]; cycle
+    counts do not depend on it). *)
+val interpret :
+  ?mem_size:int -> ?engine:Pvvm.Interp.engine -> string -> Pvvm.Interp.t
 
 (** One call from source text to a device-resident simulator:
     [frontend |> offline |> distribute |> online]. *)
@@ -68,5 +74,6 @@ val run_source :
   ?mode:mode ->
   machine:Pvmach.Machine.t ->
   ?mem_size:int ->
+  ?engine:Pvvm.Sim.engine ->
   string ->
   offline_result * online_result

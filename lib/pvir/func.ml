@@ -18,6 +18,10 @@ type t = {
   mutable annots : Annot.t;
   mutable loop_annots : (int * Annot.t) list;
       (** keyed by loop-header block label *)
+  mutable block_index : (block list * (int, block) Hashtbl.t) option;
+      (** memoized label→block table, valid only while the [blocks] list it
+          was built from is physically the current one (passes that rebuild
+          [blocks] invalidate it for free) *)
 }
 
 let create ~name ~params ~ret =
@@ -33,6 +37,7 @@ let create ~name ~params ~ret =
     next_label = 0;
     annots = Annot.empty;
     loop_annots = [];
+    block_index = None;
   }
 
 (** Allocate a fresh virtual register of type [ty]. *)
@@ -57,8 +62,22 @@ let add_block fn =
   fn.blocks <- fn.blocks @ [ b ];
   b
 
+(* O(1) after the first lookup: the table is rebuilt whenever [fn.blocks]
+   is a different list from the one it was computed for.  Labels stay
+   first-match to mirror the original [List.find_opt] behaviour. *)
+let block_table fn =
+  match fn.block_index with
+  | Some (blocks, tbl) when blocks == fn.blocks -> tbl
+  | _ ->
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun b -> if not (Hashtbl.mem tbl b.label) then Hashtbl.add tbl b.label b)
+      fn.blocks;
+    fn.block_index <- Some (fn.blocks, tbl);
+    tbl
+
 let find_block fn label =
-  match List.find_opt (fun b -> b.label = label) fn.blocks with
+  match Hashtbl.find_opt (block_table fn) label with
   | Some b -> b
   | None ->
     invalid_arg (Printf.sprintf "Func.find_block: no block %d in %s" label fn.name)
@@ -112,4 +131,5 @@ let copy fn =
     blocks =
       List.map (fun b -> { b with instrs = b.instrs }) fn.blocks;
     reg_ty = Hashtbl.copy fn.reg_ty;
+    block_index = None;
   }

@@ -483,6 +483,7 @@ let parse_func st : Func.t =
     next_label = max_label;
     annots = !annots;
     loop_annots = List.rev !loop_annots;
+    block_index = None;
   }
 
 let parse_global st : Prog.global =

@@ -493,6 +493,7 @@ let r_func r : Func.t =
     next_label;
     annots;
     loop_annots;
+    block_index = None;
   }
 
 let w_extern b (e : Prog.extern) =

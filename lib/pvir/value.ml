@@ -131,13 +131,15 @@ let pp ppf v = Format.pp_print_string ppf (to_string v)
     Vectors are stored lane after lane. *)
 let rec write_bytes (buf : Bytes.t) off v =
   match v with
-  | Int (s, x) ->
-    let n = Types.scalar_size s in
-    let u = unsigned s x in
-    for i = 0 to n - 1 do
-      Bytes.set_uint8 buf (off + i)
-        (Int64.to_int (Int64.logand (Int64.shift_right_logical u (8 * i)) 0xFFL))
-    done
+  | Int (s, x) -> (
+    (* direct little-endian stores; each masked store writes the same
+       bytes as looping over the [unsigned s x] view one byte at a time *)
+    match s with
+    | Types.I8 -> Bytes.set_uint8 buf off (Int64.to_int x land 0xFF)
+    | Types.I16 -> Bytes.set_uint16_le buf off (Int64.to_int x land 0xFFFF)
+    | Types.I32 -> Bytes.set_int32_le buf off (Int64.to_int32 x)
+    | Types.I64 -> Bytes.set_int64_le buf off x
+    | Types.F32 | Types.F64 -> ignore (unsigned s x : int64))
   | Float (Types.F32, x) ->
     Bytes.set_int32_le buf off (Int32.bits_of_float x)
   | Float (_, x) -> Bytes.set_int64_le buf off (Int64.bits_of_float x)
@@ -150,18 +152,49 @@ let rec write_bytes (buf : Bytes.t) off v =
 let rec read_bytes (buf : Bytes.t) off (t : Types.t) =
   match t with
   | Types.Ptr _ -> read_bytes buf off Types.i64
-  | Types.Scalar s when not (Types.is_float_scalar s) ->
-    let n = Types.scalar_size s in
-    let u = ref 0L in
-    for i = n - 1 downto 0 do
-      u := Int64.logor (Int64.shift_left !u 8)
-             (Int64.of_int (Bytes.get_uint8 buf (off + i)))
-    done;
-    Int (s, normalize s !u)
+  (* the signed little-endian getters sign-extend exactly like
+     [normalize] applied to the byte-accumulated unsigned view *)
+  | Types.Scalar Types.I8 -> Int (Types.I8, Int64.of_int (Bytes.get_int8 buf off))
+  | Types.Scalar Types.I16 ->
+    Int (Types.I16, Int64.of_int (Bytes.get_int16_le buf off))
+  | Types.Scalar Types.I32 ->
+    Int (Types.I32, Int64.of_int32 (Bytes.get_int32_le buf off))
+  | Types.Scalar Types.I64 -> Int (Types.I64, Bytes.get_int64_le buf off)
   | Types.Scalar Types.F32 ->
     Float (Types.F32, Int32.float_of_bits (Bytes.get_int32_le buf off))
-  | Types.Scalar _ ->
+  | Types.Scalar Types.F64 ->
     Float (Types.F64, Int64.float_of_bits (Bytes.get_int64_le buf off))
-  | Types.Vector (s, n) ->
-    let esz = Types.scalar_size s in
-    Vec (Array.init n (fun i -> read_bytes buf (off + (i * esz)) (Types.Scalar s)))
+  | Types.Vector (s, n) -> (
+    (* lane-type match hoisted out of the per-lane loop *)
+    match s with
+    | Types.I8 ->
+      Vec
+        (Array.init n (fun i ->
+             Int (Types.I8, Int64.of_int (Bytes.get_int8 buf (off + i)))))
+    | Types.I16 ->
+      Vec
+        (Array.init n (fun i ->
+             Int
+               (Types.I16, Int64.of_int (Bytes.get_int16_le buf (off + (i * 2))))))
+    | Types.I32 ->
+      Vec
+        (Array.init n (fun i ->
+             Int
+               ( Types.I32,
+                 Int64.of_int32 (Bytes.get_int32_le buf (off + (i * 4))) )))
+    | Types.I64 ->
+      Vec
+        (Array.init n (fun i ->
+             Int (Types.I64, Bytes.get_int64_le buf (off + (i * 8)))))
+    | Types.F32 ->
+      Vec
+        (Array.init n (fun i ->
+             Float
+               ( Types.F32,
+                 Int32.float_of_bits (Bytes.get_int32_le buf (off + (i * 4))) )))
+    | Types.F64 ->
+      Vec
+        (Array.init n (fun i ->
+             Float
+               ( Types.F64,
+                 Int64.float_of_bits (Bytes.get_int64_le buf (off + (i * 8))) ))))

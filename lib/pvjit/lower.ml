@@ -47,6 +47,7 @@ let run ?account ~(machine : Machine.t) ~(resolve_global : string -> int)
       vreg_ty;
       next_vreg = fn.next_reg;
       target = machine;
+      mblock_index = None;
     }
   in
   let alloca_offsets = Hashtbl.create 4 in

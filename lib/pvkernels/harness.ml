@@ -75,13 +75,15 @@ let observation_equal (a : observation) (b : observation) =
        a.globals b.globals
 
 (** Run [k] under the reference interpreter (on unoptimized bytecode).
-    Returns the observation and the interpreter cycle count. *)
-let run_interp ?(n = Kernels.n_default) (k : Kernels.t) :
-    observation * int64 =
+    Returns the observation and the interpreter cycle count.  [engine]
+    picks the host execution engine; observations and cycle counts do not
+    depend on it. *)
+let run_interp ?(n = Kernels.n_default) ?(engine = Pvvm.Interp.Threaded)
+    (k : Kernels.t) : observation * int64 =
   let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
   let img = Pvvm.Image.load p in
   fill_inputs img;
-  let it = Pvvm.Interp.create img in
+  let it = Pvvm.Interp.create ~engine img in
   let result = Pvvm.Interp.run it k.Kernels.entry (args k n) in
   ( { result; globals = observe_globals img; printed = Pvvm.Interp.output it },
     Pvvm.Interp.cycles it )
@@ -99,11 +101,12 @@ type run = {
 
 (** Compile [k] in [mode] for [machine] and execute once with [n]
     elements. *)
-let run_jit ?(n = Kernels.n_default) ~mode ~machine (k : Kernels.t) : run =
+let run_jit ?(n = Kernels.n_default) ?engine ~mode ~machine (k : Kernels.t) :
+    run =
   let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
   let off = Core.Splitc.offline ~mode p in
   let bc = Core.Splitc.distribute off in
-  let on = Core.Splitc.online ~mode ~machine bc in
+  let on = Core.Splitc.online ~mode ~machine ?engine bc in
   fill_inputs on.Core.Splitc.img;
   let result = Pvvm.Sim.run on.Core.Splitc.sim k.Kernels.entry (args k n) in
   let sim = on.Core.Splitc.sim in
@@ -138,10 +141,12 @@ type table1_cell = {
   speedup : float;
 }
 
-let table1_cell ?(n = Kernels.n_default) ~machine (k : Kernels.t) :
+let table1_cell ?(n = Kernels.n_default) ?engine ~machine (k : Kernels.t) :
     table1_cell =
-  let scalar = run_jit ~n ~mode:Core.Splitc.Traditional_deferred ~machine k in
-  let vector = run_jit ~n ~mode:Core.Splitc.Split ~machine k in
+  let scalar =
+    run_jit ~n ?engine ~mode:Core.Splitc.Traditional_deferred ~machine k
+  in
+  let vector = run_jit ~n ?engine ~mode:Core.Splitc.Split ~machine k in
   if not (observation_equal scalar.obs vector.obs) then
     failwith
       (Printf.sprintf "kernel %s: scalar and vectorized results differ on %s"

@@ -63,6 +63,9 @@ type func = {
   vreg_ty : (int, Pvir.Types.t) Hashtbl.t;
   mutable next_vreg : int;
   target : Machine.t;
+  mutable mblock_index : (block list * (int, block) Hashtbl.t) option;
+      (** memoized label→block table, valid only while the [mblocks] list
+          it was built from is physically the current one *)
 }
 
 let class_of_type (ty : Pvir.Types.t) =
@@ -88,8 +91,22 @@ let reg_type fn = function
   | V v -> vreg_type fn v
   | P _ -> invalid_arg "Mir.reg_type: physical register"
 
+(* O(1) after the first lookup; rebuilt whenever [fn.mblocks] is a
+   different list from the one the table was computed for. *)
+let block_table fn =
+  match fn.mblock_index with
+  | Some (blocks, tbl) when blocks == fn.mblocks -> tbl
+  | _ ->
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        if not (Hashtbl.mem tbl b.mlabel) then Hashtbl.add tbl b.mlabel b)
+      fn.mblocks;
+    fn.mblock_index <- Some (fn.mblocks, tbl);
+    tbl
+
 let find_block fn l =
-  match List.find_opt (fun b -> b.mlabel = l) fn.mblocks with
+  match Hashtbl.find_opt (block_table fn) l with
   | Some b -> b
   | None -> invalid_arg (Printf.sprintf "Mir.find_block: no block %d in %s" l fn.mname)
 

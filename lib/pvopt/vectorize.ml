@@ -563,6 +563,7 @@ let transform (fn : Func.t) (info : loop_info) (body : body_info) : int =
     List.find_opt (fun (i, _) -> Instr.def i = Some r) body.instrs
   in
   let clone_memo = Hashtbl.create 8 in
+  let cloning = Hashtbl.create 8 in
   let rec clone_uniform r =
     match Hashtbl.find_opt clone_memo r with
     | Some r' -> r'
@@ -570,6 +571,11 @@ let transform (fn : Func.t) (info : loop_info) (body : body_info) : int =
       match body_def r with
       | None -> r (* defined outside the loop: already invariant *)
       | Some (i, Kuniform) ->
+        (* a def reachable from its own operands (r3 = r3 | 0) cannot be
+           recomputed in the preheader: leave the loop scalar *)
+        if Hashtbl.mem cloning r then
+          bail "cyclic uniform definition of r%d" r;
+        Hashtbl.replace cloning r ();
         let operands = Instr.uses i in
         let mapped = List.map clone_uniform operands in
         let d = Func.fresh_reg fn (Func.reg_type fn r) in
@@ -738,6 +744,10 @@ let run_func ?account (prog : Prog.t) (fn : Func.t) : result =
   let bailed = ref [] in
   List.iter
     (fun lp ->
+      (* [transform] mutates the CFG before its last chance to bail, so
+         snapshot the blocks and roll back on Bail to keep the function
+         intact for the scalar fallback (and for the remaining loops) *)
+      let saved = Func.copy fn in
       match
         let info = recognize fn cfg lp in
         let body = classify_body fn prog info lp in
@@ -754,6 +764,8 @@ let run_func ?account (prog : Prog.t) (fn : Func.t) : result =
              (Annot.add "pv.vector_factor" (Annot.Int vf)
                 (Func.loop_annot fn lp.Loops.header)))
       | exception Bail reason ->
+        fn.Func.blocks <- saved.Func.blocks;
+        fn.Func.block_index <- None;
         bailed := (lp.Loops.header, reason) :: !bailed)
     innermost;
   if !vectorized <> [] then

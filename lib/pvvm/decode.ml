@@ -1,0 +1,219 @@
+(** One-time pre-decoding of PVIR functions for the interpreter.
+
+    A [Pvir.Func.t] is a CFG of instruction *lists* with label-addressed
+    branches: executing it directly pays a [find_block] scan per branch, a
+    [Hashtbl] type lookup per [Conv]/[Splat], and a cost computation per
+    instruction.  [func] compiles it once into a flat array form in which
+    block labels are array indices, per-instruction dispatch cost is a
+    precomputed constant, and conversion/splat destination types are
+    resolved — the direct-threaded dispatch loop in {!Interp} then runs
+    over arrays only.
+
+    Decoding never changes observable semantics: instructions whose static
+    information is incomplete (an unknown register type, an unknown
+    global) decode to [*Dyn] forms that replay the tree-walking engine's
+    exact behaviour — including which exception is raised, and when — at
+    execution time. *)
+
+type dinstr =
+  | DConst of { cost : int; d : int; v : Pvir.Value.t }
+  | DMov of { cost : int; d : int; a : int }
+  | DGaddr of { cost : int; d : int; v : Pvir.Value.t }
+      (** the resolved address as a ready-made value (addresses are
+          immutable i64s, so sharing one is unobservable) *)
+  | DGaddrDyn of { cost : int; d : int; g : string }
+      (** global unknown at decode time: resolve (and fail) like the
+          tree-walker *)
+  | DBinop of {
+      cost : int;  (** dispatch + lanes of the (static) operand type *)
+      f : Pvir.Value.t -> Pvir.Value.t -> Pvir.Value.t;
+          (** {!Fastop.binop}-specialized; may raise
+              [Pvir.Eval.Division_by_zero] *)
+      d : int;
+      a : int;
+      b : int;
+    }
+  | DBinopDyn of { op : Pvir.Instr.binop; d : int; a : int; b : int }
+      (** operand type unknown at decode time: cost from the runtime value *)
+  | DUnop of { cost : int; op : Pvir.Instr.unop; d : int; a : int }
+  | DConv of {
+      cost : int;
+      f : Pvir.Value.t -> Pvir.Value.t;  (** {!Fastop.conv}-specialized *)
+      d : int;
+      a : int;
+    }
+  | DConvDyn of { cost : int; kind : Pvir.Instr.conv; d : int; a : int }
+  | DCmp of {
+      cost : int;
+      f : Pvir.Value.t -> Pvir.Value.t -> Pvir.Value.t;
+          (** {!Fastop.cmp}-specialized *)
+      d : int;
+      a : int;
+      b : int;
+    }
+  | DSelect of { cost : int; d : int; c : int; a : int; b : int }
+  | DLoad of {
+      cost : int;
+      ty : Pvir.Types.t;
+      size : int;  (** [Types.size ty], precomputed *)
+      d : int;
+      base : int;
+      off : int;
+    }
+  | DStore of { cost : int; src : int; base : int; off : int }
+  | DAlloca of { cost : int; d : int; bytes : int }
+  | DCall of {
+      cost : int;
+      d : int option;
+      name : string;
+      callee : Pvir.Func.t option;  (** [None] = intrinsic (or unknown) *)
+      args : int array;
+    }
+  | DSplat of { cost : int; d : int; a : int; n : int }
+  | DSplatDyn of { cost : int; d : int; a : int }
+  | DExtract of { cost : int; d : int; a : int; lane : int }
+  | DReduce of { cost : int; op : Pvir.Instr.redop; d : int; a : int }
+  | DSeed of { inst : Pvir.Instr.t }
+      (** instruction mentioning a register outside [0, next_reg):
+          replayed through the tree-walking semantics at execution time so
+          the out-of-bounds access raises the seed's exact
+          [Invalid_argument].  Every other variant's registers are
+          decode-validated, which is what lets the executor use unchecked
+          array access on the register file. *)
+
+type dterm =
+  | DBr of int  (** block array index *)
+  | DCbr of int * int * int  (** condition register, then-index, else-index *)
+  | DRet of int option
+
+type dblock = {
+  dlabel : int;  (** original label, for the profiler hook *)
+  dinstrs : dinstr array;
+  dterm : dterm;
+}
+
+type dfunc = {
+  dname : string;
+  dnparams : int;
+  dparams : int list;
+  dnext_reg : int;
+  dblocks : dblock array;
+  dsrc : Pvir.Func.t;  (** identity key: re-decode when replaced *)
+}
+
+let decode_instr ~dispatch_cost ~img ~(fn : Pvir.Func.t) (i : Pvir.Instr.t) :
+    dinstr =
+  let reg_ty r = Hashtbl.find_opt fn.Pvir.Func.reg_ty r in
+  let base = dispatch_cost + 1 in
+  match i with
+  | Pvir.Instr.Const (d, v) -> DConst { cost = base; d; v }
+  | Pvir.Instr.Mov (d, a) -> DMov { cost = base; d; a }
+  | Pvir.Instr.Gaddr (d, g) -> (
+    match Hashtbl.find_opt img.Image.global_addr g with
+    | Some addr ->
+      DGaddr { cost = base; d; v = Pvir.Value.i64 (Int64.of_int addr) }
+    | None -> DGaddrDyn { cost = base; d; g })
+  | Pvir.Instr.Binop (op, d, a, b) -> (
+    match reg_ty a with
+    | Some ty ->
+      DBinop
+        {
+          cost = dispatch_cost + Pvir.Types.lanes ty;
+          f = Fastop.binop op ty;
+          d;
+          a;
+          b;
+        }
+    | None -> DBinopDyn { op; d; a; b })
+  | Pvir.Instr.Unop (op, d, a) -> DUnop { cost = base; op; d; a }
+  | Pvir.Instr.Conv (kind, d, a) -> (
+    match reg_ty d with
+    | Some dst_ty -> DConv { cost = base; f = Fastop.conv kind dst_ty; d; a }
+    | None -> DConvDyn { cost = base; kind; d; a })
+  | Pvir.Instr.Cmp (op, d, a, b) ->
+    let f =
+      match reg_ty a with
+      | Some ty -> Fastop.cmp op ty
+      | None -> Pvir.Eval.cmp op
+    in
+    DCmp { cost = base; f; d; a; b }
+  | Pvir.Instr.Select (d, c, a, b) -> DSelect { cost = base; d; c; a; b }
+  | Pvir.Instr.Load (ty, d, base_r, off) ->
+    DLoad
+      {
+        cost = dispatch_cost + Pvir.Types.lanes ty;
+        ty;
+        size = Pvir.Types.size ty;
+        d;
+        base = base_r;
+        off;
+      }
+  | Pvir.Instr.Store (ty, src, base_r, off) ->
+    DStore { cost = dispatch_cost + Pvir.Types.lanes ty; src; base = base_r; off }
+  | Pvir.Instr.Alloca (d, bytes) -> DAlloca { cost = base; d; bytes }
+  | Pvir.Instr.Call (d, name, args) ->
+    DCall
+      {
+        cost = base;
+        d;
+        name;
+        callee = Image.find_func img name;
+        args = Array.of_list args;
+      }
+  | Pvir.Instr.Splat (d, a) -> (
+    match reg_ty d with
+    | Some (Pvir.Types.Vector (_, n)) -> DSplat { cost = base; d; a; n }
+    | Some _ | None -> DSplatDyn { cost = base; d; a })
+  | Pvir.Instr.Extract (d, a, lane) -> DExtract { cost = base; d; a; lane }
+  | Pvir.Instr.Reduce (op, d, a) -> DReduce { cost = base; op; d; a }
+
+(** [func ~dispatch_cost ~img fn] pre-decodes [fn] for execution with the
+    given dispatch cost against [img].  Raises the same [Invalid_argument]
+    as [Pvir.Func.find_block] if a terminator targets a missing block
+    (the verifier rejects such programs before they reach the VM). *)
+let func ~dispatch_cost ~(img : Image.t) (fn : Pvir.Func.t) : dfunc =
+  let blocks = Array.of_list fn.Pvir.Func.blocks in
+  let idx_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (b : Pvir.Func.block) ->
+      if not (Hashtbl.mem idx_of b.Pvir.Func.label) then
+        Hashtbl.add idx_of b.Pvir.Func.label i)
+    blocks;
+  let target l =
+    match Hashtbl.find_opt idx_of l with
+    | Some i -> i
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Func.find_block: no block %d in %s" l fn.Pvir.Func.name)
+  in
+  let in_range i =
+    let n = fn.Pvir.Func.next_reg in
+    let ok r = r >= 0 && r < n in
+    (match Pvir.Instr.def i with Some d -> ok d | None -> true)
+    && List.for_all ok (Pvir.Instr.uses i)
+  in
+  let decode_block (b : Pvir.Func.block) =
+    {
+      dlabel = b.Pvir.Func.label;
+      dinstrs =
+        Array.of_list
+          (List.map
+             (fun i ->
+               if in_range i then decode_instr ~dispatch_cost ~img ~fn i
+               else DSeed { inst = i })
+             b.Pvir.Func.instrs);
+      dterm =
+        (match b.Pvir.Func.term with
+        | Pvir.Instr.Br l -> DBr (target l)
+        | Pvir.Instr.Cbr (c, l1, l2) -> DCbr (c, target l1, target l2)
+        | Pvir.Instr.Ret r -> DRet r);
+    }
+  in
+  {
+    dname = fn.Pvir.Func.name;
+    dnparams = List.length fn.Pvir.Func.params;
+    dparams = fn.Pvir.Func.params;
+    dnext_reg = fn.Pvir.Func.next_reg;
+    dblocks = Array.map decode_block blocks;
+    dsrc = fn;
+  }

@@ -1,0 +1,235 @@
+(** Decode-time specialization of PVIR operator semantics.
+
+    {!Pvir.Eval} re-discovers, on every executed instruction, facts the
+    decoders already know statically: which arm of the operator the
+    opcode selects, whether the operands are integer or float, and what
+    normalization the result width needs.  The functions here are called
+    once per decoded instruction and return a closure with all of those
+    decisions taken.
+
+    Every closure guards on the runtime shape of its operands and falls
+    back to {!Pvir.Eval} on any mismatch (mixed scalars, unexpected
+    width, lane-count surprises), so results — including every raised
+    exception — are bit-identical with the tree-walking engines, which
+    call {!Pvir.Eval} directly. *)
+
+open Pvir
+
+(* width normalization / unsigned view with the scalar match hoisted out *)
+let norm_fn (s : Types.scalar) : int64 -> int64 =
+  match s with
+  | Types.I64 -> fun x -> x
+  | Types.I8 | Types.I16 | Types.I32 ->
+    let sh = 64 - Value.bits s in
+    fun x -> Int64.shift_right (Int64.shift_left x sh) sh
+  | Types.F32 | Types.F64 -> fun x -> Value.normalize s x
+
+let unsigned_fn (s : Types.scalar) : int64 -> int64 =
+  match s with
+  | Types.I64 -> fun x -> x
+  | Types.I8 | Types.I16 | Types.I32 ->
+    let mask = Int64.sub (Int64.shift_left 1L (Value.bits s)) 1L in
+    fun x -> Int64.logand x mask
+  | Types.F32 | Types.F64 -> fun x -> Value.unsigned s x
+
+(* ---------------- binop ---------------- *)
+
+(* raw integer operator at width [s]; may raise [Eval.Division_by_zero],
+   exactly like [Eval.int_binop] *)
+let int_raw (op : Instr.binop) (s : Types.scalar) : int64 -> int64 -> int64 =
+  let u = unsigned_fn s in
+  match op with
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Mul -> Int64.mul
+  | Div ->
+    fun a b ->
+      if Int64.equal b 0L then raise Eval.Division_by_zero else Int64.div a b
+  | Udiv ->
+    fun a b ->
+      if Int64.equal b 0L then raise Eval.Division_by_zero
+      else Int64.unsigned_div (u a) (u b)
+  | Rem ->
+    fun a b ->
+      if Int64.equal b 0L then raise Eval.Division_by_zero else Int64.rem a b
+  | Urem ->
+    fun a b ->
+      if Int64.equal b 0L then raise Eval.Division_by_zero
+      else Int64.unsigned_rem (u a) (u b)
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Shl -> fun a b -> Int64.shift_left a (Int64.to_int b land 63)
+  | Lshr -> fun a b -> Int64.shift_right_logical (u a) (Int64.to_int b land 63)
+  | Ashr -> fun a b -> Int64.shift_right a (Int64.to_int b land 63)
+  | Min -> fun a b -> if Int64.compare a b <= 0 then a else b
+  | Max -> fun a b -> if Int64.compare a b >= 0 then a else b
+  | Umin -> fun a b -> if Int64.unsigned_compare (u a) (u b) <= 0 then a else b
+  | Umax -> fun a b -> if Int64.unsigned_compare (u a) (u b) >= 0 then a else b
+
+let float_raw (op : Instr.binop) : (float -> float -> float) option =
+  match op with
+  | Add -> Some ( +. )
+  | Sub -> Some ( -. )
+  | Mul -> Some ( *. )
+  | Div -> Some ( /. )
+  | Min -> Some Float.min
+  | Max -> Some Float.max
+  | Udiv | Rem | Urem | And | Or | Xor | Shl | Lshr | Ashr | Umin | Umax ->
+    None
+
+(* scalar binop specialized to [s]; guard on the runtime scalar of the
+   left operand because [Eval.scalar_binop] takes its width from it *)
+let scalar_binop_fn (op : Instr.binop) (s : Types.scalar) :
+    Value.t -> Value.t -> Value.t =
+  if Types.is_float_scalar s then
+    match float_raw op with
+    | None -> Eval.binop op (* let Eval raise its message *)
+    | Some f -> (
+      match s with
+      | Types.F64 -> (
+        fun a b ->
+          match (a, b) with
+          | Value.Float (Types.F64, x), Value.Float (_, y) ->
+            Value.Float (Types.F64, f x y)
+          | _ -> Eval.binop op a b)
+      | _ -> (
+        fun a b ->
+          match (a, b) with
+          | Value.Float (sa, x), Value.Float (_, y) when sa = s ->
+            Value.Float (s, Value.normalize_float s (f x y))
+          | _ -> Eval.binop op a b))
+  else
+    let f = int_raw op s in
+    match s with
+    | Types.I64 -> (
+      fun a b ->
+        match (a, b) with
+        | Value.Int (Types.I64, x), Value.Int (_, y) ->
+          Value.Int (Types.I64, f x y)
+        | _ -> Eval.binop op a b)
+    | _ -> (
+      let norm = norm_fn s in
+      fun a b ->
+        match (a, b) with
+        | Value.Int (sa, x), Value.Int (_, y) when sa = s ->
+          Value.Int (s, norm (f x y))
+        | _ -> Eval.binop op a b)
+
+(** [binop op ty] = [Pvir.Eval.binop op] for operands of static type
+    [ty], specialized once. *)
+let binop (op : Instr.binop) (ty : Types.t) : Value.t -> Value.t -> Value.t =
+  match ty with
+  | Types.Scalar s -> scalar_binop_fn op s
+  | Types.Ptr _ -> scalar_binop_fn op Types.I64 (* addresses are i64 *)
+  | Types.Vector (s, _) ->
+    let g = scalar_binop_fn op s in
+    fun a b -> (
+      match (a, b) with
+      | Value.Vec ea, Value.Vec eb when Array.length ea = Array.length eb ->
+        Value.Vec (Array.mapi (fun i x -> g x eb.(i)) ea)
+      | _ -> Eval.binop op a b)
+
+(* ---------------- cmp ---------------- *)
+
+(* comparisons always produce a scalar i32 0/1; the two results are
+   immutable, so the specialized closures share them *)
+let vtrue = Value.i32 1
+let vfalse = Value.i32 0
+
+let int_cmp_raw (op : Instr.relop) (s : Types.scalar) : int64 -> int64 -> bool
+    =
+  let u = unsigned_fn s in
+  match op with
+  | Eq -> Int64.equal
+  | Ne -> fun a b -> not (Int64.equal a b)
+  | Slt -> fun a b -> Int64.compare a b < 0
+  | Sle -> fun a b -> Int64.compare a b <= 0
+  | Sgt -> fun a b -> Int64.compare a b > 0
+  | Sge -> fun a b -> Int64.compare a b >= 0
+  | Ult -> fun a b -> Int64.unsigned_compare (u a) (u b) < 0
+  | Ule -> fun a b -> Int64.unsigned_compare (u a) (u b) <= 0
+  | Ugt -> fun a b -> Int64.unsigned_compare (u a) (u b) > 0
+  | Uge -> fun a b -> Int64.unsigned_compare (u a) (u b) >= 0
+
+let float_cmp_raw (op : Instr.relop) : (float -> float -> bool) option =
+  match op with
+  | Eq -> Some (fun a b -> a = b)
+  | Ne -> Some (fun a b -> a <> b)
+  | Slt -> Some (fun a b -> a < b)
+  | Sle -> Some (fun a b -> a <= b)
+  | Sgt -> Some (fun a b -> a > b)
+  | Sge -> Some (fun a b -> a >= b)
+  | Ult | Ule | Ugt | Uge -> None
+
+(** [cmp op ty] = [Pvir.Eval.cmp op] for operands of static type [ty]. *)
+let cmp (op : Instr.relop) (ty : Types.t) : Value.t -> Value.t -> Value.t =
+  let scalar =
+    match ty with
+    | Types.Scalar s -> Some s
+    | Types.Ptr _ -> Some Types.I64
+    | Types.Vector _ -> None
+  in
+  match scalar with
+  | None -> Eval.cmp op
+  | Some s ->
+    if Types.is_float_scalar s then
+      match float_cmp_raw op with
+      | None -> Eval.cmp op
+      | Some f -> (
+        fun a b ->
+          match (a, b) with
+          (* [Eval.scalar_cmp] ignores the float width *)
+          | Value.Float (_, x), Value.Float (_, y) ->
+            if f x y then vtrue else vfalse
+          | _ -> Eval.cmp op a b)
+    else
+      let f = int_cmp_raw op s in
+      fun a b -> (
+        match (a, b) with
+        | Value.Int (sa, x), Value.Int (_, y) when sa = s ->
+          if f x y then vtrue else vfalse
+        | _ -> Eval.cmp op a b)
+
+(* ---------------- conv ---------------- *)
+
+(* integer->integer conversion to destination width [s] *)
+let int_conv_fn (kind : Instr.conv) (s : Types.scalar) :
+    (Value.t -> Value.t) option =
+  if Types.is_float_scalar s then None
+  else
+    let norm = norm_fn s in
+    match kind with
+    | Instr.Zext ->
+      Some
+        (fun v ->
+          match v with
+          | Value.Int (src, x) ->
+            Value.Int (s, norm (Value.unsigned src x))
+          | _ -> Eval.conv kind (Types.Scalar s) v)
+    | Instr.Sext | Instr.Trunc ->
+      Some
+        (fun v ->
+          match v with
+          | Value.Int (_, x) -> Value.Int (s, norm x)
+          | _ -> Eval.conv kind (Types.Scalar s) v)
+    | _ -> None
+
+(** [conv kind dst_ty] = [Pvir.Eval.conv kind dst_ty], with the common
+    integer resize conversions specialized. *)
+let conv (kind : Instr.conv) (dst_ty : Types.t) : Value.t -> Value.t =
+  match dst_ty with
+  | Types.Scalar s -> (
+    match int_conv_fn kind s with
+    | Some f -> f
+    | None -> Eval.conv kind dst_ty)
+  | Types.Vector (s, n) -> (
+    match int_conv_fn kind s with
+    | None -> Eval.conv kind dst_ty
+    | Some lane -> (
+      fun v ->
+        match v with
+        | Value.Vec elems when Array.length elems = n ->
+          Value.Vec (Array.map lane elems)
+        | _ -> Eval.conv kind dst_ty v))
+  | Types.Ptr _ -> Eval.conv kind dst_ty

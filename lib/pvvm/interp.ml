@@ -6,11 +6,31 @@
     reference semantics — every optimization and every JIT backend is
     tested for result-equality against it.
 
-    Cost model: each interpreted instruction costs [dispatch_cost] cycles of
-    decode/dispatch plus the work of the operation itself (vector builtins
-    are scalarized lane by lane, as a portable interpreter would). *)
+    Two host-side execution engines implement the same observable
+    semantics (results, printed output, cycle/instruction accounting and
+    trap messages are bit-identical):
+
+    - [Tree_walk] — the original engine: walks the [Pvir.Func.t] CFG
+      directly, resolving branch labels and instruction costs on every
+      executed instruction.  Kept as the reference for differential
+      testing and for the old-vs-new benchmark.
+    - [Threaded] (default) — pre-decodes each function once with
+      {!Decode} into a flat array form (labels → indices, costs
+      precomputed, types resolved) and dispatches over it with an
+      index-driven loop and unboxed cycle counters.  Decoded functions
+      are cached per function identity, so repeated [run]/[call]
+      invocations decode nothing.
+
+    Cost model: each interpreted instruction costs [dispatch_cost] cycles
+    of decode/dispatch plus the work of the operation itself (vector
+    builtins are scalarized lane by lane, as a portable interpreter
+    would). *)
 
 exception Trap of string
+
+type engine = Tree_walk | Threaded
+
+let engine_name = function Tree_walk -> "tree-walk" | Threaded -> "threaded"
 
 type stats = {
   mutable cycles : int64;
@@ -26,9 +46,14 @@ type t = {
   dispatch_cost : int;
   profile : Profile.t option;
   fuel : int64;  (** execution budget; Trap when exhausted *)
+  mutable engine : engine;
+  dcache : (string, Decode.dfunc) Hashtbl.t;
+      (** decoded-code cache of the threaded engine, keyed by function
+          name and validated against the function's identity *)
 }
 
-let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L) img =
+let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
+    ?(engine = Threaded) img =
   {
     img;
     sp = Image.initial_sp img;
@@ -37,6 +62,8 @@ let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L) img =
     dispatch_cost;
     profile;
     fuel;
+    engine;
+    dcache = Hashtbl.create 16;
   }
 
 let output t = Buffer.contents t.out
@@ -47,16 +74,6 @@ let charge t n =
   t.stats.instrs <- Int64.add t.stats.instrs 1L;
   if Int64.compare t.stats.instrs t.fuel > 0 then
     raise (Trap "interpreter fuel exhausted (infinite loop?)")
-
-(* operation cost on top of dispatch: 1 per produced lane *)
-let op_cost (i : Pvir.Instr.t) =
-  match i with
-  | Pvir.Instr.Binop (_, d, _, _)
-  | Pvir.Instr.Unop (_, d, _)
-  | Pvir.Instr.Conv (_, d, _) ->
-    ignore d;
-    1
-  | _ -> 1
 
 type frame = {
   regs : Pvir.Value.t option array;
@@ -87,7 +104,9 @@ let intrinsic t name (args : Pvir.Value.t list) : Pvir.Value.t option =
   | "abort", [] -> raise (Trap "abort called")
   | _ -> raise (Trap (Printf.sprintf "unknown intrinsic %s" name))
 
-let rec call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
+(* ---------------- tree-walking engine (reference) ---------------- *)
+
+let rec tw_call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
     Pvir.Value.t option =
   t.stats.calls <- t.stats.calls + 1;
   Option.iter (fun p -> Profile.enter p fn.name) t.profile;
@@ -121,7 +140,7 @@ and exec_instr t frame (i : Pvir.Instr.t) : unit =
   | Pvir.Instr.Binop (_, _, a, _) -> charge t (t.dispatch_cost + lanes_of a)
   | Pvir.Instr.Load (ty, _, _, _) | Pvir.Instr.Store (ty, _, _, _) ->
     charge t (t.dispatch_cost + Pvir.Types.lanes ty)
-  | _ -> charge t (t.dispatch_cost + op_cost i));
+  | _ -> charge t (t.dispatch_cost + 1));
   match i with
   | Pvir.Instr.Const (d, value) -> set_reg frame d value
   | Pvir.Instr.Mov (d, a) -> set_reg frame d (v a)
@@ -152,7 +171,7 @@ and exec_instr t frame (i : Pvir.Instr.t) : unit =
     let argv = List.map v args in
     let result =
       match Image.find_func t.img name with
-      | Some callee -> call t callee argv
+      | Some callee -> tw_call t callee argv
       | None -> intrinsic t name argv
     in
     match (d, result) with
@@ -171,6 +190,303 @@ and exec_instr t frame (i : Pvir.Instr.t) : unit =
     set_reg frame d (Pvir.Eval.extract (v a) lane)
   | Pvir.Instr.Reduce (op, d, a) ->
     set_reg frame d (Pvir.Eval.reduce op (v a))
+
+(* ---------------- direct-threaded engine ---------------- *)
+
+(* Unboxed cycle/instruction counters for one [run]/[call] activation.
+   The seed engine pays two boxed Int64 updates per executed instruction;
+   here counters are plain ints, flushed back into [stats] when the
+   activation ends (normally or by exception). *)
+type ectx = {
+  mutable ecycles : int;
+  mutable einstrs : int;
+  efuel : int;
+}
+
+let ectx_of t =
+  {
+    ecycles = Int64.to_int t.stats.cycles;
+    einstrs = Int64.to_int t.stats.instrs;
+    efuel =
+      (if Int64.compare t.fuel (Int64.of_int max_int) >= 0 then max_int
+       else Int64.to_int t.fuel);
+  }
+
+let flush_ectx t ec =
+  t.stats.cycles <- Int64.of_int ec.ecycles;
+  t.stats.instrs <- Int64.of_int ec.einstrs
+
+let dcharge ec n =
+  ec.ecycles <- ec.ecycles + n;
+  ec.einstrs <- ec.einstrs + 1;
+  if ec.einstrs > ec.efuel then
+    raise (Trap "interpreter fuel exhausted (infinite loop?)")
+
+(* Registers of the threaded engine live in a plain [Value.t array]; an
+   unwritten slot holds [uninit], a unique block recognized by physical
+   identity, so a register write allocates no [Some] box.  [uninit]
+   never escapes the frame: every read checks for it first. *)
+let uninit : Pvir.Value.t = Pvir.Value.Vec [||]
+
+type dframe = { dregs : Pvir.Value.t array; dfn : Pvir.Func.t }
+
+let dtrap_uninit frame r =
+  raise
+    (Trap
+       (Printf.sprintf "read of uninitialized register r%d in %s" r
+          frame.dfn.Pvir.Func.name))
+
+(* unchecked register access: sound because {!Decode} validates every
+   register of the non-[DSeed] instruction variants against
+   [0, next_reg) — the register file's exact length *)
+let dreg frame r =
+  let v = Array.unsafe_get frame.dregs r in
+  if v == uninit then dtrap_uninit frame r else v
+
+let dset frame r v = Array.unsafe_set frame.dregs r v
+
+(* checked variants for registers that are not decode-validated
+   (terminators, parameter lists, [DSeed] replay): an out-of-range index
+   raises the seed's [Invalid_argument] *)
+let dreg_checked frame r =
+  let v = frame.dregs.(r) in
+  if v == uninit then dtrap_uninit frame r else v
+
+let dset_checked frame r v = frame.dregs.(r) <- v
+
+(* address operand: the common [Int] shape inline, [Value.to_int64]'s
+   exact error otherwise *)
+let daddr frame r =
+  match dreg frame r with
+  | Pvir.Value.Int (_, x) -> Int64.to_int x
+  | v -> Int64.to_int (Pvir.Value.to_int64 v)
+
+(* branch condition: [Value.to_bool] with the [Int] shape inline *)
+let dbool frame c =
+  match dreg_checked frame c with
+  | Pvir.Value.Int (_, x) -> x <> 0L
+  | v -> Pvir.Value.to_bool v
+
+(** Look up (or build) the decoded form of [fn].  Keyed by name and
+    validated against the function value itself, so replacing a function
+    in the program re-decodes while repeated calls hit the cache. *)
+let decoded t (fn : Pvir.Func.t) : Decode.dfunc =
+  match Hashtbl.find_opt t.dcache fn.Pvir.Func.name with
+  | Some df when df.Decode.dsrc == fn -> df
+  | _ ->
+    let df = Decode.func ~dispatch_cost:t.dispatch_cost ~img:t.img fn in
+    Hashtbl.replace t.dcache fn.Pvir.Func.name df;
+    df
+
+let rec dcall t ec (df : Decode.dfunc) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
+  t.stats.calls <- t.stats.calls + 1;
+  Option.iter (fun p -> Profile.enter p df.Decode.dname) t.profile;
+  if List.length args <> df.Decode.dnparams then
+    raise (Trap (Printf.sprintf "arity mismatch calling %s" df.Decode.dname));
+  let frame =
+    { dregs = Array.make df.Decode.dnext_reg uninit; dfn = df.Decode.dsrc }
+  in
+  List.iter2 (fun r v -> dset_checked frame r v) df.Decode.dparams args;
+  if Array.length df.Decode.dblocks = 0 then
+    invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" df.Decode.dname);
+  let saved_sp = t.sp in
+  let result = dexec_block t ec df frame 0 in
+  t.sp <- saved_sp;
+  result
+
+and dexec_block t ec (df : Decode.dfunc) frame idx : Pvir.Value.t option =
+  let blk = df.Decode.dblocks.(idx) in
+  let insts = blk.Decode.dinstrs in
+  for i = 0 to Array.length insts - 1 do
+    dexec_instr t ec frame (Array.unsafe_get insts i)
+  done;
+  dcharge ec t.dispatch_cost;
+  (match t.profile with
+  | Some p -> Profile.block p df.Decode.dname blk.Decode.dlabel
+  | None -> ());
+  match blk.Decode.dterm with
+  | Decode.DBr j -> dexec_block t ec df frame j
+  | Decode.DCbr (c, j1, j2) ->
+    dexec_block t ec df frame (if dbool frame c then j1 else j2)
+  | Decode.DRet None -> None
+  | Decode.DRet (Some r) -> Some (dreg_checked frame r)
+
+and dexec_instr t ec frame (i : Decode.dinstr) : unit =
+  match i with
+  | Decode.DConst { cost; d; v } ->
+    dcharge ec cost;
+    dset frame d v
+  | Decode.DMov { cost; d; a } ->
+    dcharge ec cost;
+    dset frame d (dreg frame a)
+  | Decode.DGaddr { cost; d; v } ->
+    dcharge ec cost;
+    dset frame d v
+  | Decode.DGaddrDyn { cost; d; g } ->
+    dcharge ec cost;
+    dset frame d (Pvir.Value.i64 (Int64.of_int (Image.global_address t.img g)))
+  | Decode.DBinop { cost; f; d; a; b } -> (
+    (* read [a] before charging, as the tree-walker's cost computation
+       does: an uninitialized operand must trap before the charge lands *)
+    let va = dreg frame a in
+    dcharge ec cost;
+    let vb = dreg frame b in
+    try dset frame d (f va vb)
+    with Pvir.Eval.Division_by_zero -> raise (Trap "division by zero"))
+  | Decode.DBinopDyn { op; d; a; b } -> (
+    let va = dreg frame a in
+    dcharge ec (t.dispatch_cost + Pvir.Types.lanes (Pvir.Value.ty va));
+    let vb = dreg frame b in
+    try dset frame d (Pvir.Eval.binop op va vb)
+    with Pvir.Eval.Division_by_zero -> raise (Trap "division by zero"))
+  | Decode.DUnop { cost; op; d; a } ->
+    dcharge ec cost;
+    dset frame d (Pvir.Eval.unop op (dreg frame a))
+  | Decode.DConv { cost; f; d; a } ->
+    dcharge ec cost;
+    dset frame d (f (dreg frame a))
+  | Decode.DConvDyn { cost; kind; d; a } ->
+    dcharge ec cost;
+    let dst_ty = Pvir.Func.reg_type frame.dfn d in
+    dset frame d (Pvir.Eval.conv kind dst_ty (dreg frame a))
+  | Decode.DCmp { cost; f; d; a; b } ->
+    dcharge ec cost;
+    (* operand reads in the tree-walker's (right-to-left) order, so that
+       multi-operand uninitialized reads trap on the same register *)
+    let vb = dreg frame b in
+    let va = dreg frame a in
+    dset frame d (f va vb)
+  | Decode.DSelect { cost; d; c; a; b } ->
+    dcharge ec cost;
+    let vb = dreg frame b in
+    let va = dreg frame a in
+    let vc = dreg frame c in
+    dset frame d (Pvir.Eval.select vc va vb)
+  | Decode.DLoad { cost; ty; size; d; base; off } ->
+    dcharge ec cost;
+    let addr = daddr frame base + off in
+    dset frame d (Memory.load_sized t.img.mem addr size ty)
+  | Decode.DStore { cost; src; base; off } ->
+    dcharge ec cost;
+    let addr = daddr frame base + off in
+    Memory.store t.img.mem addr (dreg frame src)
+  | Decode.DAlloca { cost; d; bytes } ->
+    dcharge ec cost;
+    t.sp <- t.sp - bytes;
+    if t.sp < t.img.globals_end then raise (Trap "stack overflow");
+    dset frame d (Pvir.Value.i64 (Int64.of_int t.sp))
+  | Decode.DCall { cost; d; name; callee; args } -> (
+    dcharge ec cost;
+    (* left-to-right, like the tree-walker's [List.map] *)
+    let n = Array.length args in
+    let rec argv i =
+      if i = n then []
+      else
+        let v = dreg frame (Array.unsafe_get args i) in
+        v :: argv (i + 1)
+    in
+    let argv = argv 0 in
+    let result =
+      match callee with
+      | Some fn -> dcall t ec (decoded t fn) argv
+      | None -> intrinsic t name argv
+    in
+    match (d, result) with
+    | None, _ -> ()
+    | Some d, Some r -> dset frame d r
+    | Some _, None ->
+      raise (Trap (Printf.sprintf "call to %s produced no value" name)))
+  | Decode.DSplat { cost; d; a; n } ->
+    dcharge ec cost;
+    dset frame d (Pvir.Eval.splat n (dreg frame a))
+  | Decode.DSplatDyn { cost; d; a } ->
+    dcharge ec cost;
+    let n =
+      match Pvir.Func.reg_type frame.dfn d with
+      | Pvir.Types.Vector (_, n) -> n
+      | _ -> raise (Trap "splat destination is not a vector")
+    in
+    dset frame d (Pvir.Eval.splat n (dreg frame a))
+  | Decode.DExtract { cost; d; a; lane } ->
+    dcharge ec cost;
+    dset frame d (Pvir.Eval.extract (dreg frame a) lane)
+  | Decode.DReduce { cost; op; d; a } ->
+    dcharge ec cost;
+    dset frame d (Pvir.Eval.reduce op (dreg frame a))
+  | Decode.DSeed { inst } -> dexec_seed t ec frame inst
+
+(* Replay of one instruction through the tree-walker's code path, used
+   for instructions whose registers failed decode-time validation: the
+   checked accessors raise the seed's exact [Invalid_argument] at the
+   same point the tree-walker would. *)
+and dexec_seed t ec frame (i : Pvir.Instr.t) : unit =
+  let v r = dreg_checked frame r in
+  let set d x = dset_checked frame d x in
+  let lanes_of r = Pvir.Types.lanes (Pvir.Value.ty (v r)) in
+  (match i with
+  | Pvir.Instr.Binop (_, _, a, _) -> dcharge ec (t.dispatch_cost + lanes_of a)
+  | Pvir.Instr.Load (ty, _, _, _) | Pvir.Instr.Store (ty, _, _, _) ->
+    dcharge ec (t.dispatch_cost + Pvir.Types.lanes ty)
+  | _ -> dcharge ec (t.dispatch_cost + 1));
+  match i with
+  | Pvir.Instr.Const (d, value) -> set d value
+  | Pvir.Instr.Mov (d, a) -> set d (v a)
+  | Pvir.Instr.Gaddr (d, g) ->
+    set d (Pvir.Value.i64 (Int64.of_int (Image.global_address t.img g)))
+  | Pvir.Instr.Binop (op, d, a, b) -> (
+    try set d (Pvir.Eval.binop op (v a) (v b))
+    with Pvir.Eval.Division_by_zero -> raise (Trap "division by zero"))
+  | Pvir.Instr.Unop (op, d, a) -> set d (Pvir.Eval.unop op (v a))
+  | Pvir.Instr.Conv (kind, d, a) ->
+    let dst_ty = Pvir.Func.reg_type frame.dfn d in
+    set d (Pvir.Eval.conv kind dst_ty (v a))
+  | Pvir.Instr.Cmp (op, d, a, b) -> set d (Pvir.Eval.cmp op (v a) (v b))
+  | Pvir.Instr.Select (d, c, a, b) ->
+    set d (Pvir.Eval.select (v c) (v a) (v b))
+  | Pvir.Instr.Load (ty, d, base, off) ->
+    let addr = Int64.to_int (Pvir.Value.to_int64 (v base)) + off in
+    set d (Memory.load t.img.mem addr ty)
+  | Pvir.Instr.Store (_, src, base, off) ->
+    let addr = Int64.to_int (Pvir.Value.to_int64 (v base)) + off in
+    Memory.store t.img.mem addr (v src)
+  | Pvir.Instr.Alloca (d, bytes) ->
+    t.sp <- t.sp - bytes;
+    if t.sp < t.img.globals_end then raise (Trap "stack overflow");
+    set d (Pvir.Value.i64 (Int64.of_int t.sp))
+  | Pvir.Instr.Call (d, name, args) -> (
+    let argv = List.map v args in
+    let result =
+      match Image.find_func t.img name with
+      | Some callee -> dcall t ec (decoded t callee) argv
+      | None -> intrinsic t name argv
+    in
+    match (d, result) with
+    | None, _ -> ()
+    | Some d, Some r -> set d r
+    | Some _, None ->
+      raise (Trap (Printf.sprintf "call to %s produced no value" name)))
+  | Pvir.Instr.Splat (d, a) ->
+    let n =
+      match Pvir.Func.reg_type frame.dfn d with
+      | Pvir.Types.Vector (_, n) -> n
+      | _ -> raise (Trap "splat destination is not a vector")
+    in
+    set d (Pvir.Eval.splat n (v a))
+  | Pvir.Instr.Extract (d, a, lane) -> set d (Pvir.Eval.extract (v a) lane)
+  | Pvir.Instr.Reduce (op, d, a) -> set d (Pvir.Eval.reduce op (v a))
+
+(* ---------------- public entry points ---------------- *)
+
+(** Call [fn] with [args] under the configured engine. *)
+let call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) : Pvir.Value.t option =
+  match t.engine with
+  | Tree_walk -> tw_call t fn args
+  | Threaded ->
+    let ec = ectx_of t in
+    Fun.protect
+      ~finally:(fun () -> flush_ectx t ec)
+      (fun () -> dcall t ec (decoded t fn) args)
 
 (** Run function [name] with [args].  Returns the result value (if any)
     and leaves cycle/instruction counts in [stats]. *)

@@ -1,0 +1,242 @@
+(** One-time pre-decoding of MIR functions for the cycle simulator.
+
+    Executing [Mir.func] directly pays, per executed instruction, a
+    [Cost.of_inst] computation, [List.nth]/[List.length] operand access
+    and [Hashtbl] lookups for virtual registers and spill slots, plus a
+    [find_block] scan per branch.  [func] compiles a function once into a
+    flat array form: per-instruction cost is a precomputed constant,
+    operands are resolved to direct register/immediate slots, spill slots
+    are renumbered into a dense array index space, and branch targets are
+    block array indices.
+
+    Pre-decoding is semantics-preserving down to trap messages and trap
+    *order*: instructions whose operand/destination shape the tree-walking
+    engine would fault on decode to [SSeed], which the simulator executes
+    by replaying the original tree-walking code path. *)
+
+open Pvmach
+
+(** A resolved operand: a register read or a folded immediate. *)
+type dopnd = R of Mir.reg | I of Pvir.Value.t
+
+type dinst =
+  | SLi of { cost : int; d : Mir.reg; v : Pvir.Value.t }
+  | SMov of { cost : int; d : Mir.reg; a : dopnd }
+  | SBin of {
+      cost : int;
+      f : Pvir.Value.t -> Pvir.Value.t -> Pvir.Value.t;
+          (** {!Fastop.binop}-specialized on the instruction's operating
+              type; may raise [Pvir.Eval.Division_by_zero] *)
+      d : Mir.reg;
+      a : dopnd;
+      b : dopnd;
+    }
+  | SUn of { cost : int; op : Pvir.Instr.unop; d : Mir.reg; a : dopnd }
+  | SConv of {
+      cost : int;
+      f : Pvir.Value.t -> Pvir.Value.t;  (** {!Fastop.conv}-specialized *)
+      d : Mir.reg;
+      a : dopnd;
+    }
+  | SCmp of {
+      cost : int;
+      f : Pvir.Value.t -> Pvir.Value.t -> Pvir.Value.t;
+          (** {!Fastop.cmp}-specialized *)
+      d : Mir.reg;
+      a : dopnd;
+      b : dopnd;
+    }
+  | SSel of { cost : int; d : Mir.reg; c : dopnd; a : dopnd; b : dopnd }
+  | SLoad of {
+      cost : int;
+      ty : Pvir.Types.t;
+      size : int;  (** [Types.size ty], precomputed *)
+      d : Mir.reg;
+      base : dopnd;
+      off : int;
+    }
+  | SStore of { cost : int; value : dopnd; base : Mir.reg; off : int }
+  | SFrameAddr of { cost : int; d : Mir.reg; off : int }
+  | SFrameLd of { cost : int; d : Mir.reg; idx : int; slot : int }
+      (** [idx] = dense slot index; [slot] = original id (trap message) *)
+  | SFrameSt of { cost : int; idx : int; src : dopnd }
+  | SSplat of { cost : int; d : Mir.reg; a : dopnd; n : int }
+  | SExtract of { cost : int; d : Mir.reg; a : dopnd; lane : int }
+  | SReduce of { cost : int; op : Pvir.Instr.redop; d : Mir.reg; a : dopnd }
+  | SCall of { cost : int; d : Mir.reg option; name : string; srcs : Mir.reg array }
+  | SSeed of { cost : int; spill : bool; inst : Mir.inst }
+      (** malformed shape: replay the tree-walking execution path *)
+
+type dterm =
+  | SBr of int
+  | SCbr of Mir.reg * int * int
+  | SRet of Mir.reg option
+
+type dblock = { dinsts : dinst array; dtcost : int; dterm : dterm }
+
+type dfunc = {
+  sname : string;
+  snreg : int;  (** number of register-passed parameters *)
+  sparams : Mir.reg list;
+  sarg_idx : int array;  (** dense slot indices of the stack-passed args *)
+  snvirt : int;  (** size of the virtual register array *)
+  snslots : int;  (** size of the dense spill-slot array *)
+  sframe_size : int;
+  sblocks : dblock array;
+  slot_idx : (int, int) Hashtbl.t;  (** original slot id → dense index *)
+  ssrc : Mir.func;  (** identity key: re-decode when replaced *)
+}
+
+(* Dense renumbering of spill-slot ids (frame byte offsets in practice),
+   so the executed frame keeps slots in a plain array. *)
+let collect_slots (fn : Mir.func) =
+  let slot_idx = Hashtbl.create 16 in
+  let touch s =
+    if not (Hashtbl.mem slot_idx s) then
+      Hashtbl.add slot_idx s (Hashtbl.length slot_idx)
+  in
+  List.iter (fun (s, _) -> touch s) fn.Mir.marg_slots;
+  List.iter
+    (fun (b : Mir.block) ->
+      List.iter
+        (fun (i : Mir.inst) ->
+          match i.Mir.op with
+          | Mir.Mframe_ld s | Mir.Mframe_st s -> touch s
+          | _ -> ())
+        b.Mir.insts)
+    fn.Mir.mblocks;
+  slot_idx
+
+let max_vreg (fn : Mir.func) =
+  let m = ref fn.Mir.next_vreg in
+  let touch = function Mir.V v -> if v >= !m then m := v + 1 | Mir.P _ -> () in
+  List.iter touch fn.Mir.mparams;
+  List.iter
+    (fun (b : Mir.block) ->
+      List.iter
+        (fun (i : Mir.inst) ->
+          Option.iter touch i.Mir.dst;
+          List.iter touch i.Mir.srcs)
+        b.Mir.insts;
+      List.iter touch (Mir.term_uses b.Mir.mterm))
+    fn.Mir.mblocks;
+  !m
+
+let decode_inst ~(machine : Machine.t) ~slot_idx (i : Mir.inst) : dinst =
+  let cost = Cost.of_inst machine i in
+  (* the immediate, when present, is always the last operand *)
+  let n_regs = List.length i.Mir.srcs in
+  let operand k =
+    if k < n_regs then Some (R (List.nth i.Mir.srcs k))
+    else
+      match i.Mir.imm with
+      | Some v when k = n_regs -> Some (I v)
+      | _ -> None
+  in
+  let seed ?(spill = false) () = SSeed { cost; spill; inst = i } in
+  let with_dst f = match i.Mir.dst with Some d -> f d | None -> seed () in
+  let op1 f = match operand 0 with Some a -> f a | None -> seed () in
+  let op2 f =
+    match (operand 0, operand 1) with
+    | Some a, Some b -> f a b
+    | _ -> seed ()
+  in
+  match i.Mir.op with
+  | Mir.Mli v -> with_dst (fun d -> SLi { cost; d; v })
+  | Mir.Mmov -> with_dst (fun d -> op1 (fun a -> SMov { cost; d; a }))
+  | Mir.Mbin op ->
+    with_dst (fun d ->
+        op2 (fun a b -> SBin { cost; f = Fastop.binop op i.Mir.ty; d; a; b }))
+  | Mir.Mun op -> with_dst (fun d -> op1 (fun a -> SUn { cost; op; d; a }))
+  | Mir.Mconv kind ->
+    with_dst (fun d ->
+        op1 (fun a -> SConv { cost; f = Fastop.conv kind i.Mir.ty; d; a }))
+  | Mir.Mcmp op ->
+    with_dst (fun d ->
+        op2 (fun a b -> SCmp { cost; f = Fastop.cmp op i.Mir.ty; d; a; b }))
+  | Mir.Msel ->
+    with_dst (fun d ->
+        match (operand 0, operand 1, operand 2) with
+        | Some c, Some a, Some b -> SSel { cost; d; c; a; b }
+        | _ -> seed ())
+  | Mir.Mload off ->
+    with_dst (fun d ->
+        op1 (fun base ->
+            SLoad
+              {
+                cost;
+                ty = i.Mir.ty;
+                size = Pvir.Types.size i.Mir.ty;
+                d;
+                base;
+                off;
+              }))
+  | Mir.Mstore off -> (
+    match (i.Mir.srcs, i.Mir.imm) with
+    | [ s; b ], None -> SStore { cost; value = R s; base = b; off }
+    | [ b ], Some v -> SStore { cost; value = I v; base = b; off }
+    | _ -> seed ())
+  | Mir.Mframe_addr off -> with_dst (fun d -> SFrameAddr { cost; d; off })
+  | Mir.Mframe_ld slot ->
+    with_dst (fun d ->
+        SFrameLd { cost; d; idx = Hashtbl.find slot_idx slot; slot })
+  | Mir.Mframe_st slot ->
+    op1 (fun src ->
+        match src with
+        | R _ | I _ ->
+          SFrameSt { cost; idx = Hashtbl.find slot_idx slot; src })
+    |> fun r -> (match r with SSeed s -> SSeed { s with spill = true } | x -> x)
+  | Mir.Msplat -> (
+    match i.Mir.ty with
+    | Pvir.Types.Vector (_, n) ->
+      with_dst (fun d -> op1 (fun a -> SSplat { cost; d; a; n }))
+    | _ -> seed ())
+  | Mir.Mextract lane ->
+    with_dst (fun d -> op1 (fun a -> SExtract { cost; d; a; lane }))
+  | Mir.Mreduce op -> with_dst (fun d -> op1 (fun a -> SReduce { cost; op; d; a }))
+  | Mir.Mcall name ->
+    SCall { cost; d = i.Mir.dst; name; srcs = Array.of_list i.Mir.srcs }
+
+(** [func ~machine fn] pre-decodes [fn] for simulation on [machine]. *)
+let func ~(machine : Machine.t) (fn : Mir.func) : dfunc =
+  let slot_idx = collect_slots fn in
+  let blocks = Array.of_list fn.Mir.mblocks in
+  let idx_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (b : Mir.block) ->
+      if not (Hashtbl.mem idx_of b.Mir.mlabel) then
+        Hashtbl.add idx_of b.Mir.mlabel i)
+    blocks;
+  let target l =
+    match Hashtbl.find_opt idx_of l with
+    | Some i -> i
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Mir.find_block: no block %d in %s" l fn.Mir.mname)
+  in
+  let decode_block (b : Mir.block) =
+    {
+      dinsts =
+        Array.of_list (List.map (decode_inst ~machine ~slot_idx) b.Mir.insts);
+      dtcost = Cost.of_term machine b.Mir.mterm;
+      dterm =
+        (match b.Mir.mterm with
+        | Mir.Tbr l -> SBr (target l)
+        | Mir.Tcbr (c, l1, l2) -> SCbr (c, target l1, target l2)
+        | Mir.Tret r -> SRet r);
+    }
+  in
+  {
+    sname = fn.Mir.mname;
+    snreg = List.length fn.Mir.mparams;
+    sparams = fn.Mir.mparams;
+    sarg_idx =
+      Array.of_list
+        (List.map (fun (s, _) -> Hashtbl.find slot_idx s) fn.Mir.marg_slots);
+    snvirt = max_vreg fn;
+    snslots = Hashtbl.length slot_idx;
+    sframe_size = fn.Mir.frame_size;
+    sblocks = Array.map decode_block blocks;
+    slot_idx;
+    ssrc = fn;
+  }

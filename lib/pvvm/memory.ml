@@ -29,6 +29,13 @@ let load m addr (ty : Pvir.Types.t) =
   check m addr (Pvir.Types.size ty);
   Pvir.Value.read_bytes m.bytes addr ty
 
+(** [load_sized m addr size ty] is [load m addr ty] for callers that have
+    already computed [size = Types.size ty] (the pre-decoded engines do,
+    once per decoded instruction). *)
+let load_sized m addr size (ty : Pvir.Types.t) =
+  check m addr size;
+  Pvir.Value.read_bytes m.bytes addr ty
+
 (** [store m addr v] writes [v] at byte address [addr]. *)
 let store m addr (v : Pvir.Value.t) =
   check m addr (Pvir.Types.size (Pvir.Value.ty v));

@@ -4,7 +4,24 @@
     per-target register file, accumulating cycles from the {!Pvmach.Cost}
     model.  Values flow through the same {!Pvir.Value} representation as
     the interpreter, so JIT-compiled code can be checked for bit-exact
-    equality with interpreted bytecode. *)
+    equality with interpreted bytecode.
+
+    Two host-side execution engines implement the same observable
+    semantics (results, printed output, cycle/instruction/spill
+    accounting and trap messages are bit-identical):
+
+    - [Tree_walk] — the original engine: walks the [Mir.func] CFG
+      directly, recomputing [Cost.of_inst] and chasing operand lists and
+      register/slot hash tables on every executed instruction.  Kept as
+      the reference for differential testing and the old-vs-new
+      benchmark.
+    - [Threaded] (default) — pre-decodes each registered function once
+      with {!Mdecode} into a flat array form (labels → indices, costs
+      precomputed, operands resolved, spill slots and virtual registers
+      renumbered into arrays) and dispatches over it with an index-driven
+      loop and unboxed cycle counters.  Decoded code lives in the code
+      cache next to its MIR, so re-registering a function with
+      {!add_func} re-decodes it. *)
 
 open Pvmach
 
@@ -12,23 +29,32 @@ exception Trap of string
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
+type engine = Tree_walk | Threaded
+
+let engine_name = function Tree_walk -> "tree-walk" | Threaded -> "threaded"
+
 type stats = {
   mutable cycles : int64;
   mutable instrs : int64;
   mutable spill_ops : int64;  (** executed spill stores + reloads *)
 }
 
+(** A code-cache entry: the registered MIR plus its lazily built decoded
+    form (dropped whenever {!add_func} replaces the entry). *)
+type centry = { cfn : Mir.func; mutable cdec : Mdecode.dfunc option }
+
 type t = {
   img : Image.t;
-  code : (string, Mir.func) Hashtbl.t;  (** compiled code cache *)
+  code : (string, centry) Hashtbl.t;  (** compiled code cache *)
   machine : Machine.t;
   mutable sp : int;
   out : Buffer.t;
   stats : stats;
   fuel : int64;
+  mutable engine : engine;
 }
 
-let create ?(fuel = 2_000_000_000L) img machine =
+let create ?(fuel = 2_000_000_000L) ?(engine = Threaded) img machine =
   {
     img;
     code = Hashtbl.create 16;
@@ -37,9 +63,12 @@ let create ?(fuel = 2_000_000_000L) img machine =
     out = Buffer.create 64;
     stats = { cycles = 0L; instrs = 0L; spill_ops = 0L };
     fuel;
+    engine;
   }
 
-let add_func t (fn : Mir.func) = Hashtbl.replace t.code fn.mname fn
+let add_func t (fn : Mir.func) =
+  Hashtbl.replace t.code fn.Mir.mname { cfn = fn; cdec = None }
+
 let output t = Buffer.contents t.out
 let cycles t = t.stats.cycles
 let reset_cycles t = t.stats.cycles <- 0L
@@ -117,7 +146,10 @@ let intrinsic t name (args : Pvir.Value.t list) : Pvir.Value.t option =
   | "abort", [] -> trap "abort called"
   | _ -> trap "unknown intrinsic %s" name
 
-let rec call t (fn : Mir.func) (args : Pvir.Value.t list) : Pvir.Value.t option =
+(* ---------------- tree-walking engine (reference) ---------------- *)
+
+let rec tw_call t (fn : Mir.func) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
   charge t t.machine.Machine.call_cost;
   let n_reg = List.length fn.mparams in
   if List.length args <> n_reg + List.length fn.marg_slots then
@@ -220,7 +252,7 @@ and exec_inst t frame (i : Mir.inst) : unit =
     let argv = List.map v i.srcs in
     let result =
       match Hashtbl.find_opt t.code name with
-      | Some callee -> call t callee argv
+      | Some ce -> tw_call t ce.cfn argv
       | None -> intrinsic t name argv
     in
     match (i.dst, result) with
@@ -228,9 +260,348 @@ and exec_inst t frame (i : Mir.inst) : unit =
     | Some d, Some value -> set_reg rf d value
     | Some _, None -> trap "call to %s produced no value" name)
 
+(* ---------------- direct-threaded engine ---------------- *)
+
+(* Unboxed cycle/instruction/spill counters for one [run]/[call]
+   activation, flushed back into [stats] when the activation ends
+   (normally or by exception). *)
+type ectx = {
+  mutable scycles : int;
+  mutable sinstrs : int;
+  mutable sspill : int;
+  sfuel : int;
+}
+
+let ectx_of t =
+  {
+    scycles = Int64.to_int t.stats.cycles;
+    sinstrs = Int64.to_int t.stats.instrs;
+    sspill = Int64.to_int t.stats.spill_ops;
+    sfuel =
+      (if Int64.compare t.fuel (Int64.of_int max_int) >= 0 then max_int
+       else Int64.to_int t.fuel);
+  }
+
+let flush_ectx t ec =
+  t.stats.cycles <- Int64.of_int ec.scycles;
+  t.stats.instrs <- Int64.of_int ec.sinstrs;
+  t.stats.spill_ops <- Int64.of_int ec.sspill
+
+let scharge ec n =
+  ec.scycles <- ec.scycles + n;
+  ec.sinstrs <- ec.sinstrs + 1;
+  if ec.sinstrs > ec.sfuel then
+    raise (Trap "simulation fuel exhausted (infinite loop?)")
+
+(* Frames of the threaded engine: virtual registers and spill slots in
+   plain arrays (indexed by {!Mdecode}'s dense renumbering).  An
+   unwritten slot holds [uninit], a unique block recognized by physical
+   identity, so a register write allocates no [Some] box; [uninit]
+   never escapes the frame because every read checks for it first. *)
+let uninit : Pvir.Value.t = Pvir.Value.Vec [||]
+
+type sframe = {
+  sgpr : Pvir.Value.t array;
+  sfpr : Pvir.Value.t array;
+  svec : Pvir.Value.t array;
+  svirt : Pvir.Value.t array;
+  sslots : Pvir.Value.t array;
+  sfp : int;
+  sdf : Mdecode.dfunc;
+}
+
+let sclass_file frame = function
+  | Mir.Gpr -> frame.sgpr
+  | Mir.Fpr -> frame.sfpr
+  | Mir.Vec -> frame.svec
+
+let sget frame (r : Mir.reg) =
+  match r with
+  | Mir.V v ->
+    let x = Array.unsafe_get frame.svirt v in
+    if x == uninit then trap "read of uninitialized virtual register v%d" v
+    else x
+  | Mir.P (cls, i) ->
+    let file = sclass_file frame cls in
+    if i < 0 || i >= Array.length file then
+      trap "physical register index %d out of range" i;
+    let x = file.(i) in
+    if x == uninit then
+      trap "read of uninitialized register %s" (Mir.reg_to_string r)
+    else x
+
+let sset frame (r : Mir.reg) v =
+  match r with
+  | Mir.V vr -> Array.unsafe_set frame.svirt vr v
+  | Mir.P (cls, i) ->
+    let file = sclass_file frame cls in
+    if i < 0 || i >= Array.length file then
+      trap "physical register index %d out of range" i;
+    file.(i) <- v
+
+(* Operand read: a register or a decode-time-folded immediate. *)
+let sopnd frame = function
+  | Mdecode.R r -> sget frame r
+  | Mdecode.I v -> v
+
+(* address operand: the common [Int] shape inline, [Value.to_int64]'s
+   exact error otherwise *)
+let saddr = function
+  | Pvir.Value.Int (_, x) -> Int64.to_int x
+  | v -> Int64.to_int (Pvir.Value.to_int64 v)
+
+(** Look up (or build) the decoded form of a code-cache entry. *)
+let decoded t (ce : centry) : Mdecode.dfunc =
+  match ce.cdec with
+  | Some df when df.Mdecode.ssrc == ce.cfn -> df
+  | _ ->
+    let df = Mdecode.func ~machine:t.machine ce.cfn in
+    ce.cdec <- Some df;
+    df
+
+let rec scall t ec (df : Mdecode.dfunc) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
+  scharge ec t.machine.Machine.call_cost;
+  let n_reg = df.Mdecode.snreg in
+  if List.length args <> n_reg + Array.length df.Mdecode.sarg_idx then
+    trap "arity mismatch calling %s" df.Mdecode.sname;
+  let saved_sp = t.sp in
+  t.sp <- t.sp - df.Mdecode.sframe_size;
+  if t.sp < t.img.globals_end then trap "stack overflow in %s" df.Mdecode.sname;
+  let frame =
+    {
+      sgpr = Array.make (max 1 t.machine.Machine.int_regs) uninit;
+      sfpr = Array.make (max 1 t.machine.Machine.fp_regs) uninit;
+      svec = Array.make (max 1 t.machine.Machine.vec_regs) uninit;
+      svirt = Array.make df.Mdecode.snvirt uninit;
+      sslots = Array.make df.Mdecode.snslots uninit;
+      sfp = t.sp;
+      sdf = df;
+    }
+  in
+  let reg_args = List.filteri (fun i _ -> i < n_reg) args in
+  let stack_args = List.filteri (fun i _ -> i >= n_reg) args in
+  List.iter2 (fun r v -> sset frame r v) df.Mdecode.sparams reg_args;
+  List.iteri
+    (fun i v -> frame.sslots.(df.Mdecode.sarg_idx.(i)) <- v)
+    stack_args;
+  if Array.length df.Mdecode.sblocks = 0 then
+    invalid_arg
+      (Printf.sprintf "Mir.entry: %s has no blocks" df.Mdecode.sname);
+  let result = sexec_block t ec frame 0 in
+  t.sp <- saved_sp;
+  result
+
+and sexec_block t ec frame idx : Pvir.Value.t option =
+  let blk = frame.sdf.Mdecode.sblocks.(idx) in
+  let insts = blk.Mdecode.dinsts in
+  for i = 0 to Array.length insts - 1 do
+    sexec_inst t ec frame (Array.unsafe_get insts i)
+  done;
+  scharge ec blk.Mdecode.dtcost;
+  match blk.Mdecode.dterm with
+  | Mdecode.SBr j -> sexec_block t ec frame j
+  | Mdecode.SCbr (c, j1, j2) ->
+    let cond =
+      match sget frame c with
+      | Pvir.Value.Int (_, x) -> x <> 0L
+      | v -> Pvir.Value.to_bool v
+    in
+    sexec_block t ec frame (if cond then j1 else j2)
+  | Mdecode.SRet None -> None
+  | Mdecode.SRet (Some r) -> Some (sget frame r)
+
+and sexec_inst t ec frame (i : Mdecode.dinst) : unit =
+  match i with
+  | Mdecode.SLi { cost; d; v } ->
+    scharge ec cost;
+    sset frame d v
+  | Mdecode.SMov { cost; d; a } ->
+    scharge ec cost;
+    sset frame d (sopnd frame a)
+  | Mdecode.SBin { cost; f; d; a; b } -> (
+    scharge ec cost;
+    (* operand reads in the tree-walker's (right-to-left) order, so that
+       multi-operand uninitialized reads trap on the same register *)
+    let vb = sopnd frame b in
+    let va = sopnd frame a in
+    try sset frame d (f va vb)
+    with Pvir.Eval.Division_by_zero -> trap "division by zero")
+  | Mdecode.SUn { cost; op; d; a } ->
+    scharge ec cost;
+    sset frame d (Pvir.Eval.unop op (sopnd frame a))
+  | Mdecode.SConv { cost; f; d; a } ->
+    scharge ec cost;
+    sset frame d (f (sopnd frame a))
+  | Mdecode.SCmp { cost; f; d; a; b } ->
+    scharge ec cost;
+    let vb = sopnd frame b in
+    let va = sopnd frame a in
+    sset frame d (f va vb)
+  | Mdecode.SSel { cost; d; c; a; b } ->
+    scharge ec cost;
+    let vb = sopnd frame b in
+    let va = sopnd frame a in
+    let vc = sopnd frame c in
+    sset frame d (Pvir.Eval.select vc va vb)
+  | Mdecode.SLoad { cost; ty; size; d; base; off } ->
+    scharge ec cost;
+    let addr = saddr (sopnd frame base) + off in
+    sset frame d (Memory.load_sized t.img.mem addr size ty)
+  | Mdecode.SStore { cost; value; base; off } ->
+    scharge ec cost;
+    let vbase = sget frame base in
+    let v = sopnd frame value in
+    let addr = saddr vbase + off in
+    Memory.store t.img.mem addr v
+  | Mdecode.SFrameAddr { cost; d; off } ->
+    scharge ec cost;
+    sset frame d (Pvir.Value.i64 (Int64.of_int (frame.sfp + off)))
+  | Mdecode.SFrameLd { cost; d; idx; slot } ->
+    scharge ec cost;
+    ec.sspill <- ec.sspill + 1;
+    let value = Array.unsafe_get frame.sslots idx in
+    if value == uninit then
+      trap "reload of empty spill slot %d in %s" slot frame.sdf.Mdecode.sname
+    else sset frame d value
+  | Mdecode.SFrameSt { cost; idx; src } ->
+    scharge ec cost;
+    ec.sspill <- ec.sspill + 1;
+    Array.unsafe_set frame.sslots idx (sopnd frame src)
+  | Mdecode.SSplat { cost; d; a; n } ->
+    scharge ec cost;
+    sset frame d (Pvir.Eval.splat n (sopnd frame a))
+  | Mdecode.SExtract { cost; d; a; lane } ->
+    scharge ec cost;
+    sset frame d (Pvir.Eval.extract (sopnd frame a) lane)
+  | Mdecode.SReduce { cost; op; d; a } ->
+    scharge ec cost;
+    sset frame d (Pvir.Eval.reduce op (sopnd frame a))
+  | Mdecode.SCall { cost; d; name; srcs } -> (
+    scharge ec cost;
+    (* left-to-right, like the tree-walker's [List.map] *)
+    let n = Array.length srcs in
+    let rec argv i =
+      if i = n then []
+      else
+        let v = sget frame (Array.unsafe_get srcs i) in
+        v :: argv (i + 1)
+    in
+    let argv = argv 0 in
+    let result =
+      match Hashtbl.find_opt t.code name with
+      | Some ce -> scall t ec (decoded t ce) argv
+      | None -> intrinsic t name argv
+    in
+    match (d, result) with
+    | None, _ -> ()
+    | Some d, Some value -> sset frame d value
+    | Some _, None -> trap "call to %s produced no value" name)
+  | Mdecode.SSeed { cost; spill; inst } ->
+    scharge ec cost;
+    if spill then ec.sspill <- ec.sspill + 1;
+    sexec_seed t ec frame inst
+
+(* Cold path for malformed instruction shapes (missing destination or
+   operand, bad store shape, splat at non-vector type): replay the
+   tree-walking execution body — charging already done by the caller —
+   so trap messages and trap order match it exactly. *)
+and sexec_seed t ec frame (i : Mir.inst) : unit =
+  let v r = sget frame r in
+  let dst () =
+    match i.Mir.dst with
+    | Some d -> d
+    | None -> trap "instruction %s lacks a destination" (Mir.inst_to_string i)
+  in
+  let operand k =
+    let n_regs = List.length i.Mir.srcs in
+    if k < n_regs then v (List.nth i.Mir.srcs k)
+    else
+      match i.Mir.imm with
+      | Some value when k = n_regs -> value
+      | _ -> trap "instruction %s lacks operand %d" (Mir.inst_to_string i) k
+  in
+  let src1 () = operand 0 in
+  let src2 () = operand 1 in
+  let slot_ref slot = Hashtbl.find frame.sdf.Mdecode.slot_idx slot in
+  match i.Mir.op with
+  | Mir.Mli value -> sset frame (dst ()) value
+  | Mir.Mmov -> sset frame (dst ()) (src1 ())
+  | Mir.Mbin op -> (
+    try sset frame (dst ()) (Pvir.Eval.binop op (src1 ()) (src2 ()))
+    with Pvir.Eval.Division_by_zero -> trap "division by zero")
+  | Mir.Mun op -> sset frame (dst ()) (Pvir.Eval.unop op (src1 ()))
+  | Mir.Mconv kind -> sset frame (dst ()) (Pvir.Eval.conv kind i.Mir.ty (src1 ()))
+  | Mir.Mcmp op -> sset frame (dst ()) (Pvir.Eval.cmp op (src1 ()) (src2 ()))
+  | Mir.Msel ->
+    sset frame (dst ()) (Pvir.Eval.select (operand 0) (operand 1) (operand 2))
+  | Mir.Mload off ->
+    let addr = Int64.to_int (Pvir.Value.to_int64 (src1 ())) + off in
+    sset frame (dst ()) (Memory.load t.img.mem addr i.Mir.ty)
+  | Mir.Mstore off ->
+    let value, base =
+      match (i.Mir.srcs, i.Mir.imm) with
+      | [ s; b ], None -> (v s, v b)
+      | [ b ], Some value -> (value, v b)
+      | _ -> trap "store expects (value, base)"
+    in
+    let addr = Int64.to_int (Pvir.Value.to_int64 base) + off in
+    Memory.store t.img.mem addr value
+  | Mir.Mframe_addr off ->
+    sset frame (dst ()) (Pvir.Value.i64 (Int64.of_int (frame.sfp + off)))
+  | Mir.Mframe_ld slot ->
+    let value = frame.sslots.(slot_ref slot) in
+    if value == uninit then
+      trap "reload of empty spill slot %d in %s" slot frame.sdf.Mdecode.sname
+    else sset frame (dst ()) value
+  | Mir.Mframe_st slot -> frame.sslots.(slot_ref slot) <- src1 ()
+  | Mir.Msplat -> (
+    match i.Mir.ty with
+    | Pvir.Types.Vector (_, n) ->
+      sset frame (dst ()) (Pvir.Eval.splat n (src1 ()))
+    | _ -> trap "splat at non-vector type")
+  | Mir.Mextract lane -> sset frame (dst ()) (Pvir.Eval.extract (src1 ()) lane)
+  | Mir.Mreduce op -> sset frame (dst ()) (Pvir.Eval.reduce op (src1 ()))
+  | Mir.Mcall name -> (
+    let argv = List.map v i.Mir.srcs in
+    let result =
+      match Hashtbl.find_opt t.code name with
+      | Some ce -> scall t ec (decoded t ce) argv
+      | None -> intrinsic t name argv
+    in
+    match (i.Mir.dst, result) with
+    | None, _ -> ()
+    | Some d, Some value -> sset frame d value
+    | Some _, None -> trap "call to %s produced no value" name)
+
+(* ---------------- public entry points ---------------- *)
+
+(** Call [fn] with [args] under the configured engine.  A function not in
+    the code cache is decoded on the fly (uncached). *)
+let call t (fn : Mir.func) (args : Pvir.Value.t list) : Pvir.Value.t option =
+  match t.engine with
+  | Tree_walk -> tw_call t fn args
+  | Threaded ->
+    let df =
+      match Hashtbl.find_opt t.code fn.Mir.mname with
+      | Some ce when ce.cfn == fn -> decoded t ce
+      | _ -> Mdecode.func ~machine:t.machine fn
+    in
+    let ec = ectx_of t in
+    Fun.protect
+      ~finally:(fun () -> flush_ectx t ec)
+      (fun () -> scall t ec df args)
+
 (** Run compiled function [name].  All callees it reaches must have been
     registered with {!add_func} (the cache models the JIT's code cache). *)
 let run t name args =
   match Hashtbl.find_opt t.code name with
-  | Some fn -> call t fn args
+  | Some ce -> (
+    match t.engine with
+    | Tree_walk -> tw_call t ce.cfn args
+    | Threaded ->
+      let ec = ectx_of t in
+      Fun.protect
+        ~finally:(fun () -> flush_ectx t ec)
+        (fun () -> scall t ec (decoded t ce) args))
   | None -> trap "no compiled code for %s" name

@@ -333,6 +333,7 @@ let test_peephole_removes_self_movs () =
       vreg_ty = Hashtbl.create 1;
       next_vreg = 0;
       target = Machine.x86ish;
+      mblock_index = None;
     }
   in
   let removed = Pvjit.Peephole.run mf in
@@ -365,6 +366,7 @@ let test_peephole_store_load_forward () =
       vreg_ty = Hashtbl.create 1;
       next_vreg = 0;
       target = Machine.x86ish;
+      mblock_index = None;
     }
   in
   let removed = Pvjit.Peephole.run mf in

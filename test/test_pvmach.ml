@@ -102,6 +102,7 @@ let test_mir_fresh_vregs () =
       vreg_ty = Hashtbl.create 4;
       next_vreg = 10;
       target = Machine.x86ish;
+      mblock_index = None;
     }
   in
   let a = Mir.fresh_vreg mf Pvir.Types.i64 in
@@ -189,6 +190,7 @@ let test_static_estimate () =
       vreg_ty = Hashtbl.create 4;
       next_vreg = 2;
       target;
+      mblock_index = None;
     }
   in
   let est m = Cost.static_estimate m (mk m) in
