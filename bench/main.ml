@@ -440,9 +440,12 @@ let ablation () =
           match hints with
           | `None -> Pvjit.Regalloc.Heuristic
           | `Annot -> (
-            match Pvjit.Jit.weight_fun_of_annotation fn with
-            | Some w -> Pvjit.Regalloc.Weights (Pvjit.Jit.extend_weights exp w)
-            | None -> Pvjit.Regalloc.Heuristic)
+            match Pvjit.Annot_check.check_spill_order fn with
+            | _, Some order ->
+              Pvjit.Regalloc.Weights
+                (Pvjit.Jit.extend_weights exp
+                   (Pvjit.Jit.weight_fun_of_order order))
+            | _, None -> Pvjit.Regalloc.Heuristic)
         in
         ignore (Pvjit.Regalloc.run ~quality mf);
         if peephole then ignore (Pvjit.Peephole.run mf);
@@ -817,6 +820,95 @@ let engines () =
      output are identical across engines by construction.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E9: annotation fault injection *)
+
+(* JIT work and spill deltas when the shipped annotations are dropped,
+   corrupted or swapped in transit.  Results are required bit-identical to
+   the clean run (annotations are hints, not trusted facts — the
+   fault-injection tests enforce it); the only visible effect is where the
+   JIT spends its budget and how well it spills.  This is the degradation
+   ledger quoted in EXPERIMENTS.md. *)
+let annot_faults () =
+  header
+    "E9: graceful degradation under annotation faults (Table-1 kernels,\n\
+     x86ish).  work = online compile units; spill = static spill instrs;\n\
+     dyn = executed spill ops.  Results are bit-identical in every row.";
+  Printf.printf "%-10s %-22s %10s %12s %10s %10s\n" "kernel" "annotations"
+    "work" "spill" "dyn" "status";
+  let machine = Pvmach.Machine.x86ish in
+  let rows = ref [] in
+  List.iter
+    (fun (k : Pvkernels.Kernels.t) ->
+      let p =
+        Core.Splitc.frontend ~name:k.Pvkernels.Kernels.name
+          k.Pvkernels.Kernels.source
+      in
+      let annotated = (Core.Splitc.offline ~mode:Core.Splitc.Split p).Core.Splitc.prog in
+      let measure label prog =
+        let bc = Pvir.Serial.encode prog in
+        let on = Core.Splitc.online ~mode:Core.Splitc.Split ~machine bc in
+        let sim = on.Core.Splitc.sim in
+        sim.Pvvm.Sim.engine <- !sim_engine;
+        Pvkernels.Harness.fill_inputs on.Core.Splitc.img;
+        let result =
+          Pvvm.Sim.run sim k.Pvkernels.Kernels.entry
+            (Pvkernels.Harness.args k Pvkernels.Kernels.n_default)
+        in
+        let spill =
+          List.fold_left
+            (fun acc (f : Pvjit.Jit.func_report) ->
+              acc + f.Pvjit.Jit.ra.Pvjit.Regalloc.spill_instrs)
+            0 on.Core.Splitc.jit.Pvjit.Jit.funcs
+        in
+        let status =
+          if
+            List.exists
+              (fun (f : Pvjit.Jit.func_report) ->
+                match f.Pvjit.Jit.annot_status with
+                | Pvjit.Annot_check.Invalid _ -> true
+                | _ -> false)
+              on.Core.Splitc.jit.Pvjit.Jit.funcs
+          then "fallback"
+          else "ok"
+        in
+        let work = Pvir.Account.total on.Core.Splitc.online_work in
+        let dyn = sim.Pvvm.Sim.stats.Pvvm.Sim.spill_ops in
+        Printf.printf "%-10s %-22s %10d %12d %10Ld %10s\n"
+          k.Pvkernels.Kernels.name label work spill dyn status;
+        rows :=
+          Json.Obj
+            [
+              ("kernel", Json.Str k.Pvkernels.Kernels.name);
+              ("annotations", Json.Str label);
+              ("online_work", Json.Int (Int64.of_int work));
+              ("static_spills", Json.Int (Int64.of_int spill));
+              ("dyn_spills", Json.Int dyn);
+              ("status", Json.Str status);
+            ]
+          :: !rows;
+        result
+      in
+      let r_clean = measure "clean" annotated in
+      let variants =
+        ("dropped", Pvinject.Inject.drop_annotations annotated)
+        :: ("corrupted", Pvinject.Inject.corrupt_spill_order ~seed:7 annotated)
+        :: ("swapped", Pvinject.Inject.swap_annotations annotated)
+        :: []
+      in
+      List.iter
+        (fun (label, prog) ->
+          let r = measure label prog in
+          match (r_clean, r) with
+          | Some a, Some b when not (Pvir.Value.equal a b) ->
+            failwith
+              (Printf.sprintf "%s: results differ under '%s' annotations!"
+                 k.Pvkernels.Kernels.name label)
+          | _ -> ())
+        variants)
+    Pvkernels.Kernels.table1;
+  record "annot_faults" (Json.List (List.rev !rows))
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments () =
   table1 ();
@@ -826,7 +918,8 @@ let all_experiments () =
   size ();
   ablation ();
   adaptive ();
-  lto ()
+  lto ();
+  annot_faults ()
 
 let () =
   (* global flags may appear anywhere: --json FILE writes machine-readable
@@ -874,11 +967,12 @@ let () =
         | "lto" -> lto ()
         | "bechamel" -> bechamel ()
         | "engines" -> engines ()
+        | "annot-faults" -> annot_faults ()
         | "all" -> all_experiments ()
         | other ->
           Printf.eprintf
             "unknown experiment %s (try: table1 figure1 regalloc offload size \
-             ablation adaptive lto bechamel engines)\n"
+             ablation adaptive lto bechamel engines annot-faults)\n"
             other;
           exit 1)
       args);

@@ -39,20 +39,30 @@ let target_conv =
   in
   Arg.conv (parse, print)
 
+(* A bad command line is a *user* error (exit 2), never an uncaught
+   exception: every failure path raises [Usage]. *)
+exception Usage of string
+
+let usage fmt = Printf.ksprintf (fun s -> raise (Usage s)) fmt
+
 let parse_args (fn : Pvir.Func.t) (raw : string list) : Pvir.Value.t list =
   let tys = List.map (fun r -> Pvir.Func.reg_type fn r) fn.Pvir.Func.params in
   if List.length tys <> List.length raw then
-    failwith
-      (Printf.sprintf "%s expects %d arguments, got %d" fn.Pvir.Func.name
-         (List.length tys) (List.length raw));
+    usage "%s expects %d arguments, got %d" fn.Pvir.Func.name
+      (List.length tys) (List.length raw);
+  let num of_string kind s =
+    match of_string s with
+    | v -> v
+    | exception Failure _ -> usage "argument %s is not a valid %s" s kind
+  in
   List.map2
     (fun ty s ->
       match ty with
       | Pvir.Types.Scalar sc when Pvir.Types.is_float_scalar sc ->
-        Pvir.Value.float sc (float_of_string s)
-      | Pvir.Types.Scalar sc -> Pvir.Value.int sc (Int64.of_string s)
-      | Pvir.Types.Ptr _ -> Pvir.Value.i64 (Int64.of_string s)
-      | Pvir.Types.Vector _ -> failwith "vector parameters not supported")
+        Pvir.Value.float sc (num float_of_string "float" s)
+      | Pvir.Types.Scalar sc -> Pvir.Value.int sc (num Int64.of_string "integer" s)
+      | Pvir.Types.Ptr _ -> Pvir.Value.i64 (num Int64.of_string "integer" s)
+      | Pvir.Types.Vector _ -> usage "vector parameters not supported")
     tys raw
 
 (* results print in human-friendly notation (Value.to_string uses hex
@@ -62,48 +72,49 @@ let result_to_string (v : Pvir.Value.t) =
   | Pvir.Value.Float (_, x) -> Printf.sprintf "%g" x
   | v -> Pvir.Value.to_string v
 
+(* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
+   0 ok, 2 usage, 3 decode, 4 verify, 5 link, 6 jit, 7 trap, 8 resource
+   limit, 9 i/o — and never a raw backtrace, whatever the input bytes. *)
 let run input target mode interp entry raw_args =
-  try
-    let bc = read_file input in
-    let prog = Pvir.Serial.decode bc in
-    let fn =
-      match Pvir.Prog.find_func prog entry with
-      | Some fn -> fn
-      | None -> failwith (Printf.sprintf "no function %s in %s" entry input)
-    in
-    let args = parse_args fn raw_args in
-    if interp then begin
-      let it = Core.Splitc.interpret bc in
-      let result = Pvvm.Interp.run it entry args in
-      print_string (Pvvm.Interp.output it);
-      (match result with
-      | Some v -> Printf.printf "result: %s\n" (result_to_string v)
-      | None -> ());
-      Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it)
-    end
-    else begin
-      let on = Core.Splitc.online ~mode ~machine:target bc in
-      let result = Pvvm.Sim.run on.Core.Splitc.sim entry args in
-      print_string (Pvvm.Sim.output on.Core.Splitc.sim);
-      (match result with
-      | Some v -> Printf.printf "result: %s\n" (result_to_string v)
-      | None -> ());
-      Printf.printf "%s: %Ld cycles (online compile work: %d units)\n"
-        target.Pvmach.Machine.name
-        (Pvvm.Sim.cycles on.Core.Splitc.sim)
-        (Pvir.Account.total on.Core.Splitc.online_work)
-    end;
-    0
+  match
+    Core.Splitc.guard (fun () ->
+        let bc = read_file input in
+        let prog = Pvir.Serial.decode bc in
+        let fn =
+          match Pvir.Prog.find_func prog entry with
+          | Some fn -> fn
+          | None -> usage "no function %s in %s" entry input
+        in
+        let args = parse_args fn raw_args in
+        if interp then begin
+          let it = Core.Splitc.interpret bc in
+          let result = Pvvm.Interp.run it entry args in
+          print_string (Pvvm.Interp.output it);
+          (match result with
+          | Some v -> Printf.printf "result: %s\n" (result_to_string v)
+          | None -> ());
+          Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it)
+        end
+        else begin
+          let on = Core.Splitc.online ~mode ~machine:target bc in
+          let result = Pvvm.Sim.run on.Core.Splitc.sim entry args in
+          print_string (Pvvm.Sim.output on.Core.Splitc.sim);
+          (match result with
+          | Some v -> Printf.printf "result: %s\n" (result_to_string v)
+          | None -> ());
+          Printf.printf "%s: %Ld cycles (online compile work: %d units)\n"
+            target.Pvmach.Machine.name
+            (Pvvm.Sim.cycles on.Core.Splitc.sim)
+            (Pvir.Account.total on.Core.Splitc.online_work)
+        end)
   with
-  | Failure m | Sys_error m ->
-    Printf.eprintf "error: %s\n" m;
-    1
-  | Pvir.Serial.Corrupt m ->
-    Printf.eprintf "corrupt bytecode: %s\n" m;
-    1
-  | Pvvm.Sim.Trap m | Pvvm.Interp.Trap m ->
-    Printf.eprintf "trap: %s\n" m;
-    1
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "%s\n" (Core.Splitc.error_message e);
+    Core.Splitc.exit_code e
+  | exception Usage m ->
+    Printf.eprintf "usage error: %s\n" m;
+    2
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROG.pvir" ~doc:"Bytecode file.")

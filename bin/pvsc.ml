@@ -22,8 +22,11 @@ let mode_conv =
   let print ppf m = Format.pp_print_string ppf (Core.Splitc.mode_name m) in
   Arg.conv (parse, print)
 
+(* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
+   0 ok, 2 frontend, 4 verify, 5 link, 9 i/o — never a raw backtrace. *)
 let compile inputs output mode emit_text verbose roots =
-  try
+  match
+    Core.Splitc.guard @@ fun () ->
     let modules =
       List.map
         (fun input ->
@@ -78,22 +81,12 @@ let compile inputs output mode emit_text verbose roots =
       let oc = open_out_bin path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bc);
       if verbose then Printf.eprintf "wrote %s (%d bytes)\n" path (String.length bc)
-    end;
-    0
+    end
   with
-  | Minic.Lexer.Error m | Minic.Parser.Error m | Minic.Check.Error m
-  | Minic.Lower.Error m ->
-    Printf.eprintf "error: %s\n" m;
-    1
-  | Pvir.Verify.Error m ->
-    Printf.eprintf "verification error: %s\n" m;
-    1
-  | Sys_error m ->
-    Printf.eprintf "error: %s\n" m;
-    1
-  | Pvir.Link.Error m ->
-    Printf.eprintf "link error: %s\n" m;
-    1
+  | Ok () -> 0
+  | Error e ->
+    Printf.eprintf "%s\n" (Core.Splitc.error_message e);
+    Core.Splitc.exit_code e
 
 let input_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"INPUT.mc..."

@@ -70,7 +70,8 @@ let distribute (r : offline_result) : string = Pvir.Serial.encode r.prog
 (** The on-device step: decode, verify, load, optimize (per mode), and JIT
     for [machine].  [bytecode] is the string produced by {!distribute}. *)
 let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
-    ?(engine = Pvvm.Sim.Threaded) (bytecode : string) : online_result =
+    ?alloc_limit ?(engine = Pvvm.Sim.Threaded) (bytecode : string) :
+    online_result =
   let account = Pvir.Account.create () in
   let p = Pvir.Serial.decode bytecode in
   let p, hints =
@@ -82,17 +83,17 @@ let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
       ignore (Pvopt.Passes.online_full ~account p);
       (p, Pvjit.Jit.Hints_recompute)
   in
-  let img = Pvvm.Image.load ~mem_size p in
+  let img = Pvvm.Image.load ~mem_size ?alloc_limit p in
   let sim, jit = Pvjit.Jit.compile_program ~account ~machine ~hints img in
   sim.Pvvm.Sim.engine <- engine;
   { sim; online_work = account; jit; img }
 
 (** Interpret the bytecode instead of JIT-compiling it (the baseline
     execution mode of early virtual machines). *)
-let interpret ?(mem_size = 1 lsl 20) ?(engine = Pvvm.Interp.Threaded)
-    (bytecode : string) : Pvvm.Interp.t =
+let interpret ?(mem_size = 1 lsl 20) ?alloc_limit
+    ?(engine = Pvvm.Interp.Threaded) (bytecode : string) : Pvvm.Interp.t =
   let p = Pvir.Serial.decode bytecode in
-  let img = Pvvm.Image.load ~mem_size p in
+  let img = Pvvm.Image.load ~mem_size ?alloc_limit p in
   Pvvm.Interp.create ~engine img
 
 (** One call from source text to a device-resident simulator. *)
@@ -101,3 +102,90 @@ let run_source ?(mode = Split) ~(machine : Pvmach.Machine.t) ?mem_size ?engine
   let off = offline ~mode (frontend src) in
   let on = online ~mode ~machine ?mem_size ?engine (distribute off) in
   (off, on)
+
+(** {1 Error taxonomy}
+
+    Every failure a distribution pipeline can hit, as one typed sum.  The
+    library layers raise their own exceptions (decoder {!Pvir.Serial.Corrupt},
+    verifier {!Pvir.Verify.Error}, VM {!Pvvm.Interp.Trap}, ...); drivers and
+    tools want a single vocabulary with stable process exit codes, and they
+    want it *total* — no raw exception (and no backtrace) may escape to an
+    end user on any input, however hostile. *)
+
+type error =
+  | Frontend_error of string  (** MiniC lex/parse/type error (exit 2) *)
+  | Decode_error of Pvir.Serial.corruption
+      (** malformed distribution bytes (exit 3) *)
+  | Verify_error of string  (** well-formed but ill-typed PVIR (exit 4) *)
+  | Link_error of string  (** module linking failed (exit 5) *)
+  | Jit_error of string  (** online compilation failed (exit 6) *)
+  | Runtime_trap of string  (** guest program trapped (exit 7) *)
+  | Resource_limit of string
+      (** fuel or memory budget exhausted (exit 8) *)
+  | Io_error of string  (** host file system error (exit 9) *)
+
+let error_message = function
+  | Frontend_error m -> Printf.sprintf "frontend error: %s" m
+  | Decode_error c ->
+    Printf.sprintf "corrupt bytecode: %s" (Pvir.Serial.corruption_to_string c)
+  | Verify_error m -> Printf.sprintf "verification failed: %s" m
+  | Link_error m -> Printf.sprintf "link error: %s" m
+  | Jit_error m -> Printf.sprintf "online compilation error: %s" m
+  | Runtime_trap m -> Printf.sprintf "trap: %s" m
+  | Resource_limit m -> Printf.sprintf "resource limit: %s" m
+  | Io_error m -> Printf.sprintf "i/o error: %s" m
+
+(* Exit codes: 0 ok, 1 unexpected, 2.. the taxonomy below.  The range stays
+   clear of 123-125, which cmdliner reserves for its own failures. *)
+let exit_code = function
+  | Frontend_error _ -> 2
+  | Decode_error _ -> 3
+  | Verify_error _ -> 4
+  | Link_error _ -> 5
+  | Jit_error _ -> 6
+  | Runtime_trap _ -> 7
+  | Resource_limit _ -> 8
+  | Io_error _ -> 9
+
+(** Classify an exception raised anywhere in the pipeline.  [None] means
+    the exception is not part of the pipeline's failure surface (a genuine
+    bug) and should propagate. *)
+let classify : exn -> error option = function
+  | Minic.Lexer.Error m | Minic.Parser.Error m | Minic.Check.Error m
+  | Minic.Lower.Error m ->
+    Some (Frontend_error m)
+  | Pvir.Serial.Corrupt c -> Some (Decode_error c)
+  | Pvir.Verify.Error m -> Some (Verify_error m)
+  | Pvir.Link.Error m -> Some (Link_error m)
+  | Pvjit.Regalloc.Error m -> Some (Jit_error m)
+  | Pvvm.Interp.Trap m when String.equal m Pvvm.Interp.fuel_exhausted_msg ->
+    Some (Resource_limit m)
+  | Pvvm.Sim.Trap m when String.equal m Pvvm.Sim.fuel_exhausted_msg ->
+    Some (Resource_limit m)
+  | Pvvm.Memory.Limit m -> Some (Resource_limit m)
+  | Pvvm.Interp.Trap m | Pvvm.Sim.Trap m -> Some (Runtime_trap m)
+  | Pvvm.Memory.Fault m -> Some (Runtime_trap ("memory fault: " ^ m))
+  | Sys_error m -> Some (Io_error m)
+  | _ -> None
+
+(** Run [f] and fold any pipeline exception into the taxonomy.  Unknown
+    exceptions still propagate: swallowing them would hide real bugs. *)
+let guard (f : unit -> 'a) : ('a, error) result =
+  match f () with
+  | v -> Ok v
+  | exception e -> ( match classify e with Some err -> Error err | None -> raise e)
+
+(** {1 Result-typed driver API} — the exception-free face of the pipeline,
+    for embedders that want every failure as a value. *)
+
+let frontend_result ?name src = guard (fun () -> frontend ?name src)
+let offline_result_r ?mode p = guard (fun () -> offline ?mode p)
+
+let online_r ?mode ~machine ?mem_size ?alloc_limit ?engine bytecode =
+  guard (fun () -> online ?mode ~machine ?mem_size ?alloc_limit ?engine bytecode)
+
+let interpret_r ?mem_size ?alloc_limit ?engine bytecode =
+  guard (fun () -> interpret ?mem_size ?alloc_limit ?engine bytecode)
+
+let run_source_r ?mode ~machine ?mem_size ?engine src =
+  guard (fun () -> run_source ?mode ~machine ?mem_size ?engine src)

@@ -51,13 +51,17 @@ val distribute : offline_result -> string
 
 (** The on-device step: decode, verify, load, optimize per [mode], JIT for
     [machine].  [mem_size] is the device memory in bytes (default 1 MiB);
-    [engine] selects the simulator's host execution engine (default
-    [Threaded]; cycle counts do not depend on it).
-    @raise Pvir.Serial.Corrupt or Pvir.Verify.Error on bad bytecode. *)
+    [alloc_limit] caps host allocation for that memory (default
+    {!Pvvm.Memory.default_alloc_limit}); [engine] selects the simulator's
+    host execution engine (default [Threaded]; cycle counts do not depend
+    on it).
+    @raise Pvir.Serial.Corrupt or Pvir.Verify.Error on bad bytecode.
+    @raise Pvvm.Memory.Limit if [mem_size] exceeds [alloc_limit]. *)
 val online :
   ?mode:mode ->
   machine:Pvmach.Machine.t ->
   ?mem_size:int ->
+  ?alloc_limit:int ->
   ?engine:Pvvm.Sim.engine ->
   string ->
   online_result
@@ -66,7 +70,11 @@ val online :
     the interpreter's host execution engine (default [Threaded]; cycle
     counts do not depend on it). *)
 val interpret :
-  ?mem_size:int -> ?engine:Pvvm.Interp.engine -> string -> Pvvm.Interp.t
+  ?mem_size:int ->
+  ?alloc_limit:int ->
+  ?engine:Pvvm.Interp.engine ->
+  string ->
+  Pvvm.Interp.t
 
 (** One call from source text to a device-resident simulator:
     [frontend |> offline |> distribute |> online]. *)
@@ -77,3 +85,67 @@ val run_source :
   ?engine:Pvvm.Sim.engine ->
   string ->
   offline_result * online_result
+
+(** {1 Error taxonomy}
+
+    One typed sum covering every failure the distribution pipeline can
+    hit, with stable process exit codes.  Drivers ({!guard}, the [_r]
+    functions below, and the [pvsc]/[pvrun] tools) guarantee that no raw
+    exception or backtrace escapes to an end user on any input, however
+    hostile. *)
+
+type error =
+  | Frontend_error of string  (** MiniC lex/parse/type error (exit 2) *)
+  | Decode_error of Pvir.Serial.corruption
+      (** malformed distribution bytes (exit 3) *)
+  | Verify_error of string  (** well-formed but ill-typed PVIR (exit 4) *)
+  | Link_error of string  (** module linking failed (exit 5) *)
+  | Jit_error of string  (** online compilation failed (exit 6) *)
+  | Runtime_trap of string  (** guest program trapped (exit 7) *)
+  | Resource_limit of string  (** fuel or memory budget exhausted (exit 8) *)
+  | Io_error of string  (** host file system error (exit 9) *)
+
+(** Human-readable one-line rendering (no backtrace). *)
+val error_message : error -> string
+
+(** Stable process exit code: 2-9, clear of cmdliner's reserved 123-125.
+    0 is success and 1 an unexpected (non-taxonomy) failure. *)
+val exit_code : error -> int
+
+(** Classify an exception raised anywhere in the pipeline; [None] means it
+    is not part of the failure surface (a genuine bug). *)
+val classify : exn -> error option
+
+(** Run a pipeline fragment, folding any classified exception into
+    [Error]; unknown exceptions still propagate. *)
+val guard : (unit -> 'a) -> ('a, error) result
+
+(** {1 Result-typed driver API} — exception-free variants of the arrows
+    above, for embedders that want every failure as a value. *)
+
+val frontend_result : ?name:string -> string -> (Pvir.Prog.t, error) result
+val offline_result_r : ?mode:mode -> Pvir.Prog.t -> (offline_result, error) result
+
+val online_r :
+  ?mode:mode ->
+  machine:Pvmach.Machine.t ->
+  ?mem_size:int ->
+  ?alloc_limit:int ->
+  ?engine:Pvvm.Sim.engine ->
+  string ->
+  (online_result, error) result
+
+val interpret_r :
+  ?mem_size:int ->
+  ?alloc_limit:int ->
+  ?engine:Pvvm.Interp.engine ->
+  string ->
+  (Pvvm.Interp.t, error) result
+
+val run_source_r :
+  ?mode:mode ->
+  machine:Pvmach.Machine.t ->
+  ?mem_size:int ->
+  ?engine:Pvvm.Sim.engine ->
+  string ->
+  (offline_result * online_result, error) result

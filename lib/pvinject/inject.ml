@@ -1,0 +1,158 @@
+(** Deterministic fault injection for the distribution pipeline.
+
+    Split compilation ships bytecode and advisory annotations across a
+    trust boundary; this module manufactures the faults the receiving side
+    must survive:
+
+    - {b byte-level} mutations of the serialized module (bit flips,
+      truncations, insertions) — the decoder must map every one of them to
+      {!Pvir.Serial.Corrupt} or decode a program that still verifies;
+    - {b annotation-level} mutations of a decoded program (drop, corrupt,
+      swap between functions) — the JIT must degrade gracefully, never
+      change program semantics;
+
+    Everything is driven by an explicit seed through a splitmix64 stream,
+    so every failure a fuzzer finds is replayable from its seed alone —
+    no hidden global randomness. *)
+
+(** {1 Seeded randomness} *)
+
+type rng = { mutable state : int64 }
+
+let rng (seed : int) : rng = { state = Int64.of_int seed }
+
+(* splitmix64: tiny, well-distributed, and identical on every platform *)
+let next_int64 (r : rng) : int64 =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform draw in [\[0, n)]. *)
+let rand_int (r : rng) (n : int) : int =
+  if n <= 0 then invalid_arg "Inject.rand_int: non-positive bound";
+  Int64.to_int (Int64.rem (Int64.logand (next_int64 r) Int64.max_int) (Int64.of_int n))
+
+(** {1 Byte-level mutations of serialized modules} *)
+
+type byte_fault =
+  | Flip of int * int  (** (position, xor mask): one byte corrupted *)
+  | Truncate of int  (** stream cut to this length *)
+  | Insert of int * char  (** junk byte inserted at position *)
+
+let byte_fault_to_string = function
+  | Flip (p, m) -> Printf.sprintf "flip byte %d with mask 0x%02x" p m
+  | Truncate n -> Printf.sprintf "truncate to %d bytes" n
+  | Insert (p, c) -> Printf.sprintf "insert 0x%02x at byte %d" (Char.code c) p
+
+(** Draw one byte fault for a stream of [len] bytes. *)
+let gen_byte_fault (r : rng) ~(len : int) : byte_fault =
+  if len = 0 then Insert (0, Char.chr (rand_int r 256))
+  else
+    match rand_int r 4 with
+    | 0 | 1 -> Flip (rand_int r len, 1 + rand_int r 255)
+    | 2 -> Truncate (rand_int r len)
+    | _ -> Insert (rand_int r (len + 1), Char.chr (rand_int r 256))
+
+let apply_byte_fault (bc : string) (f : byte_fault) : string =
+  match f with
+  | Flip (p, m) ->
+    let b = Bytes.of_string bc in
+    Bytes.set b p (Char.chr (Char.code (Bytes.get b p) lxor m));
+    Bytes.to_string b
+  | Truncate n -> String.sub bc 0 n
+  | Insert (p, c) ->
+    String.concat "" [ String.sub bc 0 p; String.make 1 c; String.sub bc p (String.length bc - p) ]
+
+(** [mutate_bytes ~seed bc] applies 1-4 seeded faults to [bc] and returns
+    the mutant together with the fault list (for failure reports). *)
+let mutate_bytes ~(seed : int) (bc : string) : string * byte_fault list =
+  let r = rng seed in
+  let n = 1 + rand_int r 4 in
+  let rec go bc acc k =
+    if k = 0 then (bc, List.rev acc)
+    else
+      let f = gen_byte_fault r ~len:(String.length bc) in
+      go (apply_byte_fault bc f) (f :: acc) (k - 1)
+  in
+  go bc [] n
+
+(** {1 Annotation-level mutations of decoded programs}
+
+    All operate on a {e copy} of the program, leaving the input intact, so
+    a harness can compare mutant against original side by side. *)
+
+open Pvir
+
+(** Strip every annotation from every function (and every loop): the
+    "annotations lost in transit" scenario.  The JIT must fall back to its
+    blind heuristics and still compute the same results. *)
+let drop_annotations (p : Prog.t) : Prog.t =
+  let p = Prog.copy p in
+  List.iter
+    (fun (fn : Func.t) ->
+      fn.annots <- Annot.empty;
+      fn.loop_annots <- [])
+    p.funcs;
+  p
+
+(** Corrupt the split-regalloc payload of every annotated function:
+    registers are remapped to seeded garbage ids and costs to seeded
+    garbage magnitudes, keeping the {e shape} valid so only semantic
+    validation can catch it. *)
+let corrupt_spill_order ~(seed : int) (p : Prog.t) : Prog.t =
+  let p = Prog.copy p in
+  let r = rng seed in
+  List.iter
+    (fun (fn : Func.t) ->
+      match Annot.find Annot.key_spill_order fn.annots with
+      | None -> ()
+      | Some _ ->
+        let n = 1 + rand_int r 8 in
+        let entries =
+          List.init n (fun _ ->
+              Annot.List
+                [
+                  (* far beyond any declared register *)
+                  Annot.Int (fn.next_reg + 1 + rand_int r 1000);
+                  Annot.Int (rand_int r 10_000);
+                ])
+        in
+        Func.add_annot fn Annot.key_spill_order (Annot.List entries))
+    p.funcs;
+  p
+
+(** Swap the whole annotation sets of adjacent function pairs: a
+    structurally plausible payload attached to the wrong function (the
+    hardest case for a validator — registers may even exist in both). *)
+let swap_annotations (p : Prog.t) : Prog.t =
+  let p = Prog.copy p in
+  let rec pairs = function
+    | (a : Func.t) :: (b : Func.t) :: tl ->
+      let tmp_a = a.annots and tmp_la = a.loop_annots in
+      a.annots <- b.annots;
+      a.loop_annots <- b.loop_annots;
+      b.annots <- tmp_a;
+      b.loop_annots <- tmp_la;
+      pairs tl
+    | _ -> ()
+  in
+  pairs p.funcs;
+  p
+
+type annot_fault = Drop | Corrupt_spill_order | Swap
+
+let annot_fault_to_string = function
+  | Drop -> "drop all annotations"
+  | Corrupt_spill_order -> "corrupt spill-order payloads"
+  | Swap -> "swap annotations between functions"
+
+let all_annot_faults = [ Drop; Corrupt_spill_order; Swap ]
+
+(** Apply one named annotation fault (seeded where it draws randomness). *)
+let apply_annot_fault ~(seed : int) (f : annot_fault) (p : Prog.t) : Prog.t =
+  match f with
+  | Drop -> drop_annotations p
+  | Corrupt_spill_order -> corrupt_spill_order ~seed p
+  | Swap -> swap_annotations p

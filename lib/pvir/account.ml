@@ -29,6 +29,10 @@ let charge t ~pass n =
 let total t = t.total
 let by_pass t = List.rev t.entries
 
+(** Work units recorded against one pass (0 if it never ran). *)
+let find t pass =
+  match List.assoc_opt pass t.entries with Some n -> n | None -> 0
+
 let to_string t =
   let items =
     List.map (fun (p, n) -> Printf.sprintf "%s=%d" p n) (by_pass t)

@@ -9,9 +9,37 @@
 let magic = "PVIR"
 let version = 1
 
-exception Corrupt of string
+(** Why a stream was rejected: the byte offset where decoding stopped and
+    a human-readable reason.  Bytecode received over the distribution
+    channel is untrusted input; the decoder's contract is that *every*
+    malformed stream — random bytes, truncations, bit flips, adversarial
+    length fields — is rejected with [Corrupt], never with [Failure],
+    [Invalid_argument], [Out_of_memory] or a stack overflow. *)
+type corruption = { offset : int; reason : string }
 
-let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+exception Corrupt of corruption
+
+let corruption_to_string { offset; reason } =
+  Printf.sprintf "%s at byte %d" reason offset
+
+(** Decode-time resource bounds.  A length field in a hostile stream can
+    claim any 64-bit value; every count that drives an allocation is
+    checked against these limits (and against the bytes actually
+    remaining) before the allocation happens. *)
+type limits = {
+  max_vec_lanes : int;  (** lanes in a vector type or value *)
+  max_regs : int;  (** virtual registers per function *)
+  max_global_elems : int;  (** elements per global array *)
+  max_annot_depth : int;  (** nesting of list-valued annotations *)
+}
+
+let default_limits =
+  {
+    max_vec_lanes = 4096;
+    max_regs = 1 lsl 20;
+    max_global_elems = 1 lsl 26;
+    max_annot_depth = 32;
+  }
 
 (* ---------------- primitive writers ---------------- *)
 
@@ -59,17 +87,22 @@ let w_list b f l =
 
 (* ---------------- primitive readers ---------------- *)
 
-type reader = { buf : string; mutable pos : int }
+type reader = { buf : string; mutable pos : int; lim : limits }
+
+let corrupt r fmt =
+  Printf.ksprintf (fun s -> raise (Corrupt { offset = r.pos; reason = s })) fmt
+
+let remaining r = String.length r.buf - r.pos
 
 let r_u8 r =
-  if r.pos >= String.length r.buf then corrupt "unexpected end of input";
+  if r.pos >= String.length r.buf then corrupt r "unexpected end of input";
   let v = Char.code r.buf.[r.pos] in
   r.pos <- r.pos + 1;
   v
 
 let r_varint r =
   let rec go shift acc =
-    if shift > 63 then corrupt "varint too long";
+    if shift > 63 then corrupt r "varint too long";
     let byte = r_u8 r in
     let acc =
       Int64.logor acc (Int64.shift_left (Int64.of_int (byte land 0x7F)) shift)
@@ -86,12 +119,15 @@ let r_svarint r =
 
 let r_string r =
   let n = r_int r in
-  if n < 0 || r.pos + n > String.length r.buf then corrupt "bad string length";
+  (* [n > remaining] also rejects the overflowing lengths ([r.pos + n]
+     wrapping negative) that the seed's check let through *)
+  if n < 0 || n > remaining r then corrupt r "bad string length %d" n;
   let s = String.sub r.buf r.pos n in
   r.pos <- r.pos + n;
   s
 
 let r_f64 r =
+  if remaining r < 8 then corrupt r "truncated f64";
   let v = ref 0L in
   for i = 7 downto 0 do
     v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.buf.[r.pos + i]))
@@ -103,9 +139,16 @@ let r_bool r = r_u8 r <> 0
 
 let r_option r f = match r_u8 r with 0 -> None | _ -> Some (f r)
 
+(* Every list element costs at least one encoded byte, so a claimed count
+   larger than the bytes left is corrupt — checked *before* [List.init]
+   allocates, so a hostile length field cannot make the decoder allocate
+   (or loop) beyond the size of its input. *)
+let r_count r n =
+  if n < 0 || n > remaining r then corrupt r "bad element count %d" n
+
 let r_list r f =
   let n = r_int r in
-  if n < 0 then corrupt "bad list length";
+  r_count r n;
   List.init n (fun _ -> f r)
 
 (* ---------------- enums ---------------- *)
@@ -118,14 +161,14 @@ let scalar_tag = function
   | Types.F32 -> 4
   | Types.F64 -> 5
 
-let scalar_of_tag = function
+let scalar_of_tag r = function
   | 0 -> Types.I8
   | 1 -> Types.I16
   | 2 -> Types.I32
   | 3 -> Types.I64
   | 4 -> Types.F32
   | 5 -> Types.F64
-  | t -> corrupt "bad scalar tag %d" t
+  | t -> corrupt r "bad scalar tag %d" t
 
 let w_ty b = function
   | Types.Scalar s -> w_u8 b (scalar_tag s)
@@ -136,41 +179,45 @@ let w_ty b = function
 
 let r_ty r =
   let t = r_u8 r in
-  let s = scalar_of_tag (t land 0x0F) in
+  let s = scalar_of_tag r (t land 0x0F) in
   match t land 0xF0 with
   | 0 -> Types.Scalar s
-  | 0x10 -> Types.Vector (s, r_int r)
+  | 0x10 ->
+    let n = r_int r in
+    if n < 2 || n > r.lim.max_vec_lanes then
+      corrupt r "bad vector lane count %d" n;
+    Types.Vector (s, n)
   | 0x20 -> Types.Ptr s
-  | _ -> corrupt "bad type tag %d" t
+  | _ -> corrupt r "bad type tag %d" t
 
 let index_of x l =
   let rec go i = function
-    | [] -> invalid_arg "Serial.index_of"
+    | [] -> invalid_arg "Serial.index_of"  (* encoder-side: op list is total *)
     | y :: tl -> if y = x then i else go (i + 1) tl
   in
   go 0 l
 
-let nth_or_corrupt name l i =
+let nth_or_corrupt r name l i =
   match List.nth_opt l i with
   | Some x -> x
-  | None -> corrupt "bad %s tag %d" name i
+  | None -> corrupt r "bad %s tag %d" name i
 
 let w_binop b op = w_u8 b (index_of op Instr.all_binops)
-let r_binop r = nth_or_corrupt "binop" Instr.all_binops (r_u8 r)
+let r_binop r = nth_or_corrupt r "binop" Instr.all_binops (r_u8 r)
 let w_relop b op = w_u8 b (index_of op Instr.all_relops)
-let r_relop r = nth_or_corrupt "relop" Instr.all_relops (r_u8 r)
+let r_relop r = nth_or_corrupt r "relop" Instr.all_relops (r_u8 r)
 let w_redop b op = w_u8 b (index_of op Instr.all_redops)
-let r_redop r = nth_or_corrupt "redop" Instr.all_redops (r_u8 r)
+let r_redop r = nth_or_corrupt r "redop" Instr.all_redops (r_u8 r)
 
 let all_convs =
   Instr.[ Zext; Sext; Trunc; Sitofp; Uitofp; Fptosi; Fptoui; Fpconv ]
 
 let w_conv b c = w_u8 b (index_of c all_convs)
-let r_conv r = nth_or_corrupt "conv" all_convs (r_u8 r)
+let r_conv r = nth_or_corrupt r "conv" all_convs (r_u8 r)
 
 let all_unops = Instr.[ Neg; Not ]
 let w_unop b u = w_u8 b (index_of u all_unops)
-let r_unop r = nth_or_corrupt "unop" all_unops (r_u8 r)
+let r_unop r = nth_or_corrupt r "unop" all_unops (r_u8 r)
 
 (* ---------------- values ---------------- *)
 
@@ -188,19 +235,45 @@ let rec w_value b = function
     w_int b (Array.length elems);
     Array.iter (w_value b) elems
 
-let rec r_value r =
+(* Scalar values only: an [Int] carrying a float scalar tag (or the
+   reverse) would hit [Value.normalize]'s [Invalid_argument] — reject the
+   tag combination instead. *)
+let r_scalar_value r =
   match r_u8 r with
   | 0 ->
-    let s = scalar_of_tag (r_u8 r) in
+    let s = scalar_of_tag r (r_u8 r) in
+    if Types.is_float_scalar s then corrupt r "int value with float scalar";
     Value.Int (s, Value.normalize s (r_svarint r))
   | 1 ->
-    let s = scalar_of_tag (r_u8 r) in
+    let s = scalar_of_tag r (r_u8 r) in
+    if not (Types.is_float_scalar s) then
+      corrupt r "float value with int scalar";
     Value.Float (s, Value.normalize_float s (r_f64 r))
-  | 2 ->
+  | 2 -> corrupt r "nested vector value"
+  | t -> corrupt r "bad value tag %d" t
+
+(* The type system has no vector-of-vector, so well-formed values are one
+   level deep: a scalar, or a homogeneous vector of scalars.  Decoding
+   enforces that shape (rather than recursing), which removes the
+   stack-overflow vector a nested-value encoding would open. *)
+let r_value r =
+  if remaining r > 0 && Char.code r.buf.[r.pos] = 2 then begin
+    r.pos <- r.pos + 1;
     let n = r_int r in
-    if n < 2 then corrupt "vector with %d lanes" n;
-    Value.Vec (Array.init n (fun _ -> r_value r))
-  | t -> corrupt "bad value tag %d" t
+    if n < 2 || n > r.lim.max_vec_lanes then corrupt r "vector with %d lanes" n;
+    r_count r n;
+    let first = r_scalar_value r in
+    let elem_ty = Value.ty first in
+    let lanes = Array.make n first in
+    for i = 1 to n - 1 do
+      let v = r_scalar_value r in
+      if not (Types.equal (Value.ty v) elem_ty) then
+        corrupt r "mixed lane types in vector value";
+      lanes.(i) <- v
+    done;
+    Value.Vec lanes
+  end
+  else r_scalar_value r
 
 (* ---------------- annotations ---------------- *)
 
@@ -221,14 +294,18 @@ let rec w_annot_value b = function
     w_u8 b 4;
     w_list b w_annot_value v
 
-let rec r_annot_value r =
+(* Annotation lists nest (the spill-order payload is a list of pairs), so
+   recursion is real here — bounded by [max_annot_depth] to keep a
+   deeply-nested hostile stream from overflowing the decoder's stack. *)
+let rec r_annot_value ?(depth = 0) r =
+  if depth > r.lim.max_annot_depth then corrupt r "annotation nesting too deep";
   match r_u8 r with
   | 0 -> Annot.Bool (r_bool r)
   | 1 -> Annot.Int (Int64.to_int (r_svarint r))
   | 2 -> Annot.Flt (r_f64 r)
   | 3 -> Annot.Str (r_string r)
-  | 4 -> Annot.List (r_list r r_annot_value)
-  | t -> corrupt "bad annotation tag %d" t
+  | 4 -> Annot.List (r_list r (r_annot_value ~depth:(depth + 1)))
+  | t -> corrupt r "bad annotation tag %d" t
 
 let w_annots b (a : Annot.t) =
   w_list b
@@ -388,7 +465,7 @@ let r_instr r : Instr.t =
   | 14 ->
     let d = r_int r in
     Gaddr (d, r_string r)
-  | t -> corrupt "bad instruction tag %d" t
+  | t -> corrupt r "bad instruction tag %d" t
 
 let w_term b (t : Instr.term) =
   match t with
@@ -415,7 +492,7 @@ let r_term r : Instr.term =
     Cbr (c, l1, l2)
   | 2 -> Ret None
   | 3 -> Ret (Some (r_int r))
-  | t -> corrupt "bad terminator tag %d" t
+  | t -> corrupt r "bad terminator tag %d" t
 
 (* ---------------- functions & programs ---------------- *)
 
@@ -467,6 +544,23 @@ let r_func r : Func.t =
   in
   let next_reg = r_int r in
   let next_label = r_int r in
+  (* [next_reg] sizes the interpreter's register file for every frame of
+     this function, so it is allocation-critical: bound it, and require
+     every declared register to sit below it (the builder's invariant) so
+     a decoded program can never index outside the frame. *)
+  if next_reg < 0 || next_reg > r.lim.max_regs then
+    corrupt r "bad register count %d" next_reg;
+  if next_label < 0 then corrupt r "bad label counter %d" next_label;
+  List.iter
+    (fun (reg, _) ->
+      if reg < 0 || reg >= next_reg then
+        corrupt r "parameter register r%d outside register file" reg)
+    params;
+  List.iter
+    (fun (reg, _) ->
+      if reg < 0 || reg >= next_reg then
+        corrupt r "declared register r%d outside register file" reg)
+    reg_list;
   let annots = r_annots r in
   let loop_annots =
     r_list r (fun r ->
@@ -516,9 +610,25 @@ let w_global b (g : Prog.global) =
 
 let r_global r : Prog.global =
   let gname = r_string r in
-  let gelem = scalar_of_tag (r_u8 r) in
+  let gelem = scalar_of_tag r (r_u8 r) in
   let gcount = r_int r in
+  if gcount < 0 || gcount > r.lim.max_global_elems then
+    corrupt r "bad global element count %d" gcount;
   let ginit = r_option r (fun r -> Array.of_list (r_list r r_value)) in
+  (* loader invariants, enforced at the trust boundary: the initializer
+     covers the array exactly and every element has the declared scalar
+     type (a mismatch would silently lay out wrong bytes at load time) *)
+  (match ginit with
+  | None -> ()
+  | Some init ->
+    if Array.length init <> gcount then
+      corrupt r "initializer has %d elements, global declares %d"
+        (Array.length init) gcount;
+    Array.iter
+      (fun v ->
+        if not (Types.equal (Value.ty v) (Types.Scalar gelem)) then
+          corrupt r "initializer element type mismatch in @%s" gname)
+      init);
   let gannots = r_annots r in
   { gname; gelem; gcount; ginit; gannots }
 
@@ -536,18 +646,36 @@ let encode (p : Prog.t) : string =
 
 (** Parse binary bytecode back into a program.
     @raise Corrupt on malformed input. *)
-let decode (s : string) : Prog.t =
+let decode ?(limits = default_limits) (s : string) : Prog.t =
+  let r = { buf = s; pos = 0; lim = limits } in
   if String.length s < 5 || not (String.equal (String.sub s 0 4) magic) then
-    corrupt "bad magic";
-  let r = { buf = s; pos = 4 } in
-  let v = r_u8 r in
-  if v <> version then corrupt "unsupported version %d" v;
-  let pname = r_string r in
-  let annots = r_annots r in
-  let externs = r_list r r_extern in
-  let globals = r_list r r_global in
-  let funcs = r_list r r_func in
-  { Prog.pname; globals; funcs; externs; annots }
+    corrupt r "bad magic";
+  r.pos <- 4;
+  (* Belt and braces: the readers above are written so that no exception
+     but [Corrupt] can escape on any input; the handler turns anything
+     that nevertheless slips through (a future reader bug) into a
+     [Corrupt] at the current offset instead of crashing the device. *)
+  try
+    let v = r_u8 r in
+    if v <> version then corrupt r "unsupported version %d" v;
+    let pname = r_string r in
+    let annots = r_annots r in
+    let externs = r_list r r_extern in
+    let globals = r_list r r_global in
+    let funcs = r_list r r_func in
+    if remaining r <> 0 then corrupt r "%d trailing bytes" (remaining r);
+    { Prog.pname; globals; funcs; externs; annots }
+  with
+  | Corrupt _ as e -> raise e
+  | Stack_overflow -> corrupt r "decoder recursion limit"
+  | Invalid_argument m | Failure m -> corrupt r "decoder invariant: %s" m
+
+(** [decode_result s] is [Ok p] or [Error corruption] — the exceptionless
+    face of {!decode} for callers at the trust boundary. *)
+let decode_result ?limits (s : string) : (Prog.t, corruption) result =
+  match decode ?limits s with
+  | p -> Ok p
+  | exception Corrupt c -> Error c
 
 (** Encoded size in bytes of a program with its annotations stripped —
     used by the size/compactness experiment (E5). *)

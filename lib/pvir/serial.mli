@@ -4,10 +4,33 @@
     Compact varint-based encoding; annotations are stored as a skippable
     section so readers that do not understand a key can ignore it.
     [decode (encode p)] reproduces [p] exactly (checked by round-trip
-    property tests). *)
+    property tests).
+
+    The decoder treats its input as *untrusted*: every malformed stream —
+    random bytes, truncation, bit flips, adversarial length fields,
+    deeply-nested annotations — is rejected with {!Corrupt} carrying the
+    byte offset where decoding stopped.  No other exception escapes, no
+    allocation is driven by a length field beyond the size of the input,
+    and recursion depth is bounded (checked by the fuzz suite in
+    [test_fuzz_serial]). *)
+
+(** Why a stream was rejected: byte offset + reason. *)
+type corruption = { offset : int; reason : string }
 
 (** Raised by {!decode} / {!of_file} on malformed input. *)
-exception Corrupt of string
+exception Corrupt of corruption
+
+val corruption_to_string : corruption -> string
+
+(** Decode-time resource bounds (see {!default_limits}). *)
+type limits = {
+  max_vec_lanes : int;  (** lanes in a vector type or value *)
+  max_regs : int;  (** virtual registers per function *)
+  max_global_elems : int;  (** elements per global array *)
+  max_annot_depth : int;  (** nesting of list-valued annotations *)
+}
+
+val default_limits : limits
 
 (** File magic ("PVIR") and format version. *)
 val magic : string
@@ -19,7 +42,10 @@ val encode : Prog.t -> string
 
 (** Parse binary bytecode back into a program.
     @raise Corrupt on malformed input. *)
-val decode : string -> Prog.t
+val decode : ?limits:limits -> string -> Prog.t
+
+(** Exceptionless {!decode} for callers at the trust boundary. *)
+val decode_result : ?limits:limits -> string -> (Prog.t, corruption) result
 
 (** Encode with every annotation stripped — the size baseline of the
     compactness experiment (E5). *)

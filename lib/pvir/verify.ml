@@ -165,8 +165,20 @@ let check_term fn labels (t : Instr.term) =
       if not (Types.equal (Func.reg_type fn r) ty) then
         fail "ret: return type mismatch in %s" Func.(fn.name))
 
+(* Registers must be checked for *declaration* before any type rule runs:
+   [Func.reg_type] raises [Invalid_argument] on an unknown register, and a
+   decoded (untrusted) program can reference any register id it likes.
+   This pre-check turns that into a typed [Error] at the boundary. *)
+let check_regs_declared (fn : Func.t) =
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem fn.reg_ty r) then
+        fail "undeclared register r%d in %s" r fn.name)
+    (Func.all_regs fn)
+
 let check_func p (fn : Func.t) =
   if fn.blocks = [] then fail "function %s has no blocks" fn.name;
+  check_regs_declared fn;
   let labels = List.map (fun (b : Func.block) -> b.label) fn.blocks in
   let sorted = List.sort compare labels in
   let rec dup = function
@@ -193,6 +205,9 @@ let program (p : Prog.t) =
   (match dup sorted with
   | Some n -> fail "duplicate function @%s" n
   | None -> ());
+  (* all functions first: a call-site check reads the *callee*'s parameter
+     types, which must be known declared before any caller is visited *)
+  List.iter check_regs_declared p.funcs;
   List.iter (check_func p) p.funcs
 
 (** [program_result p] is [Ok ()] or [Error message]. *)

@@ -23,6 +23,9 @@ type func_report = {
   fname : string;
   ra : Regalloc.stats;
   mir_size : int;  (** instructions after compilation, "native code size" *)
+  annot_status : Annot_check.status;
+      (** verdict on the function's hint annotations; [Invalid] means the
+          JIT degraded gracefully to online recomputation *)
 }
 
 type report = {
@@ -30,15 +33,10 @@ type report = {
   work : Pvir.Account.t;  (** online work spent *)
 }
 
-let weight_fun_of_annotation (fn : Pvir.Func.t) : (int -> float) option =
-  match Pvopt.Regalloc_annotate.decode_spill_order fn with
-  | None -> None
-  | Some order ->
-    let tbl = Hashtbl.create 32 in
-    List.iter (fun (r, c) -> Hashtbl.replace tbl r (float_of_int c)) order;
-    Some
-      (fun v ->
-        match Hashtbl.find_opt tbl v with Some w -> w | None -> infinity)
+let weight_fun_of_order (order : (int * int) list) : int -> float =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (r, c) -> Hashtbl.replace tbl r (float_of_int c)) order;
+  fun v -> match Hashtbl.find_opt tbl v with Some w -> w | None -> infinity
 
 let weight_fun_recomputed ?account (fn : Pvir.Func.t) : int -> float =
   (* same analysis as the offline annotator, but paid for online *)
@@ -78,23 +76,52 @@ let compile_func ?account ~(machine : Machine.t) ~(img : Pvvm.Image.t)
   in
   let exp = Legalize.run ?account mf in
   ignore (Immfold.run ?account mf);
-  let quality =
+  let quality, annot_status =
     match hints with
-    | Hints_none -> Regalloc.Heuristic
+    | Hints_none -> (Regalloc.Heuristic, Annot_check.Absent)
     | Hints_annotation -> (
-      match weight_fun_of_annotation fn with
-      | Some w ->
+      (* annotations arrive inside untrusted bytecode: validate before
+         consuming, and degrade to online recomputation on mismatch *)
+      let so_status, order = Annot_check.check_spill_order fn in
+      let vec_status = Annot_check.check_vectorized fn in
+      match (so_status, vec_status, order) with
+      | Annot_check.Valid, Annot_check.Invalid _, _
+      | Annot_check.Invalid _, _, _
+      | Annot_check.Valid, _, None ->
+        (* present but unusable: pay the pure-online analysis price, plus
+           a visible "fallback" marker in the work accounting *)
+        let reason =
+          match (so_status, vec_status) with
+          | Annot_check.Invalid r, _ | _, Annot_check.Invalid r -> r
+          | _ -> "spill_order: validated but undecodable"
+        in
+        Pvir.Account.charge_opt account ~pass:"jit.annot_fallback" 1;
+        ( Regalloc.Weights
+            (extend_weights exp (weight_fun_recomputed ?account fn)),
+          Annot_check.Invalid reason )
+      | Annot_check.Valid, _, Some order ->
         (* reading the annotation is (nearly) free *)
         Pvir.Account.charge_opt account ~pass:"jit.read_annotations"
           (List.length fn.params + 4);
-        Regalloc.Weights (extend_weights exp w)
-      | None -> Regalloc.Heuristic)
+        ( Regalloc.Weights (extend_weights exp (weight_fun_of_order order)),
+          Annot_check.Valid )
+      | Annot_check.Absent, (Annot_check.Invalid _ as i), _ ->
+        (* no spill order to fall back from, but the vectorizer metadata
+           is bogus: note it and run the blind heuristic *)
+        Pvir.Account.charge_opt account ~pass:"jit.annot_fallback" 1;
+        (Regalloc.Heuristic, i)
+      | Annot_check.Absent, Annot_check.Valid, _ ->
+        (Regalloc.Heuristic, Annot_check.Valid)
+      | Annot_check.Absent, Annot_check.Absent, _ ->
+        (Regalloc.Heuristic, Annot_check.Absent))
     | Hints_recompute ->
-      Regalloc.Weights (extend_weights exp (weight_fun_recomputed ?account fn))
+      ( Regalloc.Weights
+          (extend_weights exp (weight_fun_recomputed ?account fn)),
+        Annot_check.Absent )
   in
   let ra = Regalloc.run ?account ~quality mf in
   ignore (Peephole.run ?account mf);
-  (mf, { fname = fn.name; ra; mir_size = Mir.size mf })
+  (mf, { fname = fn.name; ra; mir_size = Mir.size mf; annot_status })
 
 (** Compile all functions of the image's program and return a simulator
     loaded with the generated code. *)

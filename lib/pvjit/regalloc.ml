@@ -306,6 +306,7 @@ let rewrite_spills (mf : Mir.func) ~unspillable ~(stats : stats) spills =
             | Some t -> t
             | None ->
               let t = Mir.fresh_vreg mf ty in
+              (* invariant: [Mir.fresh_vreg] always returns a [V] *)
               Hashtbl.replace unspillable
                 (match t with Mir.V v -> v | _ -> assert false)
                 ();

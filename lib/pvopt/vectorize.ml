@@ -637,6 +637,8 @@ let transform (fn : Func.t) (info : loop_info) (body : body_info) : int =
   let sreg_map = Hashtbl.create 8 in
   let sreg r = match Hashtbl.find_opt sreg_map r with Some r' -> r' | None -> r in
   let clone_scalar i =
+    (* invariant: only def-carrying instructions are classified Kscalar by
+       the analysis above — a def-less instruction never reaches here *)
     let d = match Instr.def i with Some d -> d | None -> assert false in
     let d' = Func.fresh_reg fn (Func.reg_type fn d) in
     let i' = Instr.map_regs (fun x -> if x = d then d' else sreg x) i in
@@ -649,6 +651,9 @@ let transform (fn : Func.t) (info : loop_info) (body : body_info) : int =
       | Kaddress | Kuniform -> clone_scalar i  (* scalar, once per vector step *)
       | Kivstep -> ()  (* re-emitted below with step = vf *)
       | Kreduction _ -> (
+        (* invariant: an instruction is classified [Kreduction] only when
+           it is the binop of a recognized reduction chain, so both the
+           shape match and the [reduction_of] lookup must succeed *)
         match i with
         | Instr.Binop (op, d, a, b) ->
           let red =
@@ -703,6 +708,7 @@ let transform (fn : Func.t) (info : loop_info) (body : body_info) : int =
           | Instr.Max -> Instr.Rmax
           | Instr.Umin -> Instr.Rumin
           | Instr.Umax -> Instr.Rumax
+          (* invariant: [reduction_of] only accepts these five operators *)
           | _ -> assert false
         in
         [

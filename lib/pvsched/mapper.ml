@@ -160,3 +160,156 @@ let makespan (platform : platform) (cost : cost_model) (pl : placement)
       if Int64.compare t_end !finish > 0 then finish := t_end)
     tr;
   !finish
+
+(** {1 Accelerator failure}
+
+    A heterogeneous platform can lose an accelerator mid-run (thermal
+    shutdown, bus fault).  Because final code generation happens at run
+    time, the runtime can respond by re-JITting the displaced kernels for
+    the surviving cores — and because the concurrency substrate is a KPN,
+    the remapping cannot change any computed stream (Kahn determinism):
+    only the makespan moves.  That is the property the fault-injection
+    tests pin down. *)
+
+type failure = {
+  dead_core : string;  (** name of the core that dies *)
+  at : int64;  (** cycle at which it stops accepting work *)
+}
+
+(** [remap platform cost pl ~dead ps] reassigns every process placed on
+    [dead] to the best surviving core — same greedy load + cost scoring as
+    {!place}, seeded with the load the surviving placements already carry.
+    Processes on live cores keep their placement (their code is already
+    compiled).
+    @raise Invalid_argument if [dead] is the only core. *)
+let remap (platform : platform) (cost : cost_model) (pl : placement)
+    ~(dead : string) (ps : Kpn.process list) : placement =
+  let survivors =
+    List.filter (fun c -> not (String.equal c.cname dead)) platform.cores
+  in
+  if survivors = [] then invalid_arg "Mapper.remap: no surviving core";
+  let load = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace load c.cname 0) survivors;
+  List.iter
+    (fun (p : Kpn.process) ->
+      let c = core_of pl p in
+      if not (String.equal c.cname dead) then
+        Hashtbl.replace load c.cname
+          ((try Hashtbl.find load c.cname with Not_found -> 0) + cost p c))
+    ps;
+  let displaced =
+    List.filter (fun (p : Kpn.process) -> String.equal (core_of pl p).cname dead) ps
+  in
+  let by_weight =
+    List.stable_sort
+      (fun (a : Kpn.process) (b : Kpn.process) -> compare b.Kpn.work a.Kpn.work)
+      displaced
+  in
+  let moved =
+    List.map
+      (fun (p : Kpn.process) ->
+        let score c =
+          (try Hashtbl.find load c.cname with Not_found -> 0) + cost p c
+        in
+        let best =
+          match survivors with
+          | c :: rest ->
+            List.fold_left
+              (fun acc c' -> if score c' < score acc then c' else acc)
+              c rest
+          | [] -> assert false
+        in
+        Hashtbl.replace load best.cname
+          ((try Hashtbl.find load best.cname with Not_found -> 0)
+          + cost p best);
+        (p.Kpn.pname, best))
+      by_weight
+  in
+  List.map
+    (fun (name, c) ->
+      match List.assoc_opt name moved with
+      | Some c' -> (name, c')
+      | None -> (name, c))
+    pl
+
+(** Makespan under an accelerator failure: firings on the dead core that
+    would complete by [failure.at] still run there; everything later runs
+    on the {!remap}ed placement.  The schedule stays a deterministic list
+    schedule over the same KPN firing trace, so the computed streams are
+    untouched — only timing changes. *)
+let makespan_with_failure (platform : platform) (cost : cost_model)
+    (pl : placement) ~(failure : failure) (net : Kpn.t) : int64 =
+  let ps = net.Kpn.processes in
+  let pl' = remap platform cost pl ~dead:failure.dead_core ps in
+  let external_count = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name q -> Hashtbl.replace external_count name (Queue.length q))
+    net.Kpn.channels;
+  let tr = Kpn.trace net in
+  let core_free = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace core_free c.cname 0L) platform.cores;
+  let chan_tokens : (string, (int64 * string) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let chan_consumed = Hashtbl.create 16 in
+  (* when the k-th token of [chan] was produced and by which core; [None]
+     means it is an external input available at time 0 *)
+  let token_source chan : (int64 * string) option =
+    let produced =
+      match Hashtbl.find_opt chan_tokens chan with
+      | Some l -> List.rev !l
+      | None -> []
+    in
+    let k = try Hashtbl.find chan_consumed chan with Not_found -> 0 in
+    Hashtbl.replace chan_consumed chan (k + 1);
+    let ext = try Hashtbl.find external_count chan with Not_found -> 0 in
+    if k < ext then None else List.nth_opt produced (k - ext)
+  in
+  let ready_on core_name sources =
+    List.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some (t, producer) ->
+          let t =
+            if String.equal producer core_name then t
+            else Int64.add t (Int64.of_int platform.transfer_cost)
+          in
+          max acc t)
+      0L sources
+  in
+  let finish = ref 0L in
+  List.iter
+    (fun ((p : Kpn.process), _) ->
+      let sources = List.map token_source p.Kpn.inputs in
+      let schedule_on (core : core) =
+        let free = try Hashtbl.find core_free core.cname with Not_found -> 0L in
+        let start = max (ready_on core.cname sources) free in
+        (start, Int64.add start (Int64.of_int (cost p core)))
+      in
+      let c0 = core_of pl p in
+      let core, (_, t_end) =
+        if String.equal c0.cname failure.dead_core then begin
+          let _, end0 = schedule_on c0 in
+          if Int64.compare end0 failure.at <= 0 then (c0, schedule_on c0)
+          else
+            let c1 = core_of pl' p in
+            (c1, schedule_on c1)
+        end
+        else (c0, schedule_on c0)
+      in
+      Hashtbl.replace core_free core.cname t_end;
+      List.iter
+        (fun chan ->
+          let l =
+            match Hashtbl.find_opt chan_tokens chan with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace chan_tokens chan l;
+              l
+          in
+          l := (t_end, core.cname) :: !l)
+        p.Kpn.outputs;
+      if Int64.compare t_end !finish > 0 then finish := t_end)
+    tr;
+  !finish

@@ -14,9 +14,12 @@ type t = {
 
 let align8 n = (n + 7) land lnot 7
 
-(** [load ?mem_size prog] verifies and loads [prog] into a fresh memory.
-    @raise Pvir.Verify.Error if the bytecode does not verify. *)
-let load ?(mem_size = 1 lsl 20) (prog : Pvir.Prog.t) : t =
+(** [load ?mem_size ?alloc_limit prog] verifies and loads [prog] into a
+    fresh memory.
+    @raise Pvir.Verify.Error if the bytecode does not verify.
+    @raise Memory.Limit if [mem_size] exceeds [alloc_limit]
+    (default {!Memory.default_alloc_limit}). *)
+let load ?(mem_size = 1 lsl 20) ?alloc_limit (prog : Pvir.Prog.t) : t =
   Pvir.Verify.program prog;
   (* a module with unresolved externs must be linked before it can run *)
   List.iter
@@ -30,7 +33,7 @@ let load ?(mem_size = 1 lsl 20) (prog : Pvir.Prog.t) : t =
              (Printf.sprintf "unresolved extern @%s: link the module first"
                 e.Pvir.Prog.ename)))
     prog.Pvir.Prog.externs;
-  let mem = Memory.create mem_size in
+  let mem = Memory.create ?alloc_limit mem_size in
   let global_addr = Hashtbl.create 16 in
   let cursor = ref 8 (* keep address 0 as an unmapped null *) in
   List.iter

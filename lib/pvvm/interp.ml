@@ -28,6 +28,11 @@
 
 exception Trap of string
 
+(** Canonical fuel-exhaustion message: drivers classify a {!Trap}
+    carrying this text as a *resource limit* rather than a guest
+    error. *)
+let fuel_exhausted_msg = "interpreter fuel exhausted (infinite loop?)"
+
 type engine = Tree_walk | Threaded
 
 let engine_name = function Tree_walk -> "tree-walk" | Threaded -> "threaded"
@@ -73,7 +78,7 @@ let charge t n =
   t.stats.cycles <- Int64.add t.stats.cycles (Int64.of_int n);
   t.stats.instrs <- Int64.add t.stats.instrs 1L;
   if Int64.compare t.stats.instrs t.fuel > 0 then
-    raise (Trap "interpreter fuel exhausted (infinite loop?)")
+    raise (Trap fuel_exhausted_msg)
 
 type frame = {
   regs : Pvir.Value.t option array;
@@ -220,7 +225,7 @@ let dcharge ec n =
   ec.ecycles <- ec.ecycles + n;
   ec.einstrs <- ec.einstrs + 1;
   if ec.einstrs > ec.efuel then
-    raise (Trap "interpreter fuel exhausted (infinite loop?)")
+    raise (Trap fuel_exhausted_msg)
 
 (* Registers of the threaded engine live in a plain [Value.t array]; an
    unwritten slot holds [uninit], a unique block recognized by physical

@@ -2,18 +2,40 @@
 
     One address space shared by globals (low addresses) and the call stack
     (growing down from the top).  All accesses are bounds-checked; a fault
-    raises {!Fault} rather than corrupting the host. *)
+    raises {!Fault} rather than corrupting the host.
+
+    Host allocation is capped: like the interpreter's fuel budget, the cap
+    is a configurable resource limit ({!default_alloc_limit} bytes unless
+    overridden), so a hostile module that talks a loader into a huge
+    address space raises the structured {!Limit} instead of OOM-ing the
+    host device. *)
 
 exception Fault of string
 
+(** Structured resource-limit trap: the requested allocation exceeds the
+    configured cap (distinct from {!Fault}, which is an in-bounds error of
+    the guest program). *)
+exception Limit of string
+
 let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+(** 256 MiB — generous for an embedded-device model, far below anything
+    that threatens the host. *)
+let default_alloc_limit = 256 * 1024 * 1024
 
 type t = { bytes : Bytes.t; size : int; null_guard : int }
 
-(** [create ?null_guard size] — the first [null_guard] bytes (default 8)
-    are unmapped, so null-pointer dereferences fault. *)
-let create ?(null_guard = 8) size =
+(** [create ?null_guard ?alloc_limit size] — the first [null_guard] bytes
+    (default 8) are unmapped, so null-pointer dereferences fault.
+    @raise Limit if [size] exceeds [alloc_limit]. *)
+let create ?(null_guard = 8) ?(alloc_limit = default_alloc_limit) size =
   if size <= 0 then invalid_arg "Memory.create: non-positive size";
+  if size > alloc_limit then
+    raise
+      (Limit
+         (Printf.sprintf
+            "VM memory of %d bytes exceeds the allocation cap of %d bytes"
+            size alloc_limit));
   if null_guard < 0 || null_guard >= size then
     invalid_arg "Memory.create: bad null guard";
   { bytes = Bytes.make size '\000'; size; null_guard }

@@ -27,6 +27,11 @@ open Pvmach
 
 exception Trap of string
 
+(** Canonical fuel-exhaustion message: drivers classify a {!Trap}
+    carrying this text as a *resource limit* rather than a guest
+    error. *)
+let fuel_exhausted_msg = "simulation fuel exhausted (infinite loop?)"
+
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
 type engine = Tree_walk | Threaded
@@ -50,7 +55,7 @@ type t = {
   mutable sp : int;
   out : Buffer.t;
   stats : stats;
-  fuel : int64;
+  mutable fuel : int64;  (** adjustable after creation, like [engine] *)
   mutable engine : engine;
 }
 
@@ -77,7 +82,7 @@ let charge t n =
   t.stats.cycles <- Int64.add t.stats.cycles (Int64.of_int n);
   t.stats.instrs <- Int64.add t.stats.instrs 1L;
   if Int64.compare t.stats.instrs t.fuel > 0 then
-    trap "simulation fuel exhausted (infinite loop?)"
+    trap "%s" fuel_exhausted_msg
 
 (* Register state: physical files per class plus a spill-free virtual
    environment (so pre-RA MIR can be simulated in tests). *)
@@ -291,7 +296,7 @@ let scharge ec n =
   ec.scycles <- ec.scycles + n;
   ec.sinstrs <- ec.sinstrs + 1;
   if ec.sinstrs > ec.sfuel then
-    raise (Trap "simulation fuel exhausted (infinite loop?)")
+    raise (Trap fuel_exhausted_msg)
 
 (* Frames of the threaded engine: virtual registers and spill slots in
    plain arrays (indexed by {!Mdecode}'s dense renumbering).  An

@@ -150,6 +150,82 @@ let test_pvrun_rejects_corrupt_file () =
       let code, _ = run (Printf.sprintf "%s %s -e main" pvrun path) in
       check bool_t "nonzero exit" true (code <> 0))
 
+(* ---------------- exit-code taxonomy ----------------
+
+   The documented contract (DESIGN.md / Core.Splitc.exit_code): 0 ok,
+   2 frontend/usage, 3 decode, 4 verify, 5 link, 6 jit, 7 runtime trap,
+   8 resource limit, 9 i/o.  These tests pin the codes the tools actually
+   return — and that hostile inputs produce a clean one-line diagnostic,
+   never a backtrace. *)
+
+let test_exit_code_frontend () =
+  let src = Filename.temp_file "cli" ".mc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove src)
+    (fun () ->
+      write_file src "i64 main( { return }";
+      let code, _ = run (Printf.sprintf "%s %s" pvsc src) in
+      check int_t "frontend error is exit 2" 2 code)
+
+let test_exit_code_decode () =
+  let path = Filename.temp_file "cli" ".pvir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "PVIR garbage that is definitely not a module";
+      let code, _ = run (Printf.sprintf "%s %s -e main" pvrun path) in
+      check int_t "corrupt bytecode is exit 3" 3 code)
+
+let test_exit_code_decode_truncated () =
+  with_compiled (fun out ->
+      let bc = read_file out in
+      let cut = Filename.temp_file "cli" ".pvir" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove cut)
+        (fun () ->
+          write_file cut (String.sub bc 0 (String.length bc / 2));
+          let code, _ = run (Printf.sprintf "%s %s -e main" pvrun cut) in
+          check int_t "truncated bytecode is exit 3" 3 code))
+
+let test_exit_code_usage () =
+  with_compiled (fun out ->
+      (* triangle expects one argument; give it three *)
+      let code, _ = run (Printf.sprintf "%s %s -e triangle 1 2 3" pvrun out) in
+      check int_t "bad argument count is exit 2" 2 code;
+      let code, _ = run (Printf.sprintf "%s %s -e no_such_fn" pvrun out) in
+      check int_t "unknown entry is exit 2" 2 code;
+      let code, _ = run (Printf.sprintf "%s %s -e triangle banana" pvrun out) in
+      check int_t "unparseable argument is exit 2" 2 code)
+
+let test_exit_code_trap () =
+  let src = Filename.temp_file "cli" ".mc" in
+  let out = Filename.temp_file "cli" ".pvir" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove src;
+      if Sys.file_exists out then Sys.remove out)
+    (fun () ->
+      write_file src "i64 main() { i64 z = 0; return 5 / z; }";
+      let code, _ = run (Printf.sprintf "%s %s -o %s" pvsc src out) in
+      check int_t "compiles" 0 code;
+      let code, _ = run (Printf.sprintf "%s %s -e main" pvrun out) in
+      check int_t "division by zero is exit 7" 7 code;
+      let code, _ = run (Printf.sprintf "%s %s -e main --interp" pvrun out) in
+      check int_t "interpreted trap is also exit 7" 7 code)
+
+let test_exit_code_io () =
+  (* cmdliner validates `pos file` existence itself (exit 124); reach our
+     i/o path via pvsc's output file instead *)
+  let src = Filename.temp_file "cli" ".mc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove src)
+    (fun () ->
+      write_file src sample_source;
+      let code, _ =
+        run (Printf.sprintf "%s %s -o /nonexistent-dir/out.pvir" pvsc src)
+      in
+      check int_t "unwritable output is exit 9" 9 code)
+
 let () =
   Alcotest.run "cli"
     [
@@ -166,5 +242,14 @@ let () =
           Alcotest.test_case "entry with args" `Quick test_pvrun_entry_args;
           Alcotest.test_case "unknown target" `Quick test_pvrun_rejects_unknown_target;
           Alcotest.test_case "corrupt file" `Quick test_pvrun_rejects_corrupt_file;
+        ] );
+      ( "exit-codes",
+        [
+          Alcotest.test_case "frontend = 2" `Quick test_exit_code_frontend;
+          Alcotest.test_case "decode = 3" `Quick test_exit_code_decode;
+          Alcotest.test_case "truncated = 3" `Quick test_exit_code_decode_truncated;
+          Alcotest.test_case "usage = 2" `Quick test_exit_code_usage;
+          Alcotest.test_case "trap = 7" `Quick test_exit_code_trap;
+          Alcotest.test_case "io = 9" `Quick test_exit_code_io;
         ] );
     ]

@@ -388,8 +388,11 @@ let test_text_roundtrip () =
   check string_t "text roundtrip" txt (Pp.program_to_string p')
 
 let test_decode_rejects_garbage () =
-  Alcotest.check_raises "bad magic" (Serial.Corrupt "bad magic") (fun () ->
-      ignore (Serial.decode "NOPE it is not bytecode"));
+  (match Serial.decode "NOPE it is not bytecode" with
+  | exception Serial.Corrupt { reason = "bad magic"; offset = 0 } -> ()
+  | exception Serial.Corrupt c ->
+    Alcotest.fail ("unexpected corruption: " ^ Serial.corruption_to_string c)
+  | _ -> Alcotest.fail "garbage decoded");
   let p = sample_program () in
   let bin = Serial.encode p in
   let truncated = String.sub bin 0 (String.length bin / 2) in
