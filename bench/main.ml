@@ -909,6 +909,109 @@ let annot_faults () =
   record "annot_faults" (Json.List (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
+(* E10: unified telemetry — one kernel's whole life as a trace timeline *)
+
+let timeline () =
+  header
+    "E10 / telemetry timeline (split compilation, end to end)\n\
+     (saxpy through frontend -> offline -> distribute -> JIT -> run,\n\
+     plus the E4 offload schedule, exported as Chrome trace_event JSON)";
+  let k = Pvkernels.Kernels.saxpy_fp in
+  let machine = Pvmach.Machine.x86ish in
+  let tr = Pvtrace.Trace.create () in
+  let metrics = Pvtrace.Metrics.create () in
+  let ledger = Pvtrace.Ledger.create () in
+  Pvtrace.Trace.name_track tr Pvtrace.Trace.track_frontend "frontend";
+  Pvtrace.Trace.name_track tr Pvtrace.Trace.track_offline "offline";
+  Pvtrace.Trace.name_track tr Pvtrace.Trace.track_distribute "distribute";
+  Pvtrace.Trace.name_track tr Pvtrace.Trace.track_jit "jit";
+  Pvtrace.Trace.name_track tr Pvtrace.Trace.track_vm "vm";
+  Pvtrace.Trace.name_track tr Pvtrace.Trace.track_ledger "degradations";
+  (* the offline-vs-online work split of Table 1, as a timeline *)
+  let off, on =
+    Core.Splitc.run_source ~mode:Core.Splitc.Split ~machine ~tr ~metrics
+      ~ledger k.Pvkernels.Kernels.source
+  in
+  on.Core.Splitc.sim.Pvvm.Sim.engine <- !sim_engine;
+  Pvkernels.Harness.fill_inputs on.Core.Splitc.img;
+  ignore
+    (Pvvm.Sim.run on.Core.Splitc.sim k.Pvkernels.Kernels.entry
+       (Pvkernels.Harness.args k Pvkernels.Kernels.n_default));
+  Pvvm.Sim.observe_metrics on.Core.Splitc.sim metrics;
+  (* the §3 offload scenario's schedule rides along on the core tracks *)
+  let host = { Pvsched.Mapper.cname = "host-ppc"; machine = Pvmach.Machine.ppcish } in
+  let accel = { Pvsched.Mapper.cname = "accel-dsp"; machine = Pvmach.Machine.dspish } in
+  let platform = { Pvsched.Mapper.cores = [ host; accel ]; transfer_cost = 600 } in
+  let mk name inputs outputs annots work =
+    { Pvsched.Kpn.pname = name; inputs; outputs; fire = (fun toks -> toks); annots; work }
+  in
+  let simd_pref =
+    Pvir.Annot.add Pvir.Annot.key_hw_prefs
+      (Pvir.Annot.List [ Pvir.Annot.Str "simd128" ])
+      Pvir.Annot.empty
+  in
+  let processes =
+    [
+      mk "produce" [ "in" ] [ "raw" ] Pvir.Annot.empty 1;
+      mk "filter" [ "raw" ] [ "filtered" ] simd_pref 100;
+      mk "collect" [ "filtered" ] [ "out" ] Pvir.Annot.empty 1;
+    ]
+  in
+  let cost (p : Pvsched.Kpn.process) (c : Pvsched.Mapper.core) =
+    match p.Pvsched.Kpn.pname with
+    | "filter" -> if c == accel then 2_000 else 12_000
+    | _ -> 200 * c.Pvsched.Mapper.machine.Pvmach.Machine.branch_cost
+  in
+  let blocks = 16 in
+  let net = Pvsched.Kpn.create processes in
+  for b = 1 to blocks do
+    Pvsched.Kpn.push net "in" [| Pvir.Value.i64 (Int64.of_int b) |]
+  done;
+  let pl = Pvsched.Mapper.place platform cost processes in
+  let sched = Pvsched.Mapper.schedule platform cost pl net in
+  Pvsched.Mapper.emit_trace ~channels:[ ("in", blocks) ] platform processes
+    sched tr;
+  (* export, then verify the artifact the way CI does *)
+  let path = "trace_timeline.json" in
+  Pvtrace.Export.to_file ~ledger tr path;
+  let json = Pvtrace.Export.chrome_json ~ledger tr in
+  let validated =
+    match Pvtrace.Export.validate_chrome json with
+    | Ok n ->
+      Printf.printf "wrote %s: %d events, valid\n" path n;
+      true
+    | Error m ->
+      Printf.printf "wrote %s: INVALID (%s)\n" path m;
+      false
+  in
+  if not validated then failwith "timeline: exported trace failed validation";
+  Printf.printf
+    "offline work %d units, online work %d units, %Ld exec cycles, %d \
+     schedule firings\n"
+    (Pvir.Account.total off.Core.Splitc.offline_work)
+    (Pvir.Account.total on.Core.Splitc.online_work)
+    (Pvvm.Sim.cycles on.Core.Splitc.sim)
+    (List.length sched);
+  print_string "\nmetrics registry:\n";
+  print_string (Pvtrace.Metrics.dump metrics);
+  record "timeline"
+    (Json.Obj
+       [
+         ("kernel", Json.Str k.Pvkernels.Kernels.name);
+         ("events", Json.Int (Int64.of_int (Pvtrace.Trace.length tr)));
+         ("valid", Json.Str (if validated then "ok" else "invalid"));
+         ( "offline_work",
+           Json.Int
+             (Int64.of_int (Pvir.Account.total off.Core.Splitc.offline_work)) );
+         ( "online_work",
+           Json.Int
+             (Int64.of_int (Pvir.Account.total on.Core.Splitc.online_work)) );
+         ("exec_cycles", Json.Int (Pvvm.Sim.cycles on.Core.Splitc.sim));
+         ("schedule_firings", Json.Int (Int64.of_int (List.length sched)));
+         ("degradations", Json.Int (Int64.of_int (Pvtrace.Ledger.count ledger)));
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let all_experiments () =
   table1 ();
@@ -919,7 +1022,8 @@ let all_experiments () =
   ablation ();
   adaptive ();
   lto ();
-  annot_faults ()
+  annot_faults ();
+  timeline ()
 
 let () =
   (* global flags may appear anywhere: --json FILE writes machine-readable
@@ -968,11 +1072,12 @@ let () =
         | "bechamel" -> bechamel ()
         | "engines" -> engines ()
         | "annot-faults" -> annot_faults ()
+        | "timeline" -> timeline ()
         | "all" -> all_experiments ()
         | other ->
           Printf.eprintf
             "unknown experiment %s (try: table1 figure1 regalloc offload size \
-             ablation adaptive lto bechamel engines annot-faults)\n"
+             ablation adaptive lto bechamel engines annot-faults timeline)\n"
             other;
           exit 1)
       args);

@@ -72,14 +72,78 @@ let result_to_string (v : Pvir.Value.t) =
   | Pvir.Value.Float (_, x) -> Printf.sprintf "%g" x
   | v -> Pvir.Value.to_string v
 
+(* Decode-time resource bounds: the defaults, overridden per flag. *)
+let build_limits lanes regs globals annot_depth : Pvir.Serial.limits =
+  let d = Pvir.Serial.default_limits in
+  {
+    Pvir.Serial.max_vec_lanes = Option.value lanes ~default:d.Pvir.Serial.max_vec_lanes;
+    max_regs = Option.value regs ~default:d.Pvir.Serial.max_regs;
+    max_global_elems =
+      Option.value globals ~default:d.Pvir.Serial.max_global_elems;
+    max_annot_depth =
+      Option.value annot_depth ~default:d.Pvir.Serial.max_annot_depth;
+  }
+
+(* The single-device schedule: one core, one kernel — rendered through the
+   same exporter the KPN mapper uses, so every pvrun trace carries a
+   scheduler track alongside the pipeline tracks. *)
+let emit_schedule tr (target : Pvmach.Machine.t) entry cycles =
+  let core = { Pvsched.Mapper.cname = target.Pvmach.Machine.name; machine = target } in
+  let platform = { Pvsched.Mapper.cores = [ core ]; transfer_cost = 0 } in
+  let ev =
+    {
+      Pvsched.Mapper.se_proc = entry;
+      se_firing = 0;
+      se_core = core.Pvsched.Mapper.cname;
+      se_start = 0L;
+      se_end = cycles;
+      se_remapped = false;
+    }
+  in
+  Pvsched.Mapper.emit_trace platform [] [ ev ] tr
+
+let dump_telemetry ~trace_out ~tr ~metrics ~ledger =
+  (match (trace_out, tr) with
+  | Some path, Some tr -> Pvtrace.Export.to_file ?ledger tr path
+  | _ -> ());
+  (match metrics with
+  | Some m -> print_string (Pvtrace.Metrics.dump m)
+  | None -> ());
+  match ledger with
+  | Some l when Pvtrace.Ledger.count l > 0 ->
+    Printf.printf "degradations: %d\n%s" (Pvtrace.Ledger.count l)
+      (Pvtrace.Ledger.to_string l)
+  | _ -> ()
+
 (* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
    0 ok, 2 usage, 3 decode, 4 verify, 5 link, 6 jit, 7 trap, 8 resource
    limit, 9 i/o — and never a raw backtrace, whatever the input bytes. *)
-let run input target mode interp entry raw_args =
+let run input target mode interp entry raw_args trace_out want_metrics lanes
+    regs globals annot_depth =
+  let limits = build_limits lanes regs globals annot_depth in
+  let tr =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+      let tr = Pvtrace.Trace.create () in
+      Pvtrace.Trace.name_track tr Pvtrace.Trace.track_frontend "frontend";
+      Pvtrace.Trace.name_track tr Pvtrace.Trace.track_offline "offline";
+      Pvtrace.Trace.name_track tr Pvtrace.Trace.track_distribute "distribute";
+      Pvtrace.Trace.name_track tr Pvtrace.Trace.track_jit "jit";
+      Pvtrace.Trace.name_track tr Pvtrace.Trace.track_vm "vm";
+      Pvtrace.Trace.name_track tr Pvtrace.Trace.track_ledger "degradations";
+      Some tr
+  in
+  let metrics = if want_metrics then Some (Pvtrace.Metrics.create ()) else None in
+  let ledger =
+    match (tr, metrics) with
+    | None, None -> None
+    | _ -> Some (Pvtrace.Ledger.create ())
+  in
   match
     Core.Splitc.guard (fun () ->
         let bc = read_file input in
-        let prog = Pvir.Serial.decode bc in
+        let prog = Pvir.Serial.decode ~limits bc in
         let fn =
           match Pvir.Prog.find_func prog entry with
           | Some fn -> fn
@@ -87,16 +151,30 @@ let run input target mode interp entry raw_args =
         in
         let args = parse_args fn raw_args in
         if interp then begin
-          let it = Core.Splitc.interpret bc in
+          let profile =
+            match metrics with Some _ -> Some (Pvvm.Profile.create ()) | None -> None
+          in
+          let it = Core.Splitc.interpret ~limits ?profile ?tr bc in
           let result = Pvvm.Interp.run it entry args in
           print_string (Pvvm.Interp.output it);
           (match result with
           | Some v -> Printf.printf "result: %s\n" (result_to_string v)
           | None -> ());
-          Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it)
+          Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it);
+          Option.iter
+            (fun m ->
+              Pvvm.Interp.observe_metrics it m;
+              Option.iter (fun p -> Pvvm.Profile.observe_mix p prog m) profile)
+            metrics;
+          Option.iter
+            (fun tr -> emit_schedule tr target entry (Pvvm.Interp.cycles it))
+            tr
         end
         else begin
-          let on = Core.Splitc.online ~mode ~machine:target bc in
+          let on =
+            Core.Splitc.online ~mode ~machine:target ~limits ?tr ?metrics
+              ?ledger bc
+          in
           let result = Pvvm.Sim.run on.Core.Splitc.sim entry args in
           print_string (Pvvm.Sim.output on.Core.Splitc.sim);
           (match result with
@@ -105,8 +183,17 @@ let run input target mode interp entry raw_args =
           Printf.printf "%s: %Ld cycles (online compile work: %d units)\n"
             target.Pvmach.Machine.name
             (Pvvm.Sim.cycles on.Core.Splitc.sim)
-            (Pvir.Account.total on.Core.Splitc.online_work)
-        end)
+            (Pvir.Account.total on.Core.Splitc.online_work);
+          Option.iter
+            (fun m -> Pvvm.Sim.observe_metrics on.Core.Splitc.sim m)
+            metrics;
+          Option.iter
+            (fun tr ->
+              emit_schedule tr target entry
+                (Pvvm.Sim.cycles on.Core.Splitc.sim))
+            tr
+        end;
+        dump_telemetry ~trace_out ~tr ~metrics ~ledger)
   with
   | Ok () -> 0
   | Error e ->
@@ -136,10 +223,48 @@ let mode_arg =
 let interp_arg =
   Arg.(value & flag & info [ "interp" ] ~doc:"Interpret instead of JIT compiling.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON timeline of the whole \
+                 pipeline (load it in Perfetto or chrome://tracing). \
+                 Timestamps are deterministic virtual time: compile work \
+                 units for offline/JIT phases, simulated cycles for \
+                 execution.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the telemetry metrics registry (work breakdown, \
+                 VM counters, instruction mix) after the run.")
+
+let limit_lanes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-lanes" ] ~docv:"N"
+           ~doc:"Decode limit: maximum vector lanes per type or value.")
+
+let limit_regs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-regs" ] ~docv:"N"
+           ~doc:"Decode limit: maximum virtual registers per function.")
+
+let limit_globals_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-globals" ] ~docv:"N"
+           ~doc:"Decode limit: maximum elements per global array.")
+
+let limit_annot_depth_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-annot-depth" ] ~docv:"N"
+           ~doc:"Decode limit: maximum nesting of list-valued annotations.")
+
 let cmd =
   let doc = "online VM: JIT and run PVIR bytecode on a simulated target" in
   Cmd.v
     (Cmd.info "pvrun" ~doc)
-    Term.(const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ entry_arg $ args_arg)
+    Term.(
+      const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ entry_arg
+      $ args_arg $ trace_arg $ metrics_arg $ limit_lanes_arg $ limit_regs_arg
+      $ limit_globals_arg $ limit_annot_depth_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,9 +22,25 @@ let mode_conv =
   let print ppf m = Format.pp_print_string ppf (Core.Splitc.mode_name m) in
   Arg.conv (parse, print)
 
+let build_limits lanes regs globals annot_depth : Pvir.Serial.limits =
+  let d = Pvir.Serial.default_limits in
+  {
+    Pvir.Serial.max_vec_lanes = Option.value lanes ~default:d.Pvir.Serial.max_vec_lanes;
+    max_regs = Option.value regs ~default:d.Pvir.Serial.max_regs;
+    max_global_elems =
+      Option.value globals ~default:d.Pvir.Serial.max_global_elems;
+    max_annot_depth =
+      Option.value annot_depth ~default:d.Pvir.Serial.max_annot_depth;
+  }
+
 (* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
    0 ok, 2 frontend, 4 verify, 5 link, 9 i/o — never a raw backtrace. *)
-let compile inputs output mode emit_text verbose roots =
+let compile inputs output mode emit_text verbose roots timings lanes regs
+    globals annot_depth =
+  let limits = build_limits lanes regs globals annot_depth in
+  (* --timings: per-phase spans, with wall time riding along so the table
+     can show both virtual work units and host microseconds *)
+  let tr = if timings then Some (Pvtrace.Trace.create ~wall:true ()) else None in
   match
     Core.Splitc.guard @@ fun () ->
     let modules =
@@ -32,7 +48,7 @@ let compile inputs output mode emit_text verbose roots =
         (fun input ->
           Core.Splitc.frontend
             ~name:(Filename.remove_extension (Filename.basename input))
-            (read_file input))
+            ?tr (read_file input))
         inputs
     in
     (* several modules: link them at "install time" first *)
@@ -48,7 +64,7 @@ let compile inputs output mode emit_text verbose roots =
       if verbose then
         Printf.eprintf "tree shake: removed %d functions, %d globals\n" rf rg);
     let input = List.hd inputs in
-    let off = Core.Splitc.offline ~mode p in
+    let off = Core.Splitc.offline ~mode ?tr p in
     if verbose then begin
       Printf.eprintf "offline work: %s\n"
         (Pvir.Account.to_string off.Core.Splitc.offline_work);
@@ -72,7 +88,12 @@ let compile inputs output mode emit_text verbose roots =
         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc txt)
       | None -> print_string txt)
     else begin
-      let bc = Core.Splitc.distribute off in
+      let bc = Core.Splitc.distribute ?tr off in
+      (* self-check: the artifact must decode under the device's limits —
+         a compiler that ships bytecode its own decoder rejects is broken *)
+      ignore
+        (Pvtrace.Trace.with_span tr ~cat:"distribute" "decode-check"
+           (fun () -> Pvir.Serial.decode ~limits bc));
       let path =
         match output with
         | Some p -> p
@@ -81,7 +102,10 @@ let compile inputs output mode emit_text verbose roots =
       let oc = open_out_bin path in
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc bc);
       if verbose then Printf.eprintf "wrote %s (%d bytes)\n" path (String.length bc)
-    end
+    end;
+    match tr with
+    | Some tr -> prerr_string (Pvtrace.Export.span_table tr)
+    | None -> ()
   with
   | Ok () -> 0
   | Error e ->
@@ -110,10 +134,43 @@ let roots_arg =
        & info [ "root" ] ~docv:"FUNC"
            ~doc:"Tree-shake: keep only code reachable from $(docv) (repeatable).")
 
+let timings_arg =
+  Arg.(value & flag
+       & info [ "timings" ]
+           ~doc:"Report a per-phase timing table (virtual work units and \
+                 host time) on stderr.")
+
+let limit_lanes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-lanes" ] ~docv:"N"
+           ~doc:"Decode limit for the output self-check: maximum vector \
+                 lanes per type or value.")
+
+let limit_regs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-regs" ] ~docv:"N"
+           ~doc:"Decode limit for the output self-check: maximum virtual \
+                 registers per function.")
+
+let limit_globals_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-globals" ] ~docv:"N"
+           ~doc:"Decode limit for the output self-check: maximum elements \
+                 per global array.")
+
+let limit_annot_depth_arg =
+  Arg.(value & opt (some int) None
+       & info [ "limit-annot-depth" ] ~docv:"N"
+           ~doc:"Decode limit for the output self-check: maximum nesting \
+                 of list-valued annotations.")
+
 let cmd =
   let doc = "offline compiler: MiniC to portable PVIR bytecode" in
   Cmd.v
     (Cmd.info "pvsc" ~doc)
-    Term.(const compile $ input_arg $ output_arg $ mode_arg $ emit_text_arg $ verbose_arg $ roots_arg)
+    Term.(
+      const compile $ input_arg $ output_arg $ mode_arg $ emit_text_arg
+      $ verbose_arg $ roots_arg $ timings_arg $ limit_lanes_arg
+      $ limit_regs_arg $ limit_globals_arg $ limit_annot_depth_arg)
 
 let () = exit (Cmd.eval' cmd)

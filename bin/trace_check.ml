@@ -1,0 +1,39 @@
+(* trace_check — validate a Chrome trace_event JSON file produced by
+   pvrun --trace (or any tool using Pvtrace.Export).
+
+   Checks that the file is well-formed JSON, that every event has a legal
+   phase and numeric timestamp, and that begin/end span pairs are balanced
+   (LIFO, matching names) on every track.  Exit 0 on success with an event
+   count on stdout; exit 1 with a diagnostic on stderr otherwise. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check path =
+  match read_file path with
+  | exception Sys_error m ->
+    Printf.eprintf "trace_check: %s\n" m;
+    1
+  | contents -> (
+    match Pvtrace.Export.validate_chrome contents with
+    | Ok n ->
+      Printf.printf "%s: ok (%d events)\n" path n;
+      0
+    | Error m ->
+      Printf.eprintf "trace_check: %s: %s\n" path m;
+      1)
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"TRACE.json" ~doc:"Trace file to validate.")
+
+let cmd =
+  let doc = "validate a Chrome trace_event JSON file" in
+  Cmd.v (Cmd.info "trace_check" ~doc) Term.(const check $ input_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -45,7 +45,8 @@ let default_configs =
     already vectorized — because the search owns the target-dependent
     decisions.  Strength reduction runs before unrolling so the unrolled
     copies step derived pointer IVs instead of multiplying per copy. *)
-let apply_config ?account (config : config) (prog : Pvir.Prog.t) : Pvir.Prog.t =
+let apply_config_untraced ?account (config : config) (prog : Pvir.Prog.t) :
+    Pvir.Prog.t =
   let p = Pvir.Prog.copy prog in
   Pvopt.Passes.cleanup ?account p;
   ignore (Pvopt.Inline.run ?account p);
@@ -62,39 +63,72 @@ let apply_config ?account (config : config) (prog : Pvir.Prog.t) : Pvir.Prog.t =
   Pvir.Verify.program p;
   p
 
+(** As above; with a trace sink, the whole tuning pipeline for this
+    configuration becomes one span (category [adaptive]). *)
+let apply_config ?account ?tr (config : config) (prog : Pvir.Prog.t) :
+    Pvir.Prog.t =
+  Pvtrace.Trace.with_span tr ~cat:"adaptive"
+    ~args:[ ("config", config_label config) ]
+    ("tune:" ^ config_label config)
+    (fun () -> apply_config_untraced ?account config prog)
+
 (** Result of measuring one configuration. *)
 type sample = {
   config : config;
   cycles : int64;
   compile_work : int;
+  degradations : int;
+      (** graceful-fallback events (annotation rejects, remaps) this
+          configuration triggered, from the degradation ledger *)
   result : Pvir.Value.t option;
 }
 
 (** JIT [prog] for [machine] and measure [entry args] once, with
     [prepare] filling the inputs (called after loading). *)
-let measure ?account ~machine ~prepare ~entry ~args (prog : Pvir.Prog.t) :
-    int64 * Pvir.Value.t option =
+let measure ?account ?tr ?ledger ~machine ~prepare ~entry ~args
+    (prog : Pvir.Prog.t) : int64 * Pvir.Value.t option =
   let img = Pvvm.Image.load (Pvir.Prog.copy prog) in
   let sim, _ =
-    Pvjit.Jit.compile_program ?account ~machine ~hints:Pvjit.Jit.Hints_annotation
-      img
+    Pvjit.Jit.compile_program ?account ?tr ?ledger ~machine
+      ~hints:Pvjit.Jit.Hints_annotation img
   in
+  Pvvm.Sim.set_trace sim tr;
   prepare img;
   let result = Pvvm.Sim.run sim entry args in
   (Pvvm.Sim.cycles sim, result)
 
 (** Iterative search: measure every configuration, best (fewest cycles)
     first.  All candidates must agree on the observable result — a
-    mis-compiled variant is a bug, not a tuning choice. *)
-let search ?(configs = default_configs) ~machine ~prepare ~entry ~args
-    (prog : Pvir.Prog.t) : sample list =
+    mis-compiled variant is a bug, not a tuning choice.  With a [ledger],
+    each sample reports how many graceful degradations its configuration
+    triggered, so the adaptive layer can prefer configurations that not
+    only run fast but also keep their annotations verifiable. *)
+let search ?(configs = default_configs) ?tr ?ledger ~machine ~prepare ~entry
+    ~args (prog : Pvir.Prog.t) : sample list =
+  let ledger_count () =
+    match ledger with Some l -> Pvtrace.Ledger.count l | None -> 0
+  in
   let samples =
     List.map
       (fun config ->
         let account = Pvir.Account.create () in
-        let tuned = apply_config ~account config prog in
-        let cycles, result = measure ~account ~machine ~prepare ~entry ~args tuned in
-        { config; cycles; compile_work = Pvir.Account.total account; result })
+        let before = ledger_count () in
+        let tuned = apply_config ~account ?tr config prog in
+        let cycles, result =
+          Pvtrace.Trace.with_span tr ~cat:"adaptive"
+            ~args:[ ("config", config_label config) ]
+            ("measure:" ^ config_label config)
+            (fun () ->
+              measure ~account ?tr ?ledger ~machine ~prepare ~entry ~args
+                tuned)
+        in
+        {
+          config;
+          cycles;
+          compile_work = Pvir.Account.total account;
+          degradations = ledger_count () - before;
+          result;
+        })
       configs
   in
   (match samples with
@@ -128,13 +162,13 @@ type generation = {
     tuning owns every optimization decision, including the
     target-dependent ones a split-mode distribution has already baked in
     (a strength-reduced loop is no longer vectorizable, for instance). *)
-let generations ?configs ~machine ~prepare ~entry ~args (bytecode : string) :
-    generation list =
+let generations ?configs ?tr ?ledger ~machine ~prepare ~entry ~args
+    (bytecode : string) : generation list =
   let prog = Pvir.Serial.decode bytecode in
   (* generation 0: interpret + profile *)
   let img0 = Pvvm.Image.load (Pvir.Prog.copy prog) in
   let profile = Pvvm.Profile.create () in
-  let interp = Pvvm.Interp.create ~profile img0 in
+  let interp = Pvvm.Interp.create ~profile ?tr img0 in
   prepare img0;
   ignore (Pvvm.Interp.run interp entry args);
   let gen0 =
@@ -149,7 +183,9 @@ let generations ?configs ~machine ~prepare ~entry ~args (bytecode : string) :
   Pvvm.Profile.annotate_hotness profile prog;
   (* generation 1: quick baseline JIT, no optimization time spent *)
   let account1 = Pvir.Account.create () in
-  let cycles1, _ = measure ~account:account1 ~machine ~prepare ~entry ~args prog in
+  let cycles1, _ =
+    measure ~account:account1 ?tr ?ledger ~machine ~prepare ~entry ~args prog
+  in
   let gen1 =
     {
       gen = 1;
@@ -159,7 +195,7 @@ let generations ?configs ~machine ~prepare ~entry ~args (bytecode : string) :
     }
   in
   (* generation 2: idle-time iterative tuning of hot code *)
-  let samples = search ?configs ~machine ~prepare ~entry ~args prog in
+  let samples = search ?configs ?tr ?ledger ~machine ~prepare ~entry ~args prog in
   let best = List.hd samples in
   let total_search_work =
     List.fold_left (fun acc s -> acc + s.compile_work) 0 samples

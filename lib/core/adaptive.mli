@@ -18,21 +18,35 @@ val default_configs : config list
 
 (** Apply a configuration to a fresh copy of decision-open bytecode
     (cleanup, inlining, LICM, optional vectorization, strength reduction,
-    optional unrolling, regalloc annotations).  The result verifies. *)
-val apply_config : ?account:Pvir.Account.t -> config -> Pvir.Prog.t -> Pvir.Prog.t
+    optional unrolling, regalloc annotations).  The result verifies.
+    With a trace sink, the tuning pipeline becomes one span (category
+    [adaptive]). *)
+val apply_config :
+  ?account:Pvir.Account.t ->
+  ?tr:Pvtrace.Trace.t ->
+  config ->
+  Pvir.Prog.t ->
+  Pvir.Prog.t
 
 (** Result of measuring one configuration. *)
 type sample = {
   config : config;
   cycles : int64;
   compile_work : int;
+  degradations : int;
+      (** graceful-fallback events (annotation rejects, remaps) this
+          configuration triggered, from the degradation ledger; 0 when no
+          ledger was attached *)
   result : Pvir.Value.t option;
 }
 
 (** JIT a program for [machine] and measure one run of [entry args];
-    [prepare] fills the inputs after loading. *)
+    [prepare] fills the inputs after loading.  JIT degradations land in
+    [ledger]; the measured simulator carries [tr]. *)
 val measure :
   ?account:Pvir.Account.t ->
+  ?tr:Pvtrace.Trace.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   machine:Pvmach.Machine.t ->
   prepare:(Pvvm.Image.t -> unit) ->
   entry:string ->
@@ -42,9 +56,12 @@ val measure :
 
 (** Measure every configuration; the returned list is sorted best
     (fewest cycles) first.  All candidates must agree on the observable
-    result — a mismatch raises [Failure]. *)
+    result — a mismatch raises [Failure].  With a [ledger], each sample
+    reports the graceful degradations its configuration triggered. *)
 val search :
   ?configs:config list ->
+  ?tr:Pvtrace.Trace.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   machine:Pvmach.Machine.t ->
   prepare:(Pvvm.Image.t -> unit) ->
   entry:string ->
@@ -65,6 +82,8 @@ type generation = {
     raw (pure-online) distribution. *)
 val generations :
   ?configs:config list ->
+  ?tr:Pvtrace.Trace.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   machine:Pvmach.Machine.t ->
   prepare:(Pvvm.Image.t -> unit) ->
   entry:string ->

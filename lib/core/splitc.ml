@@ -42,65 +42,138 @@ type online_result = {
   img : Pvvm.Image.t;
 }
 
+(* Drive the trace's virtual clock from the work accountant of the
+   current compilation phase: offline spans are timestamped by offline
+   work units, online spans by online work units.  Bit-identical across
+   runs and hosts. *)
+let install_clock tr (account : Pvir.Account.t) =
+  match tr with
+  | None -> ()
+  | Some tr ->
+    Pvtrace.Trace.set_clock tr (fun () ->
+        Int64.of_int (Pvir.Account.total account))
+
 (** Compile MiniC source to (unoptimized, verified) bytecode. *)
-let frontend ?(name = "program") (src : string) : Pvir.Prog.t =
-  Minic.Lower.compile ~name src
+let frontend ?(name = "program") ?tr (src : string) : Pvir.Prog.t =
+  Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_frontend
+    ~args:[ ("name", name) ]
+    ~cat:"frontend" "frontend"
+    (fun () -> Minic.Lower.compile ~name src)
 
 (** Run the offline half of the chosen mode on bytecode [p] (in place on a
-    copy; the input program is not modified). *)
-let offline ?(mode = Split) (p : Pvir.Prog.t) : offline_result =
+    copy; the input program is not modified).  With telemetry sinks
+    attached, every pass becomes a span on the offline track (virtual
+    clock = offline work units) and the per-pass work breakdown lands in
+    [metrics] under the [offline.] prefix. *)
+let offline ?(mode = Split) ?tr ?metrics (p : Pvir.Prog.t) : offline_result =
   let p = Pvir.Prog.copy p in
   let account = Pvir.Account.create () in
-  let vectorized =
-    match mode with
-    | Traditional_deferred ->
-      Pvopt.Passes.offline_traditional ~account p;
-      []
-    | Split -> Pvopt.Passes.offline_split ~account p
-    | Pure_online ->
-      (* nothing happens offline beyond verification *)
-      Pvir.Verify.program p;
-      []
+  install_clock tr account;
+  let span name f =
+    Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_offline
+      ~args:[ ("mode", mode_name mode) ]
+      ~cat:"offline" name f
   in
+  let vectorized =
+    span ("offline:" ^ mode_name mode) (fun () ->
+        match mode with
+        | Traditional_deferred ->
+          Pvopt.Passes.offline_traditional ~account ?tr p;
+          []
+        | Split -> Pvopt.Passes.offline_split ~account ?tr p
+        | Pure_online ->
+          (* nothing happens offline beyond verification *)
+          Pvir.Verify.program p;
+          [])
+  in
+  Option.iter (Pvir.Account.to_metrics ~prefix:"offline" account) metrics;
   { prog = p; offline_work = account; vectorized }
 
 (** Serialize to the distribution format (what ships to devices). *)
-let distribute (r : offline_result) : string = Pvir.Serial.encode r.prog
+let distribute ?tr (r : offline_result) : string =
+  Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_distribute
+    ~cat:"distribute" "serialize"
+    (fun () -> Pvir.Serial.encode r.prog)
+
+(* absorb the JIT's per-function verdicts and code-size totals *)
+let jit_metrics (m : Pvtrace.Metrics.t) (jit : Pvjit.Jit.report) =
+  List.iter
+    (fun (fr : Pvjit.Jit.func_report) ->
+      Pvtrace.Metrics.inci m "online.jit.funcs" 1;
+      Pvtrace.Metrics.inci m "online.jit.native_size" fr.mir_size;
+      Pvtrace.Metrics.inci m
+        ("online.jit.annot_"
+        ^ Pvjit.Annot_check.status_name fr.annot_status)
+        1)
+    jit.Pvjit.Jit.funcs
 
 (** The on-device step: decode, verify, load, optimize (per mode), and JIT
-    for [machine].  [bytecode] is the string produced by {!distribute}. *)
+    for [machine].  [bytecode] is the string produced by {!distribute}.
+    [limits] bounds the untrusted decode (default
+    {!Pvir.Serial.default_limits}).  With telemetry sinks attached the
+    decode/load/JIT phases become spans (virtual clock = online work
+    units), JIT degradations land in [ledger], and the returned simulator
+    carries [tr] so its runs appear on the VM track. *)
 let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
-    ?alloc_limit ?(engine = Pvvm.Sim.Threaded) (bytecode : string) :
-    online_result =
+    ?alloc_limit ?(engine = Pvvm.Sim.Threaded) ?limits ?tr ?metrics ?ledger
+    (bytecode : string) : online_result =
   let account = Pvir.Account.create () in
-  let p = Pvir.Serial.decode bytecode in
+  install_clock tr account;
+  let span ~tid name f = Pvtrace.Trace.with_span tr ~tid ~cat:"online" name f in
+  let p =
+    span ~tid:Pvtrace.Trace.track_distribute "decode" (fun () ->
+        Pvir.Serial.decode ?limits bytecode)
+  in
   let p, hints =
     match mode with
     | Traditional_deferred -> (p, Pvjit.Jit.Hints_none)
     | Split -> (p, Pvjit.Jit.Hints_annotation)
     | Pure_online ->
       (* the JIT must redo everything itself, at online prices *)
-      ignore (Pvopt.Passes.online_full ~account p);
+      ignore (Pvopt.Passes.online_full ~account ?tr p);
       (p, Pvjit.Jit.Hints_recompute)
   in
-  let img = Pvvm.Image.load ~mem_size ?alloc_limit p in
-  let sim, jit = Pvjit.Jit.compile_program ~account ~machine ~hints img in
+  let img =
+    span ~tid:Pvtrace.Trace.track_jit "load" (fun () ->
+        Pvvm.Image.load ~mem_size ?alloc_limit p)
+  in
+  let sim, jit =
+    span ~tid:Pvtrace.Trace.track_jit "jit" (fun () ->
+        Pvjit.Jit.compile_program ~account ?tr ?ledger ~machine ~hints img)
+  in
   sim.Pvvm.Sim.engine <- engine;
+  Pvvm.Sim.set_trace sim tr;
+  Option.iter
+    (fun m ->
+      Pvir.Account.to_metrics ~prefix:"online" account m;
+      jit_metrics m jit)
+    metrics;
   { sim; online_work = account; jit; img }
 
 (** Interpret the bytecode instead of JIT-compiling it (the baseline
-    execution mode of early virtual machines). *)
+    execution mode of early virtual machines).  The returned interpreter
+    carries [tr] and [profile], so its runs appear on the VM track and
+    feed the instruction-mix metrics. *)
 let interpret ?(mem_size = 1 lsl 20) ?alloc_limit
-    ?(engine = Pvvm.Interp.Threaded) (bytecode : string) : Pvvm.Interp.t =
-  let p = Pvir.Serial.decode bytecode in
+    ?(engine = Pvvm.Interp.Threaded) ?limits ?profile ?tr (bytecode : string) :
+    Pvvm.Interp.t =
+  let p =
+    Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_distribute
+      ~cat:"online" "decode"
+      (fun () -> Pvir.Serial.decode ?limits bytecode)
+  in
   let img = Pvvm.Image.load ~mem_size ?alloc_limit p in
-  Pvvm.Interp.create ~engine img
+  Pvvm.Interp.create ~engine ?profile ?tr img
 
 (** One call from source text to a device-resident simulator. *)
 let run_source ?(mode = Split) ~(machine : Pvmach.Machine.t) ?mem_size ?engine
-    (src : string) : offline_result * online_result =
-  let off = offline ~mode (frontend src) in
-  let on = online ~mode ~machine ?mem_size ?engine (distribute off) in
+    ?limits ?tr ?metrics ?ledger (src : string) :
+    offline_result * online_result =
+  let off = offline ~mode ?tr ?metrics (frontend ?tr src) in
+  let on =
+    online ~mode ~machine ?mem_size ?engine ?limits ?tr ?metrics ?ledger
+      (distribute ?tr off)
+  in
   (off, on)
 
 (** {1 Error taxonomy}
@@ -178,14 +251,23 @@ let guard (f : unit -> 'a) : ('a, error) result =
 (** {1 Result-typed driver API} — the exception-free face of the pipeline,
     for embedders that want every failure as a value. *)
 
-let frontend_result ?name src = guard (fun () -> frontend ?name src)
-let offline_result_r ?mode p = guard (fun () -> offline ?mode p)
+let frontend_result ?name ?tr src = guard (fun () -> frontend ?name ?tr src)
 
-let online_r ?mode ~machine ?mem_size ?alloc_limit ?engine bytecode =
-  guard (fun () -> online ?mode ~machine ?mem_size ?alloc_limit ?engine bytecode)
+let offline_result_r ?mode ?tr ?metrics p =
+  guard (fun () -> offline ?mode ?tr ?metrics p)
 
-let interpret_r ?mem_size ?alloc_limit ?engine bytecode =
-  guard (fun () -> interpret ?mem_size ?alloc_limit ?engine bytecode)
+let online_r ?mode ~machine ?mem_size ?alloc_limit ?engine ?limits ?tr
+    ?metrics ?ledger bytecode =
+  guard (fun () ->
+      online ?mode ~machine ?mem_size ?alloc_limit ?engine ?limits ?tr
+        ?metrics ?ledger bytecode)
 
-let run_source_r ?mode ~machine ?mem_size ?engine src =
-  guard (fun () -> run_source ?mode ~machine ?mem_size ?engine src)
+let interpret_r ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr bytecode =
+  guard (fun () ->
+      interpret ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr bytecode)
+
+let run_source_r ?mode ~machine ?mem_size ?engine ?limits ?tr ?metrics ?ledger
+    src =
+  guard (fun () ->
+      run_source ?mode ~machine ?mem_size ?engine ?limits ?tr ?metrics ?ledger
+        src)

@@ -38,23 +38,37 @@ type online_result = {
   img : Pvvm.Image.t;
 }
 
-(** Compile MiniC source to (unoptimized, verified) bytecode.
+(** Compile MiniC source to (unoptimized, verified) bytecode.  With a
+    trace sink, the whole phase is a span on the frontend track.
     @raise Minic.Lexer.Error, Minic.Parser.Error, Minic.Check.Error or
     Minic.Lower.Error on malformed source. *)
-val frontend : ?name:string -> string -> Pvir.Prog.t
+val frontend : ?name:string -> ?tr:Pvtrace.Trace.t -> string -> Pvir.Prog.t
 
-(** Run the offline half of [mode] on a copy of the program. *)
-val offline : ?mode:mode -> Pvir.Prog.t -> offline_result
+(** Run the offline half of [mode] on a copy of the program.  With
+    telemetry sinks, every pass becomes a span on the offline track
+    (virtual clock = offline work units) and the per-pass work breakdown
+    lands in [metrics] under the [offline.] prefix. *)
+val offline :
+  ?mode:mode ->
+  ?tr:Pvtrace.Trace.t ->
+  ?metrics:Pvtrace.Metrics.t ->
+  Pvir.Prog.t ->
+  offline_result
 
 (** Serialize to the binary distribution format (what ships to devices). *)
-val distribute : offline_result -> string
+val distribute : ?tr:Pvtrace.Trace.t -> offline_result -> string
 
 (** The on-device step: decode, verify, load, optimize per [mode], JIT for
     [machine].  [mem_size] is the device memory in bytes (default 1 MiB);
     [alloc_limit] caps host allocation for that memory (default
     {!Pvvm.Memory.default_alloc_limit}); [engine] selects the simulator's
     host execution engine (default [Threaded]; cycle counts do not depend
-    on it).
+    on it); [limits] bounds the untrusted decode (default
+    {!Pvir.Serial.default_limits}).  With telemetry sinks, the
+    decode/load/JIT phases become spans (virtual clock = online work
+    units), annotation rejects land in [ledger], per-pass work and JIT
+    verdicts land in [metrics] under the [online.] prefix, and the
+    returned simulator carries [tr] so its runs appear on the VM track.
     @raise Pvir.Serial.Corrupt or Pvir.Verify.Error on bad bytecode.
     @raise Pvvm.Memory.Limit if [mem_size] exceeds [alloc_limit]. *)
 val online :
@@ -63,16 +77,25 @@ val online :
   ?mem_size:int ->
   ?alloc_limit:int ->
   ?engine:Pvvm.Sim.engine ->
+  ?limits:Pvir.Serial.limits ->
+  ?tr:Pvtrace.Trace.t ->
+  ?metrics:Pvtrace.Metrics.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   string ->
   online_result
 
 (** Interpret the bytecode instead of JIT-compiling it.  [engine] selects
     the interpreter's host execution engine (default [Threaded]; cycle
-    counts do not depend on it). *)
+    counts do not depend on it); [limits] bounds the untrusted decode.
+    The returned interpreter carries [tr] and [profile], so its runs
+    appear on the VM track and feed the instruction-mix metrics. *)
 val interpret :
   ?mem_size:int ->
   ?alloc_limit:int ->
   ?engine:Pvvm.Interp.engine ->
+  ?limits:Pvir.Serial.limits ->
+  ?profile:Pvvm.Profile.t ->
+  ?tr:Pvtrace.Trace.t ->
   string ->
   Pvvm.Interp.t
 
@@ -83,6 +106,10 @@ val run_source :
   machine:Pvmach.Machine.t ->
   ?mem_size:int ->
   ?engine:Pvvm.Sim.engine ->
+  ?limits:Pvir.Serial.limits ->
+  ?tr:Pvtrace.Trace.t ->
+  ?metrics:Pvtrace.Metrics.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   string ->
   offline_result * online_result
 
@@ -123,8 +150,15 @@ val guard : (unit -> 'a) -> ('a, error) result
 (** {1 Result-typed driver API} — exception-free variants of the arrows
     above, for embedders that want every failure as a value. *)
 
-val frontend_result : ?name:string -> string -> (Pvir.Prog.t, error) result
-val offline_result_r : ?mode:mode -> Pvir.Prog.t -> (offline_result, error) result
+val frontend_result :
+  ?name:string -> ?tr:Pvtrace.Trace.t -> string -> (Pvir.Prog.t, error) result
+
+val offline_result_r :
+  ?mode:mode ->
+  ?tr:Pvtrace.Trace.t ->
+  ?metrics:Pvtrace.Metrics.t ->
+  Pvir.Prog.t ->
+  (offline_result, error) result
 
 val online_r :
   ?mode:mode ->
@@ -132,6 +166,10 @@ val online_r :
   ?mem_size:int ->
   ?alloc_limit:int ->
   ?engine:Pvvm.Sim.engine ->
+  ?limits:Pvir.Serial.limits ->
+  ?tr:Pvtrace.Trace.t ->
+  ?metrics:Pvtrace.Metrics.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   string ->
   (online_result, error) result
 
@@ -139,6 +177,9 @@ val interpret_r :
   ?mem_size:int ->
   ?alloc_limit:int ->
   ?engine:Pvvm.Interp.engine ->
+  ?limits:Pvir.Serial.limits ->
+  ?profile:Pvvm.Profile.t ->
+  ?tr:Pvtrace.Trace.t ->
   string ->
   (Pvvm.Interp.t, error) result
 
@@ -147,5 +188,9 @@ val run_source_r :
   machine:Pvmach.Machine.t ->
   ?mem_size:int ->
   ?engine:Pvvm.Sim.engine ->
+  ?limits:Pvir.Serial.limits ->
+  ?tr:Pvtrace.Trace.t ->
+  ?metrics:Pvtrace.Metrics.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   string ->
   (offline_result * online_result, error) result

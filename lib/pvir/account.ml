@@ -12,19 +12,22 @@
 type t = {
   mutable entries : (string * int) list;  (** pass name, work units *)
   mutable total : int;
+  discard : bool;  (** a sink that records nothing (see {!ignore_sink}) *)
 }
 
-let create () = { entries = []; total = 0 }
+let create () = { entries = []; total = 0; discard = false }
 
 (** [charge t ~pass n] records [n] work units against [pass]. *)
 let charge t ~pass n =
-  let n = max 0 n in
-  t.total <- t.total + n;
-  t.entries <-
-    (match List.assoc_opt pass t.entries with
-    | Some old ->
-      (pass, old + n) :: List.remove_assoc pass t.entries
-    | None -> (pass, n) :: t.entries)
+  if not t.discard then begin
+    let n = max 0 n in
+    t.total <- t.total + n;
+    t.entries <-
+      (match List.assoc_opt pass t.entries with
+      | Some old ->
+        (pass, old + n) :: List.remove_assoc pass t.entries
+      | None -> (pass, n) :: t.entries)
+  end
 
 let total t = t.total
 let by_pass t = List.rev t.entries
@@ -39,9 +42,22 @@ let to_string t =
   in
   Printf.sprintf "%d work units (%s)" t.total (String.concat ", " items)
 
-(** A sink that records nothing — used when accounting is irrelevant. *)
-let ignore_sink = create ()
+(** A sink that records nothing — used when accounting is irrelevant.
+    Charges against it are truly discarded: it is shared and global, so
+    it must never accumulate cross-run state. *)
+let ignore_sink = { entries = []; total = 0; discard = true }
 
 (** Charge helper tolerating an absent accountant. *)
 let charge_opt t ~pass n =
   match t with Some t -> charge t ~pass n | None -> ()
+
+(** Absorb this account into a metrics registry: one counter per pass
+    ([<prefix>.work.<pass>]) plus the total ([<prefix>.work.total]), so
+    compile-work economics and VM counters live in one place. *)
+let to_metrics ?(prefix = "") (t : t) (m : Pvtrace.Metrics.t) : unit =
+  let name s = if prefix = "" then s else prefix ^ "." ^ s in
+  List.iter
+    (fun (pass, n) ->
+      Pvtrace.Metrics.inci m (name ("work." ^ pass)) n)
+    (by_pass t);
+  Pvtrace.Metrics.inci m (name "work.total") t.total

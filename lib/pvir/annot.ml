@@ -54,6 +54,8 @@ let key_trip_count = "pv.trip_count"
 (** Loop annotation: memory accesses in the loop body do not alias. *)
 let key_no_alias = "pv.no_alias"
 
+let key_vector_factor = "pv.vector_factor"
+
 (** Function annotation: split register-allocation payload.  The value is a
     list of [List [Int reg; Int priority]] pairs: registers the offline
     allocator decided to spill first under pressure, best-first. *)

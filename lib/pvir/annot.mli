@@ -45,6 +45,10 @@ val key_trip_count : string
 (** Loop: memory accesses in the body do not alias. *)
 val key_no_alias : string
 
+(** Loop: lanes per vectorized iteration chosen by the offline
+    vectorizer. *)
+val key_vector_factor : string
+
 (** Function: split register-allocation payload — a list of
     [List [Int reg; Int cost]] pairs, cheapest-to-spill first. *)
 val key_spill_order : string

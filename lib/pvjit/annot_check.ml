@@ -101,12 +101,76 @@ let check_vectorized (fn : Func.t) : status =
   | Valid, _ | _, Valid -> Valid
   | Absent, Absent -> Absent
 
+(** Validate one loop's annotation payload.  Loop annotations are advisory
+    per-header metadata; only their {e values} are checked (the header
+    label itself may legitimately go stale as later passes restructure the
+    CFG, so a dangling header is not a fault):
+
+    - {!Pvir.Annot.key_trip_count} must be a non-negative integer;
+    - {!Pvir.Annot.key_unit_stride} and {!Pvir.Annot.key_no_alias} must be
+      booleans;
+    - {!Pvir.Annot.key_vector_factor} must be a power-of-two lane count in
+      [1; 64]. *)
+let check_loop_payload (a : Annot.t) : status =
+  let join x y =
+    match (x, y) with
+    | (Invalid _ as i), _ | _, (Invalid _ as i) -> i
+    | Valid, _ | _, Valid -> Valid
+    | Absent, Absent -> Absent
+  in
+  let int_check key ~ok ~bad =
+    match Annot.find key a with
+    | None -> Absent
+    | Some (Annot.Int v) -> if ok v then Valid else Invalid (bad v)
+    | Some _ -> Invalid (Printf.sprintf "%s: value is not an integer" key)
+  in
+  let bool_check key =
+    match Annot.find key a with
+    | None -> Absent
+    | Some (Annot.Bool _) -> Valid
+    | Some _ -> Invalid (Printf.sprintf "%s: value is not a boolean" key)
+  in
+  let trip =
+    int_check Annot.key_trip_count
+      ~ok:(fun v -> v >= 0)
+      ~bad:(fun v -> Printf.sprintf "trip_count: negative count %d" v)
+  in
+  let vf =
+    int_check Annot.key_vector_factor
+      ~ok:(fun v -> v >= 1 && v <= 64 && v land (v - 1) = 0)
+      ~bad:(fun v -> Printf.sprintf "vector_factor: implausible lane count %d" v)
+  in
+  join trip (join vf (join (bool_check Annot.key_unit_stride)
+                        (bool_check Annot.key_no_alias)))
+
+(** Validate every loop annotation of [fn].  Returns the combined verdict
+    plus the per-header verdicts (for diagnostics); [Invalid] means at
+    least one loop payload is malformed and the JIT should not trust any
+    loop-level hint of this function. *)
+let check_loops (fn : Func.t) : status * (int * status) list =
+  let per =
+    List.map (fun (h, a) -> (h, check_loop_payload a)) fn.loop_annots
+  in
+  let combined =
+    List.fold_left
+      (fun acc (_, st) ->
+        match (acc, st) with
+        | (Invalid _ as i), _ | _, (Invalid _ as i) -> i
+        | Valid, _ | _, Valid -> Valid
+        | Absent, Absent -> Absent)
+      Absent per
+  in
+  (combined, per)
+
 (** Combined verdict for one function: [Invalid] dominates, then [Valid],
-    then [Absent]. *)
+    then [Absent].  Covers function-level (spill order, vectorizer
+    metadata) and loop-level (trip count, stride, lane count) payloads. *)
 let check_func (fn : Func.t) : status =
   let so, _ = check_spill_order fn in
   let vec = check_vectorized fn in
-  match (so, vec) with
-  | (Invalid _ as i), _ | _, (Invalid _ as i) -> i
-  | Valid, _ | _, Valid -> Valid
-  | Absent, Absent -> Absent
+  let loops, _ = check_loops fn in
+  match (so, vec, loops) with
+  | (Invalid _ as i), _, _ | _, (Invalid _ as i), _ | _, _, (Invalid _ as i) ->
+    i
+  | Valid, _, _ | _, Valid, _ | _, _, Valid -> Valid
+  | Absent, Absent, Absent -> Absent

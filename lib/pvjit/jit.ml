@@ -66,16 +66,26 @@ let extend_weights (exp : Legalize.expansion) (w : int -> float) : int -> float 
     | Some parent -> w parent
     | None -> w v
 
-(** Compile one function for [machine]. *)
-let compile_func ?account ~(machine : Machine.t) ~(img : Pvvm.Image.t)
-    ~(hints : hints) (fn : Pvir.Func.t) : Mir.func * func_report =
+(* one span per JIT pass on the jit track; virtual time is the online
+   accountant (installed as the trace clock by the caller) *)
+let sp tr ~fn name f =
+  Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_jit
+    ~args:[ ("func", fn) ] ~cat:"jit" name f
+
+(** Compile one function for [machine].  Degradations (annotation rejects
+    forcing online recomputation) are charged to [account] and recorded in
+    [ledger]; every pass runs under a [tr] span. *)
+let compile_func ?account ?tr ?ledger ~(machine : Machine.t)
+    ~(img : Pvvm.Image.t) ~(hints : hints) (fn : Pvir.Func.t) :
+    Mir.func * func_report =
   let mf =
-    Lower.run ?account ~machine
-      ~resolve_global:(Pvvm.Image.global_address img)
-      fn
+    sp tr ~fn:fn.name "lower" (fun () ->
+        Lower.run ?account ~machine
+          ~resolve_global:(Pvvm.Image.global_address img)
+          fn)
   in
-  let exp = Legalize.run ?account mf in
-  ignore (Immfold.run ?account mf);
+  let exp = sp tr ~fn:fn.name "legalize" (fun () -> Legalize.run ?account mf) in
+  sp tr ~fn:fn.name "immfold" (fun () -> ignore (Immfold.run ?account mf));
   let quality, annot_status =
     match hints with
     | Hints_none -> (Regalloc.Heuristic, Annot_check.Absent)
@@ -96,6 +106,8 @@ let compile_func ?account ~(machine : Machine.t) ~(img : Pvvm.Image.t)
           | _ -> "spill_order: validated but undecodable"
         in
         Pvir.Account.charge_opt account ~pass:"jit.annot_fallback" 1;
+        Pvtrace.Ledger.record_opt ledger Pvtrace.Ledger.Annot_reject
+          ~subject:fn.name ~detail:reason;
         ( Regalloc.Weights
             (extend_weights exp (weight_fun_recomputed ?account fn)),
           Annot_check.Invalid reason )
@@ -105,10 +117,12 @@ let compile_func ?account ~(machine : Machine.t) ~(img : Pvvm.Image.t)
           (List.length fn.params + 4);
         ( Regalloc.Weights (extend_weights exp (weight_fun_of_order order)),
           Annot_check.Valid )
-      | Annot_check.Absent, (Annot_check.Invalid _ as i), _ ->
+      | Annot_check.Absent, (Annot_check.Invalid reason as i), _ ->
         (* no spill order to fall back from, but the vectorizer metadata
            is bogus: note it and run the blind heuristic *)
         Pvir.Account.charge_opt account ~pass:"jit.annot_fallback" 1;
+        Pvtrace.Ledger.record_opt ledger Pvtrace.Ledger.Annot_reject
+          ~subject:fn.name ~detail:reason;
         (Regalloc.Heuristic, i)
       | Annot_check.Absent, Annot_check.Valid, _ ->
         (Regalloc.Heuristic, Annot_check.Valid)
@@ -119,19 +133,39 @@ let compile_func ?account ~(machine : Machine.t) ~(img : Pvvm.Image.t)
           (extend_weights exp (weight_fun_recomputed ?account fn)),
         Annot_check.Absent )
   in
-  let ra = Regalloc.run ?account ~quality mf in
-  ignore (Peephole.run ?account mf);
+  (* loop-level hints are advisory-only today, but a malformed payload is
+     still a degradation: account it, ledger it, and surface it in the
+     verdict so experiments can see corrupted loop metadata *)
+  let annot_status =
+    match hints with
+    | Hints_annotation -> (
+      match Annot_check.check_loops fn with
+      | Annot_check.Invalid reason, _ ->
+        Pvir.Account.charge_opt account ~pass:"jit.annot_fallback" 1;
+        Pvtrace.Ledger.record_opt ledger Pvtrace.Ledger.Annot_reject
+          ~subject:fn.name ~detail:reason;
+        (* a function-level reject already explains the downgrade *)
+        (match annot_status with
+        | Annot_check.Invalid _ -> annot_status
+        | _ -> Annot_check.Invalid reason)
+      | _ -> annot_status)
+    | Hints_none | Hints_recompute -> annot_status
+  in
+  let ra = sp tr ~fn:fn.name "regalloc" (fun () -> Regalloc.run ?account ~quality mf) in
+  sp tr ~fn:fn.name "peephole" (fun () -> ignore (Peephole.run ?account mf));
   (mf, { fname = fn.name; ra; mir_size = Mir.size mf; annot_status })
 
 (** Compile all functions of the image's program and return a simulator
     loaded with the generated code. *)
-let compile_program ?account ~(machine : Machine.t) ~(hints : hints)
-    (img : Pvvm.Image.t) : Pvvm.Sim.t * report =
+let compile_program ?account ?tr ?ledger ~(machine : Machine.t)
+    ~(hints : hints) (img : Pvvm.Image.t) : Pvvm.Sim.t * report =
   let sim = Pvvm.Sim.create img machine in
   let reports =
     List.map
       (fun fn ->
-        let mf, report = compile_func ?account ~machine ~img ~hints fn in
+        let mf, report =
+          compile_func ?account ?tr ?ledger ~machine ~img ~hints fn
+        in
         Pvvm.Sim.add_func sim mf;
         report)
       img.Pvvm.Image.prog.Pvir.Prog.funcs

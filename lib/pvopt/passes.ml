@@ -12,58 +12,80 @@
       dropped rather than annotated (this is the strawman the paper
       argues against).
     - {!online_full}: what a Pure-online JIT must redo by itself; the same
-      passes as {!offline_split}, charged to the online accountant. *)
+      passes as {!offline_split}, charged to the online accountant.
+
+    Every pass invocation is wrapped in a telemetry span (optional [tr]
+    sink, off by default): the span's virtual clock is whatever the
+    caller installed — {!Core.Splitc} points it at the accountant, so
+    span durations read directly as work units. *)
 
 open Pvir
 
-let cleanup ?account (p : Prog.t) : unit =
+(* one span per pass invocation on the offline track; [fn] names the
+   function under optimization in the span args *)
+let sp tr ?fn name f =
+  let args = match fn with Some fn -> [ ("func", fn) ] | None -> [] in
+  Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_offline ~args ~cat:"pass"
+    name f
+
+let cleanup ?account ?tr (p : Prog.t) : unit =
   List.iter
-    (fun fn ->
-      let changed = ref true in
-      let rounds = ref 0 in
-      while !changed && !rounds < 6 do
-        incr rounds;
-        let c1 = Copyprop.run ?account fn in
-        let c2 = Constfold.run ?account fn in
-        let c3 = Cse.run ?account fn in
-        let c4 = Ifconv.run ?account fn in
-        let c5 = Idiom.run ?account fn in
-        let c6 = Dce.run ?account fn in
-        let c7 = Simplify_cfg.run ?account fn in
-        changed := c1 || c2 || c3 || c4 || c5 || c6 || c7
-      done)
+    (fun (fn : Func.t) ->
+      sp tr ~fn:fn.name "cleanup" (fun () ->
+          let changed = ref true in
+          let rounds = ref 0 in
+          while !changed && !rounds < 6 do
+            incr rounds;
+            let c1 = sp tr ~fn:fn.name "copyprop" (fun () -> Copyprop.run ?account fn) in
+            let c2 = sp tr ~fn:fn.name "constfold" (fun () -> Constfold.run ?account fn) in
+            let c3 = sp tr ~fn:fn.name "cse" (fun () -> Cse.run ?account fn) in
+            let c4 = sp tr ~fn:fn.name "ifconv" (fun () -> Ifconv.run ?account fn) in
+            let c5 = sp tr ~fn:fn.name "idiom" (fun () -> Idiom.run ?account fn) in
+            let c6 = sp tr ~fn:fn.name "dce" (fun () -> Dce.run ?account fn) in
+            let c7 = sp tr ~fn:fn.name "simplify_cfg" (fun () -> Simplify_cfg.run ?account fn) in
+            changed := c1 || c2 || c3 || c4 || c5 || c6 || c7
+          done))
     p.funcs
 
-let licm_all ?account (p : Prog.t) : unit =
-  List.iter (fun fn -> ignore (Licm.run ?account fn)) p.funcs
+let licm_all ?account ?tr (p : Prog.t) : unit =
+  List.iter
+    (fun (fn : Func.t) ->
+      sp tr ~fn:fn.name "licm" (fun () -> ignore (Licm.run ?account fn)))
+    p.funcs
 
 (** Offline pipeline of the split-compilation flow: everything expensive
     runs here; the results ship as vector builtins + annotations. *)
-let offline_split ?account (p : Prog.t) : (string * Vectorize.result) list =
-  cleanup ?account p;
-  ignore (Inline.run ?account p);
-  cleanup ?account p;
-  licm_all ?account p;
-  let vect = Vectorize.run ?account p in
-  List.iter (fun fn -> ignore (Strength.run ?account fn)) p.funcs;
-  cleanup ?account p;
-  Regalloc_annotate.run ?account p;
-  Verify.program p;
+let offline_split ?account ?tr (p : Prog.t) : (string * Vectorize.result) list =
+  cleanup ?account ?tr p;
+  sp tr "inline" (fun () -> ignore (Inline.run ?account p));
+  cleanup ?account ?tr p;
+  licm_all ?account ?tr p;
+  let vect = sp tr "vectorize" (fun () -> Vectorize.run ?account p) in
+  List.iter
+    (fun (fn : Func.t) ->
+      sp tr ~fn:fn.name "strength" (fun () -> ignore (Strength.run ?account fn)))
+    p.funcs;
+  cleanup ?account ?tr p;
+  sp tr "regalloc_annotate" (fun () -> Regalloc_annotate.run ?account p);
+  sp tr "verify" (fun () -> Verify.program p);
   vect
 
 (** Traditional deferred compilation: target-independent cleanup only;
     vectorization is dropped because it is "target-dependent" and regalloc
     annotations do not exist. *)
-let offline_traditional ?account (p : Prog.t) : unit =
-  cleanup ?account p;
-  ignore (Inline.run ?account p);
-  cleanup ?account p;
-  licm_all ?account p;
-  List.iter (fun fn -> ignore (Strength.run ?account fn)) p.funcs;
-  cleanup ?account p;
-  Verify.program p
+let offline_traditional ?account ?tr (p : Prog.t) : unit =
+  cleanup ?account ?tr p;
+  sp tr "inline" (fun () -> ignore (Inline.run ?account p));
+  cleanup ?account ?tr p;
+  licm_all ?account ?tr p;
+  List.iter
+    (fun (fn : Func.t) ->
+      sp tr ~fn:fn.name "strength" (fun () -> ignore (Strength.run ?account fn)))
+    p.funcs;
+  cleanup ?account ?tr p;
+  sp tr "verify" (fun () -> Verify.program p)
 
 (** The work a pure-online JIT has to do by itself on the device, charged
     to the (online) accountant. *)
-let online_full ?account (p : Prog.t) : (string * Vectorize.result) list =
-  offline_split ?account p
+let online_full ?account ?tr (p : Prog.t) : (string * Vectorize.result) list =
+  offline_split ?account ?tr p

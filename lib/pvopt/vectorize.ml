@@ -767,7 +767,7 @@ let run_func ?account (prog : Prog.t) (fn : Func.t) : result =
         vectorized := (lp.Loops.header, vf) :: !vectorized;
         Func.set_loop_annot fn lp.Loops.header
           (Annot.add Annot.key_unit_stride (Annot.Bool true)
-             (Annot.add "pv.vector_factor" (Annot.Int vf)
+             (Annot.add Annot.key_vector_factor (Annot.Int vf)
                 (Func.loop_annot fn lp.Loops.header)))
       | exception Bail reason ->
         fn.Func.blocks <- saved.Func.blocks;

@@ -95,10 +95,31 @@ let place (platform : platform) (cost : cost_model) (ps : Kpn.process list) :
 let place_all_on (c : core) (ps : Kpn.process list) : placement =
   List.map (fun (p : Kpn.process) -> (p.Kpn.pname, c)) ps
 
-(** Simulate the makespan of running [net]'s firing trace under a
-    placement.  Returns total cycles (on the slowest path). *)
-let makespan (platform : platform) (cost : cost_model) (pl : placement)
-    (net : Kpn.t) : int64 =
+(** One scheduled firing: what ran where, and when.  The list of these is
+    the ground truth both for the makespan numbers and for the execution
+    timeline exported to the trace viewer. *)
+type sched_event = {
+  se_proc : string;
+  se_firing : int;  (** per-process firing index *)
+  se_core : string;
+  se_start : int64;
+  se_end : int64;
+  se_remapped : bool;
+      (** this firing ran on a core other than its original placement
+          (accelerator-failure recovery) *)
+}
+
+let makespan_of_events (evs : sched_event list) : int64 =
+  List.fold_left
+    (fun acc e -> if Int64.compare e.se_end acc > 0 then e.se_end else acc)
+    0L evs
+
+(** Simulate [net]'s firing trace under a placement as a list schedule and
+    return the per-firing schedule: a firing starts when its core is free
+    and all its input tokens have arrived (plus an inter-core transfer
+    latency when producer and consumer sit on different cores). *)
+let schedule (platform : platform) (cost : cost_model) (pl : placement)
+    (net : Kpn.t) : sched_event list =
   (* tokens already in a channel before the run are external inputs,
      available at time 0; internally produced tokens come after them *)
   let external_count = Hashtbl.create 16 in
@@ -132,9 +153,9 @@ let makespan (platform : platform) (cost : cost_model) (pl : placement)
       else Int64.add t (Int64.of_int platform.transfer_cost)
     | None -> 0L  (* externally provided input: available at time 0 *)
   in
-  let finish = ref 0L in
+  let events = ref [] in
   List.iter
-    (fun ((p : Kpn.process), _) ->
+    (fun ((p : Kpn.process), firing) ->
       let core = core_of pl p in
       let inputs_ready =
         List.fold_left
@@ -157,9 +178,24 @@ let makespan (platform : platform) (cost : cost_model) (pl : placement)
           in
           l := (t_end, core.cname) :: !l)
         p.Kpn.outputs;
-      if Int64.compare t_end !finish > 0 then finish := t_end)
+      events :=
+        {
+          se_proc = p.Kpn.pname;
+          se_firing = firing;
+          se_core = core.cname;
+          se_start = start;
+          se_end = t_end;
+          se_remapped = false;
+        }
+        :: !events)
     tr;
-  !finish
+  List.rev !events
+
+(** Simulate the makespan of running [net]'s firing trace under a
+    placement.  Returns total cycles (on the slowest path). *)
+let makespan (platform : platform) (cost : cost_model) (pl : placement)
+    (net : Kpn.t) : int64 =
+  makespan_of_events (schedule platform cost pl net)
 
 (** {1 Accelerator failure}
 
@@ -180,9 +216,10 @@ type failure = {
     [dead] to the best surviving core — same greedy load + cost scoring as
     {!place}, seeded with the load the surviving placements already carry.
     Processes on live cores keep their placement (their code is already
-    compiled).
+    compiled).  Each displaced process is a graceful degradation, recorded
+    in [ledger] as an {!Pvtrace.Ledger.Accel_remap} event.
     @raise Invalid_argument if [dead] is the only core. *)
-let remap (platform : platform) (cost : cost_model) (pl : placement)
+let remap ?ledger (platform : platform) (cost : cost_model) (pl : placement)
     ~(dead : string) (ps : Kpn.process list) : placement =
   let survivors =
     List.filter (fun c -> not (String.equal c.cname dead)) platform.cores
@@ -222,6 +259,11 @@ let remap (platform : platform) (cost : cost_model) (pl : placement)
         Hashtbl.replace load best.cname
           ((try Hashtbl.find load best.cname with Not_found -> 0)
           + cost p best);
+        Pvtrace.Ledger.record_opt ledger Pvtrace.Ledger.Accel_remap
+          ~subject:p.Kpn.pname
+          ~detail:
+            (Printf.sprintf "core %s failed; re-JITted for %s" dead
+               best.cname);
         (p.Kpn.pname, best))
       by_weight
   in
@@ -232,15 +274,17 @@ let remap (platform : platform) (cost : cost_model) (pl : placement)
       | None -> (name, c))
     pl
 
-(** Makespan under an accelerator failure: firings on the dead core that
-    would complete by [failure.at] still run there; everything later runs
-    on the {!remap}ed placement.  The schedule stays a deterministic list
-    schedule over the same KPN firing trace, so the computed streams are
-    untouched — only timing changes. *)
-let makespan_with_failure (platform : platform) (cost : cost_model)
-    (pl : placement) ~(failure : failure) (net : Kpn.t) : int64 =
+(** Per-firing schedule under an accelerator failure: firings on the dead
+    core that would complete by [failure.at] still run there; everything
+    later runs on the {!remap}ed placement.  The schedule stays a
+    deterministic list schedule over the same KPN firing trace, so the
+    computed streams are untouched — only timing changes.  Remapped
+    firings carry [se_remapped = true]; displaced processes are recorded
+    in [ledger]. *)
+let schedule_with_failure ?ledger (platform : platform) (cost : cost_model)
+    (pl : placement) ~(failure : failure) (net : Kpn.t) : sched_event list =
   let ps = net.Kpn.processes in
-  let pl' = remap platform cost pl ~dead:failure.dead_core ps in
+  let pl' = remap ?ledger platform cost pl ~dead:failure.dead_core ps in
   let external_count = Hashtbl.create 16 in
   Hashtbl.iter
     (fun name q -> Hashtbl.replace external_count name (Queue.length q))
@@ -277,9 +321,9 @@ let makespan_with_failure (platform : platform) (cost : cost_model)
           max acc t)
       0L sources
   in
-  let finish = ref 0L in
+  let events = ref [] in
   List.iter
-    (fun ((p : Kpn.process), _) ->
+    (fun ((p : Kpn.process), firing) ->
       let sources = List.map token_source p.Kpn.inputs in
       let schedule_on (core : core) =
         let free = try Hashtbl.find core_free core.cname with Not_found -> 0L in
@@ -287,15 +331,16 @@ let makespan_with_failure (platform : platform) (cost : cost_model)
         (start, Int64.add start (Int64.of_int (cost p core)))
       in
       let c0 = core_of pl p in
-      let core, (_, t_end) =
+      let core, remapped, (start, t_end) =
         if String.equal c0.cname failure.dead_core then begin
           let _, end0 = schedule_on c0 in
-          if Int64.compare end0 failure.at <= 0 then (c0, schedule_on c0)
+          if Int64.compare end0 failure.at <= 0 then
+            (c0, false, schedule_on c0)
           else
             let c1 = core_of pl' p in
-            (c1, schedule_on c1)
+            (c1, true, schedule_on c1)
         end
-        else (c0, schedule_on c0)
+        else (c0, false, schedule_on c0)
       in
       Hashtbl.replace core_free core.cname t_end;
       List.iter
@@ -310,6 +355,95 @@ let makespan_with_failure (platform : platform) (cost : cost_model)
           in
           l := (t_end, core.cname) :: !l)
         p.Kpn.outputs;
-      if Int64.compare t_end !finish > 0 then finish := t_end)
+      events :=
+        {
+          se_proc = p.Kpn.pname;
+          se_firing = firing;
+          se_core = core.cname;
+          se_start = start;
+          se_end = t_end;
+          se_remapped = remapped;
+        }
+        :: !events)
     tr;
-  !finish
+  List.rev !events
+
+(** Makespan under an accelerator failure (see {!schedule_with_failure}). *)
+let makespan_with_failure ?ledger (platform : platform) (cost : cost_model)
+    (pl : placement) ~(failure : failure) (net : Kpn.t) : int64 =
+  makespan_of_events
+    (schedule_with_failure ?ledger platform cost pl ~failure net)
+
+(** {1 Timeline export}
+
+    Render a schedule onto a trace: one track per core (named after it),
+    one span per firing, an instant marker on every remapped firing, and a
+    channel-occupancy counter series derived from the schedule (a firing
+    consumes one token per input at its start and produces one per output
+    at its end; [channels] gives the external tokens present at time 0). *)
+let emit_trace ?(channels : (string * int) list = []) (platform : platform)
+    (ps : Kpn.process list) (evs : sched_event list)
+    (tr : Pvtrace.Trace.t) : unit =
+  let tid_of =
+    let tids = Hashtbl.create 8 in
+    List.iteri
+      (fun i (c : core) ->
+        let tid = Pvtrace.Trace.track_sched_base + i in
+        Hashtbl.replace tids c.cname tid;
+        Pvtrace.Trace.name_track tr tid ("core:" ^ c.cname))
+      platform.cores;
+    Pvtrace.Trace.name_track tr
+      (Pvtrace.Trace.track_sched_base - 1)
+      "channels";
+    fun cname ->
+      match Hashtbl.find_opt tids cname with
+      | Some tid -> tid
+      | None -> Pvtrace.Trace.track_sched_base
+  in
+  let proc_of =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun (p : Kpn.process) -> Hashtbl.replace tbl p.Kpn.pname p) ps;
+    fun name -> Hashtbl.find_opt tbl name
+  in
+  (* channel occupancy over time: (ts, chan, delta), starts and ends
+     interleaved in time order (stable sort keeps same-ts causality) *)
+  let occ = Hashtbl.create 16 in
+  List.iter (fun (c, n) -> Hashtbl.replace occ c n) channels;
+  let deltas =
+    List.concat_map
+      (fun e ->
+        match proc_of e.se_proc with
+        | None -> []
+        | Some p ->
+          List.map (fun c -> (e.se_start, c, -1)) p.Kpn.inputs
+          @ List.map (fun c -> (e.se_end, c, 1)) p.Kpn.outputs)
+      evs
+  in
+  let deltas =
+    List.stable_sort (fun (a, _, _) (b, _, _) -> Int64.compare a b) deltas
+  in
+  (* firing spans + remap markers *)
+  List.iter
+    (fun e ->
+      let tid = tid_of e.se_core in
+      let name = Printf.sprintf "%s#%d" e.se_proc e.se_firing in
+      if e.se_remapped then
+        Pvtrace.Trace.instant_at tr ~ts:e.se_start ~tid ~cat:"sched"
+          ~args:[ ("process", e.se_proc) ]
+          ("remap:" ^ e.se_proc);
+      Pvtrace.Trace.begin_at tr ~ts:e.se_start ~tid ~cat:"sched"
+        ~args:
+          [ ("process", e.se_proc); ("firing", string_of_int e.se_firing) ]
+        name;
+      Pvtrace.Trace.end_at tr ~ts:e.se_end ~tid name)
+    evs;
+  (* counter series, one sample per occupancy change *)
+  List.iter
+    (fun (ts, chan, d) ->
+      let n = (try Hashtbl.find occ chan with Not_found -> 0) + d in
+      Hashtbl.replace occ chan n;
+      Pvtrace.Trace.counter_at tr ~ts
+        ~tid:(Pvtrace.Trace.track_sched_base - 1)
+        ~cat:"sched" ("chan:" ^ chan)
+        [ ("tokens", Int64.of_int (max 0 n)) ])
+    deltas

@@ -1,0 +1,430 @@
+(** Exporters: Chrome [trace_event] JSON (Perfetto-loadable) and plain
+    text, plus the tiny validator the tests and CI use to keep the JSON
+    honest (well-formed, and every [B] matched by an [E] in LIFO order
+    per track).
+
+    The Chrome format is the least common denominator of trace viewers:
+    a [{"traceEvents": [...]}] object whose entries carry [name], [cat],
+    [ph], [ts] (microseconds — we emit virtual-clock units directly),
+    [pid] and [tid].  Track names ride along as [thread_name] metadata
+    events; ledger entries export as instants on a dedicated track so
+    degradations are visible on the same timeline that shows where the
+    time went. *)
+
+let pid = 1
+
+(* ---------------- JSON emission ---------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_common buf ~name ~cat ~ph ~ts ~tid =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%Ld,\"pid\":%d,\"tid\":%d"
+       (escape name) (escape cat) ph ts pid tid)
+
+let add_args buf (args : (string * string) list) (host_us : float option) =
+  let args =
+    match host_us with
+    | Some us -> args @ [ ("host_us", Printf.sprintf "%.1f" us) ]
+    | None -> args
+  in
+  if args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      args;
+    Buffer.add_char buf '}'
+  end
+
+let event_json buf (e : Trace.event) =
+  match e.Trace.ph with
+  | Trace.B ->
+    add_common buf ~name:e.Trace.name ~cat:e.Trace.cat ~ph:"B" ~ts:e.Trace.ts
+      ~tid:e.Trace.tid;
+    add_args buf e.Trace.args e.Trace.host_us;
+    Buffer.add_char buf '}'
+  | Trace.E ->
+    add_common buf ~name:e.Trace.name ~cat:e.Trace.cat ~ph:"E" ~ts:e.Trace.ts
+      ~tid:e.Trace.tid;
+    add_args buf e.Trace.args e.Trace.host_us;
+    Buffer.add_char buf '}'
+  | Trace.I ->
+    add_common buf ~name:e.Trace.name ~cat:e.Trace.cat ~ph:"i" ~ts:e.Trace.ts
+      ~tid:e.Trace.tid;
+    Buffer.add_string buf ",\"s\":\"t\"";
+    add_args buf e.Trace.args e.Trace.host_us;
+    Buffer.add_char buf '}'
+  | Trace.C values ->
+    add_common buf ~name:e.Trace.name ~cat:e.Trace.cat ~ph:"C" ~ts:e.Trace.ts
+      ~tid:e.Trace.tid;
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%Ld" (escape k) v))
+      values;
+    Buffer.add_string buf "}}"
+
+let metadata_json buf ~tid ~track_name =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+       pid tid (escape track_name))
+
+(** Render [tr] (and optionally the degradation [ledger]) as Chrome
+    [trace_event] JSON. *)
+let chrome_json ?ledger (tr : Trace.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n"
+  in
+  List.iter
+    (fun (tid, name) ->
+      sep ();
+      metadata_json buf ~tid ~track_name:name)
+    (Trace.tracks tr);
+  (match ledger with
+  | Some l when Ledger.count l > 0 ->
+    sep ();
+    metadata_json buf ~tid:Trace.track_ledger ~track_name:"degradations"
+  | _ -> ());
+  List.iter
+    (fun e ->
+      sep ();
+      event_json buf e)
+    (Trace.events tr);
+  (match ledger with
+  | None -> ()
+  | Some l ->
+    List.iter
+      (fun (e : Ledger.event) ->
+        sep ();
+        add_common buf
+          ~name:(Ledger.kind_name e.Ledger.kind)
+          ~cat:"degradation" ~ph:"i" ~ts:e.Ledger.ts ~tid:Trace.track_ledger;
+        Buffer.add_string buf ",\"s\":\"t\"";
+        add_args buf
+          [ ("subject", e.Ledger.subject); ("detail", e.Ledger.detail) ]
+          None;
+        Buffer.add_char buf '}')
+      (Ledger.events l));
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let to_file ?ledger (tr : Trace.t) (path : string) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_json ?ledger tr))
+
+(* ---------------- span summary (pvsc --timings) ---------------- *)
+
+(** Completed spans in begin order:
+    [(cat, name, virtual start, virtual duration, host µs option)]. *)
+let spans (tr : Trace.t) :
+    (string * string * int64 * int64 * float option) list =
+  (* per-tid stack replay over the event list *)
+  let stacks : (int, (Trace.event list) ref) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      let st =
+        match Hashtbl.find_opt stacks e.Trace.tid with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace stacks e.Trace.tid r;
+          r
+      in
+      match e.Trace.ph with
+      | Trace.B -> st := e :: !st
+      | Trace.E -> (
+        match !st with
+        | b :: rest ->
+          st := rest;
+          let host =
+            match (b.Trace.host_us, e.Trace.host_us) with
+            | Some a, Some z -> Some (z -. a)
+            | _ -> None
+          in
+          out :=
+            ( b.Trace.cat,
+              b.Trace.name,
+              b.Trace.ts,
+              Int64.sub e.Trace.ts b.Trace.ts,
+              host )
+            :: !out
+        | [] -> ())
+      | _ -> ())
+    (Trace.events tr);
+  List.sort (fun (_, _, a, _, _) (_, _, b, _, _) -> Int64.compare a b)
+    (List.rev !out)
+
+(** Human-readable per-span timing table (used by [pvsc --timings]). *)
+let span_table (tr : Trace.t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-32s %12s %12s %12s\n" "category" "span" "start"
+       "work units" "host µs");
+  List.iter
+    (fun (cat, name, start, dur, host) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-32s %12Ld %12Ld %12s\n" cat name start dur
+           (match host with
+           | Some us -> Printf.sprintf "%.1f" us
+           | None -> "-")))
+    (spans tr);
+  Buffer.contents buf
+
+(* ---------------- tiny JSON parser + trace validator ---------------- *)
+
+(** Minimal JSON model, enough to validate what we emit (and to reject
+    what we would never emit). *)
+type json =
+  | Null
+  | JBool of bool
+  | Num of float
+  | JStr of string
+  | Arr of json list
+  | JObj of (string * json) list
+
+exception Bad of int * string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let bad msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c = c' -> advance ()
+    | _ -> bad (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else bad ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then bad "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then bad "bad escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 >= n then bad "bad \\u escape";
+          let hex = String.sub s (!pos + 1) 4 in
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> bad "bad \\u escape");
+          pos := !pos + 4
+        | _ -> bad "bad escape");
+        advance ();
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> bad "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        JObj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            JObj (List.rev ((k, v) :: acc))
+          | _ -> bad "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> bad "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> JStr (parse_string ())
+    | Some 't' -> literal "true" (JBool true)
+    | Some 'f' -> literal "false" (JBool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> bad "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then bad "trailing garbage";
+  v
+
+(** Validate a Chrome trace JSON string: parses, has a [traceEvents]
+    array, every event is an object with a legal [ph], [B]/[E] pairs
+    match (same name, LIFO) per (pid, tid), and no span is left open.
+    Returns the event count. *)
+let validate_chrome (s : string) : (int, string) result =
+  match parse_json s with
+  | exception Bad (pos, msg) ->
+    Error (Printf.sprintf "invalid JSON at byte %d: %s" pos msg)
+  | Arr _ -> Error "top level is an array; expected {\"traceEvents\": [...]}"
+  | JObj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Arr events) -> (
+      let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 8 in
+      let err = ref None in
+      let fail msg = if !err = None then err := Some msg in
+      List.iteri
+        (fun i ev ->
+          match ev with
+          | JObj f -> (
+            let str k =
+              match List.assoc_opt k f with Some (JStr s) -> Some s | _ -> None
+            in
+            let num k =
+              match List.assoc_opt k f with Some (Num x) -> Some x | _ -> None
+            in
+            match str "ph" with
+            | None -> fail (Printf.sprintf "event %d: missing ph" i)
+            | Some "M" -> ()
+            | Some (("B" | "E" | "i" | "I" | "C" | "X") as ph) -> (
+              if num "ts" = None then
+                fail (Printf.sprintf "event %d: missing numeric ts" i);
+              let tid =
+                match num "tid" with Some x -> int_of_float x | None -> 0
+              in
+              let p =
+                match num "pid" with Some x -> int_of_float x | None -> 0
+              in
+              let name = str "name" in
+              match ph with
+              | "B" -> (
+                match name with
+                | None -> fail (Printf.sprintf "event %d: B without name" i)
+                | Some nm ->
+                  let st =
+                    try Hashtbl.find stacks (p, tid) with Not_found -> []
+                  in
+                  Hashtbl.replace stacks (p, tid) (nm :: st))
+              | "E" -> (
+                let st =
+                  try Hashtbl.find stacks (p, tid) with Not_found -> []
+                in
+                match st with
+                | [] -> fail (Printf.sprintf "event %d: E with no open B" i)
+                | top :: rest -> (
+                  Hashtbl.replace stacks (p, tid) rest;
+                  match name with
+                  | Some nm when not (String.equal nm top) ->
+                    fail
+                      (Printf.sprintf "event %d: E %s closes B %s" i nm top)
+                  | _ -> ()))
+              | _ -> ())
+            | Some other ->
+              fail (Printf.sprintf "event %d: unknown ph %s" i other))
+          | _ -> fail (Printf.sprintf "event %d: not an object" i))
+        events;
+      Hashtbl.iter
+        (fun (p, tid) st ->
+          if st <> [] then
+            fail
+              (Printf.sprintf "pid %d tid %d: %d span(s) left open (%s)" p tid
+                 (List.length st)
+                 (String.concat ", " st)))
+        stacks;
+      match !err with None -> Ok (List.length events) | Some m -> Error m)
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents")
+  | _ -> Error "top level is not an object"

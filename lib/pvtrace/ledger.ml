@@ -1,0 +1,67 @@
+(** Degradation ledger — the system's memory of every graceful fallback.
+
+    The pipeline is built to degrade rather than die: invalid annotations
+    downgrade the JIT to online recomputation, tolerated decode damage
+    falls back to safe defaults, a dead accelerator gets its kernels
+    re-mapped.  Each such event is individually invisible (that is the
+    point), which makes the aggregate invisible too — unless it is
+    recorded.  The ledger is that record: an append-only, queryable log of
+    (kind, subject, detail, virtual timestamp), cheap enough to keep on in
+    production and consulted by the adaptive layer before it trusts a
+    measurement (a sample taken while the JIT was degrading is not
+    comparable to a clean one). *)
+
+type kind =
+  | Annot_reject  (** annotation failed validation; JIT recomputed online *)
+  | Decode_tolerated  (** damaged-but-recoverable distribution input *)
+  | Accel_remap  (** process moved off a failed accelerator *)
+  | Limit_hit  (** a resource budget clipped work (fuel, allocation) *)
+  | Other of string
+
+let kind_name = function
+  | Annot_reject -> "annot-reject"
+  | Decode_tolerated -> "decode-tolerated"
+  | Accel_remap -> "accel-remap"
+  | Limit_hit -> "limit-hit"
+  | Other s -> s
+
+type event = {
+  kind : kind;
+  subject : string;  (** what degraded: function, process, stream *)
+  detail : string;  (** why *)
+  ts : int64;  (** virtual-clock timestamp *)
+}
+
+type t = {
+  mutable events_rev : event list;
+  mutable nevents : int;
+  mutable clock : unit -> int64;
+}
+
+let create ?(clock = fun () -> 0L) () =
+  { events_rev = []; nevents = 0; clock }
+
+let set_clock t c = t.clock <- c
+
+let record t ?ts kind ~subject ~detail =
+  let ts = match ts with Some ts -> ts | None -> t.clock () in
+  t.events_rev <- { kind; subject; detail; ts } :: t.events_rev;
+  t.nevents <- t.nevents + 1
+
+(** Record into an optional ledger — the threading-friendly form. *)
+let record_opt (t : t option) ?ts kind ~subject ~detail =
+  match t with Some t -> record t ?ts kind ~subject ~detail | None -> ()
+
+let events t = List.rev t.events_rev
+let count t = t.nevents
+
+let by_kind t kind =
+  List.filter (fun e -> e.kind = kind) (events t)
+
+let count_kind t kind = List.length (by_kind t kind)
+
+let event_to_string e =
+  Printf.sprintf "[%Ld] %s %s: %s" e.ts (kind_name e.kind) e.subject e.detail
+
+let to_string t =
+  String.concat "\n" (List.map event_to_string (events t))

@@ -1,0 +1,159 @@
+(** Typed metrics registry — the numeric half of the telemetry layer.
+
+    Three metric kinds cover everything the pipeline measures:
+
+    - {e counters}: monotonically accumulated quantities (work units per
+      pass, executed instructions, bytes of memory traffic, fallback
+      events);
+    - {e gauges}: last-written values (fuel headroom, bytecode size,
+      memory footprint);
+    - {e histograms}: fixed-bucket distributions (block visit counts,
+      span durations) with precomputed upper bounds — observation is
+      O(#buckets) worst case and allocates nothing.
+
+    The registry is deliberately dependency-free and deterministic: no
+    clocks, no I/O, just named cells.  Producers find-or-create metrics
+    by name; a name is permanently bound to the kind that first created
+    it (a kind clash raises [Invalid_argument] — it is a programming
+    error, not input-dependent). *)
+
+type hist = {
+  bounds : int64 array;
+      (** inclusive upper bounds, strictly increasing; bucket [i] counts
+          observations [v <= bounds.(i)]; one extra overflow bucket *)
+  buckets : int array;  (** length [Array.length bounds + 1] *)
+  mutable hsum : int64;
+  mutable hcount : int;
+}
+
+type metric =
+  | Counter of { mutable c : int64 }
+  | Gauge of { mutable g : int64 }
+  | Hist of hist
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let clash name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is a %s, not a %s" name (kind_name existing)
+       wanted)
+
+(** Power-of-two bounds 1, 2, 4, ..., 2^20 — a sensible default for
+    count-like distributions spanning several orders of magnitude. *)
+let default_bounds : int64 array =
+  Array.init 21 (fun i -> Int64.shift_left 1L i)
+
+(* ---------------- counters ---------------- *)
+
+let inc t name n =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c.c <- Int64.add c.c n
+  | Some m -> clash name m "counter"
+  | None -> Hashtbl.replace t.tbl name (Counter { c = n })
+
+let inc1 t name = inc t name 1L
+let inci t name n = inc t name (Int64.of_int n)
+
+(* ---------------- gauges ---------------- *)
+
+let set t name v =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g.g <- v
+  | Some m -> clash name m "gauge"
+  | None -> Hashtbl.replace t.tbl name (Gauge { g = v })
+
+let seti t name v = set t name (Int64.of_int v)
+
+(* ---------------- histograms ---------------- *)
+
+let histogram t ?(bounds = default_bounds) name : hist =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> h
+  | Some m -> clash name m "histogram"
+  | None ->
+    if Array.length bounds = 0 then
+      invalid_arg "Metrics.histogram: empty bounds";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && Int64.compare bounds.(i - 1) b >= 0 then
+          invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+      bounds;
+    let h =
+      {
+        bounds = Array.copy bounds;
+        buckets = Array.make (Array.length bounds + 1) 0;
+        hsum = 0L;
+        hcount = 0;
+      }
+    in
+    Hashtbl.replace t.tbl name (Hist h);
+    h
+
+let hist_observe (h : hist) (v : int64) =
+  let n = Array.length h.bounds in
+  let rec bucket i =
+    if i >= n then n
+    else if Int64.compare v h.bounds.(i) <= 0 then i
+    else bucket (i + 1)
+  in
+  h.buckets.(bucket 0) <- h.buckets.(bucket 0) + 1;
+  h.hsum <- Int64.add h.hsum v;
+  h.hcount <- h.hcount + 1
+
+let observe t ?bounds name v = hist_observe (histogram t ?bounds name) v
+
+(* ---------------- reading ---------------- *)
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+(** Current value of a counter or gauge ([None] if absent or a
+    histogram). *)
+let value t name : int64 option =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> Some c.c
+  | Some (Gauge g) -> Some g.g
+  | _ -> None
+
+let hist_count t name =
+  match Hashtbl.find_opt t.tbl name with Some (Hist h) -> h.hcount | _ -> 0
+
+let hist_sum t name =
+  match Hashtbl.find_opt t.tbl name with Some (Hist h) -> h.hsum | _ -> 0L
+
+let hist_buckets t name : int array =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> Array.copy h.buckets
+  | _ -> [||]
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+(* ---------------- text dump ---------------- *)
+
+let dump t : string =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "counter %-40s %Ld\n" name c.c)
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "gauge   %-40s %Ld\n" name g.g)
+      | Hist h ->
+        Buffer.add_string buf
+          (Printf.sprintf "hist    %-40s count=%d sum=%Ld" name h.hcount h.hsum);
+        Array.iteri
+          (fun i b ->
+            if b > 0 then
+              if i < Array.length h.bounds then
+                Buffer.add_string buf (Printf.sprintf " le%Ld=%d" h.bounds.(i) b)
+              else Buffer.add_string buf (Printf.sprintf " inf=%d" b))
+          h.buckets;
+        Buffer.add_char buf '\n')
+    (names t);
+  Buffer.contents buf

@@ -1,0 +1,152 @@
+(** Span-based structured tracing with a deterministic virtual clock.
+
+    Events are the Chrome [trace_event] vocabulary, reduced to what the
+    pipeline needs: nested begin/end spans ([B]/[E]), instants ([I]) and
+    counter samples ([C]).  Timestamps come from a pluggable {e virtual
+    clock} — offline/JIT phases use accumulated {!Pvir.Account} work
+    units, VM phases use simulated cycles — so a trace is bit-identical
+    across runs and hosts.  Wall time, when enabled, rides along as an
+    auxiliary [host_us] argument and never affects the timeline.
+
+    Tracks ([tid]s) separate the pipeline stages in a viewer: frontend,
+    offline optimizer, serialize/decode, JIT, VM execution, and one track
+    per scheduler core.  {!with_span} is the instrumentation entry point:
+    it accepts an [option] sink so call sites stay cheap and branch-free
+    when tracing is off.
+
+    Invariants (pinned by tests): per track, begin/end events are
+    properly nested (LIFO) and every [end_span] names the span it
+    closes — a mismatch raises [Invalid_argument] immediately rather
+    than producing a silently unbalanced trace. *)
+
+type phase =
+  | B  (** span begin *)
+  | E  (** span end *)
+  | I  (** instant *)
+  | C of (string * int64) list  (** counter sample: series name -> value *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : int64;  (** virtual-clock timestamp *)
+  tid : int;
+  args : (string * string) list;
+  host_us : float option;  (** optional host (wall) time, microseconds *)
+}
+
+type t = {
+  mutable events_rev : event list;
+  mutable nevents : int;
+  mutable clock : unit -> int64;
+  wall : bool;
+  open_spans : (int, (string * string) list) Hashtbl.t;
+      (** per-tid stack of open (name, cat) *)
+  mutable tracks : (int * string) list;  (** registered track names *)
+}
+
+(* ---------------- track conventions ---------------- *)
+
+let track_main = 0
+let track_frontend = 1
+let track_offline = 2
+let track_distribute = 3
+let track_jit = 4
+let track_vm = 5
+let track_ledger = 9
+
+(** Scheduler cores occupy [track_sched_base + i] for core index [i]. *)
+let track_sched_base = 16
+
+(* ---------------- construction ---------------- *)
+
+let create ?(wall = false) ?(clock = fun () -> 0L) () =
+  {
+    events_rev = [];
+    nevents = 0;
+    clock;
+    wall;
+    open_spans = Hashtbl.create 8;
+    tracks = [];
+  }
+
+let set_clock t c = t.clock <- c
+let now t = t.clock ()
+
+(** Register a human-readable name for track [tid] (exported as Chrome
+    [thread_name] metadata). *)
+let name_track t tid name =
+  if not (List.mem_assoc tid t.tracks) then t.tracks <- (tid, name) :: t.tracks
+
+let push t ev =
+  t.events_rev <- ev :: t.events_rev;
+  t.nevents <- t.nevents + 1
+
+let host_us t = if t.wall then Some (Sys.time () *. 1e6) else None
+
+let stack t tid = try Hashtbl.find t.open_spans tid with Not_found -> []
+
+(* ---------------- spans ---------------- *)
+
+let begin_at t ~ts ?(tid = track_main) ?(args = []) ~cat name =
+  Hashtbl.replace t.open_spans tid ((name, cat) :: stack t tid);
+  push t { name; cat; ph = B; ts; tid; args; host_us = host_us t }
+
+let end_at t ~ts ?(tid = track_main) ?(args = []) name =
+  match stack t tid with
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Trace.end_span: no open span on track %d (closing %s)"
+         tid name)
+  | (top, cat) :: rest ->
+    if not (String.equal top name) then
+      invalid_arg
+        (Printf.sprintf "Trace.end_span: closing %s but %s is open" name top);
+    Hashtbl.replace t.open_spans tid rest;
+    push t { name; cat; ph = E; ts; tid; args; host_us = host_us t }
+
+let begin_span t ?tid ?args ~cat name =
+  begin_at t ~ts:(t.clock ()) ?tid ?args ~cat name
+
+let end_span t ?tid ?args name = end_at t ~ts:(t.clock ()) ?tid ?args name
+
+let instant t ?(tid = track_main) ?(args = []) ~cat name =
+  push t { name; cat; ph = I; ts = t.clock (); tid; args; host_us = host_us t }
+
+let instant_at t ~ts ?(tid = track_main) ?(args = []) ~cat name =
+  push t { name; cat; ph = I; ts; tid; args; host_us = None }
+
+let counter_at t ~ts ?(tid = track_main) ~cat name values =
+  push t { name; cat; ph = C values; ts; tid; args = []; host_us = None }
+
+let counter t ?tid ~cat name values =
+  counter_at t ~ts:(t.clock ()) ?tid ~cat name values
+
+(** [with_span tr ~cat name f] runs [f ()] inside a span when [tr] is a
+    sink, and is exactly [f ()] when it is [None].  The span is closed on
+    both normal and exceptional exit. *)
+let with_span (tr : t option) ?tid ?args ~cat name (f : unit -> 'a) : 'a =
+  match tr with
+  | None -> f ()
+  | Some t ->
+    begin_span t ?tid ?args ~cat name;
+    (match f () with
+    | v ->
+      end_span t ?tid name;
+      v
+    | exception e ->
+      end_span t ?tid ~args:[ ("exception", Printexc.to_string e) ] name;
+      raise e)
+
+(* ---------------- reading ---------------- *)
+
+let events t = List.rev t.events_rev
+let length t = t.nevents
+let tracks t = List.rev t.tracks
+
+(** Open spans remaining on [tid] — 0 for a balanced track. *)
+let open_depth t ?(tid = track_main) () = List.length (stack t tid)
+
+(** Every track balanced (no span left open). *)
+let balanced t =
+  Hashtbl.fold (fun _ st acc -> acc && st = []) t.open_spans true

@@ -52,13 +52,17 @@ type t = {
   profile : Profile.t option;
   fuel : int64;  (** execution budget; Trap when exhausted *)
   mutable engine : engine;
+  mutable tr : Pvtrace.Trace.t option;
+      (** telemetry sink: spans are emitted only at the public entry
+          points (never inside the dispatch loop), so tracing costs
+          nothing per executed instruction *)
   dcache : (string, Decode.dfunc) Hashtbl.t;
       (** decoded-code cache of the threaded engine, keyed by function
           name and validated against the function's identity *)
 }
 
 let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
-    ?(engine = Threaded) img =
+    ?(engine = Threaded) ?tr img =
   {
     img;
     sp = Image.initial_sp img;
@@ -68,8 +72,11 @@ let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
     profile;
     fuel;
     engine;
+    tr;
     dcache = Hashtbl.create 16;
   }
+
+let set_trace t tr = t.tr <- tr
 
 let output t = Buffer.contents t.out
 let cycles t = t.stats.cycles
@@ -483,8 +490,8 @@ and dexec_seed t ec frame (i : Pvir.Instr.t) : unit =
 
 (* ---------------- public entry points ---------------- *)
 
-(** Call [fn] with [args] under the configured engine. *)
-let call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) : Pvir.Value.t option =
+let call_untraced t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
   match t.engine with
   | Tree_walk -> tw_call t fn args
   | Threaded ->
@@ -493,9 +500,44 @@ let call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) : Pvir.Value.t option =
       ~finally:(fun () -> flush_ectx t ec)
       (fun () -> dcall t ec (decoded t fn) args)
 
+(** Call [fn] with [args] under the configured engine.  With a trace sink
+    attached, the whole activation becomes a span on the VM track whose
+    virtual timestamps are the interpreter's own cycle counter. *)
+let call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) : Pvir.Value.t option =
+  match t.tr with
+  | None -> call_untraced t fn args
+  | Some tr ->
+    let name = "interp:" ^ fn.Pvir.Func.name in
+    Pvtrace.Trace.begin_at tr ~ts:t.stats.cycles ~tid:Pvtrace.Trace.track_vm
+      ~args:[ ("engine", engine_name t.engine) ]
+      ~cat:"vm" name;
+    (match call_untraced t fn args with
+    | v ->
+      Pvtrace.Trace.end_at tr ~ts:t.stats.cycles ~tid:Pvtrace.Trace.track_vm
+        name;
+      v
+    | exception e ->
+      Pvtrace.Trace.end_at tr ~ts:t.stats.cycles ~tid:Pvtrace.Trace.track_vm
+        ~args:[ ("exception", Printexc.to_string e) ]
+        name;
+      raise e)
+
 (** Run function [name] with [args].  Returns the result value (if any)
     and leaves cycle/instruction counts in [stats]. *)
 let run t name args =
   match Image.find_func t.img name with
   | Some fn -> call t fn args
   | None -> raise (Trap (Printf.sprintf "no function %s" name))
+
+(** Absorb this interpreter's counters into a metrics registry:
+    cycles/instructions/calls plus fuel and allocation headroom.  Purely
+    observational — reads the stats the engines already keep. *)
+let observe_metrics t (m : Pvtrace.Metrics.t) : unit =
+  Pvtrace.Metrics.inc m "interp.cycles" t.stats.cycles;
+  Pvtrace.Metrics.inc m "interp.instrs" t.stats.instrs;
+  Pvtrace.Metrics.inci m "interp.calls" t.stats.calls;
+  Pvtrace.Metrics.set m "interp.fuel_headroom"
+    (Int64.sub t.fuel t.stats.instrs);
+  Pvtrace.Metrics.seti m "interp.mem_bytes" (Memory.size t.img.mem);
+  Pvtrace.Metrics.seti m "interp.alloc_headroom"
+    (Memory.alloc_headroom t.img.mem)

@@ -23,7 +23,12 @@ let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
     that threatens the host. *)
 let default_alloc_limit = 256 * 1024 * 1024
 
-type t = { bytes : Bytes.t; size : int; null_guard : int }
+type t = {
+  bytes : Bytes.t;
+  size : int;
+  null_guard : int;
+  alloc_limit : int;  (** the cap this memory was created under *)
+}
 
 (** [create ?null_guard ?alloc_limit size] — the first [null_guard] bytes
     (default 8) are unmapped, so null-pointer dereferences fault.
@@ -38,9 +43,12 @@ let create ?(null_guard = 8) ?(alloc_limit = default_alloc_limit) size =
             size alloc_limit));
   if null_guard < 0 || null_guard >= size then
     invalid_arg "Memory.create: bad null guard";
-  { bytes = Bytes.make size '\000'; size; null_guard }
+  { bytes = Bytes.make size '\000'; size; null_guard; alloc_limit }
 
 let size m = m.size
+
+(** Headroom left under the allocation cap (telemetry). *)
+let alloc_headroom m = m.alloc_limit - m.size
 
 let check m addr len =
   if addr < m.null_guard || len < 0 || addr + len > m.size then

@@ -34,6 +34,54 @@ let weight p fname =
     (fun (f, _) r acc -> if String.equal f fname then acc + !r else acc)
     p.block_visits 0
 
+(** Derive the dynamic instruction mix and memory traffic from the
+    profile: per-block visit counts multiplied by each block's static
+    composition.  Costs nothing during execution — the VM only bumps the
+    per-block counters it already keeps; the breakdown is computed here,
+    after the run.  Populates [vm.mix.*] counters (alu/load/store/call/
+    branch/ret), [vm.mem.load_bytes]/[vm.mem.store_bytes], and a
+    [vm.block_visits] histogram of per-block hotness. *)
+let observe_mix p (prog : Pvir.Prog.t) (m : Pvtrace.Metrics.t) : unit =
+  let mix = [| 0; 0; 0; 0; 0; 0 |] in
+  (* alu, load, store, call, branch, ret *)
+  let load_bytes = ref 0 in
+  let store_bytes = ref 0 in
+  List.iter
+    (fun (fn : Pvir.Func.t) ->
+      List.iter
+        (fun (blk : Pvir.Func.block) ->
+          let visits = block_count p fn.name blk.label in
+          if visits > 0 then begin
+            Pvtrace.Metrics.observe m "vm.block_visits"
+              (Int64.of_int visits);
+            List.iter
+              (fun (i : Pvir.Instr.t) ->
+                match i with
+                | Pvir.Instr.Load (ty, _, _, _) ->
+                  mix.(1) <- mix.(1) + visits;
+                  load_bytes := !load_bytes + (visits * Pvir.Types.size ty)
+                | Pvir.Instr.Store (ty, _, _, _) ->
+                  mix.(2) <- mix.(2) + visits;
+                  store_bytes := !store_bytes + (visits * Pvir.Types.size ty)
+                | Pvir.Instr.Call _ -> mix.(3) <- mix.(3) + visits
+                | _ -> mix.(0) <- mix.(0) + visits)
+              blk.instrs;
+            match blk.term with
+            | Pvir.Instr.Br _ | Pvir.Instr.Cbr _ ->
+              mix.(4) <- mix.(4) + visits
+            | Pvir.Instr.Ret _ -> mix.(5) <- mix.(5) + visits
+          end)
+        fn.blocks)
+    prog.funcs;
+  Pvtrace.Metrics.inci m "vm.mix.alu" mix.(0);
+  Pvtrace.Metrics.inci m "vm.mix.load" mix.(1);
+  Pvtrace.Metrics.inci m "vm.mix.store" mix.(2);
+  Pvtrace.Metrics.inci m "vm.mix.call" mix.(3);
+  Pvtrace.Metrics.inci m "vm.mix.branch" mix.(4);
+  Pvtrace.Metrics.inci m "vm.mix.ret" mix.(5);
+  Pvtrace.Metrics.inci m "vm.mem.load_bytes" !load_bytes;
+  Pvtrace.Metrics.inci m "vm.mem.store_bytes" !store_bytes
+
 (** Annotate every function of [prog] with its measured hotness in [0;1]
     (fraction of total profile weight).  This is the feedback edge of the
     split-compilation flow. *)

@@ -57,9 +57,13 @@ type t = {
   stats : stats;
   mutable fuel : int64;  (** adjustable after creation, like [engine] *)
   mutable engine : engine;
+  mutable tr : Pvtrace.Trace.t option;
+      (** telemetry sink: spans are emitted only at the public entry
+          points (never inside the dispatch loop), so tracing costs
+          nothing per simulated instruction *)
 }
 
-let create ?(fuel = 2_000_000_000L) ?(engine = Threaded) img machine =
+let create ?(fuel = 2_000_000_000L) ?(engine = Threaded) ?tr img machine =
   {
     img;
     code = Hashtbl.create 16;
@@ -69,7 +73,10 @@ let create ?(fuel = 2_000_000_000L) ?(engine = Threaded) img machine =
     stats = { cycles = 0L; instrs = 0L; spill_ops = 0L };
     fuel;
     engine;
+    tr;
   }
+
+let set_trace t tr = t.tr <- tr
 
 let add_func t (fn : Mir.func) =
   Hashtbl.replace t.code fn.Mir.mname { cfn = fn; cdec = None }
@@ -581,9 +588,8 @@ and sexec_seed t ec frame (i : Mir.inst) : unit =
 
 (* ---------------- public entry points ---------------- *)
 
-(** Call [fn] with [args] under the configured engine.  A function not in
-    the code cache is decoded on the fly (uncached). *)
-let call t (fn : Mir.func) (args : Pvir.Value.t list) : Pvir.Value.t option =
+let call_untraced t (fn : Mir.func) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
   match t.engine with
   | Tree_walk -> tw_call t fn args
   | Threaded ->
@@ -597,16 +603,56 @@ let call t (fn : Mir.func) (args : Pvir.Value.t list) : Pvir.Value.t option =
       ~finally:(fun () -> flush_ectx t ec)
       (fun () -> scall t ec df args)
 
+(* one span per top-level activation on the VM track, timestamped by the
+   simulator's own cycle counter (the deterministic virtual clock) *)
+let traced t name f =
+  match t.tr with
+  | None -> f ()
+  | Some tr ->
+    let sname = "sim:" ^ name in
+    Pvtrace.Trace.begin_at tr ~ts:t.stats.cycles ~tid:Pvtrace.Trace.track_vm
+      ~args:[ ("engine", engine_name t.engine) ]
+      ~cat:"vm" sname;
+    (match f () with
+    | v ->
+      Pvtrace.Trace.end_at tr ~ts:t.stats.cycles ~tid:Pvtrace.Trace.track_vm
+        sname;
+      v
+    | exception e ->
+      Pvtrace.Trace.end_at tr ~ts:t.stats.cycles ~tid:Pvtrace.Trace.track_vm
+        ~args:[ ("exception", Printexc.to_string e) ]
+        sname;
+      raise e)
+
+(** Call [fn] with [args] under the configured engine.  A function not in
+    the code cache is decoded on the fly (uncached).  With a trace sink
+    attached, the activation becomes a span on the VM track. *)
+let call t (fn : Mir.func) (args : Pvir.Value.t list) : Pvir.Value.t option =
+  traced t fn.Mir.mname (fun () -> call_untraced t fn args)
+
 (** Run compiled function [name].  All callees it reaches must have been
     registered with {!add_func} (the cache models the JIT's code cache). *)
 let run t name args =
-  match Hashtbl.find_opt t.code name with
-  | Some ce -> (
-    match t.engine with
-    | Tree_walk -> tw_call t ce.cfn args
-    | Threaded ->
-      let ec = ectx_of t in
-      Fun.protect
-        ~finally:(fun () -> flush_ectx t ec)
-        (fun () -> scall t ec (decoded t ce) args))
-  | None -> trap "no compiled code for %s" name
+  traced t name (fun () ->
+      match Hashtbl.find_opt t.code name with
+      | Some ce -> (
+        match t.engine with
+        | Tree_walk -> tw_call t ce.cfn args
+        | Threaded ->
+          let ec = ectx_of t in
+          Fun.protect
+            ~finally:(fun () -> flush_ectx t ec)
+            (fun () -> scall t ec (decoded t ce) args))
+      | None -> trap "no compiled code for %s" name)
+
+(** Absorb this simulator's counters into a metrics registry:
+    cycles/instructions/spill traffic plus fuel and allocation headroom.
+    Purely observational — reads the stats the engines already keep. *)
+let observe_metrics t (m : Pvtrace.Metrics.t) : unit =
+  Pvtrace.Metrics.inc m "sim.cycles" t.stats.cycles;
+  Pvtrace.Metrics.inc m "sim.instrs" t.stats.instrs;
+  Pvtrace.Metrics.inc m "sim.spill_ops" t.stats.spill_ops;
+  Pvtrace.Metrics.set m "sim.fuel_headroom" (Int64.sub t.fuel t.stats.instrs);
+  Pvtrace.Metrics.seti m "sim.mem_bytes" (Memory.size t.img.mem);
+  Pvtrace.Metrics.seti m "sim.alloc_headroom"
+    (Memory.alloc_headroom t.img.mem)

@@ -1,0 +1,576 @@
+(* Telemetry subsystem tests: metrics registry semantics (including
+   histogram bucket edges), span nesting/balance invariants, ledger
+   accounting, Chrome trace_event export well-formedness, end-to-end
+   reconciliation of the metrics registry against the work accountant and
+   VM counters, and the "tracing off costs nothing observable" guard. *)
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let int64_t = Alcotest.int64
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+(* ---------------- metrics ---------------- *)
+
+let test_counters_gauges () =
+  let m = Pvtrace.Metrics.create () in
+  Pvtrace.Metrics.inc1 m "c";
+  Pvtrace.Metrics.inci m "c" 4;
+  Pvtrace.Metrics.inc m "c" 5L;
+  check (Alcotest.option int64_t) "counter accumulates" (Some 10L)
+    (Pvtrace.Metrics.value m "c");
+  Pvtrace.Metrics.seti m "g" 7;
+  Pvtrace.Metrics.set m "g" 3L;
+  check (Alcotest.option int64_t) "gauge keeps last write" (Some 3L)
+    (Pvtrace.Metrics.value m "g");
+  check (Alcotest.option int64_t) "absent name" None
+    (Pvtrace.Metrics.value m "nope");
+  check (Alcotest.list string_t) "names sorted" [ "c"; "g" ]
+    (Pvtrace.Metrics.names m)
+
+let test_kind_clash () =
+  let m = Pvtrace.Metrics.create () in
+  Pvtrace.Metrics.inc1 m "x";
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Metrics: x is a counter, not a gauge") (fun () ->
+      Pvtrace.Metrics.set m "x" 0L)
+
+let test_hist_bucket_edges () =
+  let m = Pvtrace.Metrics.create () in
+  let bounds = [| 1L; 2L; 4L; 8L |] in
+  let obs v = Pvtrace.Metrics.observe m ~bounds "h" v in
+  (* edges: v <= bound lands in that bucket; above the last bound is the
+     overflow bucket; zero and negatives land in the first bucket *)
+  List.iter obs [ 0L; 1L; 2L; 3L; 4L; 8L; 9L; -5L ];
+  let b = Pvtrace.Metrics.hist_buckets m "h" in
+  check (Alcotest.array int_t) "bucket counts" [| 3; 1; 2; 1; 1 |] b;
+  check int_t "count" 8 (Pvtrace.Metrics.hist_count m "h");
+  check int64_t "sum" 22L (Pvtrace.Metrics.hist_sum m "h")
+
+let test_hist_bad_bounds () =
+  let m = Pvtrace.Metrics.create () in
+  Alcotest.check_raises "empty bounds"
+    (Invalid_argument "Metrics.histogram: empty bounds") (fun () ->
+      ignore (Pvtrace.Metrics.histogram m ~bounds:[||] "h0"));
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Metrics.histogram: bounds must be strictly increasing")
+    (fun () -> ignore (Pvtrace.Metrics.histogram m ~bounds:[| 2L; 2L |] "h1"))
+
+(* ---------------- trace spans ---------------- *)
+
+let test_span_nesting () =
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.begin_at tr ~ts:0L ~cat:"t" "outer";
+  Pvtrace.Trace.begin_at tr ~ts:1L ~cat:"t" "inner";
+  check int_t "two open" 2 (Pvtrace.Trace.open_depth tr ());
+  check bool_t "not balanced while open" false (Pvtrace.Trace.balanced tr);
+  Pvtrace.Trace.end_at tr ~ts:2L "inner";
+  Pvtrace.Trace.end_at tr ~ts:3L "outer";
+  check bool_t "balanced after closing" true (Pvtrace.Trace.balanced tr);
+  check int_t "four events" 4 (Pvtrace.Trace.length tr)
+
+let test_span_mismatch_raises () =
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.begin_at tr ~ts:0L ~cat:"t" "a";
+  Alcotest.check_raises "closing the wrong span"
+    (Invalid_argument "Trace.end_span: closing b but a is open") (fun () ->
+      Pvtrace.Trace.end_at tr ~ts:1L "b");
+  let tr2 = Pvtrace.Trace.create () in
+  Alcotest.check_raises "closing with nothing open"
+    (Invalid_argument "Trace.end_span: no open span on track 0 (closing x)")
+    (fun () -> Pvtrace.Trace.end_at tr2 ~ts:0L "x")
+
+let test_tracks_independent () =
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.begin_at tr ~ts:0L ~tid:1 ~cat:"t" "a";
+  Pvtrace.Trace.begin_at tr ~ts:0L ~tid:2 ~cat:"t" "b";
+  (* per-track LIFO: closing b on track 2 is fine while a is open on 1 *)
+  Pvtrace.Trace.end_at tr ~ts:1L ~tid:2 "b";
+  check int_t "track 1 still open" 1 (Pvtrace.Trace.open_depth tr ~tid:1 ());
+  Pvtrace.Trace.end_at tr ~ts:1L ~tid:1 "a";
+  check bool_t "balanced" true (Pvtrace.Trace.balanced tr)
+
+let test_with_span () =
+  check int_t "None sink is a no-op" 42
+    (Pvtrace.Trace.with_span None ~cat:"t" "s" (fun () -> 42));
+  let tr = Pvtrace.Trace.create () in
+  let r = Pvtrace.Trace.with_span (Some tr) ~cat:"t" "s" (fun () -> 7) in
+  check int_t "value through" 7 r;
+  check bool_t "balanced" true (Pvtrace.Trace.balanced tr);
+  (* exception safety: the span closes, the exception propagates *)
+  (match
+     Pvtrace.Trace.with_span (Some tr) ~cat:"t" "boom" (fun () ->
+         failwith "kaboom")
+   with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure m -> check string_t "exception preserved" "kaboom" m);
+  check bool_t "balanced after exception" true (Pvtrace.Trace.balanced tr)
+
+let test_virtual_clock () =
+  let t = ref 100L in
+  let tr = Pvtrace.Trace.create ~clock:(fun () -> !t) () in
+  Pvtrace.Trace.begin_span tr ~cat:"t" "s";
+  t := 250L;
+  Pvtrace.Trace.end_span tr "s";
+  match Pvtrace.Trace.events tr with
+  | [ b; e ] ->
+    check int64_t "begin ts" 100L b.Pvtrace.Trace.ts;
+    check int64_t "end ts" 250L e.Pvtrace.Trace.ts
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+(* ---------------- ledger ---------------- *)
+
+let test_ledger () =
+  let l = Pvtrace.Ledger.create () in
+  Pvtrace.Ledger.record l Pvtrace.Ledger.Annot_reject ~subject:"f"
+    ~detail:"bad";
+  Pvtrace.Ledger.record l ~ts:9L Pvtrace.Ledger.Accel_remap ~subject:"p"
+    ~detail:"core died";
+  Pvtrace.Ledger.record_opt (Some l) Pvtrace.Ledger.Annot_reject ~subject:"g"
+    ~detail:"worse";
+  Pvtrace.Ledger.record_opt None Pvtrace.Ledger.Limit_hit ~subject:"-"
+    ~detail:"dropped";
+  check int_t "count" 3 (Pvtrace.Ledger.count l);
+  check int_t "annot rejects" 2
+    (Pvtrace.Ledger.count_kind l Pvtrace.Ledger.Annot_reject);
+  check int_t "remaps" 1 (Pvtrace.Ledger.count_kind l Pvtrace.Ledger.Accel_remap);
+  match Pvtrace.Ledger.by_kind l Pvtrace.Ledger.Accel_remap with
+  | [ e ] ->
+    check string_t "subject" "p" e.Pvtrace.Ledger.subject;
+    check int64_t "explicit ts" 9L e.Pvtrace.Ledger.ts
+  | _ -> Alcotest.fail "expected one remap event"
+
+(* regression: Account.ignore_sink must never accumulate state *)
+let test_ignore_sink_discards () =
+  let s = Pvir.Account.ignore_sink in
+  let before = Pvir.Account.total s in
+  Pvir.Account.charge s ~pass:"x" 1000;
+  check int_t "total unchanged" before (Pvir.Account.total s);
+  check bool_t "no entries" true (Pvir.Account.by_pass s = [])
+
+let test_account_to_metrics () =
+  let a = Pvir.Account.create () in
+  Pvir.Account.charge a ~pass:"licm" 30;
+  Pvir.Account.charge a ~pass:"dce" 12;
+  let m = Pvtrace.Metrics.create () in
+  Pvir.Account.to_metrics ~prefix:"offline" a m;
+  check (Alcotest.option int64_t) "per pass" (Some 30L)
+    (Pvtrace.Metrics.value m "offline.work.licm");
+  check (Alcotest.option int64_t) "total" (Some 42L)
+    (Pvtrace.Metrics.value m "offline.work.total")
+
+(* ---------------- chrome export ---------------- *)
+
+let test_chrome_export_valid () =
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.name_track tr 1 "phase one";
+  Pvtrace.Trace.begin_at tr ~ts:0L ~tid:1 ~cat:"c" "outer \"quoted\"\n";
+  Pvtrace.Trace.begin_at tr ~ts:1L ~tid:1
+    ~args:[ ("k", "v\\with\\backslash") ]
+    ~cat:"c" "inner";
+  Pvtrace.Trace.end_at tr ~ts:2L ~tid:1 "inner";
+  Pvtrace.Trace.instant_at tr ~ts:2L ~tid:1 ~cat:"c" "mark";
+  Pvtrace.Trace.counter_at tr ~ts:2L ~tid:1 ~cat:"c" "chan"
+    [ ("tokens", 3L) ];
+  Pvtrace.Trace.end_at tr ~ts:5L ~tid:1 "outer \"quoted\"\n";
+  let ledger = Pvtrace.Ledger.create () in
+  Pvtrace.Ledger.record ledger Pvtrace.Ledger.Limit_hit ~subject:"s"
+    ~detail:"d";
+  let json = Pvtrace.Export.chrome_json ~ledger tr in
+  (match Pvtrace.Export.validate_chrome json with
+  | Ok n ->
+    (* 6 trace events + 1 ledger instant + 2 thread_name metadata
+       (the named track and the ledger track) *)
+    check int_t "event count" 9 n
+  | Error m -> Alcotest.failf "expected valid trace: %s" m);
+  (* golden structure: a B and E pair for "inner" on tid 1 survives *)
+  check bool_t "has traceEvents" true
+    (String.length json > 0 && String.sub json 0 15 = "{\"traceEvents\":")
+
+let test_chrome_export_unbalanced () =
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.begin_at tr ~ts:0L ~cat:"c" "never closed";
+  match Pvtrace.Export.validate_chrome (Pvtrace.Export.chrome_json tr) with
+  | Ok _ -> Alcotest.fail "unbalanced trace must not validate"
+  | Error m ->
+    check bool_t "mentions open span" true
+      (String.length m > 0)
+
+let test_validate_rejects_garbage () =
+  (match Pvtrace.Export.validate_chrome "not json at all" with
+  | Ok _ -> Alcotest.fail "garbage must not validate"
+  | Error _ -> ());
+  match Pvtrace.Export.validate_chrome "{\"notTraceEvents\": []}" with
+  | Ok _ -> Alcotest.fail "missing traceEvents must not validate"
+  | Error _ -> ()
+
+(* ---------------- loop-annotation validation ---------------- *)
+
+let fn_with_loop_annot annot =
+  let src = {|
+i64 looped(i64 n) {
+  i64 s = 0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+|} in
+  let p = Core.Splitc.frontend src in
+  let fn = List.hd p.Pvir.Prog.funcs in
+  fn.Pvir.Func.loop_annots <- [ (1, annot) ];
+  fn
+
+let test_loop_payload_valid () =
+  let a =
+    Pvir.Annot.add Pvir.Annot.key_trip_count (Pvir.Annot.Int 1024)
+      (Pvir.Annot.add Pvir.Annot.key_unit_stride (Pvir.Annot.Bool true)
+         (Pvir.Annot.add Pvir.Annot.key_vector_factor (Pvir.Annot.Int 4)
+            Pvir.Annot.empty))
+  in
+  let fn = fn_with_loop_annot a in
+  (match Pvjit.Annot_check.check_loops fn with
+  | Pvjit.Annot_check.Valid, _ -> ()
+  | st, _ ->
+    Alcotest.failf "expected Valid, got %s" (Pvjit.Annot_check.status_name st));
+  let clean = fn_with_loop_annot Pvir.Annot.empty in
+  match Pvjit.Annot_check.check_loops clean with
+  | Pvjit.Annot_check.Absent, _ -> ()
+  | st, _ ->
+    Alcotest.failf "expected Absent, got %s" (Pvjit.Annot_check.status_name st)
+
+let invalid_cases =
+  [
+    ( "negative trip count",
+      Pvir.Annot.add Pvir.Annot.key_trip_count (Pvir.Annot.Int (-3))
+        Pvir.Annot.empty );
+    ( "trip count not an int",
+      Pvir.Annot.add Pvir.Annot.key_trip_count (Pvir.Annot.Str "many")
+        Pvir.Annot.empty );
+    ( "vector factor not a power of two",
+      Pvir.Annot.add Pvir.Annot.key_vector_factor (Pvir.Annot.Int 6)
+        Pvir.Annot.empty );
+    ( "vector factor too large",
+      Pvir.Annot.add Pvir.Annot.key_vector_factor (Pvir.Annot.Int 128)
+        Pvir.Annot.empty );
+    ( "unit stride not a bool",
+      Pvir.Annot.add Pvir.Annot.key_unit_stride (Pvir.Annot.Int 1)
+        Pvir.Annot.empty );
+    ( "no_alias not a bool",
+      Pvir.Annot.add Pvir.Annot.key_no_alias (Pvir.Annot.Str "yes")
+        Pvir.Annot.empty );
+  ]
+
+let test_loop_payload_invalid () =
+  List.iter
+    (fun (label, a) ->
+      let fn = fn_with_loop_annot a in
+      match Pvjit.Annot_check.check_loops fn with
+      | Pvjit.Annot_check.Invalid _, per ->
+        check int_t (label ^ ": one verdict") 1 (List.length per)
+      | st, _ ->
+        Alcotest.failf "%s: expected Invalid, got %s" label
+          (Pvjit.Annot_check.status_name st))
+    invalid_cases
+
+(* a malformed loop payload must surface in the JIT's ledger, and the
+   degradation must not change the computed result *)
+let test_jit_ledger_integration () =
+  let src = {|
+i64 looped(i64 n) {
+  i64 s = 0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    s = s + i;
+  }
+  return s;
+}
+|} in
+  let machine = Pvmach.Machine.x86ish in
+  let compile p ledger =
+    let img = Pvvm.Image.load (Pvir.Prog.copy p) in
+    let sim, report =
+      Pvjit.Jit.compile_program ?ledger ~machine
+        ~hints:Pvjit.Jit.Hints_annotation img
+    in
+    (Pvvm.Sim.run sim "looped" [ Pvir.Value.i64 100L ], report)
+  in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split (Core.Splitc.frontend src) in
+  let clean_result, _ = compile off.Core.Splitc.prog None in
+  let corrupted = Pvir.Prog.copy off.Core.Splitc.prog in
+  let fn = List.hd corrupted.Pvir.Prog.funcs in
+  fn.Pvir.Func.loop_annots <-
+    [
+      ( 1,
+        Pvir.Annot.add Pvir.Annot.key_trip_count (Pvir.Annot.Int (-1))
+          Pvir.Annot.empty );
+    ];
+  let ledger = Pvtrace.Ledger.create () in
+  let bad_result, report = compile corrupted (Some ledger) in
+  check bool_t "ledger saw the reject" true
+    (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Annot_reject >= 1);
+  (match (report.Pvjit.Jit.funcs : Pvjit.Jit.func_report list) with
+  | [ fr ] -> (
+    match fr.Pvjit.Jit.annot_status with
+    | Pvjit.Annot_check.Invalid _ -> ()
+    | st ->
+      Alcotest.failf "expected Invalid verdict, got %s"
+        (Pvjit.Annot_check.status_name st))
+  | _ -> Alcotest.fail "expected one function report");
+  match (clean_result, bad_result) with
+  | Some a, Some b ->
+    check bool_t "degradation preserves the result" true (Pvir.Value.equal a b)
+  | _ -> Alcotest.fail "expected results"
+
+(* ---------------- scheduler timeline ---------------- *)
+
+let sched_fixture () =
+  let host = { Pvsched.Mapper.cname = "host"; machine = Pvmach.Machine.ppcish } in
+  let accel = { Pvsched.Mapper.cname = "accel"; machine = Pvmach.Machine.dspish } in
+  let platform = { Pvsched.Mapper.cores = [ host; accel ]; transfer_cost = 10 } in
+  let mk name inputs outputs work =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs;
+      outputs;
+      fire = (fun toks -> toks);
+      annots = Pvir.Annot.empty;
+      work;
+    }
+  in
+  let processes =
+    [ mk "src" [ "in" ] [ "mid" ] 1; mk "sink" [ "mid" ] [ "out" ] 5 ]
+  in
+  let cost (p : Pvsched.Kpn.process) (_ : Pvsched.Mapper.core) =
+    100 * p.Pvsched.Kpn.work
+  in
+  let fresh_net () =
+    let net = Pvsched.Kpn.create processes in
+    for b = 1 to 4 do
+      Pvsched.Kpn.push net "in" [| Pvir.Value.i64 (Int64.of_int b) |]
+    done;
+    net
+  in
+  (platform, processes, cost, fresh_net)
+
+let test_schedule_matches_makespan () =
+  let platform, processes, cost, fresh_net = sched_fixture () in
+  let pl = Pvsched.Mapper.place platform cost processes in
+  let evs = Pvsched.Mapper.schedule platform cost pl (fresh_net ()) in
+  let ms = Pvsched.Mapper.makespan platform cost pl (fresh_net ()) in
+  check int_t "one event per firing" 8 (List.length evs);
+  check int64_t "makespan = max end time" ms
+    (List.fold_left
+       (fun acc (e : Pvsched.Mapper.sched_event) -> max acc e.Pvsched.Mapper.se_end)
+       0L evs);
+  List.iter
+    (fun (e : Pvsched.Mapper.sched_event) ->
+      check bool_t "start <= end" true
+        (Int64.compare e.Pvsched.Mapper.se_start e.Pvsched.Mapper.se_end <= 0);
+      check bool_t "not remapped" false e.Pvsched.Mapper.se_remapped)
+    evs
+
+let test_schedule_emit_trace_valid () =
+  let platform, processes, cost, fresh_net = sched_fixture () in
+  let pl = Pvsched.Mapper.place platform cost processes in
+  let evs = Pvsched.Mapper.schedule platform cost pl (fresh_net ()) in
+  let tr = Pvtrace.Trace.create () in
+  Pvsched.Mapper.emit_trace ~channels:[ ("in", 4) ] platform processes evs tr;
+  check bool_t "balanced" true (Pvtrace.Trace.balanced tr);
+  match Pvtrace.Export.validate_chrome (Pvtrace.Export.chrome_json tr) with
+  | Ok n -> check bool_t "has events" true (n > 0)
+  | Error m -> Alcotest.failf "schedule trace invalid: %s" m
+
+let test_remap_ledger () =
+  let platform, processes, cost, fresh_net = sched_fixture () in
+  ignore fresh_net;
+  let accel = List.nth platform.Pvsched.Mapper.cores 1 in
+  let pl = Pvsched.Mapper.place_all_on accel processes in
+  let ledger = Pvtrace.Ledger.create () in
+  let pl' =
+    Pvsched.Mapper.remap ~ledger platform cost pl ~dead:"accel" processes
+  in
+  check int_t "every displaced process recorded" 2
+    (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Accel_remap);
+  List.iter
+    (fun (_, (c : Pvsched.Mapper.core)) ->
+      check string_t "moved to the survivor" "host" c.Pvsched.Mapper.cname)
+    pl'
+
+(* ---------------- end-to-end reconciliation ---------------- *)
+
+let e2e_source =
+  {|
+f32 xs[256];
+f32 ys[256];
+
+f32 saxpy(i64 n, f32 a) {
+  f32 acc = 0.0;
+  for (i64 i = 0; i < n; i = i + 1) {
+    ys[i] = a * xs[i] + ys[i];
+    acc = acc + ys[i];
+  }
+  return acc;
+}
+|}
+
+let test_e2e_traced_pipeline () =
+  let tr = Pvtrace.Trace.create () in
+  let metrics = Pvtrace.Metrics.create () in
+  let ledger = Pvtrace.Ledger.create () in
+  let machine = Pvmach.Machine.x86ish in
+  let off, on =
+    Core.Splitc.run_source ~mode:Core.Splitc.Split ~machine ~tr ~metrics
+      ~ledger e2e_source
+  in
+  ignore (Pvvm.Sim.run on.Core.Splitc.sim "saxpy" [ Pvir.Value.i64 64L; Pvir.Value.f32 2.0 ]);
+  Pvvm.Sim.observe_metrics on.Core.Splitc.sim metrics;
+  (* the trace is balanced and exports to valid Chrome JSON *)
+  check bool_t "balanced" true (Pvtrace.Trace.balanced tr);
+  (match Pvtrace.Export.validate_chrome (Pvtrace.Export.chrome_json ~ledger tr) with
+  | Ok n -> check bool_t "nontrivial event count" true (n > 10)
+  | Error m -> Alcotest.failf "e2e trace invalid: %s" m);
+  (* the registry reconciles with the accountants and the simulator *)
+  check (Alcotest.option int64_t) "offline work reconciles"
+    (Some (Int64.of_int (Pvir.Account.total off.Core.Splitc.offline_work)))
+    (Pvtrace.Metrics.value metrics "offline.work.total");
+  check (Alcotest.option int64_t) "online work reconciles"
+    (Some (Int64.of_int (Pvir.Account.total on.Core.Splitc.online_work)))
+    (Pvtrace.Metrics.value metrics "online.work.total");
+  check (Alcotest.option int64_t) "sim cycles reconcile"
+    (Some (Pvvm.Sim.cycles on.Core.Splitc.sim))
+    (Pvtrace.Metrics.value metrics "sim.cycles");
+  (* a clean split-mode run degrades nothing *)
+  check int_t "no degradations" 0 (Pvtrace.Ledger.count ledger)
+
+let test_interp_metrics_reconcile () =
+  let bc =
+    Core.Splitc.distribute
+      (Core.Splitc.offline ~mode:Core.Splitc.Split
+         (Core.Splitc.frontend e2e_source))
+  in
+  let profile = Pvvm.Profile.create () in
+  let tr = Pvtrace.Trace.create () in
+  let it = Core.Splitc.interpret ~profile ~tr bc in
+  ignore
+    (Pvvm.Interp.run it "saxpy" [ Pvir.Value.i64 64L; Pvir.Value.f32 2.0 ]);
+  let m = Pvtrace.Metrics.create () in
+  Pvvm.Interp.observe_metrics it m;
+  let prog = Pvir.Serial.decode bc in
+  Pvvm.Profile.observe_mix profile prog m;
+  check (Alcotest.option int64_t) "interp cycles reconcile"
+    (Some (Pvvm.Interp.cycles it))
+    (Pvtrace.Metrics.value m "interp.cycles");
+  (* the mix derived from the profile covers every executed instruction:
+     alu + load + store + call equals the instruction count minus the
+     per-block terminator charges (branch/ret rows) *)
+  let get name =
+    match Pvtrace.Metrics.value m name with Some v -> v | None -> 0L
+  in
+  let mix_total =
+    List.fold_left
+      (fun acc n -> Int64.add acc (get n))
+      0L
+      [
+        "vm.mix.alu"; "vm.mix.load"; "vm.mix.store"; "vm.mix.call";
+        "vm.mix.branch"; "vm.mix.ret";
+      ]
+  in
+  check int64_t "mix covers executed instructions"
+    (match Pvtrace.Metrics.value m "interp.instrs" with
+    | Some v -> v
+    | None -> -1L)
+    mix_total;
+  check bool_t "vm span on the trace" true (Pvtrace.Trace.length tr > 0);
+  check bool_t "balanced" true (Pvtrace.Trace.balanced tr)
+
+(* tracing disabled must not change observable behavior: identical
+   cycles, results, and output with and without sinks attached *)
+let test_tracing_off_costs_nothing () =
+  let machine = Pvmach.Machine.x86ish in
+  let run_with ~traced =
+    let tr = if traced then Some (Pvtrace.Trace.create ()) else None in
+    let metrics = if traced then Some (Pvtrace.Metrics.create ()) else None in
+    let ledger = if traced then Some (Pvtrace.Ledger.create ()) else None in
+    let _, on =
+      Core.Splitc.run_source ~mode:Core.Splitc.Split ~machine ?tr ?metrics
+        ?ledger e2e_source
+    in
+    let result =
+      Pvvm.Sim.run on.Core.Splitc.sim "saxpy"
+        [ Pvir.Value.i64 64L; Pvir.Value.f32 2.0 ]
+    in
+    ( result,
+      Pvvm.Sim.cycles on.Core.Splitc.sim,
+      Pvvm.Sim.output on.Core.Splitc.sim,
+      Pvir.Account.total on.Core.Splitc.online_work )
+  in
+  let r1, c1, o1, w1 = run_with ~traced:false in
+  let r2, c2, o2, w2 = run_with ~traced:true in
+  (match (r1, r2) with
+  | Some a, Some b ->
+    check bool_t "same result" true (Pvir.Value.equal a b)
+  | None, None -> ()
+  | _ -> Alcotest.fail "result presence differs");
+  check int64_t "same cycles" c1 c2;
+  check string_t "same output" o1 o2;
+  check int_t "same online work" w1 w2
+
+let () =
+  Alcotest.run "pvtrace"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_hist_bucket_edges;
+          Alcotest.test_case "histogram bad bounds" `Quick test_hist_bad_bounds;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "mismatch raises" `Quick test_span_mismatch_raises;
+          Alcotest.test_case "tracks independent" `Quick test_tracks_independent;
+          Alcotest.test_case "with_span" `Quick test_with_span;
+          Alcotest.test_case "virtual clock" `Quick test_virtual_clock;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "record and query" `Quick test_ledger;
+          Alcotest.test_case "ignore_sink discards" `Quick
+            test_ignore_sink_discards;
+          Alcotest.test_case "account to metrics" `Quick test_account_to_metrics;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json valid" `Quick test_chrome_export_valid;
+          Alcotest.test_case "unbalanced rejected" `Quick
+            test_chrome_export_unbalanced;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_validate_rejects_garbage;
+        ] );
+      ( "annotations",
+        [
+          Alcotest.test_case "loop payload valid" `Quick test_loop_payload_valid;
+          Alcotest.test_case "loop payload invalid" `Quick
+            test_loop_payload_invalid;
+          Alcotest.test_case "jit ledger integration" `Quick
+            test_jit_ledger_integration;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "schedule matches makespan" `Quick
+            test_schedule_matches_makespan;
+          Alcotest.test_case "schedule trace valid" `Quick
+            test_schedule_emit_trace_valid;
+          Alcotest.test_case "remap ledger" `Quick test_remap_ledger;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "traced pipeline" `Quick test_e2e_traced_pipeline;
+          Alcotest.test_case "interp metrics reconcile" `Quick
+            test_interp_metrics_reconcile;
+          Alcotest.test_case "tracing off costs nothing" `Quick
+            test_tracing_off_costs_nothing;
+        ] );
+    ]
