@@ -1,0 +1,154 @@
+(* pvfuzz — differential fuzzer for the split-compilation toolchain.
+
+   Generates seeded well-formed PVIR programs, runs each through every
+   execution path (reference interpreter, pre-decoded engine,
+   distribution round-trips, JIT+simulator per machine descriptor) and
+   through every optimization pass in isolation and pipeline order, and
+   reports any observational disagreement.  With --shrink, a failure is
+   reduced to a locally minimal reproducer and dumped as parseable
+   .pvir text.
+
+   Exit codes follow the Splitc taxonomy where a pipeline stage fails
+   for infrastructure reasons; a genuine differential finding exits 1
+   (the fuzzer's own verdict, not a taxonomy error); bad usage exits 2. *)
+
+open Cmdliner
+
+exception Usage of string
+
+let usage fmt = Printf.ksprintf (fun s -> raise (Usage s)) fmt
+
+let split_csv s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+(* --engines: oracle path names; bare machine names are sugar for their
+   jit- path *)
+let resolve_paths = function
+  | "all" -> Pvcheck.Oracle.all_paths
+  | "none" -> []
+  | spec ->
+    List.map
+      (fun name ->
+        if Pvcheck.Oracle.path_known name then name
+        else if Pvcheck.Oracle.path_known ("jit-" ^ name) then "jit-" ^ name
+        else
+          usage "unknown engine %s (known: %s)" name
+            (String.concat ", " Pvcheck.Oracle.all_paths))
+      (split_csv spec)
+
+let resolve_passes = function
+  | "all" -> Pvcheck.Passcheck.all_passes
+  | "none" -> []
+  | spec ->
+    Pvcheck.Passcheck.find_passes
+      (List.map
+         (fun name ->
+           if Pvcheck.Passcheck.pass_known name then name
+           else
+             usage "unknown pass %s (known: %s)" name
+               (String.concat ", "
+                  (List.map
+                     (fun (p : Pvcheck.Passcheck.pass) -> p.Pvcheck.Passcheck.pname)
+                     Pvcheck.Passcheck.all_passes)))
+         (split_csv spec))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let report_finding ~seed ~out (f : Pvcheck.Harness.finding) =
+  Printf.printf "FAIL case %d (gen seed %d): %s/%s\n  %s\n" f.Pvcheck.Harness.case
+    f.Pvcheck.Harness.gen_seed f.Pvcheck.Harness.stage f.Pvcheck.Harness.what
+    f.Pvcheck.Harness.detail;
+  Printf.printf "  replay: pvfuzz --seed %d --count %d  (case %d)\n" seed
+    (f.Pvcheck.Harness.case + 1) f.Pvcheck.Harness.case;
+  let dump name prog =
+    let path = Filename.concat out name in
+    write_file path (Pvcheck.Shrink.to_pvir prog);
+    Printf.printf "  wrote %s (%d instrs)\n" path (Pvcheck.Shrink.size prog)
+  in
+  dump (Printf.sprintf "pvfuzz-case%d.pvir" f.Pvcheck.Harness.case)
+    f.Pvcheck.Harness.prog;
+  Option.iter
+    (fun q ->
+      dump (Printf.sprintf "pvfuzz-case%d.min.pvir" f.Pvcheck.Harness.case) q)
+    f.Pvcheck.Harness.shrunk
+
+let run seed count shrink engines passes out max_findings =
+  match
+    Core.Splitc.guard (fun () ->
+        let paths = resolve_paths engines in
+        let passes = resolve_passes passes in
+        if paths = [] && passes = [] then
+          usage "nothing to check: --engines none and --passes none";
+        let checked = ref 0 in
+        let on_progress = function
+          | Pvcheck.Harness.Case_ok _ -> incr checked
+          | Pvcheck.Harness.Case_failed _ -> incr checked
+        in
+        let findings =
+          Pvcheck.Harness.run ~paths ~passes ~shrink ~max_findings
+            ~on_progress ~seed ~count ()
+        in
+        List.iter (report_finding ~seed ~out) findings;
+        Printf.printf "pvfuzz: %d/%d cases checked, %d finding%s (seed %d)\n"
+          !checked count (List.length findings)
+          (if List.length findings = 1 then "" else "s")
+          seed;
+        findings <> [])
+  with
+  | Ok true -> 1
+  | Ok false -> 0
+  | Error e ->
+    Printf.eprintf "%s\n" (Core.Splitc.error_message e);
+    Core.Splitc.exit_code e
+  | exception Usage m ->
+    Printf.eprintf "usage error: %s\n" m;
+    2
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Seed of the run's splitmix64 stream.")
+
+let count_arg =
+  Arg.(value & opt int 100
+       & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of generated programs.")
+
+let shrink_arg =
+  Arg.(value & flag
+       & info [ "shrink" ]
+           ~doc:"Reduce any failure to a locally minimal reproducer \
+                 (written next to the full one as *.min.pvir).")
+
+let engines_arg =
+  Arg.(value & opt string "all"
+       & info [ "engines" ] ~docv:"LIST"
+           ~doc:"Comma-separated oracle paths to run: interp-tw, interp-th, \
+                 serial, text, jit-MACHINE (or bare machine names), \
+                 $(b,all) or $(b,none).")
+
+let passes_arg =
+  Arg.(value & opt string "all"
+       & info [ "passes" ] ~docv:"LIST"
+           ~doc:"Comma-separated pvopt passes for the per-pass equivalence \
+                 driver, $(b,all) or $(b,none).")
+
+let out_arg =
+  Arg.(value & opt string "."
+       & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Directory for reproducer dumps.")
+
+let max_findings_arg =
+  Arg.(value & opt int 1
+       & info [ "max-findings" ] ~docv:"N"
+           ~doc:"Stop after this many findings (default 1).")
+
+let cmd =
+  let doc = "differential fuzzer: engines, distribution round-trips, passes" in
+  Cmd.v
+    (Cmd.info "pvfuzz" ~doc)
+    Term.(
+      const run $ seed_arg $ count_arg $ shrink_arg $ engines_arg $ passes_arg
+      $ out_arg $ max_findings_arg)
+
+let () = exit (Cmd.eval' cmd)

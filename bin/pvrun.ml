@@ -104,7 +104,7 @@ let emit_schedule tr (target : Pvmach.Machine.t) entry cycles =
 
 let dump_telemetry ~trace_out ~tr ~metrics ~ledger =
   (match (trace_out, tr) with
-  | Some path, Some tr -> Pvtrace.Export.to_file ?ledger tr path
+  | Some path, Some tr -> Pvtrace.Export.to_file ?metrics ?ledger tr path
   | _ -> ());
   (match metrics with
   | Some m -> print_string (Pvtrace.Metrics.dump m)

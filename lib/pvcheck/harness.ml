@@ -1,0 +1,129 @@
+(** Fuzzing harness: generate → differential oracle → per-pass
+    equivalence → (optionally) shrink.
+
+    Case [i] of a run seeded with [seed] draws its generator seed from
+    one splitmix64 stream, so any failing case is replayable from
+    [(seed, i)] alone — and [replay_seed] exposes the mapping so a CLI or
+    a CI log can print the exact one-case reproduction command. *)
+
+open Pvir
+module R = Pvinject.Inject
+
+(** One confirmed disagreement.  [prog] is the generated program as it
+    failed; [shrunk] is its reduction when shrinking was requested. *)
+type finding = {
+  case : int;  (** case index within the run *)
+  gen_seed : int;  (** exact generator seed: replays without the run *)
+  stage : string;  (** oracle path or pass stage that disagreed *)
+  what : string;
+  detail : string;
+  prog : Prog.t;
+  shrunk : Prog.t option;
+}
+
+(** Generator seed of case [case] of a run seeded with [seed]. *)
+let replay_seed ~seed ~case =
+  let r = R.rng seed in
+  let s = ref 0 in
+  for _ = 0 to case do
+    s := Int64.to_int (Int64.logand (R.next_int64 r) 0x3FFFFFFFFFFFFFFFL)
+  done;
+  !s
+
+(** Every failure of one case, as (stage, what, detail) triples. *)
+let check_case ?(paths = Oracle.all_paths) ?(passes = Passcheck.all_passes)
+    ?jit (prog : Prog.t) : (string * string * string) list =
+  let oracle =
+    List.map
+      (fun (m : Oracle.mismatch) -> (m.Oracle.path, m.Oracle.what, m.Oracle.detail))
+      (Oracle.check ~paths prog)
+  in
+  let pass_fs =
+    if passes = [] then []
+    else
+      List.map
+        (fun (f : Passcheck.failure) ->
+          (f.Passcheck.stage, f.Passcheck.what, f.Passcheck.detail))
+        (Passcheck.check ~passes ?jit prog)
+  in
+  oracle @ pass_fs
+
+let prefix ~pre s =
+  String.length s >= String.length pre
+  && String.equal (String.sub s 0 (String.length pre)) pre
+
+let strip_suffix ~suf s =
+  if
+    String.length s > String.length suf
+    && String.equal (String.sub s (String.length s - String.length suf) (String.length suf)) suf
+  then String.sub s 0 (String.length s - String.length suf)
+  else s
+
+(** The cheapest configuration that can still reproduce a failure at
+    [stage]: one oracle path, or one pass in isolation, or the pipeline
+    prefix up to the failing pass.  The predicate runs many times per
+    shrink, so this narrowing is what makes shrinking fast. *)
+let narrow_for_stage ~passes ~stage =
+  if Oracle.path_known stage then ([ stage ], [], false)
+  else if Oracle.path_known (strip_suffix ~suf:"-tw" stage) then
+    ([ strip_suffix ~suf:"-tw" stage ], [], false)
+  else if prefix ~pre:"pipeline:" stage then
+    let pname = String.sub stage 9 (String.length stage - 9) in
+    if pname = "jit-uchost" then ([], passes, true)
+    else
+      (* keep the pipeline prefix: a failure at pass N can depend on the
+         state passes 1..N-1 left behind *)
+      let rec take = function
+        | [] -> []
+        | (p : Passcheck.pass) :: tl ->
+          if p.Passcheck.pname = pname then [ p ] else p :: take tl
+      in
+      ([], take passes, false)
+  else
+    ( [],
+      List.filter (fun (p : Passcheck.pass) -> p.Passcheck.pname = stage) passes,
+      false )
+
+(** Shrink [prog] while it keeps failing with the same [stage]/[what]
+    signature (the detail may drift as the program shrinks). *)
+let shrink_finding ?budget ~passes ~stage ~what (prog : Prog.t) : Prog.t =
+  let paths, passes, jit = narrow_for_stage ~passes ~stage in
+  let pred q =
+    List.exists
+      (fun (s, w, _) -> s = stage && w = what)
+      (check_case ~paths ~passes ~jit q)
+  in
+  if pred prog then Shrink.run ?budget ~pred prog else prog
+
+type progress = Case_ok of int | Case_failed of finding
+
+(** [run ~seed ~count] — fuzz [count] cases.  Stops at [max_findings]
+    (default 1: the first failure is the actionable one).  [on_progress]
+    sees every case, for CLI reporting. *)
+let run ?(paths = Oracle.all_paths) ?(passes = Passcheck.all_passes)
+    ?(shrink = false) ?shrink_budget ?(max_findings = 1)
+    ?(on_progress = fun (_ : progress) -> ()) ~seed ~count () : finding list =
+  let r = R.rng seed in
+  let findings = ref [] in
+  let case = ref 0 in
+  while !case < count && List.length !findings < max_findings do
+    let gen_seed =
+      Int64.to_int (Int64.logand (R.next_int64 r) 0x3FFFFFFFFFFFFFFFL)
+    in
+    let prog = Gen.program ~seed:gen_seed in
+    (match check_case ~paths ~passes prog with
+    | [] -> on_progress (Case_ok !case)
+    | (stage, what, detail) :: _ ->
+      let shrunk =
+        if shrink then
+          Some (shrink_finding ?budget:shrink_budget ~passes ~stage ~what prog)
+        else None
+      in
+      let f =
+        { case = !case; gen_seed; stage; what; detail; prog; shrunk }
+      in
+      findings := !findings @ [ f ];
+      on_progress (Case_failed f));
+    incr case
+  done;
+  !findings

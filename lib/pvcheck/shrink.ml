@@ -1,0 +1,195 @@
+(** Greedy reducer for failing programs.
+
+    Given a predicate that holds on a failing program (e.g. "the oracle
+    still reports a mismatch of this kind"), repeatedly try structural
+    simplifications — drop whole functions, sever branch edges, drop
+    blocks, drop instruction runs, narrow constants, drop globals — and
+    keep any candidate that still {e verifies} and still satisfies the
+    predicate.  Every accepted candidate restarts the scan, so the result
+    is a local minimum: no single remaining simplification preserves the
+    failure.
+
+    The predicate typically re-runs several engines, so evaluations are
+    the cost unit: [budget] caps them and the reducer returns the best
+    program found when it runs out. *)
+
+open Pvir
+
+(** Instruction count, terminators excluded — the "size" a reproducer is
+    judged by. *)
+let size (p : Prog.t) : int =
+  List.fold_left
+    (fun acc (fn : Func.t) ->
+      List.fold_left
+        (fun a (b : Func.block) -> a + List.length b.instrs)
+        acc fn.Func.blocks)
+    0 p.Prog.funcs
+
+(* -- candidate constructors ------------------------------------------ *)
+
+let with_func (p : Prog.t) name (tf : Func.t -> unit) : Prog.t =
+  let q = Prog.copy p in
+  (match Prog.find_func q name with Some fn -> tf fn | None -> ());
+  q
+
+let drop_func (p : Prog.t) name : Prog.t =
+  let q = Prog.copy p in
+  q.Prog.funcs <- List.filter (fun (f : Func.t) -> f.Func.name <> name) q.Prog.funcs;
+  q
+
+let drop_global (p : Prog.t) name : Prog.t =
+  let q = Prog.copy p in
+  q.Prog.globals <-
+    List.filter (fun (g : Prog.global) -> g.Prog.gname <> name) q.Prog.globals;
+  q
+
+let drop_block fname label p =
+  with_func p fname (fun fn ->
+      fn.Func.blocks <-
+        List.filter (fun (b : Func.block) -> b.Func.label <> label) fn.Func.blocks)
+
+(** Replace a conditional branch by one of its arms: severing edges first
+    is what makes whole blocks droppable afterwards. *)
+let sever fname label keep_first p =
+  with_func p fname (fun fn ->
+      List.iter
+        (fun (b : Func.block) ->
+          if b.Func.label = label then
+            match b.Func.term with
+            | Instr.Cbr (_, l1, l2) ->
+              b.Func.term <- Instr.Br (if keep_first then l1 else l2)
+            | _ -> ())
+        fn.Func.blocks)
+
+(** Drop [len] instructions of a block starting at [start]. *)
+let drop_range fname label start len p =
+  with_func p fname (fun fn ->
+      List.iter
+        (fun (b : Func.block) ->
+          if b.Func.label = label then
+            b.Func.instrs <-
+              List.filteri (fun i _ -> i < start || i >= start + len) b.Func.instrs)
+        fn.Func.blocks)
+
+let replace_instr fname label idx ni p =
+  with_func p fname (fun fn ->
+      List.iter
+        (fun (b : Func.block) ->
+          if b.Func.label = label then
+            b.Func.instrs <-
+              List.mapi (fun i old -> if i = idx then ni else old) b.Func.instrs)
+        fn.Func.blocks)
+
+(* -- candidate enumeration ------------------------------------------- *)
+
+let narrowings (v : Value.t) : Value.t list =
+  match v with
+  | Value.Int (s, x) when x <> 0L && x <> 1L ->
+    [ Value.int s 0L; Value.int s 1L; Value.int s (Int64.shift_right x 1) ]
+  | Value.Float (s, x) when x <> 0.0 && x <> 1.0 ->
+    [ Value.float s 0.0; Value.float s 1.0 ]
+  | _ -> []
+
+(** All single-step simplifications of [p], most aggressive first, as
+    thunks so rejected candidates cost nothing to the ones behind them. *)
+let candidate_thunks (p : Prog.t) : (unit -> Prog.t) list =
+  let thunks = ref [] in
+  let add t = thunks := t :: !thunks in
+  (* globals last (cheapest wins, but rarely load-bearing) *)
+  List.iter
+    (fun (g : Prog.global) -> add (fun () -> drop_global p g.Prog.gname))
+    p.Prog.globals;
+  (* per-instruction constant narrowing *)
+  List.iter
+    (fun (fn : Func.t) ->
+      List.iter
+        (fun (b : Func.block) ->
+          List.iteri
+            (fun i instr ->
+              match instr with
+              | Instr.Const (d, v) ->
+                List.iter
+                  (fun v' ->
+                    add (fun () ->
+                        replace_instr fn.Func.name b.Func.label i
+                          (Instr.Const (d, v')) p))
+                  (narrowings v)
+              | _ -> ())
+            b.Func.instrs)
+        fn.Func.blocks)
+    p.Prog.funcs;
+  (* single instructions, then halves (reversed below => halves first) *)
+  List.iter
+    (fun (fn : Func.t) ->
+      List.iter
+        (fun (b : Func.block) ->
+          let n = List.length b.Func.instrs in
+          List.iteri
+            (fun i _ -> add (fun () -> drop_range fn.Func.name b.Func.label i 1 p))
+            b.Func.instrs;
+          if n >= 4 then begin
+            add (fun () -> drop_range fn.Func.name b.Func.label 0 (n / 2) p);
+            add (fun () -> drop_range fn.Func.name b.Func.label (n / 2) (n - (n / 2)) p)
+          end)
+        fn.Func.blocks)
+    p.Prog.funcs;
+  (* sever edges, drop non-entry blocks *)
+  List.iter
+    (fun (fn : Func.t) ->
+      List.iter
+        (fun (b : Func.block) ->
+          match b.Func.term with
+          | Instr.Cbr _ ->
+            add (fun () -> sever fn.Func.name b.Func.label false p);
+            add (fun () -> sever fn.Func.name b.Func.label true p)
+          | _ -> ())
+        fn.Func.blocks;
+      match fn.Func.blocks with
+      | _entry :: rest ->
+        List.iter
+          (fun (b : Func.block) ->
+            add (fun () -> drop_block fn.Func.name b.Func.label p))
+          rest
+      | [] -> ())
+    p.Prog.funcs;
+  (* whole functions first of all *)
+  List.iter
+    (fun (fn : Func.t) ->
+      if fn.Func.name <> "main" then add (fun () -> drop_func p fn.Func.name))
+    p.Prog.funcs;
+  !thunks
+
+(* -- the greedy loop -------------------------------------------------- *)
+
+(** [run ~pred p] — a locally minimal program still verifying and still
+    satisfying [pred].  [pred] must hold on [p] itself. *)
+let run ?(budget = 4000) ~(pred : Prog.t -> bool) (p : Prog.t) : Prog.t =
+  let left = ref budget in
+  let ok q =
+    (* verification is the cheap filter; only then pay for the engines *)
+    match Verify.program_result q with
+    | Error _ -> false
+    | Ok () ->
+      if !left <= 0 then false
+      else begin
+        decr left;
+        pred q
+      end
+  in
+  let rec improve p =
+    if !left <= 0 then p
+    else
+      match
+        List.find_map
+          (fun th ->
+            let q = th () in
+            if ok q then Some q else None)
+          (candidate_thunks p)
+      with
+      | Some q -> improve q
+      | None -> p
+  in
+  improve p
+
+(** Render a reproducer in the parseable textual syntax. *)
+let to_pvir (p : Prog.t) : string = Pp.program_to_string p

@@ -141,6 +141,37 @@ let swap_annotations (p : Prog.t) : Prog.t =
   pairs p.funcs;
   p
 
+(** {1 Scenario driver}
+
+    One seeded byte-fault scenario, classified by which of the pipeline's
+    two nets the mutant hit: the decoder ({!Pvir.Serial.Corrupt}) or the
+    verifier.  A mutant that passes {e both} nets is damage the pipeline
+    chose to tolerate — a graceful degradation, so it is written to the
+    [ledger] ({!Pvtrace.Ledger.Decode_tolerated}) rather than silently
+    absorbed; an operator reading the ledger can tell a clean fleet from
+    one quietly digesting corrupted streams. *)
+
+type byte_outcome =
+  | Rejected_decode of Serial.corruption  (** first net: decoder *)
+  | Rejected_verify of string  (** second net: verifier *)
+  | Tolerated of Prog.t  (** passed both nets; ledger entry *)
+
+let byte_scenario ~(seed : int) ?(ledger : Pvtrace.Ledger.t option) (bc : string)
+    : byte_outcome * byte_fault list =
+  let mutant, faults = mutate_bytes ~seed bc in
+  match Serial.decode_result mutant with
+  | Error c -> (Rejected_decode c, faults)
+  | Ok p -> (
+    match Verify.program_result p with
+    | Ok () ->
+      Pvtrace.Ledger.record_opt ledger Pvtrace.Ledger.Decode_tolerated
+        ~subject:"distribution"
+        ~detail:
+          (Printf.sprintf "seed %d: %s" seed
+             (String.concat "; " (List.map byte_fault_to_string faults)));
+      (Tolerated p, faults)
+    | Error m -> (Rejected_verify m, faults))
+
 type annot_fault = Drop | Corrupt_spill_order | Swap
 
 let annot_fault_to_string = function

@@ -164,7 +164,17 @@ let run ?account (mf : Mir.func) : expansion =
             :: List.init (n - 1) (fun l ->
                    Mir.inst ~dst:d ~srcs:[ d; la.(l + 1) ] (Mir.Mbin bin) sty)
           | _ -> fail "reduce arity")
-        | Mir.Msel | Mir.Mcmp _ -> fail "vector select/compare not legal"
+        | Mir.Msel ->
+          (* the condition is a scalar i32; only the arms have lanes *)
+          let d = dst_lanes () in
+          (match i.Mir.srcs with
+          | [ c; a; b ] ->
+            let la = lanes_of a ~ty:i.Mir.ty
+            and lb = lanes_of b ~ty:i.Mir.ty in
+            List.init n (fun l ->
+                Mir.inst ~dst:d.(l) ~srcs:[ c; la.(l); lb.(l) ] Mir.Msel sty)
+          | _ -> fail "select arity")
+        | Mir.Mcmp _ -> fail "vector compare not legal"
         | Mir.Mframe_addr _ | Mir.Mframe_ld _ | Mir.Mframe_st _ | Mir.Mcall _
           -> fail "unexpected vector-typed instruction")
     in

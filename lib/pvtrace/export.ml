@@ -88,9 +88,44 @@ let metadata_json buf ~tid ~track_name =
        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
        pid tid (escape track_name))
 
-(** Render [tr] (and optionally the degradation [ledger]) as Chrome
-    [trace_event] JSON. *)
-let chrome_json ?ledger (tr : Trace.t) : string =
+(** Histogram counter tracks sit far above every span track (pipeline
+    tracks are single digits, scheduler cores start at
+    {!Trace.track_sched_base}), one tid per histogram. *)
+let counter_track_base = 1000
+
+(** Every histogram of a metrics registry, with its assigned counter
+    tid: [(tid, name, bounds, buckets)], in name order so tids are
+    stable across exports of equal registries. *)
+let histogram_tracks (m : Metrics.t) :
+    (int * string * int64 array * int array) list =
+  let hists =
+    List.filter
+      (fun name ->
+        match Metrics.find m name with
+        | Some (Metrics.Hist _) -> true
+        | _ -> false)
+      (Metrics.names m)
+  in
+  List.mapi
+    (fun i name ->
+      match Metrics.find m name with
+      | Some (Metrics.Hist h) ->
+        ( counter_track_base + i,
+          name,
+          Array.copy h.Metrics.bounds,
+          Array.copy h.Metrics.buckets )
+      | _ -> assert false)
+    hists
+
+let bucket_label bounds i =
+  if i < Array.length bounds then Printf.sprintf "le_%Ld" bounds.(i) else "inf"
+
+(** Render [tr] (and optionally the degradation [ledger] and the
+    histograms of [metrics]) as Chrome [trace_event] JSON.  Each
+    histogram becomes its own counter track ([ph:"C"], one event per
+    bucket, bucket index as the timestamp) so the distribution renders
+    as a bar profile alongside the timeline it was measured on. *)
+let chrome_json ?metrics ?ledger (tr : Trace.t) : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
   let first = ref true in
@@ -108,6 +143,14 @@ let chrome_json ?ledger (tr : Trace.t) : string =
     sep ();
     metadata_json buf ~tid:Trace.track_ledger ~track_name:"degradations"
   | _ -> ());
+  let hist_tracks =
+    match metrics with Some m -> histogram_tracks m | None -> []
+  in
+  List.iter
+    (fun (tid, name, _, _) ->
+      sep ();
+      metadata_json buf ~tid ~track_name:("hist:" ^ name))
+    hist_tracks;
   List.iter
     (fun e ->
       sep ();
@@ -128,14 +171,27 @@ let chrome_json ?ledger (tr : Trace.t) : string =
           None;
         Buffer.add_char buf '}')
       (Ledger.events l));
+  List.iter
+    (fun (tid, name, bounds, buckets) ->
+      Array.iteri
+        (fun i count ->
+          sep ();
+          add_common buf ~name:("hist:" ^ name) ~cat:"metrics" ~ph:"C"
+            ~ts:(Int64.of_int i) ~tid;
+          Buffer.add_string buf
+            (Printf.sprintf ",\"args\":{\"%s\":%d}}"
+               (escape (bucket_label bounds i))
+               count))
+        buckets)
+    hist_tracks;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
-let to_file ?ledger (tr : Trace.t) (path : string) : unit =
+let to_file ?metrics ?ledger (tr : Trace.t) (path : string) : unit =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (chrome_json ?ledger tr))
+    (fun () -> output_string oc (chrome_json ?metrics ?ledger tr))
 
 (* ---------------- span summary (pvsc --timings) ---------------- *)
 

@@ -267,6 +267,63 @@ let test_classify_taxonomy () =
   check bool_t "unknown exceptions are not swallowed" true
     (Core.Splitc.classify Exit = None)
 
+(* ---------------- degradation ledger ---------------- *)
+
+let test_byte_scenarios_fill_ledger () =
+  (* sweep seeded byte-fault scenarios over a real kernel's bytecode: every
+     mutant must hit one of the two nets or be explicitly tolerated, and
+     each tolerated one must leave a Decode_tolerated ledger entry naming
+     its faults — graceful degradation that is recorded, never silent *)
+  let k = List.hd Pvkernels.Kernels.table1 in
+  let bc = Pvir.Serial.encode (offline_prog k) in
+  let ledger = Pvtrace.Ledger.create () in
+  let tolerated = ref 0 and rejected = ref 0 in
+  for seed = 0 to 199 do
+    match fst (Pvinject.Inject.byte_scenario ~seed ~ledger bc) with
+    | Pvinject.Inject.Tolerated p ->
+      incr tolerated;
+      (* tolerated means it passed the verifier too *)
+      check bool_t
+        (Printf.sprintf "tolerated mutant of seed %d verifies" seed)
+        true
+        (Pvir.Verify.program_result p = Ok ())
+    | Pvinject.Inject.Rejected_decode _ | Pvinject.Inject.Rejected_verify _ ->
+      incr rejected
+  done;
+  check bool_t "sweep produced tolerated mutants" true (!tolerated > 0);
+  check bool_t "sweep produced rejected mutants" true (!rejected > 0);
+  check int_t "one ledger entry per tolerated mutant" !tolerated
+    (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Decode_tolerated);
+  check bool_t "entries name their faults" true
+    (List.for_all
+       (fun (e : Pvtrace.Ledger.event) ->
+         e.Pvtrace.Ledger.subject = "distribution"
+         && String.length e.Pvtrace.Ledger.detail > 0)
+       (Pvtrace.Ledger.by_kind ledger Pvtrace.Ledger.Decode_tolerated))
+
+let test_annot_rejects_land_in_ledger () =
+  (* the other ledger kind on the distribution path: corrupted spill-order
+     annotations must be rejected into the ledger by the online JIT *)
+  let k = List.hd Pvkernels.Kernels.table1 in
+  let mutant =
+    Pvinject.Inject.corrupt_spill_order ~seed:7 (offline_prog k)
+  in
+  let ledger = Pvtrace.Ledger.create () in
+  let _ =
+    Core.Splitc.online ~mode:Core.Splitc.Split ~machine:Pvmach.Machine.x86ish
+      ~ledger
+      (Pvir.Serial.encode mutant)
+  in
+  check bool_t "corrupt hints recorded as Annot_reject" true
+    (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Annot_reject > 0);
+  let clean = Pvtrace.Ledger.create () in
+  let _ =
+    Core.Splitc.online ~mode:Core.Splitc.Split ~machine:Pvmach.Machine.x86ish
+      ~ledger:clean
+      (Pvir.Serial.encode (offline_prog k))
+  in
+  check int_t "clean bytecode records nothing" 0 (Pvtrace.Ledger.count clean)
+
 let test_guard_total_on_corrupt_input () =
   match
     Core.Splitc.online_r ~machine:Pvmach.Machine.x86ish "PVIR garbage here"
@@ -305,6 +362,13 @@ let () =
             test_interp_max_fuel_clamp;
           Alcotest.test_case "memory allocation cap" `Quick
             test_memory_alloc_limit;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "byte scenarios fill the ledger" `Quick
+            test_byte_scenarios_fill_ledger;
+          Alcotest.test_case "annot rejects land in the ledger" `Quick
+            test_annot_rejects_land_in_ledger;
         ] );
       ( "taxonomy",
         [

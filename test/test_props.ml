@@ -8,8 +8,44 @@
    random-but-well-formed MiniC programs to feed that property; smaller
    algebraic properties pin down Value/Eval and the serializer. *)
 
+(* Failures are reproducible: every qcheck test in this binary draws from
+   one seed, chosen at random per run (so repeated CI runs explore
+   different inputs) unless PVCHECK_SEED pins it.  The first failing
+   property prints the seed and the replay command. *)
+let qcheck_seed =
+  match Sys.getenv_opt "PVCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg "PVCHECK_SEED must be an integer")
+  | None ->
+    Random.self_init ();
+    Random.int 0x3FFFFFFF
+
+let seed_printed = ref false
+
+let announce_seed name =
+  if not !seed_printed then begin
+    seed_printed := true;
+    Printf.eprintf
+      "\n[qcheck] property %S failed under seed %d — replay with \
+       PVCHECK_SEED=%d dune exec test/test_props.exe\n%!"
+      name qcheck_seed qcheck_seed
+  end
+
 let seeded_test ?(count = 100) name gen prop =
+  let prop x =
+    match prop x with
+    | true -> true
+    | false ->
+      announce_seed name;
+      false
+    | exception e ->
+      announce_seed name;
+      raise e
+  in
   QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
     (QCheck.Test.make ~count ~name gen prop)
 
 (* ---------------- value properties ---------------- *)

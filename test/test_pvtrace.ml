@@ -187,6 +187,36 @@ let test_chrome_export_valid () =
   check bool_t "has traceEvents" true
     (String.length json > 0 && String.sub json 0 15 = "{\"traceEvents\":")
 
+let test_chrome_export_histograms () =
+  (* histograms export as one counter track each: a thread_name metadata
+     event plus one C event per bucket (bucket index as timestamp), all
+     of it passing the same validator CI runs on real traces *)
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.instant_at tr ~ts:0L ~cat:"c" "mark";
+  let m = Pvtrace.Metrics.create () in
+  let bounds = [| 1L; 4L; 16L |] in
+  ignore (Pvtrace.Metrics.histogram m ~bounds "sim.block_visits");
+  List.iter
+    (fun v -> Pvtrace.Metrics.observe m ~bounds "sim.block_visits" v)
+    [ 0L; 1L; 3L; 5L; 100L ];
+  ignore (Pvtrace.Metrics.histogram m ~bounds "jit.span_work");
+  let json = Pvtrace.Export.chrome_json ~metrics:m tr in
+  (match Pvtrace.Export.validate_chrome json with
+  | Ok n ->
+    (* 1 instant + 2 histogram thread_name metadata + 2 * 4 bucket
+       counters (3 bounds + overflow) *)
+    check int_t "event count" 11 n
+  | Error e -> Alcotest.failf "histogram export invalid: %s" e);
+  (* the counter payload carries the bucket labels and counts *)
+  check bool_t "labels present" true
+    (let has needle =
+       let nl = String.length needle and jl = String.length json in
+       let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+       at 0
+     in
+     has "hist:sim.block_visits" && has "\"le_1\":2" && has "\"le_4\":1"
+     && has "\"le_16\":1" && has "\"inf\":1")
+
 let test_chrome_export_unbalanced () =
   let tr = Pvtrace.Trace.create () in
   Pvtrace.Trace.begin_at tr ~ts:0L ~cat:"c" "never closed";
@@ -544,6 +574,8 @@ let () =
       ( "export",
         [
           Alcotest.test_case "chrome json valid" `Quick test_chrome_export_valid;
+          Alcotest.test_case "histogram counter tracks" `Quick
+            test_chrome_export_histograms;
           Alcotest.test_case "unbalanced rejected" `Quick
             test_chrome_export_unbalanced;
           Alcotest.test_case "garbage rejected" `Quick
