@@ -23,7 +23,8 @@ let split_csv s =
   |> List.filter (fun x -> x <> "")
 
 (* --engines: oracle path names; bare machine names are sugar for their
-   jit- path *)
+   jit- path, bare interpreter engine names (th, aot, ...) for their
+   interp- path *)
 let resolve_paths = function
   | "all" -> Pvcheck.Oracle.all_paths
   | "none" -> []
@@ -32,6 +33,8 @@ let resolve_paths = function
       (fun name ->
         if Pvcheck.Oracle.path_known name then name
         else if Pvcheck.Oracle.path_known ("jit-" ^ name) then "jit-" ^ name
+        else if Pvcheck.Oracle.path_known ("interp-" ^ name) then
+          "interp-" ^ name
         else
           usage "unknown engine %s (known: %s)" name
             (String.concat ", " Pvcheck.Oracle.all_paths))

@@ -6,18 +6,11 @@
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let mode_conv =
-  let parse = function
-    | "traditional" -> Ok Core.Splitc.Traditional_deferred
-    | "split" -> Ok Core.Splitc.Split
-    | "pure-online" -> Ok Core.Splitc.Pure_online
-    | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  let parse s =
+    match Core.Cli.mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf m = Format.pp_print_string ppf (Core.Splitc.mode_name m) in
   Arg.conv (parse, print)
@@ -72,17 +65,13 @@ let result_to_string (v : Pvir.Value.t) =
   | Pvir.Value.Float (_, x) -> Printf.sprintf "%g" x
   | v -> Pvir.Value.to_string v
 
-(* Decode-time resource bounds: the defaults, overridden per flag. *)
-let build_limits lanes regs globals annot_depth : Pvir.Serial.limits =
-  let d = Pvir.Serial.default_limits in
-  {
-    Pvir.Serial.max_vec_lanes = Option.value lanes ~default:d.Pvir.Serial.max_vec_lanes;
-    max_regs = Option.value regs ~default:d.Pvir.Serial.max_regs;
-    max_global_elems =
-      Option.value globals ~default:d.Pvir.Serial.max_global_elems;
-    max_annot_depth =
-      Option.value annot_depth ~default:d.Pvir.Serial.max_annot_depth;
-  }
+(* Engine selection is deliberately validated here, not in a cmdliner
+   converter: a bad engine name must be a Splitc usage error (exit 2),
+   with the message listing the valid spellings. *)
+let parse_engine name =
+  match Core.Cli.engine_of_string name with
+  | Ok e -> e
+  | Error msg -> usage "%s" msg
 
 (* The single-device schedule: one core, one kernel — rendered through the
    same exporter the KPN mapper uses, so every pvrun trace carries a
@@ -118,9 +107,9 @@ let dump_telemetry ~trace_out ~tr ~metrics ~ledger =
 (* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
    0 ok, 2 usage, 3 decode, 4 verify, 5 link, 6 jit, 7 trap, 8 resource
    limit, 9 i/o — and never a raw backtrace, whatever the input bytes. *)
-let run input target mode interp entry raw_args trace_out want_metrics lanes
-    regs globals annot_depth =
-  let limits = build_limits lanes regs globals annot_depth in
+let run input target mode interp engine entry raw_args trace_out want_metrics
+    lanes regs globals annot_depth =
+  let limits = Core.Cli.build_limits ?lanes ?regs ?globals ?annot_depth () in
   let tr =
     match trace_out with
     | None -> None
@@ -142,7 +131,8 @@ let run input target mode interp entry raw_args trace_out want_metrics lanes
   in
   match
     Core.Splitc.guard (fun () ->
-        let bc = read_file input in
+        let engine = parse_engine engine in
+        let bc = Core.Cli.read_file input in
         let prog = Pvir.Serial.decode ~limits bc in
         let fn =
           match Pvir.Prog.find_func prog entry with
@@ -154,7 +144,11 @@ let run input target mode interp entry raw_args trace_out want_metrics lanes
           let profile =
             match metrics with Some _ -> Some (Pvvm.Profile.create ()) | None -> None
           in
-          let it = Core.Splitc.interpret ~limits ?profile ?tr bc in
+          let it =
+            Core.Splitc.interpret ~limits
+              ~engine:(Core.Cli.interp_engine engine)
+              ?profile ?tr ?ledger bc
+          in
           let result = Pvvm.Interp.run it entry args in
           print_string (Pvvm.Interp.output it);
           (match result with
@@ -172,8 +166,8 @@ let run input target mode interp entry raw_args trace_out want_metrics lanes
         end
         else begin
           let on =
-            Core.Splitc.online ~mode ~machine:target ~limits ?tr ?metrics
-              ?ledger bc
+            Core.Splitc.online ~mode ~machine:target ~limits
+              ~engine:(Core.Cli.sim_engine engine) ?tr ?metrics ?ledger bc
           in
           let result = Pvvm.Sim.run on.Core.Splitc.sim entry args in
           print_string (Pvvm.Sim.output on.Core.Splitc.sim);
@@ -223,6 +217,16 @@ let mode_arg =
 let interp_arg =
   Arg.(value & flag & info [ "interp" ] ~doc:"Interpret instead of JIT compiling.")
 
+let engine_arg =
+  Arg.(value & opt string "threaded"
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:(Printf.sprintf
+                   "Host execution engine: %s. Simulated cycle counts do \
+                    not depend on it; aot compiles the guest program to \
+                    native code and falls back to threaded when no OCaml \
+                    toolchain is available."
+                   Core.Cli.engine_names))
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -263,8 +267,8 @@ let cmd =
   Cmd.v
     (Cmd.info "pvrun" ~doc)
     Term.(
-      const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ entry_arg
-      $ args_arg $ trace_arg $ metrics_arg $ limit_lanes_arg $ limit_regs_arg
-      $ limit_globals_arg $ limit_annot_depth_arg)
+      const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ engine_arg
+      $ entry_arg $ args_arg $ trace_arg $ metrics_arg $ limit_lanes_arg
+      $ limit_regs_arg $ limit_globals_arg $ limit_annot_depth_arg)
 
 let () = exit (Cmd.eval' cmd)

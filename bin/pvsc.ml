@@ -6,38 +6,21 @@
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
+(* shared CLI plumbing (modes, limits, file reading) lives in Core.Cli *)
 let mode_conv =
-  let parse = function
-    | "traditional" -> Ok Core.Splitc.Traditional_deferred
-    | "split" -> Ok Core.Splitc.Split
-    | "pure-online" -> Ok Core.Splitc.Pure_online
-    | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+  let parse s =
+    match Core.Cli.mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
   in
   let print ppf m = Format.pp_print_string ppf (Core.Splitc.mode_name m) in
   Arg.conv (parse, print)
-
-let build_limits lanes regs globals annot_depth : Pvir.Serial.limits =
-  let d = Pvir.Serial.default_limits in
-  {
-    Pvir.Serial.max_vec_lanes = Option.value lanes ~default:d.Pvir.Serial.max_vec_lanes;
-    max_regs = Option.value regs ~default:d.Pvir.Serial.max_regs;
-    max_global_elems =
-      Option.value globals ~default:d.Pvir.Serial.max_global_elems;
-    max_annot_depth =
-      Option.value annot_depth ~default:d.Pvir.Serial.max_annot_depth;
-  }
 
 (* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
    0 ok, 2 frontend, 4 verify, 5 link, 9 i/o — never a raw backtrace. *)
 let compile inputs output mode emit_text verbose roots timings lanes regs
     globals annot_depth =
-  let limits = build_limits lanes regs globals annot_depth in
+  let limits = Core.Cli.build_limits ?lanes ?regs ?globals ?annot_depth () in
   (* --timings: per-phase spans, with wall time riding along so the table
      can show both virtual work units and host microseconds *)
   let tr = if timings then Some (Pvtrace.Trace.create ~wall:true ()) else None in
@@ -48,7 +31,7 @@ let compile inputs output mode emit_text verbose roots timings lanes regs
         (fun input ->
           Core.Splitc.frontend
             ~name:(Filename.remove_extension (Filename.basename input))
-            ?tr (read_file input))
+            ?tr (Core.Cli.read_file input))
         inputs
     in
     (* several modules: link them at "install time" first *)

@@ -1,0 +1,67 @@
+(** Shared command-line plumbing for the drivers (pvsc, pvrun, pvfuzz,
+    bench).  One engine vocabulary, one mode vocabulary, one set of
+    decode-limit builders — so the tools cannot drift apart on spelling
+    or defaults. *)
+
+(** Host execution engine, as selected on a command line.  One name
+    covers both VMs: the interpreter and the simulator each have a
+    tree-walking reference, a pre-decoded threaded engine, and the AOT
+    native backend. *)
+type engine = Tree_walk | Threaded | Aot
+
+let engine_name = function
+  | Tree_walk -> "tree"
+  | Threaded -> "threaded"
+  | Aot -> "aot"
+
+let all_engines = [ Tree_walk; Threaded; Aot ]
+let engine_names = String.concat ", " (List.map engine_name all_engines)
+
+(** [engine_of_string s] — [Error] carries a usage message listing the
+    valid spellings. *)
+let engine_of_string = function
+  | "tree" | "tree-walk" -> Ok Tree_walk
+  | "threaded" -> Ok Threaded
+  | "aot" -> Ok Aot
+  | s ->
+    Error
+      (Printf.sprintf "unknown engine %s (valid engines: %s)" s engine_names)
+
+let interp_engine = function
+  | Tree_walk -> Pvvm.Interp.Tree_walk
+  | Threaded -> Pvvm.Interp.Threaded
+  | Aot -> Pvvm.Interp.Aot
+
+let sim_engine = function
+  | Tree_walk -> Pvvm.Sim.Tree_walk
+  | Threaded -> Pvvm.Sim.Threaded
+  | Aot -> Pvvm.Sim.Aot
+
+(** [mode_of_string s] — same contract as {!engine_of_string}. *)
+let mode_of_string = function
+  | "traditional" -> Ok Splitc.Traditional_deferred
+  | "split" -> Ok Splitc.Split
+  | "pure-online" -> Ok Splitc.Pure_online
+  | s ->
+    Error
+      (Printf.sprintf "unknown mode %s (valid modes: traditional, split, \
+                       pure-online)" s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Decode-time resource bounds: the defaults, overridden per flag. *)
+let build_limits ?lanes ?regs ?globals ?annot_depth () : Pvir.Serial.limits =
+  let d = Pvir.Serial.default_limits in
+  {
+    Pvir.Serial.max_vec_lanes =
+      Option.value lanes ~default:d.Pvir.Serial.max_vec_lanes;
+    max_regs = Option.value regs ~default:d.Pvir.Serial.max_regs;
+    max_global_elems =
+      Option.value globals ~default:d.Pvir.Serial.max_global_elems;
+    max_annot_depth =
+      Option.value annot_depth ~default:d.Pvir.Serial.max_annot_depth;
+  }

@@ -141,6 +141,7 @@ let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
     span ~tid:Pvtrace.Trace.track_jit "jit" (fun () ->
         Pvjit.Jit.compile_program ~account ?tr ?ledger ~machine ~hints img)
   in
+  if engine = Pvvm.Sim.Aot then Pvaot.install ?ledger ();
   sim.Pvvm.Sim.engine <- engine;
   Pvvm.Sim.set_trace sim tr;
   Option.iter
@@ -155,13 +156,14 @@ let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
     carries [tr] and [profile], so its runs appear on the VM track and
     feed the instruction-mix metrics. *)
 let interpret ?(mem_size = 1 lsl 20) ?alloc_limit
-    ?(engine = Pvvm.Interp.Threaded) ?limits ?profile ?tr (bytecode : string) :
-    Pvvm.Interp.t =
+    ?(engine = Pvvm.Interp.Threaded) ?limits ?profile ?tr ?ledger
+    (bytecode : string) : Pvvm.Interp.t =
   let p =
     Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_distribute
       ~cat:"online" "decode"
       (fun () -> Pvir.Serial.decode ?limits bytecode)
   in
+  if engine = Pvvm.Interp.Aot then Pvaot.install ?ledger ();
   let img = Pvvm.Image.load ~mem_size ?alloc_limit p in
   Pvvm.Interp.create ~engine ?profile ?tr img
 
@@ -262,9 +264,11 @@ let online_r ?mode ~machine ?mem_size ?alloc_limit ?engine ?limits ?tr
       online ?mode ~machine ?mem_size ?alloc_limit ?engine ?limits ?tr
         ?metrics ?ledger bytecode)
 
-let interpret_r ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr bytecode =
+let interpret_r ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr ?ledger
+    bytecode =
   guard (fun () ->
-      interpret ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr bytecode)
+      interpret ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr ?ledger
+        bytecode)
 
 let run_source_r ?mode ~machine ?mem_size ?engine ?limits ?tr ?metrics ?ledger
     src =

@@ -86,7 +86,9 @@ val online :
 
 (** Interpret the bytecode instead of JIT-compiling it.  [engine] selects
     the interpreter's host execution engine (default [Threaded]; cycle
-    counts do not depend on it); [limits] bounds the untrusted decode.
+    counts do not depend on it — [Aot] installs the native backend and
+    degrades to [Threaded] when the toolchain is unavailable, recording
+    the degradation in [ledger]); [limits] bounds the untrusted decode.
     The returned interpreter carries [tr] and [profile], so its runs
     appear on the VM track and feed the instruction-mix metrics. *)
 val interpret :
@@ -96,6 +98,7 @@ val interpret :
   ?limits:Pvir.Serial.limits ->
   ?profile:Pvvm.Profile.t ->
   ?tr:Pvtrace.Trace.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   string ->
   Pvvm.Interp.t
 
@@ -180,6 +183,7 @@ val interpret_r :
   ?limits:Pvir.Serial.limits ->
   ?profile:Pvvm.Profile.t ->
   ?tr:Pvtrace.Trace.t ->
+  ?ledger:Pvtrace.Ledger.t ->
   string ->
   (Pvvm.Interp.t, error) result
 

@@ -1,0 +1,279 @@
+(** Out-of-process plugin builds for the AOT backend.
+
+    The generated source (see {!Interp_gen}/{!Sim_gen}) references host
+    library modules ([Pvir.Value], [Pvvm.Aotabi], ...) directly, so the
+    only thing a plugin compile needs beyond a working compiler is the
+    [.cmi] files of those libraries.  We find them by walking up from the
+    running executable (and the cwd) to dune's [_build/default] tree —
+    the plugin is compiled against the *same* build tree that produced
+    the host, which keeps interface CRCs consistent by construction.
+
+    Everything here is probed exactly once per process, through a lazy
+    canary that generates, compiles and loads a trivial plugin end to
+    end.  If any step fails the backend reports itself unavailable and
+    engines degrade to the threaded interpreter; correctness never
+    depends on the toolchain working. *)
+
+(* Bumping this invalidates every cached artifact: it participates in the
+   source digest alongside the compiler version. *)
+let codegen_version = 5
+
+type toolchain = {
+  native : bool;  (** true: ocamlopt -shared -> .cmxs; false: ocamlc -> .cmo *)
+  compiler : string;  (** command prefix, e.g. ["ocamlfind ocamlopt"] *)
+  incdirs : string list;  (** -I dirs holding the host libraries' .cmi *)
+}
+
+(* Tests force degradation through this knob; it wins over the probe. *)
+let forced_unavailable : string option ref = ref None
+let set_forced_unavailable r = forced_unavailable := r
+
+(* ------------------------------------------------------------------ *)
+(* Cache directory                                                     *)
+
+let cache_override : string option ref = ref None
+let set_cache_dir d = cache_override := d
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let cache_dir () =
+  let dir =
+    match !cache_override with
+    | Some d -> d
+    | None -> (
+      match Sys.getenv_opt "PVAOT_CACHE" with
+      | Some d -> d
+      | None ->
+        (* Under dune (tests, benches) never litter the workspace. *)
+        if Sys.getenv_opt "INSIDE_DUNE" <> None then
+          Filename.concat (Filename.get_temp_dir_name ()) "pvaot-cache"
+        else "_pvaot-cache")
+  in
+  mkdir_p dir;
+  dir
+
+(* ------------------------------------------------------------------ *)
+(* Toolchain discovery                                                 *)
+
+let command_ok cmd =
+  (* Existence + runnability probe; all output squelched. *)
+  Sys.command (cmd ^ " -version >/dev/null 2>/dev/null") = 0
+
+let find_compiler () =
+  let candidates =
+    if Dynlink.is_native then
+      [ "ocamlfind ocamlopt"; "ocamlopt.opt"; "ocamlopt" ]
+    else [ "ocamlfind ocamlc"; "ocamlc.opt"; "ocamlc" ]
+  in
+  List.find_opt command_ok candidates
+
+(* The host libraries whose interfaces generated code refers to. *)
+let needed_libs = [ "pvir"; "pvmach"; "pvvm"; "pvtrace" ]
+
+let objs_dir root lib =
+  List.fold_left Filename.concat root
+    [ "lib"; lib; Printf.sprintf ".%s.objs" lib; "byte" ]
+
+let looks_like_build_root d = Sys.file_exists (objs_dir d "pvvm")
+
+let rec ancestors d acc =
+  let parent = Filename.dirname d in
+  if String.equal parent d then List.rev (d :: acc)
+  else ancestors parent (d :: acc)
+
+(** Locate dune's [_build/default] holding our .cmi files.  Checked from
+    the executable's directory first (tests and binaries live inside the
+    build tree), then from the cwd (covers [dune exec] from the root). *)
+let find_build_root () =
+  let starts =
+    [ Filename.dirname Sys.executable_name; Sys.getcwd () ]
+  in
+  let candidates =
+    List.concat_map
+      (fun s ->
+        List.concat_map
+          (fun d -> [ d; Filename.concat d (Filename.concat "_build" "default") ])
+          (ancestors s []))
+      starts
+  in
+  List.find_opt looks_like_build_root candidates
+
+(* ------------------------------------------------------------------ *)
+(* Compiling and loading                                               *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let artifact_ext tc = if tc.native then ".cmxs" else ".cmo"
+
+(** Compile [src_path] to [out_path].  Returns [Error diagnostics] with
+    the compiler's stderr on failure. *)
+let compile tc ~src_path ~out_path =
+  let err_path = out_path ^ ".err" in
+  let incs =
+    String.concat " "
+      (List.map (fun d -> "-I " ^ Filename.quote d) tc.incdirs)
+  in
+  let cmd =
+    if tc.native then
+      Printf.sprintf "%s -shared -w -a %s -o %s %s 2>%s" tc.compiler incs
+        (Filename.quote out_path) (Filename.quote src_path)
+        (Filename.quote err_path)
+    else
+      (* No [-o]: ocamlc derives the unit name from the output file, and
+         the unit name must stay [Pvaot_<digest>].  The .cmo lands next
+         to the source with the source's basename. *)
+      Printf.sprintf "%s -c -w -a %s %s 2>%s" tc.compiler incs
+        (Filename.quote src_path) (Filename.quote err_path)
+  in
+  let rc = Sys.command cmd in
+  let diag = try read_file err_path with Sys_error _ -> "" in
+  (try Sys.remove err_path with Sys_error _ -> ());
+  if (not tc.native) && rc = 0 then begin
+    let produced = Filename.chop_extension src_path ^ ".cmo" in
+    if Sys.file_exists produced && not (String.equal produced out_path) then
+      Sys.rename produced out_path
+  end;
+  if rc = 0 && Sys.file_exists out_path then Ok ()
+  else
+    Error
+      (Printf.sprintf "compiler exited %d: %s" rc
+         (String.trim diag))
+
+(** Load a plugin artifact and claim the entries it registered.
+
+    The artifact is copied to a fresh unique path first: the native
+    loader dlopens by path and re-loading an already-seen path would
+    *not* re-run the module initializer, so [take_pending] would come up
+    empty.  A fresh path per load also lets one process load the same
+    cached artifact repeatedly (the cache-correctness test does). *)
+let load_artifact ~digest ~ext path =
+  let tmp = Filename.temp_file "pvaot_load_" ext in
+  write_file tmp (read_file path);
+  let result =
+    match Dynlink.loadfile_private tmp with
+    | () -> (
+      match Pvvm.Aotabi.take_pending digest with
+      | Some entries -> Ok entries
+      | None -> Error "plugin loaded but registered no entries")
+    | exception Dynlink.Error e -> Error (Dynlink.error_message e)
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Canary probe                                                        *)
+
+let canary_digest = "pvaot-canary"
+
+let canary_source =
+  String.concat "\n"
+    [
+      "let __pvaot_canary (ctx : Pvvm.Aotabi.ctx) (_ : Pvir.Value.t list) =";
+      "  ctx.Pvvm.Aotabi.cycles <- ctx.Pvvm.Aotabi.cycles + 1;";
+      "  Some (Pvir.Value.i64 42L)";
+      "let () = Pvvm.Aotabi.register \"" ^ canary_digest
+      ^ "\" [ (\"canary\", __pvaot_canary) ]";
+      "";
+    ]
+
+let run_canary tc =
+  let dir = cache_dir () in
+  let src = Filename.concat dir "pvaot_canary.ml" in
+  let out = Filename.concat dir ("pvaot_canary" ^ artifact_ext tc) in
+  write_file src canary_source;
+  match compile tc ~src_path:src ~out_path:out with
+  | Error e -> Error ("canary compile failed: " ^ e)
+  | Ok () -> (
+    match load_artifact ~digest:canary_digest ~ext:(artifact_ext tc) out with
+    | Error e -> Error ("canary load failed: " ^ e)
+    | Ok entries -> (
+      match List.assoc_opt "canary" entries with
+      | None -> Error "canary registered the wrong entries"
+      | Some _ -> Ok ()))
+
+let probe_once =
+  lazy
+    (match find_compiler () with
+    | None -> Error "no usable OCaml compiler found on PATH"
+    | Some compiler -> (
+      match find_build_root () with
+      | None ->
+        Error "could not locate the dune build tree (_build/default)"
+      | Some root ->
+        let incdirs = List.map (objs_dir root) needed_libs in
+        let missing = List.filter (fun d -> not (Sys.file_exists d)) incdirs in
+        if missing <> [] then
+          Error ("missing interface dirs: " ^ String.concat ", " missing)
+        else
+          let tc = { native = Dynlink.is_native; compiler; incdirs } in
+          (match run_canary tc with
+          | Ok () -> Ok tc
+          | Error e -> Error e)))
+
+let toolchain () =
+  match !forced_unavailable with
+  | Some reason -> Error reason
+  | None -> Lazy.force probe_once
+
+let available () = match toolchain () with Ok _ -> true | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Digest-keyed cache                                                  *)
+
+(** Digest of a canonical program dump: compiler + codegen version fold
+    in so artifacts never survive either changing. *)
+let digest_of_dump dump =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ Sys.ocaml_version; string_of_int codegen_version; dump ]))
+
+type origin = Fresh_compile | Disk_cache
+
+let origin_name = function
+  | Fresh_compile -> "compiled"
+  | Disk_cache -> "disk-cache"
+
+(** Ensure [digest]'s artifact exists on disk, compiling [source ()] if
+    the cache misses.  Returns the artifact path and where it came from.
+    Writes are atomic (temp + rename) so concurrent test processes
+    sharing a cache directory cannot observe torn files. *)
+let ensure_artifact ~digest ~(source : unit -> string) :
+    (string * origin, string) result =
+  match toolchain () with
+  | Error e -> Error e
+  | Ok tc ->
+    let dir = cache_dir () in
+    let ext = artifact_ext tc in
+    let base = "pvaot_" ^ digest in
+    let artifact = Filename.concat dir (base ^ ext) in
+    if Sys.file_exists artifact then Ok (artifact, Disk_cache)
+    else
+      let src_path = Filename.concat dir (base ^ ".ml") in
+      write_file src_path (source ());
+      let tmp_out = Filename.concat dir (base ^ ".tmp" ^ ext) in
+      (match compile tc ~src_path:src_path ~out_path:tmp_out with
+      | Error e -> Error e
+      | Ok () ->
+        (try Sys.rename tmp_out artifact
+         with Sys_error e -> if not (Sys.file_exists artifact) then failwith e);
+        Ok (artifact, Fresh_compile))
+
+(** Load a cached/compiled plugin artifact and claim its entries. *)
+let load_plugin ~digest path =
+  load_artifact ~digest ~ext:(Filename.extension path) path

@@ -151,7 +151,7 @@ let compare_obs ~path (reference : obs) (obs : obs) : mismatch list =
 (* -- the path matrix -------------------------------------------------- *)
 
 let all_paths : string list =
-  [ "interp-tw"; "interp-th"; "serial"; "text" ]
+  [ "interp-tw"; "interp-th"; "interp-aot"; "serial"; "text" ]
   @ List.map
       (fun (m : Pvmach.Machine.t) -> "jit-" ^ m.Pvmach.Machine.name)
       Pvmach.Machine.all
@@ -186,6 +186,40 @@ let check ?(paths = all_paths) (prog : Prog.t) : mismatch list =
                 "tree-walk %Ld cycles/%Ld instrs/%d calls vs threaded %Ld/%Ld/%d"
                 reference.icycles reference.iinstrs reference.icalls th.icycles
                 th.iinstrs th.icalls;
+          };
+        ]
+  end;
+  (* AOT-compiled interpreter: same observation, and bit-identical
+     accounting on every outcome except fuel exhaustion.  Block-batched
+     charging means the counter values observed *inside* a fuel trap may
+     differ from the per-instruction engines (the trap itself, its
+     message, and everything observable still match — see DESIGN.md
+     §10). *)
+  if want "interp-aot" then begin
+    Pvaot.install ();
+    let aot = run_interp prog Pvvm.Interp.Aot in
+    add (compare_obs ~path:"interp-aot" reference.iobs aot.iobs);
+    let fuel_out =
+      match reference.iobs.outcome with
+      | Trapped m -> String.equal m Pvvm.Interp.fuel_exhausted_msg
+      | Finished _ -> false
+    in
+    if
+      (not fuel_out)
+      && (reference.icycles <> aot.icycles
+         || reference.iinstrs <> aot.iinstrs
+         || reference.icalls <> aot.icalls)
+    then
+      add
+        [
+          {
+            path = "interp-aot";
+            what = "accounting";
+            detail =
+              Printf.sprintf
+                "tree-walk %Ld cycles/%Ld instrs/%d calls vs aot %Ld/%Ld/%d"
+                reference.icycles reference.iinstrs reference.icalls
+                aot.icycles aot.iinstrs aot.icalls;
           };
         ]
   end;
@@ -226,6 +260,29 @@ let check ?(paths = all_paths) (prog : Prog.t) : mismatch list =
         add (compare_obs ~path reference.iobs th.jobs);
         let tw = run_jit prog m hints Pvvm.Sim.Tree_walk in
         add (compare_obs ~path:(path ^ "-tw") reference.iobs tw.jobs);
+        (* the AOT sim engine charges per instruction, so its accounting
+           is compared unconditionally (fuel outcomes included) *)
+        Pvaot.install ();
+        let ao = run_jit prog m hints Pvvm.Sim.Aot in
+        add (compare_obs ~path:(path ^ "-aot") reference.iobs ao.jobs);
+        if
+          th.jcycles <> ao.jcycles
+          || th.jinstrs <> ao.jinstrs
+          || th.jspill_ops <> ao.jspill_ops
+        then
+          add
+            [
+              {
+                path = path ^ "-aot";
+                what = "accounting";
+                detail =
+                  Printf.sprintf
+                    "threaded %Ld cycles/%Ld instrs/%Ld spills vs aot \
+                     %Ld/%Ld/%Ld"
+                    th.jcycles th.jinstrs th.jspill_ops ao.jcycles ao.jinstrs
+                    ao.jspill_ops;
+              };
+            ];
         if
           th.jcycles <> tw.jcycles
           || th.jinstrs <> tw.jinstrs

@@ -16,6 +16,8 @@ type kind =
   | Decode_tolerated  (** damaged-but-recoverable distribution input *)
   | Accel_remap  (** process moved off a failed accelerator *)
   | Limit_hit  (** a resource budget clipped work (fuel, allocation) *)
+  | Aot_unavailable
+      (** AOT backend could not compile or load; ran threaded instead *)
   | Other of string
 
 let kind_name = function
@@ -23,6 +25,7 @@ let kind_name = function
   | Decode_tolerated -> "decode-tolerated"
   | Accel_remap -> "accel-remap"
   | Limit_hit -> "limit-hit"
+  | Aot_unavailable -> "aot-unavailable"
   | Other s -> s
 
 type event = {

@@ -1,0 +1,60 @@
+(** ABI between the VM and AOT-compiled plugins (see [lib/pvaot]).
+
+    The AOT backend translates a verified PVIR program (or the JIT's
+    lowered MIR) into OCaml source, compiles it out of process and
+    [Dynlink]s the result.  The generated code cannot touch [Interp.t] or
+    [Sim.t] directly — that would chase mutable boxed [int64] counters on
+    every instruction and tie the plugin to engine internals — so it runs
+    against this small, stable context record instead:
+
+    - counters are plain unboxed [int]s holding *absolute* values, seeded
+      from the engine's [stats] exactly like the threaded engine's [ectx]
+      and flushed back when the activation ends (normally or by
+      exception);
+    - [fuel] is pre-clamped to [max_int] the same way [ectx_of] clamps
+      it, and exhaustion raises the pre-built [fuel_exn] so the plugin
+      never needs to know the host's exception constructor;
+    - [trap] wraps a message into the host engine's trap exception
+      ([Interp.Trap] or [Sim.Trap], depending on who built the context);
+    - [intr] is the host's intrinsic dispatcher (it owns the output
+      buffer and the exact trap messages for abort/unknown intrinsics).
+
+    Loaded plugins hand their compiled functions back through the
+    {!register}/{!take_pending} pair: [Dynlink.loadfile_private] gives us
+    no module handle, so the plugin's initializer pushes its entry table
+    here, keyed by the digest baked into its generated source, and the
+    loader pops it immediately after the load returns. *)
+
+type ctx = {
+  mem : Memory.t;
+  globals_end : int;  (** stack red zone: sp below this is an overflow *)
+  mutable sp : int;
+  mutable cycles : int;
+  mutable instrs : int;
+  mutable spills : int;  (** simulator only; interpreter contexts keep 0 *)
+  mutable calls : int;  (** interpreter only; simulator contexts keep 0 *)
+  fuel : int;
+  trap : string -> exn;
+  fuel_exn : exn;
+  intr : string -> Pvir.Value.t list -> Pvir.Value.t option;
+}
+
+(** One compiled function: same shape as an engine call. *)
+type entry = ctx -> Pvir.Value.t list -> Pvir.Value.t option
+
+let pending : (string * (string * entry) list) list ref = ref []
+
+(** Called by a plugin's module initializer: publish the unit's functions
+    under its source digest. *)
+let register digest (entries : (string * entry) list) =
+  pending := (digest, entries) :: !pending
+
+(** Called by the loader right after [Dynlink.loadfile_private]: claim the
+    entry table the plugin just registered.  [None] means the plugin did
+    not initialize (load failure surfaced elsewhere). *)
+let take_pending digest =
+  match List.assoc_opt digest !pending with
+  | Some entries ->
+    pending := List.remove_assoc digest !pending;
+    Some entries
+  | None -> None

@@ -33,9 +33,12 @@ exception Trap of string
     error. *)
 let fuel_exhausted_msg = "interpreter fuel exhausted (infinite loop?)"
 
-type engine = Tree_walk | Threaded
+type engine = Tree_walk | Threaded | Aot
 
-let engine_name = function Tree_walk -> "tree-walk" | Threaded -> "threaded"
+let engine_name = function
+  | Tree_walk -> "tree-walk"
+  | Threaded -> "threaded"
+  | Aot -> "aot"
 
 type stats = {
   mutable cycles : int64;
@@ -490,15 +493,30 @@ and dexec_seed t ec frame (i : Pvir.Instr.t) : unit =
 
 (* ---------------- public entry points ---------------- *)
 
+let threaded_call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
+  let ec = ectx_of t in
+  Fun.protect
+    ~finally:(fun () -> flush_ectx t ec)
+    (fun () -> dcall t ec (decoded t fn) args)
+
+(** Inversion point for the AOT backend (lib/pvaot): [Pvaot.install]
+    replaces this hook with a runner that looks up (or builds) compiled
+    code for the image and falls back to {!threaded_call} whenever the
+    program, the arguments or the host toolchain are outside what the
+    code generator supports.  The default is the threaded engine itself,
+    so selecting [Aot] without the backend installed degrades silently to
+    identical observable behaviour. *)
+let aot_hook : (t -> Pvir.Func.t -> Pvir.Value.t list -> Pvir.Value.t option) ref
+    =
+  ref (fun t fn args -> threaded_call t fn args)
+
 let call_untraced t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
     Pvir.Value.t option =
   match t.engine with
   | Tree_walk -> tw_call t fn args
-  | Threaded ->
-    let ec = ectx_of t in
-    Fun.protect
-      ~finally:(fun () -> flush_ectx t ec)
-      (fun () -> dcall t ec (decoded t fn) args)
+  | Threaded -> threaded_call t fn args
+  | Aot -> !aot_hook t fn args
 
 (** Call [fn] with [args] under the configured engine.  With a trace sink
     attached, the whole activation becomes a span on the VM track whose

@@ -34,9 +34,12 @@ let fuel_exhausted_msg = "simulation fuel exhausted (infinite loop?)"
 
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
-type engine = Tree_walk | Threaded
+type engine = Tree_walk | Threaded | Aot
 
-let engine_name = function Tree_walk -> "tree-walk" | Threaded -> "threaded"
+let engine_name = function
+  | Tree_walk -> "tree-walk"
+  | Threaded -> "threaded"
+  | Aot -> "aot"
 
 type stats = {
   mutable cycles : int64;
@@ -588,20 +591,32 @@ and sexec_seed t ec frame (i : Mir.inst) : unit =
 
 (* ---------------- public entry points ---------------- *)
 
+let threaded_call t (fn : Mir.func) (args : Pvir.Value.t list) :
+    Pvir.Value.t option =
+  let df =
+    match Hashtbl.find_opt t.code fn.Mir.mname with
+    | Some ce when ce.cfn == fn -> decoded t ce
+    | _ -> Mdecode.func ~machine:t.machine fn
+  in
+  let ec = ectx_of t in
+  Fun.protect
+    ~finally:(fun () -> flush_ectx t ec)
+    (fun () -> scall t ec df args)
+
+(** Inversion point for the AOT backend (lib/pvaot): [Pvaot.install]
+    replaces this hook with a runner that compiles the code cache to a
+    native plugin and falls back to {!threaded_call} when that is not
+    possible.  Default: the threaded engine itself, so [Aot] without the
+    backend installed degrades silently to identical behaviour. *)
+let aot_hook : (t -> Mir.func -> Pvir.Value.t list -> Pvir.Value.t option) ref =
+  ref (fun t fn args -> threaded_call t fn args)
+
 let call_untraced t (fn : Mir.func) (args : Pvir.Value.t list) :
     Pvir.Value.t option =
   match t.engine with
   | Tree_walk -> tw_call t fn args
-  | Threaded ->
-    let df =
-      match Hashtbl.find_opt t.code fn.Mir.mname with
-      | Some ce when ce.cfn == fn -> decoded t ce
-      | _ -> Mdecode.func ~machine:t.machine fn
-    in
-    let ec = ectx_of t in
-    Fun.protect
-      ~finally:(fun () -> flush_ectx t ec)
-      (fun () -> scall t ec df args)
+  | Threaded -> threaded_call t fn args
+  | Aot -> !aot_hook t fn args
 
 (* one span per top-level activation on the VM track, timestamped by the
    simulator's own cycle counter (the deterministic virtual clock) *)
@@ -642,7 +657,8 @@ let run t name args =
           let ec = ectx_of t in
           Fun.protect
             ~finally:(fun () -> flush_ectx t ec)
-            (fun () -> scall t ec (decoded t ce) args))
+            (fun () -> scall t ec (decoded t ce) args)
+        | Aot -> !aot_hook t ce.cfn args)
       | None -> trap "no compiled code for %s" name)
 
 (** Absorb this simulator's counters into a metrics registry:

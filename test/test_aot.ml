@@ -1,0 +1,292 @@
+(* Tier-1 tests for the AOT native backend (lib/pvaot).
+
+   The AOT engine must be *invisible* relative to the threaded
+   interpreter: same results, same printed output, same final global
+   memory, and bit-identical cycle/instruction/call accounting — on the
+   Table-1 kernels and on a pinned corpus of randomly generated verified
+   programs.  The compiled-code cache must be equally invisible: loading
+   a cached artifact behaves exactly like a fresh compile.  And when the
+   toolchain is unavailable the engine must degrade to threaded
+   execution, recording the degradation in the ledger rather than
+   erroring. *)
+
+open Pvkernels
+
+let () = Pvaot.install ()
+
+(* ---------------- direct interpreter runs ---------------- *)
+
+type run = {
+  obs : Harness.observation;
+  cycles : int64;
+  instrs : int64;
+  calls : int;
+}
+
+let run_kernel ?(n = 256) (engine : Pvvm.Interp.engine) (k : Kernels.t) : run =
+  let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  let img = Pvvm.Image.load p in
+  Harness.fill_inputs img;
+  let it = Pvvm.Interp.create ~engine img in
+  let result = Pvvm.Interp.run it k.Kernels.entry (Harness.args k n) in
+  let st = it.Pvvm.Interp.stats in
+  {
+    obs =
+      {
+        Harness.result;
+        globals = Harness.observe_globals img;
+        printed = Pvvm.Interp.output it;
+      };
+    cycles = st.Pvvm.Interp.cycles;
+    instrs = st.Pvvm.Interp.instrs;
+    calls = st.Pvvm.Interp.calls;
+  }
+
+let check_run_equal name (th : run) (aot : run) =
+  Alcotest.(check bool)
+    (name ^ ": observation (result/output/globals)")
+    true
+    (Harness.observation_equal th.obs aot.obs);
+  Alcotest.(check int64) (name ^ ": cycles") th.cycles aot.cycles;
+  Alcotest.(check int64) (name ^ ": instrs") th.instrs aot.instrs;
+  Alcotest.(check int) (name ^ ": calls") th.calls aot.calls
+
+(* The backend must actually be live in this environment: these tests
+   pin the compiled path, not the fallback. *)
+let test_available () =
+  match Pvaot.unavailable_reason () with
+  | None -> ()
+  | Some r -> Alcotest.failf "AOT backend unavailable: %s" r
+
+(* Compiled code must really be used for a kernel image (no silent
+   fallback-to-threaded making the equality tests vacuous). *)
+let test_compiles_kernels () =
+  let k = List.hd Kernels.table1 in
+  let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  let img = Pvvm.Image.load p in
+  let it = Pvvm.Interp.create ~engine:Pvvm.Interp.Aot img in
+  match Pvaot.interp_status it with
+  | Ok (_digest, _origin) -> ()
+  | Error r -> Alcotest.failf "kernel %s fell back: %s" k.Kernels.name r
+
+let test_table1_kernel (k : Kernels.t) () =
+  let th = run_kernel Pvvm.Interp.Threaded k in
+  let aot = run_kernel Pvvm.Interp.Aot k in
+  check_run_equal k.Kernels.name th aot
+
+(* ---------------- pinned random-program corpus ---------------- *)
+
+let is_fuel_outcome = function
+  | Pvcheck.Oracle.Trapped m -> String.equal m Pvvm.Interp.fuel_exhausted_msg
+  | _ -> false
+
+let test_corpus_seed seed () =
+  let prog = Pvcheck.Gen.program ~seed in
+  let th = Pvcheck.Oracle.run_interp prog Pvvm.Interp.Threaded in
+  let aot = Pvcheck.Oracle.run_interp prog Pvvm.Interp.Aot in
+  let ms =
+    Pvcheck.Oracle.compare_obs ~path:"interp-aot" th.Pvcheck.Oracle.iobs
+      aot.Pvcheck.Oracle.iobs
+  in
+  (match ms with
+  | [] -> ()
+  | m :: _ ->
+    Alcotest.failf "seed %d: %s mismatch: %s" seed m.Pvcheck.Oracle.what
+      m.Pvcheck.Oracle.detail);
+  (* Accounting is bit-identical except when fuel ran out: block-batched
+     charging only diverges in the counter values observed *inside* a
+     fuel trap (DESIGN.md section 10). *)
+  if not (is_fuel_outcome th.Pvcheck.Oracle.iobs.Pvcheck.Oracle.outcome) then begin
+    Alcotest.(check int64)
+      (Printf.sprintf "seed %d: cycles" seed)
+      th.Pvcheck.Oracle.icycles aot.Pvcheck.Oracle.icycles;
+    Alcotest.(check int64)
+      (Printf.sprintf "seed %d: instrs" seed)
+      th.Pvcheck.Oracle.iinstrs aot.Pvcheck.Oracle.iinstrs;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: calls" seed)
+      th.Pvcheck.Oracle.icalls aot.Pvcheck.Oracle.icalls
+  end
+
+(* ---------------- simulator engine (JIT-lowered MIR) ---------------- *)
+
+(* The simulator backend charges per instruction, so its accounting is
+   compared unconditionally — fuel outcomes included. *)
+let test_sim_kernel (machine : Pvmach.Machine.t) (k : Kernels.t) () =
+  let th =
+    Harness.run_jit ~mode:Core.Splitc.Split ~machine
+      ~engine:Pvvm.Sim.Threaded k
+  in
+  let aot =
+    Harness.run_jit ~mode:Core.Splitc.Split ~machine ~engine:Pvvm.Sim.Aot k
+  in
+  let name = Printf.sprintf "%s on %s" k.Kernels.name machine.Pvmach.Machine.name in
+  Alcotest.(check bool)
+    (name ^ ": observation")
+    true
+    (Harness.observation_equal th.Harness.obs aot.Harness.obs);
+  Alcotest.(check int64) (name ^ ": cycles") th.Harness.cycles aot.Harness.cycles;
+  Alcotest.(check int64)
+    (name ^ ": spill ops")
+    th.Harness.spill_ops aot.Harness.spill_ops
+
+(* The compiled path must really be taken for JIT output (the sim tests
+   above would be vacuous if every run fell back to threaded). *)
+let test_sim_compiles () =
+  let k = List.hd Kernels.table1 in
+  let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split p in
+  let bc = Core.Splitc.distribute off in
+  let on =
+    Core.Splitc.online ~mode:Core.Splitc.Split
+      ~machine:Pvmach.Machine.x86ish bc
+  in
+  match Pvaot.sim_status on.Core.Splitc.sim with
+  | Ok (_digest, _origin) -> ()
+  | Error r -> Alcotest.failf "sim code cache fell back: %s" r
+
+let test_sim_corpus_seed seed () =
+  let prog = Pvcheck.Gen.program ~seed in
+  let hints = Pvjit.Jit.Hints_recompute in
+  List.iter
+    (fun (m : Pvmach.Machine.t) ->
+      let th = Pvcheck.Oracle.run_jit prog m hints Pvvm.Sim.Threaded in
+      let aot = Pvcheck.Oracle.run_jit prog m hints Pvvm.Sim.Aot in
+      let path = Printf.sprintf "jit-%s-aot" m.Pvmach.Machine.name in
+      (match
+         Pvcheck.Oracle.compare_obs ~path th.Pvcheck.Oracle.jobs
+           aot.Pvcheck.Oracle.jobs
+       with
+      | [] -> ()
+      | mm :: _ ->
+        Alcotest.failf "seed %d %s: %s mismatch: %s" seed path
+          mm.Pvcheck.Oracle.what mm.Pvcheck.Oracle.detail);
+      Alcotest.(check int64)
+        (Printf.sprintf "seed %d %s: cycles" seed path)
+        th.Pvcheck.Oracle.jcycles aot.Pvcheck.Oracle.jcycles;
+      Alcotest.(check int64)
+        (Printf.sprintf "seed %d %s: instrs" seed path)
+        th.Pvcheck.Oracle.jinstrs aot.Pvcheck.Oracle.jinstrs;
+      Alcotest.(check int64)
+        (Printf.sprintf "seed %d %s: spill ops" seed path)
+        th.Pvcheck.Oracle.jspill_ops aot.Pvcheck.Oracle.jspill_ops)
+    Pvmach.Machine.all
+
+(* ---------------- cache correctness ---------------- *)
+
+(* A plugin loaded from the on-disk artifact cache must behave exactly
+   like the fresh compile that produced it. *)
+let test_cache_roundtrip () =
+  let dir =
+    (* reserve a unique name without depending on Unix *)
+    let stamp = Filename.temp_file "pvaot-test-cache" "" in
+    Sys.remove stamp;
+    stamp ^ ".d"
+  in
+  Pvaot.set_cache_dir (Some dir);
+  Fun.protect
+    ~finally:(fun () ->
+      Pvaot.set_cache_dir None;
+      Pvaot.reset_memos ())
+    (fun () ->
+      let k = List.nth Kernels.table1 1 (* saxpy_fp *) in
+      let status () =
+        let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+        let img = Pvvm.Image.load p in
+        let it = Pvvm.Interp.create ~engine:Pvvm.Interp.Aot img in
+        match Pvaot.interp_status it with
+        | Ok (digest, origin) -> (digest, origin)
+        | Error r -> Alcotest.failf "fell back: %s" r
+      in
+      Pvaot.reset_memos ();
+      let d1, o1 = status () in
+      Alcotest.(check string) "first build compiles" "compiled" o1;
+      let fresh = run_kernel Pvvm.Interp.Aot k in
+      (* Drop in-memory state: the next prepare must hit the disk cache
+         and dynlink the stored artifact. *)
+      Pvaot.reset_memos ();
+      let d2, o2 = status () in
+      Alcotest.(check string) "second build loads from disk" "disk-cache" o2;
+      Alcotest.(check string) "digest is stable" d1 d2;
+      let cached = run_kernel Pvvm.Interp.Aot k in
+      check_run_equal "cached vs fresh" fresh cached)
+
+(* ---------------- graceful degradation ---------------- *)
+
+let test_degrades_when_unavailable () =
+  let ledger = Pvtrace.Ledger.create () in
+  Pvaot.set_forced_unavailable (Some "forced by test");
+  Fun.protect
+    ~finally:(fun () ->
+      Pvaot.set_forced_unavailable None;
+      Pvaot.set_ledger None;
+      Pvaot.reset_memos ())
+    (fun () ->
+      Pvaot.set_ledger (Some ledger);
+      Pvaot.reset_memos ();
+      Alcotest.(check bool) "reports unavailable" false (Pvaot.available ());
+      let k = List.hd Kernels.table1 in
+      let th = run_kernel Pvvm.Interp.Threaded k in
+      (* Selecting the AOT engine must still work, via threaded. *)
+      let aot = run_kernel Pvvm.Interp.Aot k in
+      check_run_equal "degraded run" th aot;
+      Alcotest.(check int) "one ledger entry" 1
+        (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Aot_unavailable);
+      (* ...and only one, even after more runs. *)
+      ignore (run_kernel Pvvm.Interp.Aot k);
+      Alcotest.(check int) "still one ledger entry" 1
+        (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Aot_unavailable))
+
+(* ---------------- suite ---------------- *)
+
+let corpus_seeds = List.init 25 (fun i -> i)
+
+let () =
+  Alcotest.run "pvaot"
+    [
+      ( "backend",
+        [
+          Alcotest.test_case "toolchain available" `Quick test_available;
+          Alcotest.test_case "kernels compile (no fallback)" `Quick
+            test_compiles_kernels;
+        ] );
+      ( "table1",
+        List.map
+          (fun (k : Kernels.t) ->
+            Alcotest.test_case k.Kernels.name `Quick (test_table1_kernel k))
+          Kernels.table1 );
+      ( "corpus",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Quick (test_corpus_seed seed))
+          corpus_seeds );
+      ( "sim",
+        Alcotest.test_case "jit output compiles (no fallback)" `Quick
+          test_sim_compiles
+        :: List.concat_map
+             (fun (m : Pvmach.Machine.t) ->
+               List.map
+                 (fun (k : Kernels.t) ->
+                   Alcotest.test_case
+                     (Printf.sprintf "%s on %s" k.Kernels.name
+                        m.Pvmach.Machine.name)
+                     `Quick (test_sim_kernel m k))
+                 Kernels.table1)
+             Pvmach.Machine.table1_targets
+        @ List.map
+            (fun seed ->
+              Alcotest.test_case
+                (Printf.sprintf "seed %d (all machines)" seed)
+                `Quick (test_sim_corpus_seed seed))
+            [ 0; 5; 11; 17; 23 ] );
+      ( "cache",
+        [ Alcotest.test_case "cached load = fresh compile" `Quick
+            test_cache_roundtrip ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "falls back with ledger entry" `Quick
+            test_degrades_when_unavailable;
+        ] );
+    ]

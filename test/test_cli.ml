@@ -27,6 +27,20 @@ let run cmd =
       let code = Sys.command (Printf.sprintf "%s > %s 2>/dev/null" cmd out) in
       (code, read_file out))
 
+(* same, but capture stderr (where usage errors go) *)
+let run_err cmd =
+  let out = Filename.temp_file "cli" ".err" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove out)
+    (fun () ->
+      let code = Sys.command (Printf.sprintf "%s 2> %s >/dev/null" cmd out) in
+      (code, read_file out))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 let sample_source =
   {|
 f64 acc_store;
@@ -197,6 +211,36 @@ let test_exit_code_usage () =
       let code, _ = run (Printf.sprintf "%s %s -e triangle banana" pvrun out) in
       check int_t "unparseable argument is exit 2" 2 code)
 
+(* --engine: one parser for every spelling; unknown names are usage
+   errors (exit 2) whose message lists the valid engines. *)
+let test_engine_selection () =
+  with_compiled (fun out ->
+      let code, reference = run (Printf.sprintf "%s %s --interp" pvrun out) in
+      check int_t "threaded default runs" 0 code;
+      List.iter
+        (fun engine ->
+          List.iter
+            (fun extra ->
+              let code, o =
+                run
+                  (Printf.sprintf "%s %s %s --engine %s" pvrun out extra engine)
+              in
+              check int_t
+                (Printf.sprintf "engine %s%s exit code" engine extra)
+                0 code;
+              if extra = "--interp" then
+                check Alcotest.string
+                  (Printf.sprintf "engine %s output" engine)
+                  reference o)
+            [ ""; "--interp" ])
+        [ "tree"; "tree-walk"; "threaded"; "aot" ];
+      let code, err =
+        run_err (Printf.sprintf "%s %s --engine bogus" pvrun out)
+      in
+      check int_t "unknown engine is exit 2" 2 code;
+      check bool_t "message lists the valid engines" true
+        (contains err "valid engines: tree, threaded, aot"))
+
 let test_exit_code_trap () =
   let src = Filename.temp_file "cli" ".mc" in
   let out = Filename.temp_file "cli" ".pvir" in
@@ -242,6 +286,7 @@ let () =
           Alcotest.test_case "entry with args" `Quick test_pvrun_entry_args;
           Alcotest.test_case "unknown target" `Quick test_pvrun_rejects_unknown_target;
           Alcotest.test_case "corrupt file" `Quick test_pvrun_rejects_corrupt_file;
+          Alcotest.test_case "engine selection" `Quick test_engine_selection;
         ] );
       ( "exit-codes",
         [
