@@ -60,12 +60,12 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
 
-let report_finding ~seed ~out (f : Pvcheck.Harness.finding) =
+let report_finding ?(flags = "") ~seed ~out (f : Pvcheck.Harness.finding) =
   Printf.printf "FAIL case %d (gen seed %d): %s/%s\n  %s\n" f.Pvcheck.Harness.case
     f.Pvcheck.Harness.gen_seed f.Pvcheck.Harness.stage f.Pvcheck.Harness.what
     f.Pvcheck.Harness.detail;
-  Printf.printf "  replay: pvfuzz --seed %d --count %d  (case %d)\n" seed
-    (f.Pvcheck.Harness.case + 1) f.Pvcheck.Harness.case;
+  Printf.printf "  replay: pvfuzz %s--seed %d --count %d  (case %d)\n" flags
+    seed (f.Pvcheck.Harness.case + 1) f.Pvcheck.Harness.case;
   let dump name prog =
     let path = Filename.concat out name in
     write_file path (Pvcheck.Shrink.to_pvir prog);
@@ -78,25 +78,37 @@ let report_finding ~seed ~out (f : Pvcheck.Harness.finding) =
       dump (Printf.sprintf "pvfuzz-case%d.min.pvir" f.Pvcheck.Harness.case) q)
     f.Pvcheck.Harness.shrunk
 
-let run seed count shrink engines passes out max_findings =
+let run seed count shrink engines passes out max_findings migrate =
   match
     Core.Splitc.guard (fun () ->
-        let paths = resolve_paths engines in
-        let passes = resolve_passes passes in
-        if paths = [] && passes = [] then
-          usage "nothing to check: --engines none and --passes none";
         let checked = ref 0 in
         let on_progress = function
           | Pvcheck.Harness.Case_ok _ -> incr checked
           | Pvcheck.Harness.Case_failed _ -> incr checked
         in
-        let findings =
-          Pvcheck.Harness.run ~paths ~passes ~shrink ~max_findings
-            ~on_progress ~seed ~count ()
+        let findings, what, flags =
+          if migrate then
+            (* migration campaign: kill an engine at a random safepoint,
+               restore the snapshot on a random engine, demand the
+               migrated run be indistinguishable from the unmigrated one *)
+            ( Pvcheck.Migrate.campaign ~shrink ~max_findings ~on_progress
+                ~seed ~count (),
+              "migration cases",
+              "--migrate " )
+          else begin
+            let paths = resolve_paths engines in
+            let passes = resolve_passes passes in
+            if paths = [] && passes = [] then
+              usage "nothing to check: --engines none and --passes none";
+            ( Pvcheck.Harness.run ~paths ~passes ~shrink ~max_findings
+                ~on_progress ~seed ~count (),
+              "cases",
+              "" )
+          end
         in
-        List.iter (report_finding ~seed ~out) findings;
-        Printf.printf "pvfuzz: %d/%d cases checked, %d finding%s (seed %d)\n"
-          !checked count (List.length findings)
+        List.iter (report_finding ~flags ~seed ~out) findings;
+        Printf.printf "pvfuzz: %d/%d %s checked, %d finding%s (seed %d)\n"
+          !checked count what (List.length findings)
           (if List.length findings = 1 then "" else "s")
           seed;
         findings <> [])
@@ -146,12 +158,24 @@ let max_findings_arg =
        & info [ "max-findings" ] ~docv:"N"
            ~doc:"Stop after this many findings (default 1).")
 
+let migrate_arg =
+  Arg.(value & flag
+       & info [ "migrate" ]
+           ~doc:"Run the live-migration campaign instead of the \
+                 differential one: each case generates a program, kills a \
+                 random engine at a random safepoint, and checks that the \
+                 checkpointed run — codec round-trip, cross-engine \
+                 snapshot identity, restore and resume on a random \
+                 surviving engine — is indistinguishable from the \
+                 unmigrated run, accounting included.  --engines and \
+                 --passes are ignored in this mode.")
+
 let cmd =
   let doc = "differential fuzzer: engines, distribution round-trips, passes" in
   Cmd.v
     (Cmd.info "pvfuzz" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ shrink_arg $ engines_arg $ passes_arg
-      $ out_arg $ max_findings_arg)
+      $ out_arg $ max_findings_arg $ migrate_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -87,6 +87,7 @@ let emit_schedule tr (target : Pvmach.Machine.t) entry cycles =
       se_start = 0L;
       se_end = cycles;
       se_remapped = false;
+      se_migrated = false;
     }
   in
   Pvsched.Mapper.emit_trace platform [] [ ev ] tr
@@ -108,7 +109,8 @@ let dump_telemetry ~trace_out ~tr ~metrics ~ledger =
    0 ok, 2 usage, 3 decode, 4 verify, 5 link, 6 jit, 7 trap, 8 resource
    limit, 9 i/o — and never a raw backtrace, whatever the input bytes. *)
 let run input target mode interp engine entry raw_args trace_out want_metrics
-    lanes regs globals annot_depth =
+    lanes regs globals annot_depth ckpt_out ckpt_at restore_from migrate_at
+    migrate_to =
   let limits = Core.Cli.build_limits ?lanes ?regs ?globals ?annot_depth () in
   let tr =
     match trace_out with
@@ -132,39 +134,117 @@ let run input target mode interp engine entry raw_args trace_out want_metrics
   match
     Core.Splitc.guard (fun () ->
         let engine = parse_engine engine in
+        (* checkpoint / restore / migrate are VM-level operations: they
+           capture and resume interpreter state, so they require --interp *)
+        let vm_flags =
+          ckpt_out <> None || ckpt_at <> None || restore_from <> None
+          || migrate_at <> None || migrate_to <> None
+        in
+        if vm_flags && not interp then
+          usage "--checkpoint/--restore/--migrate-at require --interp";
+        (match (ckpt_out, ckpt_at) with
+        | Some _, None -> usage "--checkpoint requires --ckpt-at N"
+        | None, Some _ -> usage "--ckpt-at requires --checkpoint FILE"
+        | _ -> ());
+        if restore_from <> None && (ckpt_out <> None || migrate_at <> None)
+        then
+          usage "--restore cannot be combined with --checkpoint or --migrate-at";
+        if migrate_at <> None && ckpt_out <> None then
+          usage "--migrate-at checkpoints in-process; drop --checkpoint";
+        if migrate_to <> None && migrate_at = None then
+          usage "--migrate-to requires --migrate-at N";
         let bc = Core.Cli.read_file input in
         let prog = Pvir.Serial.decode ~limits bc in
-        let fn =
-          match Pvir.Prog.find_func prog entry with
-          | Some fn -> fn
-          | None -> usage "no function %s in %s" entry input
-        in
-        let args = parse_args fn raw_args in
         if interp then begin
           let profile =
             match metrics with Some _ -> Some (Pvvm.Profile.create ()) | None -> None
           in
-          let it =
-            Core.Splitc.interpret ~limits
-              ~engine:(Core.Cli.interp_engine engine)
-              ?profile ?tr ?ledger bc
+          let iengine = Core.Cli.interp_engine engine in
+          let finish it result =
+            print_string (Pvvm.Interp.output it);
+            (match result with
+            | Some v -> Printf.printf "result: %s\n" (result_to_string v)
+            | None -> ());
+            Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it);
+            Option.iter
+              (fun m ->
+                Pvvm.Interp.observe_metrics it m;
+                Option.iter (fun p -> Pvvm.Profile.observe_mix p prog m) profile)
+              metrics;
+            Option.iter
+              (fun tr -> emit_schedule tr target entry (Pvvm.Interp.cycles it))
+              tr
           in
-          let result = Pvvm.Interp.run it entry args in
-          print_string (Pvvm.Interp.output it);
-          (match result with
-          | Some v -> Printf.printf "result: %s\n" (result_to_string v)
-          | None -> ());
-          Printf.printf "interpreted: %Ld cycles\n" (Pvvm.Interp.cycles it);
-          Option.iter
-            (fun m ->
-              Pvvm.Interp.observe_metrics it m;
-              Option.iter (fun p -> Pvvm.Profile.observe_mix p prog m) profile)
-            metrics;
-          Option.iter
-            (fun tr -> emit_schedule tr target entry (Pvvm.Interp.cycles it))
-            tr
+          let restore_and_resume dst snap =
+            if dst = Pvvm.Interp.Aot then Pvaot.install ?ledger ();
+            let it = Pvvm.Snapshot.interp_for ~engine:dst ?tr prog snap in
+            finish it (Pvvm.Snapshot.resume it snap)
+          in
+          match restore_from with
+          | Some path ->
+            (* entry and arguments live inside the snapshot's suspended
+               call stack; the command line provides only the program *)
+            let snap = Pvir.Ckpt.of_file path in
+            Printf.printf "restored %s: checkpoint at %Ld retired instructions\n"
+              path snap.Pvir.Ckpt.ck_instrs;
+            restore_and_resume iengine snap
+          | None -> (
+            let fn =
+              match Pvir.Prog.find_func prog entry with
+              | Some fn -> fn
+              | None -> usage "no function %s in %s" entry input
+            in
+            let args = parse_args fn raw_args in
+            let it =
+              Core.Splitc.interpret ~limits ~engine:iengine ?profile ?tr
+                ?ledger bc
+            in
+            match (ckpt_at, migrate_at) with
+            | None, None -> finish it (Pvvm.Interp.run it entry args)
+            | Some at, None -> (
+              let out = Option.get ckpt_out in
+              match Pvvm.Snapshot.run_until it entry args ~at with
+              | Pvvm.Snapshot.Completed v ->
+                Printf.printf
+                  "completed before instruction %Ld; no checkpoint written\n"
+                  at;
+                finish it v
+              | Pvvm.Snapshot.Checkpointed snap ->
+                Pvir.Ckpt.to_file out snap;
+                Printf.printf
+                  "checkpointed at %Ld retired instructions -> %s (%d bytes)\n"
+                  snap.Pvir.Ckpt.ck_instrs out
+                  (String.length (Pvir.Ckpt.encode snap)))
+            | None, Some at -> (
+              match Pvvm.Snapshot.run_until it entry args ~at with
+              | Pvvm.Snapshot.Completed v ->
+                Printf.printf
+                  "completed before instruction %Ld; nothing to migrate\n" at;
+                finish it v
+              | Pvvm.Snapshot.Checkpointed snap ->
+                (* in-process migration: push the snapshot through the
+                   codec exactly as a real migration channel would, then
+                   resume on the target engine *)
+                let bytes = Pvir.Ckpt.encode snap in
+                let snap = Pvir.Ckpt.decode bytes in
+                let dst =
+                  match migrate_to with
+                  | None -> iengine
+                  | Some name -> Core.Cli.interp_engine (parse_engine name)
+                in
+                Printf.printf
+                  "migrated at %Ld retired instructions (%d-byte snapshot)\n"
+                  snap.Pvir.Ckpt.ck_instrs (String.length bytes);
+                restore_and_resume dst snap)
+            | Some _, Some _ -> assert false (* rejected above *))
         end
         else begin
+          let fn =
+            match Pvir.Prog.find_func prog entry with
+            | Some fn -> fn
+            | None -> usage "no function %s in %s" entry input
+          in
+          let args = parse_args fn raw_args in
           let on =
             Core.Splitc.online ~mode ~machine:target ~limits
               ~engine:(Core.Cli.sim_engine engine) ?tr ?metrics ?ledger bc
@@ -262,6 +342,43 @@ let limit_annot_depth_arg =
        & info [ "limit-annot-depth" ] ~docv:"N"
            ~doc:"Decode limit: maximum nesting of list-valued annotations.")
 
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write the snapshot captured at the --ckpt-at safepoint \
+                 to $(docv) and stop.  Requires --interp and --ckpt-at.")
+
+let ckpt_at_arg =
+  Arg.(value & opt (some int64) None
+       & info [ "ckpt-at" ] ~docv:"N"
+           ~doc:"Arm a checkpoint request at retired-instruction count \
+                 $(docv); the snapshot is taken at the first safepoint \
+                 (block boundary) at or after it.")
+
+let restore_arg =
+  Arg.(value & opt (some file) None
+       & info [ "restore" ] ~docv:"FILE"
+           ~doc:"Restore a snapshot previously written by --checkpoint \
+                 and resume it to completion.  The bytecode argument must \
+                 be the program the snapshot was taken from (the snapshot \
+                 names it by digest); entry and arguments come from the \
+                 snapshot's suspended call stack.  Requires --interp.")
+
+let migrate_at_arg =
+  Arg.(value & opt (some int64) None
+       & info [ "migrate-at" ] ~docv:"N"
+           ~doc:"Live-migrate in-process: checkpoint at the first \
+                 safepoint at or after retired-instruction count $(docv), \
+                 round-trip the snapshot through the binary codec, then \
+                 restore and resume it on the --migrate-to engine.  \
+                 Requires --interp.")
+
+let migrate_to_arg =
+  Arg.(value & opt (some string) None
+       & info [ "migrate-to" ] ~docv:"ENGINE"
+           ~doc:"Destination engine for --migrate-at (default: the \
+                 --engine the run started on).")
+
 let cmd =
   let doc = "online VM: JIT and run PVIR bytecode on a simulated target" in
   Cmd.v
@@ -269,6 +386,8 @@ let cmd =
     Term.(
       const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ engine_arg
       $ entry_arg $ args_arg $ trace_arg $ metrics_arg $ limit_lanes_arg
-      $ limit_regs_arg $ limit_globals_arg $ limit_annot_depth_arg)
+      $ limit_regs_arg $ limit_globals_arg $ limit_annot_depth_arg
+      $ checkpoint_arg $ ckpt_at_arg $ restore_arg $ migrate_at_arg
+      $ migrate_to_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -231,6 +231,9 @@ let classify : exn -> error option = function
     Some (Frontend_error m)
   | Pvir.Serial.Corrupt c -> Some (Decode_error c)
   | Pvir.Verify.Error m -> Some (Verify_error m)
+  (* a snapshot is untrusted input too: a decodable checkpoint whose
+     state contradicts the program fails validation, not decode *)
+  | Pvvm.Snapshot.Invalid m -> Some (Verify_error ("snapshot: " ^ m))
   | Pvir.Link.Error m -> Some (Link_error m)
   | Pvjit.Regalloc.Error m -> Some (Jit_error m)
   | Pvvm.Interp.Trap m when String.equal m Pvvm.Interp.fuel_exhausted_msg ->

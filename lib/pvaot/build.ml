@@ -15,8 +15,10 @@
     depends on the toolchain working. *)
 
 (* Bumping this invalidates every cached artifact: it participates in the
-   source digest alongside the compiler version. *)
-let codegen_version = 5
+   source digest alongside the compiler version.  6: plugins register
+   through [Aotabi.register_src], carrying the generated-body digest the
+   loader verifies on every load (the cache staleness guard). *)
+let codegen_version = 6
 
 type toolchain = {
   native : bool;  (** true: ocamlopt -shared -> .cmxs; false: ocamlc -> .cmo *)
@@ -119,9 +121,9 @@ let read_file path =
 
 let artifact_ext tc = if tc.native then ".cmxs" else ".cmo"
 
-(** Compile [src_path] to [out_path].  Returns [Error diagnostics] with
-    the compiler's stderr on failure. *)
-let compile tc ~src_path ~out_path =
+(** One compile attempt of [src_path] to [out_path].  Returns
+    [Error diagnostics] with the compiler's stderr on failure. *)
+let compile_once tc ~src_path ~out_path =
   let err_path = out_path ^ ".err" in
   let incs =
     String.concat " "
@@ -153,6 +155,37 @@ let compile tc ~src_path ~out_path =
       (Printf.sprintf "compiler exited %d: %s" rc
          (String.trim diag))
 
+(* The out-of-process compile can fail transiently (a PATH hiccup, an
+   OOM-killed cc, a filesystem race on a shared cache dir), so it gets a
+   short, deterministic, capped retry schedule before the backend
+   degrades to the threaded engine.  The schedule is a knob so tests can
+   zero the delays; [compile_attempts] makes the retries observable. *)
+let default_retry_delays = [ 0.05; 0.2 ]
+let retry_delays = ref default_retry_delays
+let set_retry_delays ds = retry_delays := ds
+let compile_attempts = ref 0
+
+(** Compile [src_path] to [out_path], retrying on the bounded
+    [retry_delays] schedule.  The final [Error] carries the last
+    attempt's diagnostics and the attempt count — it flows verbatim into
+    the [Aot_unavailable] ledger entry when the backend degrades. *)
+let compile tc ~src_path ~out_path =
+  let rec go attempt delays =
+    incr compile_attempts;
+    match compile_once tc ~src_path ~out_path with
+    | Ok () -> Ok ()
+    | Error e -> (
+      match delays with
+      | d :: rest ->
+        if d > 0.0 then Unix.sleepf d;
+        go (attempt + 1) rest
+      | [] ->
+        Error
+          (if attempt = 1 then e
+           else Printf.sprintf "after %d attempts: %s" attempt e))
+  in
+  go 1 !retry_delays
+
 (** Load a plugin artifact and claim the entries it registered.
 
     The artifact is copied to a fresh unique path first: the native
@@ -167,7 +200,7 @@ let load_artifact ~digest ~ext path =
     match Dynlink.loadfile_private tmp with
     | () -> (
       match Pvvm.Aotabi.take_pending digest with
-      | Some entries -> Ok entries
+      | Some reg -> Ok reg
       | None -> Error "plugin loaded but registered no entries")
     | exception Dynlink.Error e -> Error (Dynlink.error_message e)
     | exception exn -> Error (Printexc.to_string exn)
@@ -201,8 +234,8 @@ let run_canary tc =
   | Ok () -> (
     match load_artifact ~digest:canary_digest ~ext:(artifact_ext tc) out with
     | Error e -> Error ("canary load failed: " ^ e)
-    | Ok entries -> (
-      match List.assoc_opt "canary" entries with
+    | Ok reg -> (
+      match List.assoc_opt "canary" reg.Pvvm.Aotabi.entries with
       | None -> Error "canary registered the wrong entries"
       | Some _ -> Ok ()))
 

@@ -1234,10 +1234,12 @@ let header =
     ]
 
 (** Generate plugin source for every function of the image's program.
-    Returns [(digest, source)]; raises {!Unsupported} (or any exception
-    out of program introspection) when exact compilation is not
-    possible — callers treat every exception as "fall back". *)
-let generate (img : Pvvm.Image.t) ~dispatch_cost : string * string =
+    Returns [(digest, src_digest, source)] where [src_digest] identifies
+    the generated body (the loader's staleness check); raises
+    {!Unsupported} (or any exception out of program introspection) when
+    exact compilation is not possible — callers treat every exception as
+    "fall back". *)
+let generate (img : Pvvm.Image.t) ~dispatch_cost : string * string * string =
   let prog = img.Pvvm.Image.prog in
   let digest =
     Build.digest_of_dump
@@ -1258,8 +1260,14 @@ let generate (img : Pvvm.Image.t) ~dispatch_cost : string * string =
          so indices stay aligned *)
       emit_function buf img fnindex ~dispatch_cost ~first:(i = 0) i f)
     prog.Pvir.Prog.funcs;
+  (* digest of the generated body so far — baked into the plugin's
+     registration and re-derived by the loader from the current
+     generator's output, so a cached artifact built by an older
+     generator is rejected at load time (the staleness guard) *)
+  let src_digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
   Buffer.add_string buf "\nlet () =\n";
-  Buffer.add_string buf (Printf.sprintf "  A.register %S\n" digest);
+  Buffer.add_string buf
+    (Printf.sprintf "  A.register_src %S ~src:%S\n" digest src_digest);
   (* one entry per distinct name, bound to its first definition *)
   let entries =
     List.filteri
@@ -1271,4 +1279,4 @@ let generate (img : Pvvm.Image.t) ~dispatch_cost : string * string =
   in
   Buffer.add_string buf
     ("    [ " ^ String.concat "; " entries ^ " ]\n");
-  (digest, Buffer.contents buf)
+  (digest, src_digest, Buffer.contents buf)

@@ -14,6 +14,10 @@
 
 module Aotabi = Pvvm.Aotabi
 
+(* Re-exported for tests and harnesses: toolchain probe, compile retry
+   knobs, cache layout. *)
+module Build = Build
+
 (* ------------------------------------------------------------------ *)
 (* Degradation ledger                                                  *)
 
@@ -81,28 +85,74 @@ let reset_memos () =
   Hashtbl.reset digest_memo
 
 (** Compile (or fetch) plugin entries for [digest]/[source], with
-    per-phase spans on the JIT track of [tr]. *)
-let build_entries tr ~subject ~digest ~source : outcome =
+    per-phase spans on the JIT track of [tr].
+
+    [src_digest] is the digest of the generated source body the current
+    generator produces; every loaded plugin (fresh or cached) must
+    register the same one.  A mismatch means the artifact cache holds
+    output of an older generator — e.g. a codegen change without a
+    [Build.codegen_version] bump — and is handled loudly: a ledger entry,
+    eviction of the stale artifact, one fresh recompile.  If even the
+    fresh build registers the wrong digest the generator itself is
+    broken, and the backend degrades to threaded. *)
+let build_entries tr ~subject ~digest ~src_digest ~source : outcome =
   match Hashtbl.find_opt digest_memo digest with
   | Some entries -> Ready { digest; entries; origin = "memo" }
-  | None -> (
+  | None ->
     let span name f =
       Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_jit ~cat:"aot"
         ~args:[ ("digest", digest) ]
         name f
     in
-    match span "aot:compile" (fun () -> Build.ensure_artifact ~digest ~source) with
+    let load_verified path =
+      match span "aot:load" (fun () -> Build.load_plugin ~digest path) with
+      | Error e -> Error ("load: " ^ e)
+      | Ok reg ->
+        if reg.Aotabi.src_digest = Some src_digest then Ok reg.Aotabi.entries
+        else
+          Error
+            (Printf.sprintf
+               "stale artifact: plugin built from source %s, generator now \
+                emits %s"
+               (match reg.Aotabi.src_digest with
+               | Some d -> d
+               | None -> "<unstamped>")
+               src_digest)
+    in
+    let ready entries origin =
+      Hashtbl.replace digest_memo digest entries;
+      Ready { digest; entries; origin }
+    in
+    (match
+       span "aot:compile" (fun () -> Build.ensure_artifact ~digest ~source)
+     with
     | Error e ->
       record_unavailable ~subject e;
       Fallback ("compile: " ^ e)
     | Ok (path, origin) -> (
-      match span "aot:load" (fun () -> Build.load_plugin ~digest path) with
+      match load_verified path with
+      | Ok entries -> ready entries (Build.origin_name origin)
+      | Error e when origin = Build.Disk_cache -> (
+        (* A cached artifact that fails verification (or fails to load at
+           all) is evicted and rebuilt once from the current generator. *)
+        Pvtrace.Ledger.record_opt !ledger
+          (Pvtrace.Ledger.Other "aot-stale-cache") ~subject ~detail:e;
+        (try Sys.remove path with Sys_error _ -> ());
+        match
+          span "aot:compile" (fun () -> Build.ensure_artifact ~digest ~source)
+        with
+        | Error e2 ->
+          record_unavailable ~subject e2;
+          Fallback ("compile: " ^ e2)
+        | Ok (path2, _) -> (
+          match load_verified path2 with
+          | Ok entries -> ready entries "recompiled"
+          | Error e2 ->
+            record_unavailable ~subject e2;
+            Fallback e2))
       | Error e ->
         record_unavailable ~subject e;
-        Fallback ("load: " ^ e)
-      | Ok entries ->
-        Hashtbl.replace digest_memo digest entries;
-        Ready { digest; entries; origin = Build.origin_name origin }))
+        Fallback e))
 
 (* ------------------------------------------------------------------ *)
 (* Entry argument validation                                           *)
@@ -180,8 +230,8 @@ let prepare_interp (t : Pvvm.Interp.t) : outcome =
               Interp_gen.generate img ~dispatch_cost:dc)
         with
         | exception e -> Fallback ("codegen: " ^ Printexc.to_string e)
-        | digest, source ->
-          build_entries t.Pvvm.Interp.tr ~subject:"interp" ~digest
+        | digest, src_digest, source ->
+          build_entries t.Pvvm.Interp.tr ~subject:"interp" ~digest ~src_digest
             ~source:(fun () -> source))
     in
     interp_memo :=
@@ -194,7 +244,13 @@ let prepare_interp (t : Pvvm.Interp.t) : outcome =
 let interp_runner (t : Pvvm.Interp.t) (fn : Pvir.Func.t)
     (args : Pvir.Value.t list) : Pvir.Value.t option =
   let fallback () = Pvvm.Interp.threaded_call t fn args in
-  if t.Pvvm.Interp.profile <> None then fallback ()
+  (* An armed checkpoint needs safepoint polls and virtual-register
+     capture, which compiled code cannot provide mid-activation: the
+     whole activation runs threaded instead (accounting-identical by
+     construction), so the snapshot is bit-identical to every other
+     engine's. *)
+  if Pvvm.Interp.ckpt_armed t then fallback ()
+  else if t.Pvvm.Interp.profile <> None then fallback ()
   else
     match Pvvm.Image.find_func t.Pvvm.Interp.img fn.Pvir.Func.name with
     | Some f when f == fn -> (
@@ -274,8 +330,8 @@ let prepare_sim (t : Pvvm.Sim.t) : outcome =
               Sim_gen.generate t.Pvvm.Sim.machine snap)
         with
         | exception e -> Fallback ("codegen: " ^ Printexc.to_string e)
-        | digest, source ->
-          build_entries t.Pvvm.Sim.tr ~subject:"sim" ~digest
+        | digest, src_digest, source ->
+          build_entries t.Pvvm.Sim.tr ~subject:"sim" ~digest ~src_digest
             ~source:(fun () -> source))
     in
     let entry = { sm_sim = t; sm_snapshot = snap; sm_outcome = o } in

@@ -409,11 +409,13 @@ let func_dump (fn : Mir.func) =
           fn.Mir.marg_slots))
 
 (** Generate plugin source for a code-cache snapshot (sorted by name for
-    a deterministic digest).  Returns [(digest, source)]; raises
-    {!Unsupported} (or a [Cost] error) when exact compilation is not
-    possible — callers treat every exception as "fall back". *)
+    a deterministic digest).  Returns [(digest, src_digest, source)]
+    where [src_digest] identifies the generated body (the loader's
+    staleness check); raises {!Unsupported} (or a [Cost] error) when
+    exact compilation is not possible — callers treat every exception as
+    "fall back". *)
 let generate (machine : Machine.t)
-    (snapshot : (string * Mir.func) list) : string * string =
+    (snapshot : (string * Mir.func) list) : string * string * string =
   let snapshot =
     List.sort (fun (a, _) (b, _) -> String.compare a b) snapshot
   in
@@ -430,12 +432,17 @@ let generate (machine : Machine.t)
   List.iteri
     (fun i (_, fn) -> emit_function buf machine fnindex ~first:(i = 0) i fn)
     snapshot;
+  (* staleness guard: digest of the body so far, re-derived by the
+     loader from the current generator and checked against what the
+     plugin registers (see [Pvvm.Aotabi.register_src]) *)
+  let src_digest = Digest.to_hex (Digest.string (Buffer.contents buf)) in
   Buffer.add_string buf "\nlet () =\n";
-  Buffer.add_string buf (Printf.sprintf "  A.register %S\n" digest);
+  Buffer.add_string buf
+    (Printf.sprintf "  A.register_src %S ~src:%S\n" digest src_digest);
   let entries =
     List.mapi
       (fun i (name, _) -> Printf.sprintf "(%S, f_%d)" name i)
       snapshot
   in
   Buffer.add_string buf ("    [ " ^ String.concat "; " entries ^ " ]\n");
-  (digest, Buffer.contents buf)
+  (digest, src_digest, Buffer.contents buf)

@@ -172,6 +172,41 @@ let byte_scenario ~(seed : int) ?(ledger : Pvtrace.Ledger.t option) (bc : string
       (Tolerated p, faults)
     | Error m -> (Rejected_verify m, faults))
 
+(** {1 Accelerator-kill scenarios (checkpoint migration)}
+
+    A heterogeneous platform can lose an accelerator while a kernel is
+    mid-flight.  With safepoint checkpointing (see [Pvvm.Snapshot]) the
+    runtime responds by capturing the kernel at its next safepoint and
+    resuming it on a survivor.  These scenarios drive that path: a seeded
+    kill point somewhere inside the run's instruction budget plus a
+    seeded (source, target) engine pair.  Engines are indices into the
+    harness's engine list — this module stays VM-free; the migration
+    oracle ([Pvcheck.Migrate]) interprets them. *)
+
+type kill_scenario = {
+  kill_at : int64;  (** checkpoint request armed at this instruction count *)
+  kill_src : int;  (** index of the dying host's engine *)
+  kill_dst : int;  (** index of the survivor's engine *)
+}
+
+let kill_scenario_to_string (k : kill_scenario) =
+  Printf.sprintf "kill at instr %Ld, engine %d -> engine %d" k.kill_at
+    k.kill_src k.kill_dst
+
+(** Draw one kill scenario for a run that retires [total] instructions
+    under [n_engines] available engine kinds.  The kill point lands in
+    [\[1, total\]]: at [total] the run completes before the safepoint
+    fires (completion-beats-kill is part of the contract under test);
+    source and target may coincide — migrating onto a core of the same
+    kind must be exact too. *)
+let gen_kill (r : rng) ~(total : int) ~(n_engines : int) : kill_scenario =
+  if total < 1 then invalid_arg "Inject.gen_kill: empty run";
+  {
+    kill_at = Int64.of_int (1 + rand_int r total);
+    kill_src = rand_int r n_engines;
+    kill_dst = rand_int r n_engines;
+  }
+
 type annot_fault = Drop | Corrupt_spill_order | Swap
 
 let annot_fault_to_string = function

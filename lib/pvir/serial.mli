@@ -37,6 +37,48 @@ val magic : string
 
 val version : int
 
+(** {2 Codec primitives}
+
+    The varint reader/writer core is exposed so sibling codecs (the
+    snapshot format in {!Ckpt}) share one hardened implementation — same
+    bounds discipline, same {!Corrupt} contract — instead of growing a
+    second, subtly different decoder. *)
+
+type writer = Buffer.t
+
+val w_u8 : writer -> int -> unit
+val w_varint : writer -> int64 -> unit
+val w_int : writer -> int -> unit
+val w_svarint : writer -> int64 -> unit
+val w_string : writer -> string -> unit
+val w_f64 : writer -> float -> unit
+val w_bool : writer -> bool -> unit
+val w_option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+val w_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val w_value : writer -> Value.t -> unit
+
+type reader = { buf : string; mutable pos : int; lim : limits }
+
+(** Raise {!Corrupt} at the reader's current offset. *)
+val corrupt : reader -> ('a, unit, string, 'b) format4 -> 'a
+
+val remaining : reader -> int
+val r_u8 : reader -> int
+val r_varint : reader -> int64
+val r_int : reader -> int
+val r_svarint : reader -> int64
+val r_string : reader -> string
+val r_f64 : reader -> float
+val r_bool : reader -> bool
+val r_option : reader -> (reader -> 'a) -> 'a option
+
+(** Check a claimed element count against the bytes remaining, {i before}
+    any allocation it would drive. *)
+val r_count : reader -> int -> unit
+
+val r_list : reader -> (reader -> 'a) -> 'a list
+val r_value : reader -> Value.t
+
 (** Serialize a program to its binary bytecode form. *)
 val encode : Prog.t -> string
 

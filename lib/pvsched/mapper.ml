@@ -107,6 +107,10 @@ type sched_event = {
   se_remapped : bool;
       (** this firing ran on a core other than its original placement
           (accelerator-failure recovery) *)
+  se_migrated : bool;
+      (** this span is half of a live migration: either the truncated
+          span on the dying core or the resumed remainder on the
+          survivor (both carry the same firing index) *)
 }
 
 let makespan_of_events (evs : sched_event list) : int64 =
@@ -186,6 +190,7 @@ let schedule (platform : platform) (cost : cost_model) (pl : placement)
           se_start = start;
           se_end = t_end;
           se_remapped = false;
+          se_migrated = false;
         }
         :: !events)
     tr;
@@ -363,6 +368,7 @@ let schedule_with_failure ?ledger (platform : platform) (cost : cost_model)
           se_start = start;
           se_end = t_end;
           se_remapped = remapped;
+          se_migrated = false;
         }
         :: !events)
     tr;
@@ -373,6 +379,193 @@ let makespan_with_failure ?ledger (platform : platform) (cost : cost_model)
     (pl : placement) ~(failure : failure) (net : Kpn.t) : int64 =
   makespan_of_events
     (schedule_with_failure ?ledger platform cost pl ~failure net)
+
+(** {1 Live migration}
+
+    {!schedule_with_failure} models the pre-checkpoint runtime: a firing
+    caught mid-execution by the failure is thrown away and rerun from
+    scratch on a survivor.  With safepoint checkpointing (see
+    [Pvvm.Snapshot]) the runtime can do better — capture the in-flight
+    kernel at its last safepoint, re-JIT it for a surviving core, restore
+    the snapshot there and resume, paying only the migration overhead
+    instead of the lost work. *)
+
+type migration = {
+  checkpoint_cost : int;
+      (** cycles to reach a safepoint and encode the snapshot on the
+          dying core's host VM *)
+  restore_cost : int;
+      (** cycles to transfer the snapshot, re-JIT the kernel for the
+          survivor and restore the VM state there *)
+}
+
+let default_migration = { checkpoint_cost = 64; restore_cost = 256 }
+
+(** Per-firing schedule under an accelerator failure with live
+    migration.  Firings on the dead core that complete by [failure.at]
+    run there untouched; firings that have not yet started run wholly on
+    the {!remap}ed placement ([se_remapped = true], as in
+    {!schedule_with_failure}).  A firing caught *mid-execution* is
+    split: a truncated span on the dying core up to [failure.at], then —
+    after [migration]'s checkpoint + restore overhead — a resumed span
+    on the survivor covering only the work not yet done (scaled to the
+    survivor's cost for the kernel).  Both halves carry
+    [se_migrated = true] and the same firing index, and each migration
+    is recorded in [ledger] as a {!Pvtrace.Ledger.Migrate} event.
+    Kahn determinism means the computed streams are untouched either
+    way; what migration buys is makespan, which the migration tests pin
+    against the rerun-from-scratch schedule. *)
+let schedule_with_migration ?ledger (platform : platform) (cost : cost_model)
+    (pl : placement) ~(failure : failure)
+    ?(migration = default_migration) (net : Kpn.t) : sched_event list =
+  let ps = net.Kpn.processes in
+  let pl' = remap ?ledger platform cost pl ~dead:failure.dead_core ps in
+  let external_count = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name q -> Hashtbl.replace external_count name (Queue.length q))
+    net.Kpn.channels;
+  let tr = Kpn.trace net in
+  let core_free = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace core_free c.cname 0L) platform.cores;
+  let chan_tokens : (string, (int64 * string) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let chan_consumed = Hashtbl.create 16 in
+  let token_source chan : (int64 * string) option =
+    let produced =
+      match Hashtbl.find_opt chan_tokens chan with
+      | Some l -> List.rev !l
+      | None -> []
+    in
+    let k = try Hashtbl.find chan_consumed chan with Not_found -> 0 in
+    Hashtbl.replace chan_consumed chan (k + 1);
+    let ext = try Hashtbl.find external_count chan with Not_found -> 0 in
+    if k < ext then None else List.nth_opt produced (k - ext)
+  in
+  let ready_on core_name sources =
+    List.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some (t, producer) ->
+          let t =
+            if String.equal producer core_name then t
+            else Int64.add t (Int64.of_int platform.transfer_cost)
+          in
+          max acc t)
+      0L sources
+  in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let produce_outputs (p : Kpn.process) t_end core_name =
+    List.iter
+      (fun chan ->
+        let l =
+          match Hashtbl.find_opt chan_tokens chan with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace chan_tokens chan l;
+            l
+        in
+        l := (t_end, core_name) :: !l)
+      p.Kpn.outputs
+  in
+  List.iter
+    (fun ((p : Kpn.process), firing) ->
+      let sources = List.map token_source p.Kpn.inputs in
+      let start_on (core : core) =
+        let free = try Hashtbl.find core_free core.cname with Not_found -> 0L in
+        max (ready_on core.cname sources) free
+      in
+      let run_on (core : core) ~remapped =
+        let start = start_on core in
+        let t_end = Int64.add start (Int64.of_int (cost p core)) in
+        Hashtbl.replace core_free core.cname t_end;
+        produce_outputs p t_end core.cname;
+        emit
+          {
+            se_proc = p.Kpn.pname;
+            se_firing = firing;
+            se_core = core.cname;
+            se_start = start;
+            se_end = t_end;
+            se_remapped = remapped;
+            se_migrated = false;
+          }
+      in
+      let c0 = core_of pl p in
+      if not (String.equal c0.cname failure.dead_core) then run_on c0 ~remapped:false
+      else
+        let start0 = start_on c0 in
+        let cost0 = cost p c0 in
+        let end0 = Int64.add start0 (Int64.of_int cost0) in
+        if Int64.compare end0 failure.at <= 0 then run_on c0 ~remapped:false
+        else if Int64.compare start0 failure.at >= 0 then
+          (* never started on the dying core: plain re-JIT + rerun *)
+          run_on (core_of pl' p) ~remapped:true
+        else begin
+          (* caught mid-execution: checkpoint at the kill point, resume
+             the remainder on the survivor *)
+          let c1 = core_of pl' p in
+          let done0 = Int64.to_int (Int64.sub failure.at start0) in
+          let cost1 = cost p c1 in
+          (* remaining work, rescaled to the survivor's speed for this
+             kernel (ceiling so a nonzero remainder costs >= 1) *)
+          let rem1 =
+            if cost0 <= 0 then 0
+            else ((cost0 - done0) * cost1 + cost0 - 1) / cost0
+          in
+          emit
+            {
+              se_proc = p.Kpn.pname;
+              se_firing = firing;
+              se_core = c0.cname;
+              se_start = start0;
+              se_end = failure.at;
+              se_remapped = false;
+              se_migrated = true;
+            };
+          (* the dying core was occupied right up to the failure; later
+             firings must not be list-scheduled onto it in the past *)
+          Hashtbl.replace core_free c0.cname failure.at;
+          let ready1 =
+            Int64.add failure.at
+              (Int64.of_int (migration.checkpoint_cost + migration.restore_cost))
+          in
+          let free1 =
+            try Hashtbl.find core_free c1.cname with Not_found -> 0L
+          in
+          let start1 = max ready1 free1 in
+          let end1 = Int64.add start1 (Int64.of_int rem1) in
+          Hashtbl.replace core_free c1.cname end1;
+          produce_outputs p end1 c1.cname;
+          emit
+            {
+              se_proc = p.Kpn.pname;
+              se_firing = firing;
+              se_core = c1.cname;
+              se_start = start1;
+              se_end = end1;
+              se_remapped = true;
+              se_migrated = true;
+            };
+          Pvtrace.Ledger.record_opt ledger Pvtrace.Ledger.Migrate
+            ~subject:p.Kpn.pname
+            ~detail:
+              (Printf.sprintf
+                 "firing #%d checkpointed on %s at cycle %Ld, resumed on %s \
+                  at cycle %Ld"
+                 firing c0.cname failure.at c1.cname start1)
+        end)
+    tr;
+  List.rev !events
+
+(** Makespan under an accelerator failure with live migration (see
+    {!schedule_with_migration}). *)
+let makespan_with_migration ?ledger (platform : platform) (cost : cost_model)
+    (pl : placement) ~(failure : failure) ?migration (net : Kpn.t) : int64 =
+  makespan_of_events
+    (schedule_with_migration ?ledger platform cost pl ~failure ?migration net)
 
 (** {1 Timeline export}
 
@@ -427,7 +620,12 @@ let emit_trace ?(channels : (string * int) list = []) (platform : platform)
     (fun e ->
       let tid = tid_of e.se_core in
       let name = Printf.sprintf "%s#%d" e.se_proc e.se_firing in
-      if e.se_remapped then
+      if e.se_migrated then
+        Pvtrace.Trace.instant_at tr ~ts:e.se_start ~tid ~cat:"sched"
+          ~args:
+            [ ("process", e.se_proc); ("firing", string_of_int e.se_firing) ]
+          ("migrate:" ^ e.se_proc)
+      else if e.se_remapped then
         Pvtrace.Trace.instant_at tr ~ts:e.se_start ~tid ~cat:"sched"
           ~args:[ ("process", e.se_proc) ]
           ("remap:" ^ e.se_proc);

@@ -18,6 +18,8 @@ type kind =
   | Limit_hit  (** a resource budget clipped work (fuel, allocation) *)
   | Aot_unavailable
       (** AOT backend could not compile or load; ran threaded instead *)
+  | Migrate
+      (** running kernel checkpointed and resumed on another core *)
   | Other of string
 
 let kind_name = function
@@ -26,6 +28,7 @@ let kind_name = function
   | Accel_remap -> "accel-remap"
   | Limit_hit -> "limit-hit"
   | Aot_unavailable -> "aot-unavailable"
+  | Migrate -> "migrate"
   | Other s -> s
 
 type event = {

@@ -42,19 +42,37 @@ type ctx = {
 (** One compiled function: same shape as an engine call. *)
 type entry = ctx -> Pvir.Value.t list -> Pvir.Value.t option
 
-let pending : (string * (string * entry) list) list ref = ref []
+(** What a plugin publishes: its entry table plus, for current-format
+    plugins, the digest of the generated source *body* it was compiled
+    from.  The cache key already folds in the generator version; the body
+    digest is the loud failure for the forgotten version bump — an
+    artifact built by an older generator re-registers the old body digest
+    and the loader rejects it instead of silently running stale code. *)
+type registration = {
+  src_digest : string option;  (** [None] on legacy/canary registrations *)
+  entries : (string * entry) list;
+}
+
+let pending : (string * registration) list ref = ref []
 
 (** Called by a plugin's module initializer: publish the unit's functions
-    under its source digest. *)
+    under its cache digest. *)
 let register digest (entries : (string * entry) list) =
-  pending := (digest, entries) :: !pending
+  pending := (digest, { src_digest = None; entries }) :: !pending
+
+(** Like {!register}, additionally carrying the digest of the generated
+    source body the plugin was compiled from; the loader verifies it
+    against the generator's current output on every load, including
+    disk-cache hits. *)
+let register_src digest ~src (entries : (string * entry) list) =
+  pending := (digest, { src_digest = Some src; entries }) :: !pending
 
 (** Called by the loader right after [Dynlink.loadfile_private]: claim the
-    entry table the plugin just registered.  [None] means the plugin did
+    registration the plugin just published.  [None] means the plugin did
     not initialize (load failure surfaced elsewhere). *)
 let take_pending digest =
   match List.assoc_opt digest !pending with
-  | Some entries ->
+  | Some reg ->
     pending := List.remove_assoc digest !pending;
-    Some entries
+    Some reg
   | None -> None

@@ -33,6 +33,19 @@ exception Trap of string
     error. *)
 let fuel_exhausted_msg = "interpreter fuel exhausted (infinite loop?)"
 
+(** Internal unwind of a tripped safepoint: carries the guest call stack
+    under construction, innermost frame first.  Each active call the
+    unwind crosses appends its own frame; {!call_untraced} (or the resume
+    driver) converts the completed stack into a snapshot and re-raises as
+    {!Checkpointed}. *)
+exception Ckpt_capture of Pvir.Ckpt.frame list ref
+
+(** A requested checkpoint completed.  The snapshot is waiting in
+    {!take_snapshot}; the interpreter's memory, stack pointer and output
+    buffer are left exactly as captured (the activation did not run to
+    completion). *)
+exception Checkpointed
+
 type engine = Tree_walk | Threaded | Aot
 
 let engine_name = function
@@ -62,6 +75,14 @@ type t = {
   dcache : (string, Decode.dfunc) Hashtbl.t;
       (** decoded-code cache of the threaded engine, keyed by function
           name and validated against the function's identity *)
+  mutable ckpt_at : int64;
+      (** checkpoint request: capture a snapshot at the first safepoint
+          (block boundary) once [stats.instrs >= ckpt_at].  [-1L] means
+          no request; the engines' fast paths stay exception-free and
+          catch-free while unarmed. *)
+  mutable ckpt_snap : Pvir.Ckpt.t option;  (** last captured snapshot *)
+  mutable pdigest : string option;
+      (** memoized [Ckpt.prog_digest] of the loaded program *)
 }
 
 let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
@@ -77,6 +98,9 @@ let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
     engine;
     tr;
     dcache = Hashtbl.create 16;
+    ckpt_at = -1L;
+    ckpt_snap = None;
+    pdigest = None;
   }
 
 let set_trace t tr = t.tr <- tr
@@ -90,10 +114,81 @@ let charge t n =
   if Int64.compare t.stats.instrs t.fuel > 0 then
     raise (Trap fuel_exhausted_msg)
 
+(* ---------------- checkpoint requests ---------------- *)
+
+let ckpt_armed t = Int64.compare t.ckpt_at 0L >= 0
+let ckpt_due t = ckpt_armed t && Int64.compare t.stats.instrs t.ckpt_at >= 0
+
+(** Request a checkpoint at the first safepoint reached once the
+    instruction counter is at least [at].  Safepoints are block entries —
+    the one execution point where all engines agree bit-for-bit on
+    counters and register state — so every engine armed with the same
+    [at] on the same program captures the identical snapshot. *)
+let arm_checkpoint t ~at =
+  if Int64.compare at 0L < 0 then
+    invalid_arg "Interp.arm_checkpoint: negative threshold";
+  t.ckpt_at <- at
+
+let disarm_checkpoint t = t.ckpt_at <- -1L
+
+(** Claim the snapshot produced by the last {!Checkpointed}. *)
+let take_snapshot t =
+  let s = t.ckpt_snap in
+  t.ckpt_snap <- None;
+  s
+
+let prog_digest t =
+  match t.pdigest with
+  | Some d -> d
+  | None ->
+    let d = Pvir.Ckpt.prog_digest t.img.Image.prog in
+    t.pdigest <- Some d;
+    d
+
+(* Assemble the snapshot once the unwind has collected the whole call
+   stack.  Counters are read *after* the unwind, so the threaded engine's
+   [Fun.protect] flush has already landed them. *)
+let finish_capture t (frames : Pvir.Ckpt.frame list) : 'a =
+  let snap =
+    {
+      Pvir.Ckpt.ck_prog = prog_digest t;
+      ck_mem = Memory.contents t.img.Image.mem;
+      ck_gsp = t.sp;
+      ck_cycles = t.stats.cycles;
+      ck_instrs = t.stats.instrs;
+      ck_calls = t.stats.calls;
+      ck_fuel = Int64.sub t.fuel t.stats.instrs;
+      ck_output = Buffer.contents t.out;
+      ck_frames = frames;
+    }
+  in
+  t.ckpt_snap <- Some snap;
+  t.ckpt_at <- -1L;
+  raise Checkpointed
+
 type frame = {
   regs : Pvir.Value.t option array;
   fn : Pvir.Func.t;
+  fsp : int;  (** stack pointer to restore when this frame returns *)
 }
+
+(* Snapshot view of a live tree-walk frame: initialized registers only,
+   ascending — the canonical order the codec requires. *)
+let tw_ckpt_frame (frame : frame) block ip dst : Pvir.Ckpt.frame =
+  let regs = ref [] in
+  for i = Array.length frame.regs - 1 downto 0 do
+    match frame.regs.(i) with
+    | Some v -> regs := (i, v) :: !regs
+    | None -> ()
+  done;
+  {
+    Pvir.Ckpt.ck_fn = frame.fn.Pvir.Func.name;
+    ck_block = block;
+    ck_ip = ip;
+    ck_dst = dst;
+    ck_regs = !regs;
+    ck_sp = frame.fsp;
+  }
 
 let reg_value frame r =
   match frame.regs.(r) with
@@ -121,21 +216,39 @@ let intrinsic t name (args : Pvir.Value.t list) : Pvir.Value.t option =
 
 (* ---------------- tree-walking engine (reference) ---------------- *)
 
+let rec list_drop n l =
+  if n <= 0 then l
+  else match l with [] -> [] | _ :: tl -> list_drop (n - 1) tl
+
 let rec tw_call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
     Pvir.Value.t option =
   t.stats.calls <- t.stats.calls + 1;
   Option.iter (fun p -> Profile.enter p fn.name) t.profile;
   if List.length args <> List.length fn.params then
     raise (Trap (Printf.sprintf "arity mismatch calling %s" fn.name));
-  let frame = { regs = Array.make fn.next_reg None; fn } in
+  let frame = { regs = Array.make fn.next_reg None; fn; fsp = t.sp } in
   List.iter2 (fun r v -> set_reg frame r v) fn.params args;
-  let saved_sp = t.sp in
   let result = exec_block t frame (Pvir.Func.entry fn) in
-  t.sp <- saved_sp;
+  t.sp <- frame.fsp;
   result
 
-and exec_block t frame (blk : Pvir.Func.block) : Pvir.Value.t option =
-  List.iter (exec_instr t frame) blk.instrs;
+and exec_block t frame blk = exec_block_from t frame blk ~ip:0
+
+(** Execute [blk] from instruction index [ip] onward (ip > 0 only when
+    resuming a snapshot mid-block), then its terminator.  The block entry
+    ([ip = 0]) is the safepoint: a due checkpoint request captures here,
+    before any of the block's instructions and before the block-end
+    dispatch charge — the exact point where all engines' counters
+    agree. *)
+and exec_block_from t frame (blk : Pvir.Func.block) ~ip : Pvir.Value.t option =
+  if ckpt_armed t then begin
+    if ip = 0 && ckpt_due t then
+      raise (Ckpt_capture (ref [ tw_ckpt_frame frame blk.label 0 None ]));
+    exec_armed t frame blk.label ip (list_drop ip blk.instrs)
+  end
+  else
+    List.iter (exec_instr t frame)
+      (if ip = 0 then blk.instrs else list_drop ip blk.instrs);
   charge t t.dispatch_cost;
   Option.iter
     (fun p -> Profile.block p frame.fn.name blk.label)
@@ -206,6 +319,22 @@ and exec_instr t frame (i : Pvir.Instr.t) : unit =
   | Pvir.Instr.Reduce (op, d, a) ->
     set_reg frame d (Pvir.Eval.reduce op (v a))
 
+(* Armed instruction loop: identical semantics to the [List.iter] fast
+   path, but indexed, and appending this frame to a [Ckpt_capture]
+   unwinding out of a callee (only a [Call] can raise one — the nested
+   activation trips its own block-entry safepoint).  [ip - 1] then names
+   the pending call, which is what resume needs to re-inject its
+   result. *)
+and exec_armed t frame label i = function
+  | [] -> ()
+  | ins :: tl ->
+    (try exec_instr t frame ins
+     with Ckpt_capture frames ->
+       let dst = match ins with Pvir.Instr.Call (d, _, _) -> d | _ -> None in
+       frames := !frames @ [ tw_ckpt_frame frame label (i + 1) dst ];
+       raise (Ckpt_capture frames));
+    exec_armed t frame label (i + 1) tl
+
 (* ---------------- direct-threaded engine ---------------- *)
 
 (* Unboxed cycle/instruction counters for one [run]/[call] activation.
@@ -216,15 +345,22 @@ type ectx = {
   mutable ecycles : int;
   mutable einstrs : int;
   efuel : int;
+  eckpt : int;
+      (** unboxed checkpoint threshold: [max_int] while unarmed, so the
+          per-block safepoint poll is a single int compare that never
+          fires on the fast path *)
 }
+
+let clamp_to_int v =
+  if Int64.compare v (Int64.of_int max_int) >= 0 then max_int
+  else Int64.to_int v
 
 let ectx_of t =
   {
     ecycles = Int64.to_int t.stats.cycles;
     einstrs = Int64.to_int t.stats.instrs;
-    efuel =
-      (if Int64.compare t.fuel (Int64.of_int max_int) >= 0 then max_int
-       else Int64.to_int t.fuel);
+    efuel = clamp_to_int t.fuel;
+    eckpt = (if ckpt_armed t then clamp_to_int t.ckpt_at else max_int);
   }
 
 let flush_ectx t ec =
@@ -243,7 +379,29 @@ let dcharge ec n =
    never escapes the frame: every read checks for it first. *)
 let uninit : Pvir.Value.t = Pvir.Value.Vec [||]
 
-type dframe = { dregs : Pvir.Value.t array; dfn : Pvir.Func.t }
+type dframe = {
+  dregs : Pvir.Value.t array;
+  dfn : Pvir.Func.t;
+  dsp : int;  (** stack pointer to restore when this frame returns *)
+}
+
+(* Snapshot view of a live threaded frame; [uninit] slots (physical
+   identity) are exactly the registers the tree-walker holds as [None],
+   so both engines emit the same canonical register list. *)
+let d_ckpt_frame (frame : dframe) block ip dst : Pvir.Ckpt.frame =
+  let regs = ref [] in
+  for i = Array.length frame.dregs - 1 downto 0 do
+    let v = Array.unsafe_get frame.dregs i in
+    if v != uninit then regs := (i, v) :: !regs
+  done;
+  {
+    Pvir.Ckpt.ck_fn = frame.dfn.Pvir.Func.name;
+    ck_block = block;
+    ck_ip = ip;
+    ck_dst = dst;
+    ck_regs = !regs;
+    ck_sp = frame.dsp;
+  }
 
 let dtrap_uninit frame r =
   raise
@@ -300,22 +458,35 @@ let rec dcall t ec (df : Decode.dfunc) (args : Pvir.Value.t list) :
   if List.length args <> df.Decode.dnparams then
     raise (Trap (Printf.sprintf "arity mismatch calling %s" df.Decode.dname));
   let frame =
-    { dregs = Array.make df.Decode.dnext_reg uninit; dfn = df.Decode.dsrc }
+    {
+      dregs = Array.make df.Decode.dnext_reg uninit;
+      dfn = df.Decode.dsrc;
+      dsp = t.sp;
+    }
   in
   List.iter2 (fun r v -> dset_checked frame r v) df.Decode.dparams args;
   if Array.length df.Decode.dblocks = 0 then
     invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" df.Decode.dname);
-  let saved_sp = t.sp in
   let result = dexec_block t ec df frame 0 in
-  t.sp <- saved_sp;
+  t.sp <- frame.dsp;
   result
 
-and dexec_block t ec (df : Decode.dfunc) frame idx : Pvir.Value.t option =
+and dexec_block t ec df frame idx = dexec_block_from t ec df frame idx ~ip:0
+
+(** Same contract as the tree-walker's [exec_block_from]: block entry
+    ([ip = 0]) is the safepoint; [ip > 0] only when resuming a snapshot
+    mid-block. *)
+and dexec_block_from t ec (df : Decode.dfunc) frame idx ~ip :
+    Pvir.Value.t option =
   let blk = df.Decode.dblocks.(idx) in
   let insts = blk.Decode.dinstrs in
-  for i = 0 to Array.length insts - 1 do
-    dexec_instr t ec frame (Array.unsafe_get insts i)
-  done;
+  if ip = 0 && ec.einstrs >= ec.eckpt then
+    raise (Ckpt_capture (ref [ d_ckpt_frame frame blk.Decode.dlabel 0 None ]));
+  if ec.eckpt = max_int then
+    for i = ip to Array.length insts - 1 do
+      dexec_instr t ec frame (Array.unsafe_get insts i)
+    done
+  else dexec_armed t ec frame blk.Decode.dlabel insts ip;
   dcharge ec t.dispatch_cost;
   (match t.profile with
   | Some p -> Profile.block p df.Decode.dname blk.Decode.dlabel
@@ -491,6 +662,24 @@ and dexec_seed t ec frame (i : Pvir.Instr.t) : unit =
   | Pvir.Instr.Extract (d, a, lane) -> set d (Pvir.Eval.extract (v a) lane)
   | Pvir.Instr.Reduce (op, d, a) -> set d (Pvir.Eval.reduce op (v a))
 
+(* Armed counterpart of the unsafe-indexed fast loop (the tree-walker's
+   [exec_armed], in flat-array form). *)
+and dexec_armed t ec frame label (insts : Decode.dinstr array) i =
+  if i < Array.length insts then begin
+    (let ins = Array.unsafe_get insts i in
+     try dexec_instr t ec frame ins
+     with Ckpt_capture frames ->
+       let dst =
+         match ins with
+         | Decode.DCall { d; _ } -> d
+         | Decode.DSeed { inst = Pvir.Instr.Call (d, _, _); _ } -> d
+         | _ -> None
+       in
+       frames := !frames @ [ d_ckpt_frame frame label (i + 1) dst ];
+       raise (Ckpt_capture frames));
+    dexec_armed t ec frame label insts (i + 1)
+  end
+
 (* ---------------- public entry points ---------------- *)
 
 let threaded_call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
@@ -513,10 +702,12 @@ let aot_hook : (t -> Pvir.Func.t -> Pvir.Value.t list -> Pvir.Value.t option) re
 
 let call_untraced t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
     Pvir.Value.t option =
-  match t.engine with
-  | Tree_walk -> tw_call t fn args
-  | Threaded -> threaded_call t fn args
-  | Aot -> !aot_hook t fn args
+  try
+    match t.engine with
+    | Tree_walk -> tw_call t fn args
+    | Threaded -> threaded_call t fn args
+    | Aot -> !aot_hook t fn args
+  with Ckpt_capture frames -> finish_capture t !frames
 
 (** Call [fn] with [args] under the configured engine.  With a trace sink
     attached, the whole activation becomes a span on the VM track whose
@@ -546,6 +737,104 @@ let run t name args =
   match Image.find_func t.img name with
   | Some fn -> call t fn args
   | None -> raise (Trap (Printf.sprintf "no function %s" name))
+
+(* ---------------- resuming a snapshot ---------------- *)
+
+(* The drivers below rebuild live frames from snapshot frames and run
+   each one's continuation: the innermost frame first, its result
+   injected into the next frame's pending-call destination, and so on
+   outward.  They assume {!Snapshot.restore} has already validated the
+   snapshot against the image and installed memory/sp/counters/output —
+   every lookup here is therefore total.  A still-armed checkpoint
+   request re-captures normally: the not-yet-resumed outer frames are
+   appended verbatim (a suspended frame's state cannot change while its
+   callee runs). *)
+
+let tw_frame_of t (f : Pvir.Ckpt.frame) : frame =
+  let fn = Option.get (Image.find_func t.img f.Pvir.Ckpt.ck_fn) in
+  let regs = Array.make fn.Pvir.Func.next_reg None in
+  List.iter (fun (r, v) -> regs.(r) <- Some v) f.Pvir.Ckpt.ck_regs;
+  { regs; fn; fsp = f.Pvir.Ckpt.ck_sp }
+
+(* Result-into-caller injection, replicating the call-return checks of
+   the normal path (including the no-value trap, blamed on the callee). *)
+let inject_of (nf : Pvir.Ckpt.frame) callee_name result =
+  match (nf.Pvir.Ckpt.ck_dst, result) with
+  | None, _ -> None
+  | Some d, Some v -> Some (d, v)
+  | Some _, None ->
+    raise (Trap (Printf.sprintf "call to %s produced no value" callee_name))
+
+let rec tw_resume t inject (frames : Pvir.Ckpt.frame list) :
+    Pvir.Value.t option =
+  match frames with
+  | [] -> invalid_arg "Interp.resume: empty frame stack"
+  | f :: rest ->
+    let frame = tw_frame_of t f in
+    (match inject with Some (d, v) -> set_reg frame d v | None -> ());
+    let blk = Pvir.Func.find_block frame.fn f.Pvir.Ckpt.ck_block in
+    let result =
+      try exec_block_from t frame blk ~ip:f.Pvir.Ckpt.ck_ip
+      with Ckpt_capture captured ->
+        captured := !captured @ rest;
+        raise (Ckpt_capture captured)
+    in
+    t.sp <- frame.fsp;
+    (match rest with
+    | [] -> result
+    | nf :: _ -> tw_resume t (inject_of nf f.Pvir.Ckpt.ck_fn result) rest)
+
+let d_frame_of t (f : Pvir.Ckpt.frame) : Decode.dfunc * dframe =
+  let fn = Option.get (Image.find_func t.img f.Pvir.Ckpt.ck_fn) in
+  let df = decoded t fn in
+  let dregs = Array.make df.Decode.dnext_reg uninit in
+  List.iter (fun (r, v) -> dregs.(r) <- v) f.Pvir.Ckpt.ck_regs;
+  (df, { dregs; dfn = fn; dsp = f.Pvir.Ckpt.ck_sp })
+
+let dblock_index (df : Decode.dfunc) label =
+  let rec go i =
+    if i >= Array.length df.Decode.dblocks then
+      invalid_arg "Interp.resume: no such block"
+    else if df.Decode.dblocks.(i).Decode.dlabel = label then i
+    else go (i + 1)
+  in
+  go 0
+
+let rec d_resume t ec inject (frames : Pvir.Ckpt.frame list) :
+    Pvir.Value.t option =
+  match frames with
+  | [] -> invalid_arg "Interp.resume: empty frame stack"
+  | f :: rest ->
+    let df, frame = d_frame_of t f in
+    (match inject with Some (d, v) -> dset_checked frame d v | None -> ());
+    let idx = dblock_index df f.Pvir.Ckpt.ck_block in
+    let result =
+      try dexec_block_from t ec df frame idx ~ip:f.Pvir.Ckpt.ck_ip
+      with Ckpt_capture captured ->
+        captured := !captured @ rest;
+        raise (Ckpt_capture captured)
+    in
+    t.sp <- frame.dsp;
+    (match rest with
+    | [] -> result
+    | nf :: _ -> d_resume t ec (inject_of nf f.Pvir.Ckpt.ck_fn result) rest)
+
+(** Resume a restored call stack under the configured engine.  The AOT
+    engine resumes through its threaded fallback: compiled activations
+    cannot be entered mid-block, and the two are proven observation- and
+    accounting-identical (the AOT smoke suite), so the snapshot contract
+    holds regardless.  Raises {!Checkpointed} if a (re-)armed checkpoint
+    trips during the resumed run. *)
+let resume_frames t (frames : Pvir.Ckpt.frame list) : Pvir.Value.t option =
+  try
+    match t.engine with
+    | Tree_walk -> tw_resume t None frames
+    | Threaded | Aot ->
+      let ec = ectx_of t in
+      Fun.protect
+        ~finally:(fun () -> flush_ectx t ec)
+        (fun () -> d_resume t ec None frames)
+  with Ckpt_capture frames -> finish_capture t !frames
 
 (** Absorb this interpreter's counters into a metrics registry:
     cycles/instructions/calls plus fuel and allocation headroom.  Purely

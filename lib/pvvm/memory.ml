@@ -71,6 +71,18 @@ let store m addr (v : Pvir.Value.t) =
   check m addr (Pvir.Types.size (Pvir.Value.ty v));
   Pvir.Value.write_bytes m.bytes addr v
 
+(** Whole-image copy-out, for checkpointing: every byte, including the
+    null guard (all zero by construction) — so two memories with equal
+    contents produce equal snapshots. *)
+let contents m = Bytes.to_string m.bytes
+
+(** Whole-image copy-in, for restore.  The caller (snapshot validation)
+    guarantees the size matches; a mismatch here is a host bug. *)
+let overwrite m s =
+  if String.length s <> m.size then
+    invalid_arg "Memory.overwrite: image size mismatch";
+  Bytes.blit_string s 0 m.bytes 0 m.size
+
 let fill m ~addr ~len byte =
   check m addr len;
   Bytes.fill m.bytes addr len (Char.chr (byte land 0xFF))

@@ -211,6 +211,131 @@ let test_cache_roundtrip () =
       let cached = run_kernel Pvvm.Interp.Aot k in
       check_run_equal "cached vs fresh" fresh cached)
 
+(* ---------------- cache staleness guard ---------------- *)
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+
+let write_file p s =
+  Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+let string_contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  go 0
+
+let find_substring s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i =
+    if i + n > m then None
+    else if String.equal (String.sub s i n) sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Replace the source-body digest inside the generated plugin's
+   [A.register_src _ ~src:"<hex32>"] epilogue — producing exactly what an
+   older generator would have left in the cache under the same key. *)
+let tamper_src_digest src =
+  let marker = "~src:\"" in
+  match find_substring src marker with
+  | None -> Alcotest.fail "generated source has no ~src: registration"
+  | Some i ->
+    let j = i + String.length marker in
+    String.sub src 0 j ^ String.make 32 '0'
+    ^ String.sub src (j + 32) (String.length src - j - 32)
+
+(* A cached artifact whose registered source digest disagrees with the
+   current generator (the forgotten-codegen_version-bump scenario) must
+   be detected at load time, recorded in the ledger, evicted and rebuilt
+   fresh — never silently executed. *)
+let test_stale_cache () =
+  let tc =
+    match Pvaot.Build.toolchain () with
+    | Ok tc -> tc
+    | Error r -> Alcotest.failf "AOT backend unavailable: %s" r
+  in
+  let dir =
+    let stamp = Filename.temp_file "pvaot-test-stale" "" in
+    Sys.remove stamp;
+    stamp ^ ".d"
+  in
+  let ledger = Pvtrace.Ledger.create () in
+  Pvaot.set_cache_dir (Some dir);
+  Pvaot.set_ledger (Some ledger);
+  Fun.protect
+    ~finally:(fun () ->
+      Pvaot.set_cache_dir None;
+      Pvaot.set_ledger None;
+      Pvaot.reset_memos ())
+    (fun () ->
+      let k = List.hd Kernels.table1 in
+      let status () =
+        let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+        let img = Pvvm.Image.load p in
+        let it = Pvvm.Interp.create ~engine:Pvvm.Interp.Aot img in
+        match Pvaot.interp_status it with
+        | Ok (digest, origin) -> (digest, origin)
+        | Error r -> Alcotest.failf "fell back: %s" r
+      in
+      Pvaot.reset_memos ();
+      let d1, o1 = status () in
+      Alcotest.(check string) "first build compiles" "compiled" o1;
+      let good = run_kernel Pvvm.Interp.Aot k in
+      (* Plant the stale artifact over the cached one: same cache key,
+         tampered source-body registration. *)
+      let ext = Pvaot.Build.artifact_ext tc in
+      let artifact = Filename.concat dir ("pvaot_" ^ d1 ^ ext) in
+      let src = read_file (Filename.concat dir ("pvaot_" ^ d1 ^ ".ml")) in
+      let stale_dir = Filename.concat dir "stale" in
+      Sys.mkdir stale_dir 0o755;
+      let stale_src = Filename.concat stale_dir ("pvaot_" ^ d1 ^ ".ml") in
+      let stale_out = Filename.concat stale_dir ("pvaot_" ^ d1 ^ ext) in
+      write_file stale_src (tamper_src_digest src);
+      (match Pvaot.Build.compile tc ~src_path:stale_src ~out_path:stale_out with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "stale plant compile failed: %s" e);
+      write_file artifact (read_file stale_out);
+      (* The next prepare hits the disk cache, must reject the plant. *)
+      Pvaot.reset_memos ();
+      let d2, o2 = status () in
+      Alcotest.(check string) "stale cache digest unchanged" d1 d2;
+      Alcotest.(check string) "stale artifact evicted and rebuilt"
+        "recompiled" o2;
+      Alcotest.(check int) "staleness recorded in ledger" 1
+        (Pvtrace.Ledger.count_kind ledger
+           (Pvtrace.Ledger.Other "aot-stale-cache"));
+      (* ...and the rebuilt plugin behaves like the original. *)
+      let rebuilt = run_kernel Pvvm.Interp.Aot k in
+      check_run_equal "rebuilt vs original" good rebuilt)
+
+(* ---------------- compile retry ---------------- *)
+
+(* A failing out-of-process compile is retried on the bounded schedule
+   and the final error carries the attempt count (it becomes the
+   Aot_unavailable ledger detail when the backend degrades). *)
+let test_compile_retry () =
+  Pvaot.Build.set_retry_delays [ 0.0; 0.0 ];
+  Fun.protect
+    ~finally:(fun () ->
+      Pvaot.Build.set_retry_delays Pvaot.Build.default_retry_delays)
+    (fun () ->
+      let tc =
+        { Pvaot.Build.native = false; compiler = "false"; incdirs = [] }
+      in
+      let src = Filename.temp_file "pvaot_retry" ".ml" in
+      let out = Filename.chop_extension src ^ ".cmo" in
+      let before = !Pvaot.Build.compile_attempts in
+      (match Pvaot.Build.compile tc ~src_path:src ~out_path:out with
+      | Ok () -> Alcotest.fail "compile under /bin/false succeeded"
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error %S carries the attempt count" e)
+          true
+          (string_contains e "after 3 attempts"));
+      Alcotest.(check int) "three bounded attempts" 3
+        (!Pvaot.Build.compile_attempts - before);
+      Sys.remove src)
+
 (* ---------------- graceful degradation ---------------- *)
 
 let test_degrades_when_unavailable () =
@@ -282,8 +407,17 @@ let () =
                 `Quick (test_sim_corpus_seed seed))
             [ 0; 5; 11; 17; 23 ] );
       ( "cache",
-        [ Alcotest.test_case "cached load = fresh compile" `Quick
-            test_cache_roundtrip ] );
+        [
+          Alcotest.test_case "cached load = fresh compile" `Quick
+            test_cache_roundtrip;
+          Alcotest.test_case "stale artifact rejected and rebuilt" `Quick
+            test_stale_cache;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "bounded compile retry" `Quick
+            test_compile_retry;
+        ] );
       ( "degradation",
         [
           Alcotest.test_case "falls back with ledger entry" `Quick

@@ -1,0 +1,293 @@
+(* Live migration of running kernels across heterogeneous cores.
+
+   Two layers are pinned here.  Scheduler level: a firing caught
+   mid-execution by an accelerator failure is split into a truncated
+   span on the dying core and a resumed remainder on a survivor, pays
+   only the migration overhead plus the rescaled remaining work (so it
+   beats the rerun-from-scratch recovery), records a Migrate ledger
+   event and shows up as a migrate: instant on the timeline.  VM level:
+   the migration oracle — checkpoint on one engine at a fuzzed kill
+   point, restore and resume on another — holds over generated
+   programs, random kill points and every engine pair, including
+   accounting. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let int64_t = Alcotest.int64
+let string_t = Alcotest.string
+
+let string_contains hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i =
+    i + n <= m && (String.equal (String.sub hay i n) sub || go (i + 1))
+  in
+  go 0
+
+(* ---------------- scheduler-level migration ---------------- *)
+
+let tok x = [| Pvir.Value.i64 (Int64.of_int x) |]
+
+let platform () =
+  let host = { Pvsched.Mapper.cname = "host"; machine = Pvmach.Machine.ppcish } in
+  let accel = { Pvsched.Mapper.cname = "accel"; machine = Pvmach.Machine.dspish } in
+  { Pvsched.Mapper.cores = [ host; accel ]; transfer_cost = 10 }
+
+(* src -> numeric -> snk; numeric is cheap on the accelerator and
+   painful on the host, so the mapper offloads it *)
+let processes () =
+  let control name inputs outputs =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs;
+      outputs;
+      fire = (fun toks -> toks);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let numeric =
+    {
+      Pvsched.Kpn.pname = "numeric";
+      inputs = [ "raw" ];
+      outputs = [ "cooked" ];
+      fire = (fun toks -> toks);
+      annots =
+        Pvir.Annot.add Pvir.Annot.key_hw_prefs
+          (Pvir.Annot.List [ Pvir.Annot.Str "simd128" ])
+          Pvir.Annot.empty;
+      work = 100;
+    }
+  in
+  [ control "src" [ "in" ] [ "raw" ]; numeric; control "snk" [ "cooked" ] [ "out" ] ]
+
+let cost (p : Pvsched.Kpn.process) (c : Pvsched.Mapper.core) =
+  match p.Pvsched.Kpn.pname with
+  | "numeric" -> if String.equal c.Pvsched.Mapper.cname "accel" then 500 else 2000
+  | _ -> if String.equal c.Pvsched.Mapper.cname "accel" then 400 else 50
+
+let n_tokens = 8
+
+let fresh_net () =
+  let net = Pvsched.Kpn.create (processes ()) in
+  for i = 1 to n_tokens do
+    Pvsched.Kpn.push net "in" (tok i)
+  done;
+  net
+
+let migration = { Pvsched.Mapper.checkpoint_cost = 64; restore_cost = 256 }
+
+(* Kill the accelerator 400 cycles into the first 500-cycle numeric
+   firing: exactly that firing must be caught mid-execution. *)
+let mid_firing_failure (evs : Pvsched.Mapper.sched_event list) =
+  match
+    List.find_opt
+      (fun (e : Pvsched.Mapper.sched_event) ->
+        String.equal e.Pvsched.Mapper.se_proc "numeric"
+        && String.equal e.Pvsched.Mapper.se_core "accel")
+      evs
+  with
+  | Some e ->
+    {
+      Pvsched.Mapper.dead_core = "accel";
+      at = Int64.add e.Pvsched.Mapper.se_start 400L;
+    }
+  | None -> Alcotest.fail "numeric never scheduled on the accelerator"
+
+let migrated_schedule () =
+  let plat = platform () in
+  let pl = Pvsched.Mapper.place plat cost (processes ()) in
+  let clean = Pvsched.Mapper.schedule plat cost pl (fresh_net ()) in
+  let failure = mid_firing_failure clean in
+  let ledger = Pvtrace.Ledger.create () in
+  let evs =
+    Pvsched.Mapper.schedule_with_migration ~ledger plat cost pl ~failure
+      ~migration (fresh_net ())
+  in
+  (plat, failure, ledger, evs)
+
+let test_split_spans () =
+  let _, failure, _, evs = migrated_schedule () in
+  let migrated =
+    List.filter
+      (fun (e : Pvsched.Mapper.sched_event) -> e.Pvsched.Mapper.se_migrated)
+      evs
+  in
+  check int_t "exactly one truncated + one resumed span" 2
+    (List.length migrated);
+  let truncated, resumed =
+    match migrated with
+    | [ (a : Pvsched.Mapper.sched_event); b ] ->
+      if String.equal a.Pvsched.Mapper.se_core failure.Pvsched.Mapper.dead_core
+      then (a, b)
+      else (b, a)
+    | _ -> assert false
+  in
+  check string_t "truncated half on the dying core"
+    failure.Pvsched.Mapper.dead_core truncated.Pvsched.Mapper.se_core;
+  check int64_t "truncated half ends at the failure instant"
+    failure.Pvsched.Mapper.at truncated.Pvsched.Mapper.se_end;
+  check bool_t "truncated half is not remapped" false
+    truncated.Pvsched.Mapper.se_remapped;
+  check bool_t "resumed half runs on a survivor" true
+    (not
+       (String.equal resumed.Pvsched.Mapper.se_core
+          failure.Pvsched.Mapper.dead_core));
+  check bool_t "resumed half is remapped" true
+    resumed.Pvsched.Mapper.se_remapped;
+  check int_t "both halves carry the same firing index"
+    truncated.Pvsched.Mapper.se_firing resumed.Pvsched.Mapper.se_firing;
+  check string_t "both halves name the same process"
+    truncated.Pvsched.Mapper.se_proc resumed.Pvsched.Mapper.se_proc;
+  (* the resume waits for checkpoint + restore *)
+  let earliest =
+    Int64.add failure.Pvsched.Mapper.at
+      (Int64.of_int
+         (migration.Pvsched.Mapper.checkpoint_cost
+         + migration.Pvsched.Mapper.restore_cost))
+  in
+  check bool_t "resume pays the migration overhead" true
+    (Int64.compare resumed.Pvsched.Mapper.se_start earliest >= 0);
+  (* 100/500 of the accel work remains; rescaled to the host's 2000
+     that is exactly 400 cycles *)
+  check int64_t "remainder rescaled to the survivor's speed" 400L
+    (Int64.sub resumed.Pvsched.Mapper.se_end resumed.Pvsched.Mapper.se_start)
+
+let test_dead_core_stops () =
+  let _, failure, _, evs = migrated_schedule () in
+  List.iter
+    (fun (e : Pvsched.Mapper.sched_event) ->
+      if String.equal e.Pvsched.Mapper.se_core failure.Pvsched.Mapper.dead_core
+      then
+        check bool_t "no work on the dead core past the failure" true
+          (Int64.compare e.Pvsched.Mapper.se_end failure.Pvsched.Mapper.at <= 0))
+    evs
+
+let test_every_firing_covered () =
+  let _, _, _, evs = migrated_schedule () in
+  (* n_tokens through 3 processes; each firing appears once, the
+     migrated one twice (its two halves) *)
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Pvsched.Mapper.sched_event) ->
+      let k = (e.Pvsched.Mapper.se_proc, e.Pvsched.Mapper.se_firing) in
+      Hashtbl.replace tbl k ((try Hashtbl.find tbl k with Not_found -> 0) + 1))
+    evs;
+  check int_t "all firings scheduled" (3 * n_tokens) (Hashtbl.length tbl);
+  Hashtbl.iter
+    (fun (p, f) n ->
+      if n <> 1 && n <> 2 then
+        Alcotest.failf "firing %s#%d scheduled %d times" p f n)
+    tbl
+
+let test_migration_beats_rerun () =
+  let plat = platform () in
+  let pl = Pvsched.Mapper.place plat cost (processes ()) in
+  let clean = Pvsched.Mapper.schedule plat cost pl (fresh_net ()) in
+  let failure = mid_firing_failure clean in
+  let rerun =
+    Pvsched.Mapper.makespan_with_failure plat cost pl ~failure (fresh_net ())
+  in
+  let migrated =
+    Pvsched.Mapper.makespan_with_migration plat cost pl ~failure ~migration
+      (fresh_net ())
+  in
+  check bool_t
+    (Printf.sprintf "migration (%Ld cycles) beats rerun-from-scratch (%Ld)"
+       migrated rerun)
+    true
+    (Int64.compare migrated rerun < 0)
+
+let test_migrate_ledger_and_trace () =
+  let plat, _, ledger, evs = migrated_schedule () in
+  check int_t "one Migrate ledger event" 1
+    (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Migrate);
+  (match Pvtrace.Ledger.by_kind ledger Pvtrace.Ledger.Migrate with
+  | [ e ] ->
+    check string_t "subject is the migrated process" "numeric"
+      e.Pvtrace.Ledger.subject;
+    check bool_t "detail names both cores" true
+      (string_contains e.Pvtrace.Ledger.detail "accel"
+      && string_contains e.Pvtrace.Ledger.detail "host")
+  | _ -> Alcotest.fail "expected exactly one Migrate event");
+  (* the not-yet-started displaced firings still count as a remap *)
+  check bool_t "Accel_remap recorded for the displaced process" true
+    (Pvtrace.Ledger.count_kind ledger Pvtrace.Ledger.Accel_remap > 0);
+  let tr = Pvtrace.Trace.create () in
+  Pvsched.Mapper.emit_trace plat (processes ()) evs tr;
+  let json = Pvtrace.Export.chrome_json ~ledger tr in
+  check bool_t "timeline carries migrate: instants" true
+    (string_contains json "migrate:numeric");
+  check bool_t "timeline carries the ledger migrate event" true
+    (string_contains json "\"migrate\"")
+
+(* ---------------- VM-level migration oracle ---------------- *)
+
+let no_mismatches what = function
+  | [] -> ()
+  | (m : Pvcheck.Oracle.mismatch) :: _ ->
+    Alcotest.failf "%s: %s/%s: %s" what m.Pvcheck.Oracle.path
+      m.Pvcheck.Oracle.what m.Pvcheck.Oracle.detail
+
+(* Seeded kills over generated programs: every (program, kill point,
+   source engine, target engine) drawn must satisfy the full migration
+   contract. *)
+let test_oracle_seeded_kills () =
+  for seed = 0 to 14 do
+    let prog = Pvcheck.Gen.program ~seed in
+    no_mismatches
+      (Printf.sprintf "gen seed %d" seed)
+      (Pvcheck.Migrate.check ~kill_seed:((seed * 31) + 7) prog)
+  done
+
+(* Exhaustive kill-point sweep on one program for a fixed heterogeneous
+   engine pair: no instruction count is a bad place to die. *)
+let test_oracle_kill_sweep () =
+  let prog = Pvcheck.Gen.program ~seed:3 in
+  let reference = Pvcheck.Oracle.run_interp prog Pvvm.Interp.Tree_walk in
+  let total = Int64.to_int reference.Pvcheck.Oracle.iinstrs in
+  check bool_t "program runs long enough to sweep" true (total > 10);
+  let step = max 1 (total / 60) in
+  let at = ref 1 in
+  while !at <= total do
+    let k =
+      { Pvinject.Inject.kill_at = Int64.of_int !at; kill_src = 1; kill_dst = 2 }
+    in
+    no_mismatches
+      (Printf.sprintf "kill at instr %d" !at)
+      (Pvcheck.Migrate.check_scenario prog reference k);
+    at := !at + step
+  done
+
+(* A short campaign through the same entry point pvfuzz and CI use. *)
+let test_oracle_campaign () =
+  match
+    Pvcheck.Migrate.campaign ~seed:20260808 ~count:25 ~max_findings:3 ()
+  with
+  | [] -> ()
+  | (f : Pvcheck.Harness.finding) :: _ ->
+    Alcotest.failf "case %d (gen seed %d): %s/%s: %s" f.Pvcheck.Harness.case
+      f.Pvcheck.Harness.gen_seed f.Pvcheck.Harness.stage
+      f.Pvcheck.Harness.what f.Pvcheck.Harness.detail
+
+let () =
+  Alcotest.run "migrate"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "in-flight firing splits" `Quick test_split_spans;
+          Alcotest.test_case "dead core stops" `Quick test_dead_core_stops;
+          Alcotest.test_case "every firing covered" `Quick
+            test_every_firing_covered;
+          Alcotest.test_case "migration beats rerun" `Quick
+            test_migration_beats_rerun;
+          Alcotest.test_case "ledger + timeline" `Quick
+            test_migrate_ledger_and_trace;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "seeded kills" `Quick test_oracle_seeded_kills;
+          Alcotest.test_case "kill-point sweep" `Quick test_oracle_kill_sweep;
+          Alcotest.test_case "campaign" `Quick test_oracle_campaign;
+        ] );
+    ]
