@@ -92,13 +92,19 @@ let emit_schedule tr (target : Pvmach.Machine.t) entry cycles =
   in
   Pvsched.Mapper.emit_trace platform [] [ ev ] tr
 
-let dump_telemetry ~trace_out ~tr ~metrics ~ledger =
+let dump_telemetry ~trace_out ~tr ~metrics ~want_metrics ~metrics_out ~ledger =
   (match (trace_out, tr) with
   | Some path, Some tr -> Pvtrace.Export.to_file ?metrics ?ledger tr path
   | _ -> ());
   (match metrics with
-  | Some m -> print_string (Pvtrace.Metrics.dump m)
-  | None -> ());
+  | Some m when want_metrics -> print_string (Pvtrace.Metrics.dump m)
+  | _ -> ());
+  (match (metrics_out, metrics) with
+  | Some path, Some m ->
+    let oc = open_out path in
+    output_string oc (Pvtrace.Metrics.to_prom m);
+    close_out oc
+  | _ -> ());
   match ledger with
   | Some l when Pvtrace.Ledger.count l > 0 ->
     Printf.printf "degradations: %d\n%s" (Pvtrace.Ledger.count l)
@@ -109,8 +115,8 @@ let dump_telemetry ~trace_out ~tr ~metrics ~ledger =
    0 ok, 2 usage, 3 decode, 4 verify, 5 link, 6 jit, 7 trap, 8 resource
    limit, 9 i/o — and never a raw backtrace, whatever the input bytes. *)
 let run input target mode interp engine entry raw_args trace_out want_metrics
-    lanes regs globals annot_depth ckpt_out ckpt_at restore_from migrate_at
-    migrate_to =
+    metrics_out want_profile profile_out sample_period lanes regs globals
+    annot_depth ckpt_out ckpt_at restore_from migrate_at migrate_to =
   let limits = Core.Cli.build_limits ?lanes ?regs ?globals ?annot_depth () in
   let tr =
     match trace_out with
@@ -125,7 +131,11 @@ let run input target mode interp engine entry raw_args trace_out want_metrics
       Pvtrace.Trace.name_track tr Pvtrace.Trace.track_ledger "degradations";
       Some tr
   in
-  let metrics = if want_metrics then Some (Pvtrace.Metrics.create ()) else None in
+  let metrics =
+    if want_metrics || metrics_out <> None then
+      Some (Pvtrace.Metrics.create ())
+    else None
+  in
   let ledger =
     match (tr, metrics) with
     | None, None -> None
@@ -142,6 +152,17 @@ let run input target mode interp engine entry raw_args trace_out want_metrics
         in
         if vm_flags && not interp then
           usage "--checkpoint/--restore/--migrate-at require --interp";
+        (* sampling is a VM concern too: it polls the interpreter's
+           block-entry safepoints, which the JIT'd simulator has not *)
+        let want_profile = want_profile || profile_out <> None in
+        if want_profile && not interp then
+          usage "--profile/--profile-out require --interp";
+        if Int64.compare sample_period 1L < 0 then
+          usage "--sample-period must be >= 1";
+        let sampler =
+          if want_profile then Some (Pvprof.create ~period:sample_period ())
+          else None
+        in
         (match (ckpt_out, ckpt_at) with
         | Some _, None -> usage "--checkpoint requires --ckpt-at N"
         | None, Some _ -> usage "--ckpt-at requires --checkpoint FILE"
@@ -172,12 +193,24 @@ let run input target mode interp engine entry raw_args trace_out want_metrics
                 Option.iter (fun p -> Pvvm.Profile.observe_mix p prog m) profile)
               metrics;
             Option.iter
+              (fun s ->
+                Printf.printf "sampled: %d samples (period %Ld cycles)\n"
+                  (Pvprof.samples_taken s) (Pvprof.period s);
+                print_string (Pvprof.ranking_table s);
+                Option.iter (fun m -> Pvprof.observe_metrics s m) metrics;
+                Option.iter (fun tr -> Pvprof.to_trace s tr) tr;
+                Option.iter
+                  (fun path -> Pvir.Profdata.to_file path (Pvprof.to_data s))
+                  profile_out)
+              sampler;
+            Option.iter
               (fun tr -> emit_schedule tr target entry (Pvvm.Interp.cycles it))
               tr
           in
           let restore_and_resume dst snap =
             if dst = Pvvm.Interp.Aot then Pvaot.install ?ledger ();
             let it = Pvvm.Snapshot.interp_for ~engine:dst ?tr prog snap in
+            Option.iter (Pvvm.Interp.set_sampler it) sampler;
             finish it (Pvvm.Snapshot.resume it snap)
           in
           match restore_from with
@@ -196,8 +229,8 @@ let run input target mode interp engine entry raw_args trace_out want_metrics
             in
             let args = parse_args fn raw_args in
             let it =
-              Core.Splitc.interpret ~limits ~engine:iengine ?profile ?tr
-                ?ledger bc
+              Core.Splitc.interpret ~limits ~engine:iengine ?profile ?sampler
+                ?tr ?ledger bc
             in
             match (ckpt_at, migrate_at) with
             | None, None -> finish it (Pvvm.Interp.run it entry args)
@@ -267,7 +300,8 @@ let run input target mode interp engine entry raw_args trace_out want_metrics
                 (Pvvm.Sim.cycles on.Core.Splitc.sim))
             tr
         end;
-        dump_telemetry ~trace_out ~tr ~metrics ~ledger)
+        dump_telemetry ~trace_out ~tr ~metrics ~want_metrics ~metrics_out
+          ~ledger)
   with
   | Ok () -> 0
   | Error e ->
@@ -321,6 +355,35 @@ let metrics_arg =
        & info [ "metrics" ]
            ~doc:"Print the telemetry metrics registry (work breakdown, \
                  VM counters, instruction mix) after the run.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the telemetry metrics registry to $(docv) in the \
+                 Prometheus text exposition format (scrapeable; round-trips \
+                 through Metrics.of_prom).  Implies metrics collection \
+                 without the stdout dump of --metrics.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Attach the deterministic sampling profiler: one sample \
+                 per --sample-period virtual cycles, taken at block-entry \
+                 safepoints, identical on every engine.  Prints the \
+                 hot-block ranking after the run.  Requires --interp.")
+
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Write the sampled profile to $(docv) in the binary PVPF \
+                 codec, ready for $(b,pvsc --profile-in) to fold back into \
+                 hotness annotations.  Implies --profile.")
+
+let sample_period_arg =
+  Arg.(value & opt int64 Pvprof.default_period
+       & info [ "sample-period" ] ~docv:"N"
+           ~doc:"Sampling period for --profile, in virtual cycles \
+                 (default 32768).")
 
 let limit_lanes_arg =
   Arg.(value & opt (some int) None
@@ -385,7 +448,8 @@ let cmd =
     (Cmd.info "pvrun" ~doc)
     Term.(
       const run $ input_arg $ target_arg $ mode_arg $ interp_arg $ engine_arg
-      $ entry_arg $ args_arg $ trace_arg $ metrics_arg $ limit_lanes_arg
+      $ entry_arg $ args_arg $ trace_arg $ metrics_arg $ metrics_out_arg
+      $ profile_arg $ profile_out_arg $ sample_period_arg $ limit_lanes_arg
       $ limit_regs_arg $ limit_globals_arg $ limit_annot_depth_arg
       $ checkpoint_arg $ ckpt_at_arg $ restore_arg $ migrate_at_arg
       $ migrate_to_arg)

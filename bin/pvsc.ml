@@ -18,8 +18,8 @@ let mode_conv =
 
 (* Exit codes follow the documented taxonomy (Core.Splitc.exit_code):
    0 ok, 2 frontend, 4 verify, 5 link, 9 i/o — never a raw backtrace. *)
-let compile inputs output mode emit_text verbose roots timings lanes regs
-    globals annot_depth =
+let compile inputs output mode emit_text verbose roots timings profile_in
+    lanes regs globals annot_depth =
   let limits = Core.Cli.build_limits ?lanes ?regs ?globals ?annot_depth () in
   (* --timings: per-phase spans, with wall time riding along so the table
      can show both virtual work units and host microseconds *)
@@ -46,6 +46,20 @@ let compile inputs output mode emit_text verbose roots timings lanes regs
       let rf, rg = Pvir.Link.treeshake ~roots p in
       if verbose then
         Printf.eprintf "tree shake: removed %d functions, %d globals\n" rf rg);
+    (* the profile → annotation feedback edge (Morph-style): sampled
+       hotness from an earlier device run becomes key_hotness fractions
+       on the linked program *before* the offline pipeline, so the
+       annotations ride through distribution like every other hint *)
+    (match profile_in with
+    | None -> ()
+    | Some path ->
+      let data = Pvir.Profdata.decode (Core.Cli.read_file path) in
+      Pvir.Profdata.annotate data p;
+      if verbose then
+        Printf.eprintf
+          "profile %s: %d samples, %Ld cycles over %d functions\n" path
+          data.Pvir.Profdata.pf_samples data.Pvir.Profdata.pf_total
+          (List.length data.Pvir.Profdata.pf_fns));
     let input = List.hd inputs in
     let off = Core.Splitc.offline ~mode ?tr p in
     if verbose then begin
@@ -87,7 +101,9 @@ let compile inputs output mode emit_text verbose roots timings lanes regs
       if verbose then Printf.eprintf "wrote %s (%d bytes)\n" path (String.length bc)
     end;
     match tr with
-    | Some tr -> prerr_string (Pvtrace.Export.span_table tr)
+    | Some tr ->
+      prerr_string (Pvtrace.Export.span_table tr);
+      prerr_string (Pvtrace.Export.span_quantiles tr)
     | None -> ()
   with
   | Ok () -> 0
@@ -123,6 +139,15 @@ let timings_arg =
            ~doc:"Report a per-phase timing table (virtual work units and \
                  host time) on stderr.")
 
+let profile_in_arg =
+  Arg.(value & opt (some file) None
+       & info [ "profile-in" ] ~docv:"FILE"
+           ~doc:"Fold a sampled profile (written by $(b,pvrun \
+                 --profile-out)) back into the compilation: per-function \
+                 hotness fractions become pv.hotness annotations on the \
+                 distributed bytecode.  The profile is untrusted input; a \
+                 malformed file is rejected like corrupted bytecode.")
+
 let limit_lanes_arg =
   Arg.(value & opt (some int) None
        & info [ "limit-lanes" ] ~docv:"N"
@@ -153,7 +178,8 @@ let cmd =
     (Cmd.info "pvsc" ~doc)
     Term.(
       const compile $ input_arg $ output_arg $ mode_arg $ emit_text_arg
-      $ verbose_arg $ roots_arg $ timings_arg $ limit_lanes_arg
-      $ limit_regs_arg $ limit_globals_arg $ limit_annot_depth_arg)
+      $ verbose_arg $ roots_arg $ timings_arg $ profile_in_arg
+      $ limit_lanes_arg $ limit_regs_arg $ limit_globals_arg
+      $ limit_annot_depth_arg)
 
 let () = exit (Cmd.eval' cmd)

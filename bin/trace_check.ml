@@ -2,9 +2,12 @@
    pvrun --trace (or any tool using Pvtrace.Export).
 
    Checks that the file is well-formed JSON, that every event has a legal
-   phase and numeric timestamp, and that begin/end span pairs are balanced
-   (LIFO, matching names) on every track.  Exit 0 on success with an event
-   count on stdout; exit 1 with a diagnostic on stderr otherwise. *)
+   phase and numeric timestamp, that begin/end span pairs are balanced
+   (LIFO, matching names) on every track, and that sampling-profiler
+   events (category "sample") are instants or counters with per-track
+   non-decreasing timestamps.  Exit 0 on success with an event count
+   (plus a sample breakdown when the trace carries profiler samples) on
+   stdout; exit 1 with a diagnostic on stderr otherwise. *)
 
 open Cmdliner
 
@@ -14,6 +17,34 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* profiler-sample breakdown: (instants, counter samples) with category
+   "sample" — already validated for phase and timestamp order by
+   [validate_chrome], so this only counts *)
+let sample_counts contents : int * int =
+  match Pvtrace.Export.parse_json contents with
+  | Pvtrace.Export.JObj fields -> (
+    match List.assoc_opt "traceEvents" fields with
+    | Some (Pvtrace.Export.Arr events) ->
+      List.fold_left
+        (fun (inst, ctr) ev ->
+          match ev with
+          | Pvtrace.Export.JObj f -> (
+            let str k =
+              match List.assoc_opt k f with
+              | Some (Pvtrace.Export.JStr s) -> Some s
+              | _ -> None
+            in
+            if str "cat" <> Some "sample" then (inst, ctr)
+            else
+              match str "ph" with
+              | Some ("i" | "I") -> (inst + 1, ctr)
+              | Some "C" -> (inst, ctr + 1)
+              | _ -> (inst, ctr))
+          | _ -> (inst, ctr))
+        (0, 0) events
+    | _ -> (0, 0))
+  | _ | (exception Pvtrace.Export.Bad _) -> (0, 0)
+
 let check path =
   match read_file path with
   | exception Sys_error m ->
@@ -22,7 +53,13 @@ let check path =
   | contents -> (
     match Pvtrace.Export.validate_chrome contents with
     | Ok n ->
-      Printf.printf "%s: ok (%d events)\n" path n;
+      (match sample_counts contents with
+      | 0, 0 -> Printf.printf "%s: ok (%d events)\n" path n
+      | inst, ctr ->
+        Printf.printf
+          "%s: ok (%d events; %d sample instants, %d sample counters, in \
+           order)\n"
+          path n inst ctr);
       0
     | Error m ->
       Printf.eprintf "trace_check: %s: %s\n" path m;

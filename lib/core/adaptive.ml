@@ -210,3 +210,78 @@ let generations ?configs ?tr ?ledger ~machine ~prepare ~entry ~args
     }
   in
   [ gen0; gen1; gen2 ]
+
+(** The sampled variant of the lifecycle: generation 0 interprets under
+    the {e sampling} profiler ({!Pvprof}) instead of the exhaustive
+    per-block counter.  This is the deployment-shaped loop the paper's
+    "idle time between runs" sketch implies — a week of execution cannot
+    afford a hashtable bump per block, but it can afford one compare at
+    block entries — and it also exercises the re-JIT trigger: the
+    returned [hot] set is the smallest weight-ranked prefix of functions
+    covering at least [hot_coverage] (default 90%) of the sampled cycle
+    weight, i.e. the functions a tiering policy would hand to the JIT
+    first.  Hotness annotations flow back through the same
+    {!Pvir.Annot.key_hotness} key the exhaustive profiler uses, so
+    generations 1 and 2 are unchanged. *)
+let generations_sampled ?configs ?tr ?ledger ?(period = Pvprof.default_period)
+    ?(hot_coverage = 0.9) ~machine ~prepare ~entry ~args (bytecode : string) :
+    generation list * string list =
+  let prog = Pvir.Serial.decode bytecode in
+  (* generation 0: interpret + sample *)
+  let img0 = Pvvm.Image.load (Pvir.Prog.copy prog) in
+  let sampler = Pvprof.create ~period () in
+  let interp = Pvvm.Interp.create ~sampler ?tr img0 in
+  prepare img0;
+  ignore (Pvvm.Interp.run interp entry args);
+  (match tr with Some t -> Pvprof.to_trace sampler t | None -> ());
+  let gen0 =
+    {
+      gen = 0;
+      glabel =
+        Printf.sprintf "interpret + sample (period %Ld, %d samples)" period
+          (Pvprof.samples_taken sampler);
+      exec_cycles = Pvvm.Interp.cycles interp;
+      gcompile_work = 0;
+    }
+  in
+  (* the sampled profile flows back through the same annotation key *)
+  Pvprof.to_annotations sampler prog;
+  let hot =
+    let total = Int64.to_float (Int64.max 1L (Pvprof.total_weight sampler)) in
+    let target = hot_coverage *. total in
+    let rec take cum = function
+      | [] -> []
+      | (fn, w) :: tl ->
+        if cum >= target then []
+        else fn :: take (cum +. Int64.to_float w) tl
+    in
+    take 0.0 (Pvprof.fn_ranking sampler)
+  in
+  (* generations 1 and 2 exactly as in {!generations} *)
+  let account1 = Pvir.Account.create () in
+  let cycles1, _ =
+    measure ~account:account1 ?tr ?ledger ~machine ~prepare ~entry ~args prog
+  in
+  let gen1 =
+    {
+      gen = 1;
+      glabel = "quick JIT (no optimization)";
+      exec_cycles = cycles1;
+      gcompile_work = Pvir.Account.total account1;
+    }
+  in
+  let samples = search ?configs ?tr ?ledger ~machine ~prepare ~entry ~args prog in
+  let best = List.hd samples in
+  let total_search_work =
+    List.fold_left (fun acc s -> acc + s.compile_work) 0 samples
+  in
+  let gen2 =
+    {
+      gen = 2;
+      glabel =
+        Printf.sprintf "idle-time tuned (%s)" (config_label best.config);
+      exec_cycles = best.cycles;
+      gcompile_work = total_search_work;
+    }
+  in
+  ([ gen0; gen1; gen2 ], hot)

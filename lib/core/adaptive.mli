@@ -90,3 +90,24 @@ val generations :
   args:Pvir.Value.t list ->
   string ->
   generation list
+
+(** The sampled lifecycle: generation 0 interprets under the
+    {!Pvprof} sampling profiler (period [period] virtual cycles) instead
+    of the exhaustive per-block counter, feeds the sampled hotness back
+    through the same annotation key, and additionally returns the re-JIT
+    hot set — the smallest weight-ranked prefix of functions covering at
+    least [hot_coverage] (default 0.9) of the sampled cycle weight.
+    Generations 1 and 2 are identical to {!generations}.  With a trace
+    sink, the retained samples are merged onto the profiler track. *)
+val generations_sampled :
+  ?configs:config list ->
+  ?tr:Pvtrace.Trace.t ->
+  ?ledger:Pvtrace.Ledger.t ->
+  ?period:int64 ->
+  ?hot_coverage:float ->
+  machine:Pvmach.Machine.t ->
+  prepare:(Pvvm.Image.t -> unit) ->
+  entry:string ->
+  args:Pvir.Value.t list ->
+  string ->
+  generation list * string list

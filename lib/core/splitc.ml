@@ -153,10 +153,11 @@ let online ?(mode = Split) ~(machine : Pvmach.Machine.t) ?(mem_size = 1 lsl 20)
 
 (** Interpret the bytecode instead of JIT-compiling it (the baseline
     execution mode of early virtual machines).  The returned interpreter
-    carries [tr] and [profile], so its runs appear on the VM track and
-    feed the instruction-mix metrics. *)
+    carries [tr], [profile] and [sampler], so its runs appear on the VM
+    track and feed the instruction-mix metrics or the sampling
+    profiler. *)
 let interpret ?(mem_size = 1 lsl 20) ?alloc_limit
-    ?(engine = Pvvm.Interp.Threaded) ?limits ?profile ?tr ?ledger
+    ?(engine = Pvvm.Interp.Threaded) ?limits ?profile ?sampler ?tr ?ledger
     (bytecode : string) : Pvvm.Interp.t =
   let p =
     Pvtrace.Trace.with_span tr ~tid:Pvtrace.Trace.track_distribute
@@ -165,7 +166,7 @@ let interpret ?(mem_size = 1 lsl 20) ?alloc_limit
   in
   if engine = Pvvm.Interp.Aot then Pvaot.install ?ledger ();
   let img = Pvvm.Image.load ~mem_size ?alloc_limit p in
-  Pvvm.Interp.create ~engine ?profile ?tr img
+  Pvvm.Interp.create ~engine ?profile ?sampler ?tr img
 
 (** One call from source text to a device-resident simulator. *)
 let run_source ?(mode = Split) ~(machine : Pvmach.Machine.t) ?mem_size ?engine
@@ -267,11 +268,11 @@ let online_r ?mode ~machine ?mem_size ?alloc_limit ?engine ?limits ?tr
       online ?mode ~machine ?mem_size ?alloc_limit ?engine ?limits ?tr
         ?metrics ?ledger bytecode)
 
-let interpret_r ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr ?ledger
-    bytecode =
+let interpret_r ?mem_size ?alloc_limit ?engine ?limits ?profile ?sampler ?tr
+    ?ledger bytecode =
   guard (fun () ->
-      interpret ?mem_size ?alloc_limit ?engine ?limits ?profile ?tr ?ledger
-        bytecode)
+      interpret ?mem_size ?alloc_limit ?engine ?limits ?profile ?sampler ?tr
+        ?ledger bytecode)
 
 let run_source_r ?mode ~machine ?mem_size ?engine ?limits ?tr ?metrics ?ledger
     src =

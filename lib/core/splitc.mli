@@ -89,14 +89,17 @@ val online :
     counts do not depend on it — [Aot] installs the native backend and
     degrades to [Threaded] when the toolchain is unavailable, recording
     the degradation in [ledger]); [limits] bounds the untrusted decode.
-    The returned interpreter carries [tr] and [profile], so its runs
-    appear on the VM track and feed the instruction-mix metrics. *)
+    The returned interpreter carries [tr], [profile] and [sampler] (the
+    cycle-driven sampling profiler), so its runs appear on the VM track
+    and feed the instruction-mix metrics or the sampled hot-block
+    tables. *)
 val interpret :
   ?mem_size:int ->
   ?alloc_limit:int ->
   ?engine:Pvvm.Interp.engine ->
   ?limits:Pvir.Serial.limits ->
   ?profile:Pvvm.Profile.t ->
+  ?sampler:Pvprof.t ->
   ?tr:Pvtrace.Trace.t ->
   ?ledger:Pvtrace.Ledger.t ->
   string ->
@@ -182,6 +185,7 @@ val interpret_r :
   ?engine:Pvvm.Interp.engine ->
   ?limits:Pvir.Serial.limits ->
   ?profile:Pvvm.Profile.t ->
+  ?sampler:Pvprof.t ->
   ?tr:Pvtrace.Trace.t ->
   ?ledger:Pvtrace.Ledger.t ->
   string ->

@@ -40,6 +40,14 @@
     *values inside a fuel-exhaustion trap*, which the differential oracle
     gates on separately.
 
+    Generated code contains {e no safepoint polls}: neither the
+    checkpoint threshold nor the sampling-profiler threshold is checked
+    at block entries, and no shadow activation stack is maintained.
+    Activations that need either (an armed checkpoint or an attached
+    {!Pvprof.t} sampler) are delegated whole to the threaded engine by
+    the runner in [pvaot.ml] — accounting-identical by construction, so
+    snapshots and sampled streams still match every engine bit for bit.
+
     Anything the generator cannot prove it can compile exactly raises
     {!Unsupported}; the caller falls back to the threaded engine, so this
     module never needs to be complete — only correct. *)

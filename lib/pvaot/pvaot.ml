@@ -251,6 +251,11 @@ let interp_runner (t : Pvvm.Interp.t) (fn : Pvir.Func.t)
      engine's. *)
   if Pvvm.Interp.ckpt_armed t then fallback ()
   else if t.Pvvm.Interp.profile <> None then fallback ()
+    (* the sampler needs block-entry polls and the shadow activation
+       stack, neither of which generated code maintains — same contract
+       as the checkpoint fallback above, and accounting-identical, so
+       the sampled stream matches the other engines bit for bit *)
+  else if t.Pvvm.Interp.sampler <> None then fallback ()
   else
     match Pvvm.Image.find_func t.Pvvm.Interp.img fn.Pvir.Func.name with
     | Some f when f == fn -> (
@@ -391,6 +396,7 @@ let install ?(ledger : Pvtrace.Ledger.t option) () =
     when calls would fall back to the threaded engine. *)
 let interp_status (t : Pvvm.Interp.t) : (string * string, string) result =
   if t.Pvvm.Interp.profile <> None then Error "profiling enabled"
+  else if t.Pvvm.Interp.sampler <> None then Error "sampling enabled"
   else
     match prepare_interp t with
     | Ready p -> Ok (p.digest, p.origin)

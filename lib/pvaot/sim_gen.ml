@@ -22,6 +22,11 @@
     engines, valid because the runner re-validates the snapshot (by
     physical identity) before reusing compiled code.
 
+    Like the interpreter backend, generated code polls no safepoints —
+    checkpoint and sampling thresholds are block-entry concerns of the
+    interpreting engines, and activations that need them run threaded
+    via the runner's fallback (see [pvaot.ml]).
+
     Anything the generator cannot prove it can compile exactly —
     malformed instruction shapes, statically out-of-range physical
     registers, branches to unknown labels — raises {!Unsupported}; the

@@ -1,0 +1,139 @@
+(** Differential oracle for the sampling profiler (PR 8).
+
+    Two laws, checked per generated program:
+
+    - {e zero observer effect}: attaching a sampler must not change
+      anything portable — result, intrinsic output, final globals — nor
+      any accounting counter (cycles, instructions, calls).  The sample
+      poll reads the cycle clock, it never charges it.  Checked on all
+      three interpreter engines against an unprofiled run of the same
+      engine.
+    - {e cross-engine sample agreement}: the three engines take the
+      {e same} samples.  Sampling is armed on the virtual cycle clock
+      and polled at block entries, both part of the portable semantics,
+      so the distilled {!Pvir.Profdata} encodings of the three profiled
+      runs must be byte-identical.  This is a much stronger oracle than
+      comparing rankings: one stray cycle or one skipped poll anywhere
+      shows up as a byte diff.
+
+    Shapes mirror {!Oracle}: fresh image per run, same fuel ceiling,
+    findings as path/what/detail mismatches. *)
+
+open Pvir
+
+(** Deliberately far from the engines' default (32768) and small relative
+    to generated-program cycle counts, so corpus programs take many
+    samples and the cross-engine byte comparison has real content. *)
+let default_period = 64L
+
+type profiled_run = {
+  probs : Oracle.obs;
+  pcycles : int64;
+  pinstrs : int64;
+  pcalls : int;
+  pdata : string;  (** canonical [Profdata] encoding of the sample set *)
+  psamples : int;
+}
+
+let run_profiled ?(period = default_period) (prog : Prog.t)
+    (engine : Pvvm.Interp.engine) : profiled_run =
+  let img = Pvvm.Image.load (Prog.copy prog) in
+  let sampler = Pvprof.create ~period () in
+  let it = Pvvm.Interp.create ~fuel:Oracle.fuel ~engine ~sampler img in
+  let outcome =
+    match Pvvm.Interp.run it "main" [] with
+    | v -> Oracle.Finished v
+    | exception Pvvm.Interp.Trap m -> Oracle.Trapped m
+  in
+  let st = it.Pvvm.Interp.stats in
+  {
+    probs =
+      {
+        Oracle.outcome;
+        output = Pvvm.Interp.output it;
+        globals = Oracle.read_globals img;
+      };
+    pcycles = st.Pvvm.Interp.cycles;
+    pinstrs = st.Pvvm.Interp.instrs;
+    pcalls = st.Pvvm.Interp.calls;
+    pdata = Profdata.encode (Pvprof.to_data sampler);
+    psamples = Pvprof.samples_taken sampler;
+  }
+
+let engines : (string * Pvvm.Interp.engine) list =
+  [
+    ("profiled-tw", Pvvm.Interp.Tree_walk);
+    ("profiled-th", Pvvm.Interp.Threaded);
+    ("profiled-aot", Pvvm.Interp.Aot);
+  ]
+
+(** Run the profiled-vs-unprofiled matrix on [prog].  Returns the
+    mismatches (empty = all laws hold). *)
+let check ?(period = default_period) (prog : Prog.t) : Oracle.mismatch list =
+  Pvaot.install ();
+  let ms = ref [] in
+  let add l = ms := !ms @ l in
+  let profiled =
+    List.map
+      (fun (path, engine) ->
+        let plain = Oracle.run_interp prog engine in
+        let prof = run_profiled ~period prog engine in
+        add (Oracle.compare_obs ~path plain.Oracle.iobs prof.probs);
+        if
+          plain.Oracle.icycles <> prof.pcycles
+          || plain.Oracle.iinstrs <> prof.pinstrs
+          || plain.Oracle.icalls <> prof.pcalls
+        then
+          add
+            [
+              {
+                Oracle.path;
+                what = "observer-effect";
+                detail =
+                  Printf.sprintf
+                    "plain %Ld cycles/%Ld instrs/%d calls vs profiled \
+                     %Ld/%Ld/%d"
+                    plain.Oracle.icycles plain.Oracle.iinstrs
+                    plain.Oracle.icalls prof.pcycles prof.pinstrs prof.pcalls;
+              };
+            ];
+        (path, prof))
+      engines
+  in
+  (match profiled with
+  | (ref_path, ref_run) :: rest ->
+    List.iter
+      (fun (path, run) ->
+        if not (String.equal ref_run.pdata run.pdata) then
+          add
+            [
+              {
+                Oracle.path;
+                what = "sample-stream";
+                detail =
+                  Printf.sprintf
+                    "%s took %d samples (%d profile bytes), %s took %d (%d \
+                     bytes) and the encodings differ"
+                    ref_path ref_run.psamples
+                    (String.length ref_run.pdata)
+                    path run.psamples
+                    (String.length run.pdata);
+              };
+            ])
+      rest
+  | [] -> ());
+  !ms
+
+(** Property-test entry point: [run ~seed ~count] checks [count]
+    generated programs starting at [seed]; returns the seeds that
+    produced mismatches with their findings. *)
+let run ~seed ~count : (int * Oracle.mismatch list) list =
+  let bad = ref [] in
+  for i = 0 to count - 1 do
+    let s = seed + i in
+    let prog = Gen.program ~seed:s in
+    match check prog with
+    | [] -> ()
+    | ms -> bad := (s, ms) :: !bad
+  done;
+  List.rev !bad

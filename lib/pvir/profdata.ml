@@ -1,0 +1,176 @@
+(** Binary profile format — the feedback half of split compilation.
+
+    A profile is what the sampling profiler ({!Pvprof} in [lib/pvprof])
+    distills from a run: the sampling period, the cycle weight attributed
+    to each function, to each (function, block) pair, and to each folded
+    activation stack.  It travels from the device back to the offline
+    compiler ([pvsc --profile-in]), so — like bytecode and snapshots — it
+    crosses a trust boundary and its codec reuses {!Serial}'s hardened
+    reader/writer core: every truncation or byte flip is rejected with
+    {!Serial.Corrupt}, never another exception, and no length field
+    drives an allocation beyond the size of the input.
+
+    Encoding is canonical: all three weight tables are sorted (functions
+    by name, blocks by (name, label), stacks lexicographically) and
+    weights are strictly positive, so two identical sampling runs
+    produce byte-identical profiles (the profiled-vs-unprofiled oracle
+    compares engines through this encoding). *)
+
+let magic = "PVPF"
+let version = 1
+
+type t = {
+  pf_period : int64;  (** sampling period, virtual cycles; > 0 *)
+  pf_total : int64;  (** total cycle weight attributed across samples *)
+  pf_samples : int;  (** number of samples taken *)
+  pf_fns : (string * int64) list;  (** per-function weight, sorted by name *)
+  pf_blocks : ((string * int) * int64) list;
+      (** per-(function, block-label) weight, sorted *)
+  pf_stacks : (string list * int64) list;
+      (** folded activation stacks, outermost frame first, sorted *)
+}
+
+(* ---------------- encode ---------------- *)
+
+let encode (p : t) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b magic;
+  Serial.w_u8 b version;
+  Serial.w_varint b p.pf_period;
+  Serial.w_varint b p.pf_total;
+  Serial.w_int b p.pf_samples;
+  Serial.w_list b
+    (fun b (fn, w) ->
+      Serial.w_string b fn;
+      Serial.w_varint b w)
+    p.pf_fns;
+  Serial.w_list b
+    (fun b ((fn, blk), w) ->
+      Serial.w_string b fn;
+      Serial.w_int b blk;
+      Serial.w_varint b w)
+    p.pf_blocks;
+  Serial.w_list b
+    (fun b (stack, w) ->
+      Serial.w_list b Serial.w_string stack;
+      Serial.w_varint b w)
+    p.pf_stacks;
+  Buffer.contents b
+
+(* ---------------- decode ---------------- *)
+
+(* Weights travel as unsigned varints; bit 63 set decodes to a negative
+   OCaml int64, which no real profile produces. *)
+let r_weight r what =
+  let w = Serial.r_varint r in
+  if Int64.compare w 0L <= 0 then
+    Serial.corrupt r "non-positive %s weight" what;
+  w
+
+let decode ?(limits = Serial.default_limits) (s : string) : t =
+  let r = { Serial.buf = s; pos = 0; lim = limits } in
+  if String.length s < 5 || not (String.equal (String.sub s 0 4) magic) then
+    Serial.corrupt r "bad profile magic";
+  r.Serial.pos <- 4;
+  (* Belt and braces, same as [Serial.decode]: only [Corrupt] may escape
+     on any input. *)
+  try
+    let v = Serial.r_u8 r in
+    if v <> version then Serial.corrupt r "unsupported profile version %d" v;
+    let pf_period = Serial.r_varint r in
+    if Int64.compare pf_period 1L < 0 then
+      Serial.corrupt r "non-positive sampling period";
+    let pf_total = Serial.r_varint r in
+    if Int64.compare pf_total 0L < 0 then
+      Serial.corrupt r "negative total weight";
+    let pf_samples = Serial.r_int r in
+    if pf_samples < 0 then Serial.corrupt r "negative sample count";
+    (* canonical order is enforced, not just trusted: a profile that is
+       not sorted (or repeats a key) did not come from our writer *)
+    let last_fn = ref "" in
+    let first_fn = ref true in
+    let pf_fns =
+      Serial.r_list r (fun r ->
+          let fn = Serial.r_string r in
+          if (not !first_fn) && String.compare fn !last_fn <= 0 then
+            Serial.corrupt r "function table not strictly sorted at %s" fn;
+          first_fn := false;
+          last_fn := fn;
+          (fn, r_weight r "function"))
+    in
+    let last_blk = ref ("", -1) in
+    let first_blk = ref true in
+    let pf_blocks =
+      Serial.r_list r (fun r ->
+          let fn = Serial.r_string r in
+          let blk = Serial.r_int r in
+          if blk < 0 then Serial.corrupt r "bad block label %d" blk;
+          if (not !first_blk) && compare (fn, blk) !last_blk <= 0 then
+            Serial.corrupt r "block table not strictly sorted at %s/b%d" fn blk;
+          first_blk := false;
+          last_blk := (fn, blk);
+          ((fn, blk), r_weight r "block"))
+    in
+    let last_stack = ref [] in
+    let first_stack = ref true in
+    let pf_stacks =
+      Serial.r_list r (fun r ->
+          let stack = Serial.r_list r Serial.r_string in
+          if stack = [] then Serial.corrupt r "empty folded stack";
+          if (not !first_stack) && compare stack !last_stack <= 0 then
+            Serial.corrupt r "stack table not strictly sorted";
+          first_stack := false;
+          last_stack := stack;
+          (stack, r_weight r "stack"))
+    in
+    if Serial.remaining r <> 0 then
+      Serial.corrupt r "%d trailing bytes" (Serial.remaining r);
+    { pf_period; pf_total; pf_samples; pf_fns; pf_blocks; pf_stacks }
+  with
+  | Serial.Corrupt _ as e -> raise e
+  | Stack_overflow -> Serial.corrupt r "decoder recursion limit"
+  | Invalid_argument m | Failure m ->
+    Serial.corrupt r "decoder invariant: %s" m
+
+let decode_result ?limits (s : string) : (t, Serial.corruption) result =
+  match decode ?limits s with
+  | p -> Ok p
+  | exception Serial.Corrupt c -> Error c
+
+(* ---------------- feedback edge ---------------- *)
+
+let fn_weight (p : t) fname =
+  match List.assoc_opt fname p.pf_fns with Some w -> w | None -> 0L
+
+(** Annotate every function of [prog] with its sampled hotness in [0;1]
+    (fraction of total sampled cycle weight) under
+    {!Annot.key_hotness} — the same key the exhaustive profiler writes,
+    so the offline compiler and the JIT cannot tell the two apart.
+    Functions the profile never sampled get hotness 0 explicitly: "we
+    looked and it was cold" is information. *)
+let annotate (p : t) (prog : Prog.t) : unit =
+  let total =
+    List.fold_left (fun acc (_, w) -> Int64.add acc w) 0L p.pf_fns
+  in
+  if Int64.compare total 0L > 0 then
+    List.iter
+      (fun (fn : Func.t) ->
+        let h = Int64.to_float (fn_weight p fn.name) /. Int64.to_float total in
+        Func.add_annot fn Annot.key_hotness (Annot.Flt h))
+      prog.funcs
+
+(* ---------------- files ---------------- *)
+
+let to_file path (p : t) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode p))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      decode (really_input_string ic n))

@@ -1,0 +1,44 @@
+(** Binary profile format — the feedback half of split compilation.
+
+    What the sampling profiler distills from a run: sampling period plus
+    cycle weight per function, per (function, block) and per folded
+    activation stack.  Crosses the device → offline-compiler trust
+    boundary, so the codec reuses {!Serial}'s hardened reader/writer core:
+    every malformed stream is rejected with {!Serial.Corrupt}.  Encoding
+    is canonical (all tables sorted, weights strictly positive), so
+    identical sampling runs produce byte-identical profiles. *)
+
+(** File magic ("PVPF") and format version. *)
+val magic : string
+
+val version : int
+
+type t = {
+  pf_period : int64;  (** sampling period, virtual cycles; > 0 *)
+  pf_total : int64;  (** total cycle weight attributed across samples *)
+  pf_samples : int;  (** number of samples taken *)
+  pf_fns : (string * int64) list;  (** per-function weight, sorted by name *)
+  pf_blocks : ((string * int) * int64) list;
+      (** per-(function, block-label) weight, sorted *)
+  pf_stacks : (string list * int64) list;
+      (** folded activation stacks, outermost frame first, sorted *)
+}
+
+val encode : t -> string
+
+(** @raise Serial.Corrupt on malformed input. *)
+val decode : ?limits:Serial.limits -> string -> t
+
+(** Exceptionless {!decode} for callers at the trust boundary. *)
+val decode_result : ?limits:Serial.limits -> string -> (t, Serial.corruption) result
+
+(** Sampled cycle weight of one function (0 if never sampled). *)
+val fn_weight : t -> string -> int64
+
+(** Write {!Annot.key_hotness} fractions (sampled weight / total) onto
+    every function of the program — the profile → annotation feedback
+    edge consumed by [pvsc --profile-in]. *)
+val annotate : t -> Prog.t -> unit
+
+val to_file : string -> t -> unit
+val of_file : string -> t

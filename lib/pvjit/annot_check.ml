@@ -101,6 +101,21 @@ let check_vectorized (fn : Func.t) : status =
   | Valid, _ | _, Valid -> Valid
   | Absent, Absent -> Absent
 
+(** Validate the profiler's {!Pvir.Annot.key_hotness} payload: a float
+    fraction of total profile weight, so it must be finite and inside
+    [0; 1].  Both the exhaustive profiler and the sampling profiler
+    ([pvsc --profile-in]) write this key, and a device must not let a
+    corrupted profile steer tiering with a NaN or an out-of-range
+    weight. *)
+let check_hotness (fn : Func.t) : status =
+  match Annot.find Annot.key_hotness fn.annots with
+  | None -> Absent
+  | Some (Annot.Flt h) ->
+    if Float.is_nan h || h < 0.0 || h > 1.0 then
+      Invalid (Printf.sprintf "hotness: fraction %h outside [0;1]" h)
+    else Valid
+  | Some _ -> Invalid "hotness: value is not a float"
+
 (** Validate one loop's annotation payload.  Loop annotations are advisory
     per-header metadata; only their {e values} are checked (the header
     label itself may legitimately go stale as later passes restructure the
@@ -164,13 +179,17 @@ let check_loops (fn : Func.t) : status * (int * status) list =
 
 (** Combined verdict for one function: [Invalid] dominates, then [Valid],
     then [Absent].  Covers function-level (spill order, vectorizer
-    metadata) and loop-level (trip count, stride, lane count) payloads. *)
+    metadata, profile hotness) and loop-level (trip count, stride, lane
+    count) payloads. *)
 let check_func (fn : Func.t) : status =
   let so, _ = check_spill_order fn in
   let vec = check_vectorized fn in
+  let hot = check_hotness fn in
   let loops, _ = check_loops fn in
-  match (so, vec, loops) with
-  | (Invalid _ as i), _, _ | _, (Invalid _ as i), _ | _, _, (Invalid _ as i) ->
-    i
-  | Valid, _, _ | _, Valid, _ | _, _, Valid -> Valid
-  | Absent, Absent, Absent -> Absent
+  let join x y =
+    match (x, y) with
+    | (Invalid _ as i), _ | _, (Invalid _ as i) -> i
+    | Valid, _ | _, Valid -> Valid
+    | Absent, Absent -> Absent
+  in
+  join so (join vec (join hot loops))

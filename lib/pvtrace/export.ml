@@ -252,6 +252,27 @@ let span_table (tr : Trace.t) : string =
     (spans tr);
   Buffer.contents buf
 
+(** One-line p50/p90/p99 summary of the span-duration distribution
+    (virtual work units), estimated by {!Metrics.quantile} bucket
+    interpolation — [pvsc --timings] appends it to the table.  Empty
+    string when the trace has no completed spans. *)
+let span_quantiles (tr : Trace.t) : string =
+  let m = Metrics.create () in
+  List.iter
+    (fun (_, _, _, dur, _) -> Metrics.observe m "span.dur" dur)
+    (spans tr);
+  match
+    ( Metrics.quantile m "span.dur" 0.5,
+      Metrics.quantile m "span.dur" 0.9,
+      Metrics.quantile m "span.dur" 0.99 )
+  with
+  | Some p50, Some p90, Some p99 ->
+    Printf.sprintf
+      "span work units: p50=%.0f p90=%.0f p99=%.0f (over %d spans)\n" p50 p90
+      p99
+      (Metrics.hist_count m "span.dur")
+  | _ -> ""
+
 (* ---------------- tiny JSON parser + trace validator ---------------- *)
 
 (** Minimal JSON model, enough to validate what we emit (and to reject
@@ -420,6 +441,10 @@ let validate_chrome (s : string) : (int, string) result =
     match List.assoc_opt "traceEvents" fields with
     | Some (Arr events) -> (
       let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 8 in
+      (* profiler samples (cat "sample") must be emitted in virtual-time
+         order per track — the exporter merges them from an ordered
+         retention buffer, so disorder means a corrupted trace *)
+      let last_sample : (int * int, float) Hashtbl.t = Hashtbl.create 4 in
       let err = ref None in
       let fail msg = if !err = None then err := Some msg in
       List.iteri
@@ -445,6 +470,24 @@ let validate_chrome (s : string) : (int, string) result =
                 match num "pid" with Some x -> int_of_float x | None -> 0
               in
               let name = str "name" in
+              (if str "cat" = Some "sample" then
+                 match num "ts" with
+                 | None -> ()
+                 | Some ts ->
+                   (match Hashtbl.find_opt last_sample (p, tid) with
+                   | Some prev when ts < prev ->
+                     fail
+                       (Printf.sprintf
+                          "event %d: sample timestamp out of order (%g < %g)"
+                          i ts prev)
+                   | _ -> ());
+                   Hashtbl.replace last_sample (p, tid) ts);
+              (if str "cat" = Some "sample" && ph <> "i" && ph <> "I"
+                  && ph <> "C" then
+                 fail
+                   (Printf.sprintf
+                      "event %d: sample events must be instants or counters"
+                      i));
               match ph with
               | "B" -> (
                 match name with

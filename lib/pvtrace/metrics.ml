@@ -135,6 +135,270 @@ let hist_buckets t name : int array =
 let names t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
 
+(* ---------------- quantiles ---------------- *)
+
+(** [quantile t name q] estimates the [q]-quantile ([0 <= q <= 1]) of
+    histogram [name] by linear interpolation inside the bucket holding
+    the target rank — the classic fixed-bucket estimator (same scheme
+    Prometheus' [histogram_quantile] uses).  Observations in the
+    overflow bucket are clamped to the highest finite bound, so the
+    estimate never invents values beyond the instrumented range.
+    [None] if the metric is absent, not a histogram, or empty. *)
+let quantile t name (q : float) : float option =
+  if Float.is_nan q || q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.quantile: q must be in [0;1]";
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) when h.hcount > 0 ->
+    let n = Array.length h.bounds in
+    let target = q *. float_of_int h.hcount in
+    let rec go i cum =
+      if i >= n then Some (Int64.to_float h.bounds.(n - 1))
+      else
+        let cum' = cum + h.buckets.(i) in
+        if float_of_int cum' >= target && h.buckets.(i) > 0 then
+          let lo = if i = 0 then 0.0 else Int64.to_float h.bounds.(i - 1) in
+          let hi = Int64.to_float h.bounds.(i) in
+          let inside = (target -. float_of_int cum) /. float_of_int h.buckets.(i) in
+          Some (lo +. (Float.max 0.0 (Float.min 1.0 inside) *. (hi -. lo)))
+        else go (i + 1) cum'
+    in
+    go 0 0
+  | _ -> None
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+(** Metric names sanitized to the Prometheus grammar
+    [[a-zA-Z_:][a-zA-Z0-9_:]*] — every other character becomes ['_']. *)
+let prom_name (name : string) : string =
+  let ok i c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || c = '_' || c = ':'
+    || (i > 0 && c >= '0' && c <= '9')
+  in
+  String.mapi (fun i c -> if ok i c then c else '_') name
+
+(** Render the registry in the Prometheus text exposition format
+    (version 0.0.4): one [# TYPE] header per metric, histograms as
+    cumulative [_bucket{le="..."}] series (all buckets emitted, zero or
+    not, ending in [le="+Inf"]) plus [_sum] and [_count].  Deterministic:
+    metrics in name order, buckets in bound order — so equal registries
+    render byte-identically, the law {!of_prom} round-trips on. *)
+let to_prom t : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      let pn = prom_name name in
+      match Hashtbl.find t.tbl name with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" pn);
+        Buffer.add_string buf (Printf.sprintf "%s %Ld\n" pn c.c)
+      | Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" pn);
+        Buffer.add_string buf (Printf.sprintf "%s %Ld\n" pn g.g)
+      | Hist h ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pn);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i b ->
+            cum := !cum + h.buckets.(i);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%Ld\"} %d\n" pn b !cum))
+          h.bounds;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pn h.hcount);
+        Buffer.add_string buf (Printf.sprintf "%s_sum %Ld\n" pn h.hsum);
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pn h.hcount))
+    (names t);
+  Buffer.contents buf
+
+(** Parse a {!to_prom}-shaped exposition back into a registry.  Only the
+    subset {!to_prom} emits is accepted (the law pinned by tests:
+    [to_prom (of_prom (to_prom m)) = to_prom m]); anything else —
+    unknown type, missing header, non-cumulative buckets, malformed
+    number — fails with [Error reason].  This is the ingestion half of
+    the scrape round-trip, so it refuses rather than guesses. *)
+let of_prom (text : string) : (t, string) result =
+  let m = create () in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  (* histogram assembly state, filled line by line *)
+  let module H = struct
+    type st = {
+      mutable bounds_rev : int64 list;
+      mutable cums_rev : int list;  (** finite buckets, cumulative *)
+      mutable inf : int option;  (** the le="+Inf" bucket *)
+      mutable sum : int64 option;
+      mutable count : int option;
+    }
+  end in
+  let hstate : (string, H.st) Hashtbl.t = Hashtbl.create 16 in
+  let hist_of name =
+    match Hashtbl.find_opt hstate name with
+    | Some r -> r
+    | None ->
+      let r =
+        { H.bounds_rev = []; cums_rev = []; inf = None; sum = None;
+          count = None }
+      in
+      Hashtbl.replace hstate name r;
+      r
+  in
+  let parse_i64 s =
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> err "malformed number %S" s
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match String.split_on_char ' ' line with
+      | [ "#"; "TYPE"; name; kind ] ->
+        if Hashtbl.mem types name then err "duplicate TYPE for %s" name
+        else if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+          err "unknown metric type %S" kind
+        else begin
+          Hashtbl.replace types name kind;
+          go rest
+        end
+      | [ sample; v ] -> (
+        let histo_part name suffix =
+          match Hashtbl.find_opt types name with
+          | Some "histogram" -> Ok (hist_of name)
+          | _ -> err "%s sample %s without histogram TYPE" suffix name
+        in
+        let strip s suf =
+          if
+            String.length s > String.length suf
+            && String.sub s (String.length s - String.length suf)
+                 (String.length suf)
+               = suf
+          then Some (String.sub s 0 (String.length s - String.length suf))
+          else None
+        in
+        match String.index_opt sample '{' with
+        | Some i -> (
+          (* histogram bucket: name_bucket{le="..."} cum *)
+          let base = String.sub sample 0 i in
+          let label = String.sub sample i (String.length sample - i) in
+          match strip base "_bucket" with
+          | None -> err "unexpected labeled sample %S" sample
+          | Some name -> (
+            match histo_part name "bucket" with
+            | Error e -> Error e
+            | Ok r ->
+              if
+                String.length label < 7
+                || String.sub label 0 5 <> "{le=\""
+                || String.sub label (String.length label - 2) 2 <> "\"}"
+              then err "malformed bucket label %S" label
+              else
+                let le = String.sub label 5 (String.length label - 7) in
+                let cum =
+                  match int_of_string_opt v with
+                  | Some c when c >= 0 -> Ok c
+                  | _ -> err "malformed bucket count %S" v
+                in
+                (match cum with
+                | Error e -> Error e
+                | Ok c ->
+                  if (match r.H.cums_rev with c0 :: _ -> c < c0 | [] -> false)
+                  then err "non-cumulative buckets for %s" name
+                  else if le = "+Inf" then begin
+                    r.H.inf <- Some c;
+                    go rest
+                  end
+                  else (
+                    match parse_i64 le with
+                    | Error e -> Error e
+                    | Ok b ->
+                      if
+                        match r.H.bounds_rev with
+                        | b0 :: _ -> Int64.compare b0 b >= 0
+                        | [] -> false
+                      then err "bucket bounds not increasing for %s" name
+                      else begin
+                        r.H.bounds_rev <- b :: r.H.bounds_rev;
+                        r.H.cums_rev <- c :: r.H.cums_rev;
+                        go rest
+                      end))))
+        | None -> (
+          match strip sample "_sum" with
+          | Some name when Hashtbl.find_opt types name = Some "histogram" -> (
+            match parse_i64 v with
+            | Error e -> Error e
+            | Ok s ->
+              (hist_of name).H.sum <- Some s;
+              go rest)
+          | _ -> (
+            match strip sample "_count" with
+            | Some name when Hashtbl.find_opt types name = Some "histogram"
+              -> (
+              match int_of_string_opt v with
+              | Some c when c >= 0 ->
+                (hist_of name).H.count <- Some c;
+                go rest
+              | _ -> err "malformed count %S" v)
+            | _ -> (
+              match Hashtbl.find_opt types sample with
+              | Some "counter" -> (
+                match parse_i64 v with
+                | Error e -> Error e
+                | Ok c ->
+                  inc m sample c;
+                  go rest)
+              | Some "gauge" -> (
+                match parse_i64 v with
+                | Error e -> Error e
+                | Ok g ->
+                  set m sample g;
+                  go rest)
+              | Some _ -> err "sample %s does not match its TYPE" sample
+              | None -> err "sample %s without a TYPE header" sample))))
+      | _ -> err "malformed line %S" line)
+  in
+  match go lines with
+  | Error e -> Error e
+  | Ok () -> (
+    (* materialize assembled histograms, de-cumulating bucket counts *)
+    let finish name (r : H.st) acc =
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+        match (r.H.bounds_rev, r.H.inf, r.H.sum, r.H.count) with
+        | [], _, _, _ -> err "histogram %s has no finite buckets" name
+        | _, None, _, _ -> err "histogram %s missing +Inf bucket" name
+        | _, _, None, _ -> err "histogram %s missing _sum" name
+        | _, _, _, None -> err "histogram %s missing _count" name
+        | _, Some inf, Some s, Some c ->
+          if inf <> c then
+            err "histogram %s: +Inf bucket %d disagrees with _count %d" name
+              inf c
+          else
+            let bounds = Array.of_list (List.rev r.H.bounds_rev) in
+            let cums = Array.of_list (List.rev r.H.cums_rev) in
+            let h = histogram m ~bounds name in
+            Array.iteri
+              (fun i cum ->
+                h.buckets.(i) <- (cum - if i = 0 then 0 else cums.(i - 1)))
+              cums;
+            let finite = cums.(Array.length cums - 1) in
+            if c < finite then
+              err "histogram %s count below finite buckets" name
+            else begin
+              h.buckets.(Array.length bounds) <- c - finite;
+              h.hsum <- s;
+              h.hcount <- c;
+              Ok ()
+            end)
+    in
+    match Hashtbl.fold finish hstate (Ok ()) with
+    | Error e -> Error e
+    | Ok () -> Ok m)
+
 (* ---------------- text dump ---------------- *)
 
 let dump t : string =

@@ -53,6 +53,10 @@ let track_offline = 2
 let track_distribute = 3
 let track_jit = 4
 let track_vm = 5
+
+(** Sampling-profiler instants and counters (see [lib/pvprof]). *)
+let track_prof = 6
+
 let track_ledger = 9
 
 (** Scheduler cores occupy [track_sched_base + i] for core index [i]. *)

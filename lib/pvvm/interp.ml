@@ -83,9 +83,21 @@ type t = {
   mutable ckpt_snap : Pvir.Ckpt.t option;  (** last captured snapshot *)
   mutable pdigest : string option;
       (** memoized [Ckpt.prog_digest] of the loaded program *)
+  mutable sampler : Pvprof.t option;
+      (** sampling profiler: polled at block entries (the checkpoint
+          safepoints) against the cycle clock, so profiled and
+          unprofiled runs are bit-identical in results, output and
+          accounting *)
+  mutable sample_at : int64;
+      (** cached [Pvprof.next_at] of the sampler; [Int64.max_int] when
+          no sampler is armed, so the per-block poll is one compare
+          that never fires on the fast path *)
+  mutable sstack : string list;
+      (** shadow activation stack for the sampler (function names,
+          innermost first); maintained only while a sampler is armed *)
 }
 
-let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
+let create ?(dispatch_cost = 8) ?profile ?sampler ?(fuel = 1_000_000_000L)
     ?(engine = Threaded) ?tr img =
   {
     img;
@@ -101,7 +113,28 @@ let create ?(dispatch_cost = 8) ?profile ?(fuel = 1_000_000_000L)
     ckpt_at = -1L;
     ckpt_snap = None;
     pdigest = None;
+    sampler;
+    sample_at =
+      (match sampler with
+      | Some s -> Pvprof.next_at s
+      | None -> Int64.max_int);
+    sstack = [];
   }
+
+(** Arm a sampling profiler (or re-arm after {!create} without one). *)
+let set_sampler t s =
+  t.sampler <- Some s;
+  t.sample_at <- Pvprof.next_at s
+
+(* Record one sample at a block-entry safepoint.  [t.stats.cycles] must
+   be current (the threaded engine flushes its unboxed counters first). *)
+let take_sample t fname label =
+  match t.sampler with
+  | None -> ()
+  | Some s ->
+    Pvprof.sample s ~cycles:t.stats.cycles ~stack:t.sstack ~fn:fname
+      ~block:label;
+    t.sample_at <- Pvprof.next_at s
 
 let set_trace t tr = t.tr <- tr
 
@@ -228,8 +261,14 @@ let rec tw_call t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
     raise (Trap (Printf.sprintf "arity mismatch calling %s" fn.name));
   let frame = { regs = Array.make fn.next_reg None; fn; fsp = t.sp } in
   List.iter2 (fun r v -> set_reg frame r v) fn.params args;
+  (* shadow stack for the sampler; exceptional unwinds are repaired at
+     the public entry points, so no per-call protect is needed *)
+  if t.sampler <> None then t.sstack <- fn.name :: t.sstack;
   let result = exec_block t frame (Pvir.Func.entry fn) in
   t.sp <- frame.fsp;
+  (match t.sstack with
+  | _ :: tl when t.sampler <> None -> t.sstack <- tl
+  | _ -> ());
   result
 
 and exec_block t frame blk = exec_block_from t frame blk ~ip:0
@@ -241,6 +280,10 @@ and exec_block t frame blk = exec_block_from t frame blk ~ip:0
     dispatch charge — the exact point where all engines' counters
     agree. *)
 and exec_block_from t frame (blk : Pvir.Func.block) ~ip : Pvir.Value.t option =
+  (* sample poll first, then checkpoint poll — both engines keep this
+     order, so a block entry that trips both stays deterministic *)
+  if ip = 0 && Int64.compare t.stats.cycles t.sample_at >= 0 then
+    take_sample t frame.fn.Pvir.Func.name blk.label;
   if ckpt_armed t then begin
     if ip = 0 && ckpt_due t then
       raise (Ckpt_capture (ref [ tw_ckpt_frame frame blk.label 0 None ]));
@@ -349,6 +392,9 @@ type ectx = {
       (** unboxed checkpoint threshold: [max_int] while unarmed, so the
           per-block safepoint poll is a single int compare that never
           fires on the fast path *)
+  mutable esample : int;
+      (** unboxed sampling threshold against [ecycles], same discipline
+          as [eckpt]; mutable because it re-arms after every sample *)
 }
 
 let clamp_to_int v =
@@ -361,6 +407,7 @@ let ectx_of t =
     einstrs = Int64.to_int t.stats.instrs;
     efuel = clamp_to_int t.fuel;
     eckpt = (if ckpt_armed t then clamp_to_int t.ckpt_at else max_int);
+    esample = clamp_to_int t.sample_at;
   }
 
 let flush_ectx t ec =
@@ -467,8 +514,13 @@ let rec dcall t ec (df : Decode.dfunc) (args : Pvir.Value.t list) :
   List.iter2 (fun r v -> dset_checked frame r v) df.Decode.dparams args;
   if Array.length df.Decode.dblocks = 0 then
     invalid_arg (Printf.sprintf "Func.entry: %s has no blocks" df.Decode.dname);
+  (* shadow stack for the sampler, mirroring [tw_call] *)
+  if t.sampler <> None then t.sstack <- df.Decode.dname :: t.sstack;
   let result = dexec_block t ec df frame 0 in
   t.sp <- frame.dsp;
+  (match t.sstack with
+  | _ :: tl when t.sampler <> None -> t.sstack <- tl
+  | _ -> ());
   result
 
 and dexec_block t ec df frame idx = dexec_block_from t ec df frame idx ~ip:0
@@ -480,6 +532,15 @@ and dexec_block_from t ec (df : Decode.dfunc) frame idx ~ip :
     Pvir.Value.t option =
   let blk = df.Decode.dblocks.(idx) in
   let insts = blk.Decode.dinstrs in
+  (* sample poll first, then checkpoint poll — the tree-walker's order.
+     Sampling flushes the unboxed counters (so the sampler sees the
+     canonical Int64 cycle count) but never forces the armed
+     per-instruction loop: samples only fire at block entries. *)
+  if ip = 0 && ec.ecycles >= ec.esample then begin
+    flush_ectx t ec;
+    take_sample t df.Decode.dname blk.Decode.dlabel;
+    ec.esample <- clamp_to_int t.sample_at
+  end;
   if ip = 0 && ec.einstrs >= ec.eckpt then
     raise (Ckpt_capture (ref [ d_ckpt_frame frame blk.Decode.dlabel 0 None ]));
   if ec.eckpt = max_int then
@@ -702,12 +763,21 @@ let aot_hook : (t -> Pvir.Func.t -> Pvir.Value.t list -> Pvir.Value.t option) re
 
 let call_untraced t (fn : Pvir.Func.t) (args : Pvir.Value.t list) :
     Pvir.Value.t option =
+  (* an exceptional unwind (trap, checkpoint) skips the per-call shadow
+     stack pops; one restore here keeps the sampler's stack honest *)
+  let saved_stack = t.sstack in
   try
     match t.engine with
     | Tree_walk -> tw_call t fn args
     | Threaded -> threaded_call t fn args
     | Aot -> !aot_hook t fn args
-  with Ckpt_capture frames -> finish_capture t !frames
+  with
+  | Ckpt_capture frames ->
+    t.sstack <- saved_stack;
+    finish_capture t !frames
+  | e ->
+    t.sstack <- saved_stack;
+    raise e
 
 (** Call [fn] with [args] under the configured engine.  With a trace sink
     attached, the whole activation becomes a span on the VM track whose
@@ -780,6 +850,9 @@ let rec tw_resume t inject (frames : Pvir.Ckpt.frame list) :
         raise (Ckpt_capture captured)
     in
     t.sp <- frame.fsp;
+    (match t.sstack with
+    | _ :: tl when t.sampler <> None -> t.sstack <- tl
+    | _ -> ());
     (match rest with
     | [] -> result
     | nf :: _ -> tw_resume t (inject_of nf f.Pvir.Ckpt.ck_fn result) rest)
@@ -815,6 +888,9 @@ let rec d_resume t ec inject (frames : Pvir.Ckpt.frame list) :
         raise (Ckpt_capture captured)
     in
     t.sp <- frame.dsp;
+    (match t.sstack with
+    | _ :: tl when t.sampler <> None -> t.sstack <- tl
+    | _ -> ());
     (match rest with
     | [] -> result
     | nf :: _ -> d_resume t ec (inject_of nf f.Pvir.Ckpt.ck_fn result) rest)
@@ -826,15 +902,30 @@ let rec d_resume t ec inject (frames : Pvir.Ckpt.frame list) :
     holds regardless.  Raises {!Checkpointed} if a (re-)armed checkpoint
     trips during the resumed run. *)
 let resume_frames t (frames : Pvir.Ckpt.frame list) : Pvir.Value.t option =
+  (* seed the sampler's shadow stack with the restored call stack (the
+     snapshot frames are innermost first, exactly the stack shape) *)
+  if t.sampler <> None then
+    t.sstack <- List.map (fun f -> f.Pvir.Ckpt.ck_fn) frames;
+  let finish_stack () = if t.sampler <> None then t.sstack <- [] in
   try
-    match t.engine with
-    | Tree_walk -> tw_resume t None frames
-    | Threaded | Aot ->
-      let ec = ectx_of t in
-      Fun.protect
-        ~finally:(fun () -> flush_ectx t ec)
-        (fun () -> d_resume t ec None frames)
-  with Ckpt_capture frames -> finish_capture t !frames
+    let r =
+      match t.engine with
+      | Tree_walk -> tw_resume t None frames
+      | Threaded | Aot ->
+        let ec = ectx_of t in
+        Fun.protect
+          ~finally:(fun () -> flush_ectx t ec)
+          (fun () -> d_resume t ec None frames)
+    in
+    finish_stack ();
+    r
+  with
+  | Ckpt_capture frames ->
+    finish_stack ();
+    finish_capture t !frames
+  | e ->
+    finish_stack ();
+    raise e
 
 (** Absorb this interpreter's counters into a metrics registry:
     cycles/instructions/calls plus fuel and allocation headroom.  Purely

@@ -1,0 +1,483 @@
+(* Tier-1 tests for the deterministic sampling profiler (lib/pvprof).
+
+   The laws under test:
+
+   - zero observer effect: attaching a sampler changes nothing portable
+     (result/output/globals) and no accounting counter, on all three
+     interpreter engines, over the Table-1 kernels and a pinned corpus
+     of generated programs;
+   - cross-engine sample agreement: the three engines take byte-identical
+     sample streams (canonical Profdata encodings compared);
+   - the PVPF codec is hardened: round-trips exactly, rejects every
+     truncation, and never crashes on seeded byte flips;
+   - the feedback edge closes: sampled hotness annotations are valid
+     under the device's annotation checker and survive distribution;
+   - the telemetry exports hold their invariants: bounded retention,
+     ordered sample events in validated Chrome traces, Prometheus
+     round-trip, quantile estimation. *)
+
+open Pvkernels
+
+let () = Pvaot.install ()
+
+(* a deliberately skewed two-function program: [hot] burns ~100x the
+   cycles of [cold], so every sensible profile ranks hot > cold *)
+let hot_cold_src =
+  {|
+i32 cold(i32 n) {
+  i32 s = 0;
+  for (i32 i = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}
+i32 hot(i32 n) {
+  i32 s = 0;
+  for (i32 i = 0; i < n; i = i + 1) { s = s + i * 3 - (s / 7); }
+  return s;
+}
+i32 main() {
+  i32 a = cold(40);
+  i32 b = hot(4000);
+  return a + b;
+}
+|}
+
+let compile_src src = Core.Splitc.frontend ~name:"profiled" src
+
+let run_sampled ?(period = 64L) ?(engine = Pvvm.Interp.Threaded)
+    ?(entry = "main") ?(args = []) prog =
+  let img = Pvvm.Image.load (Pvir.Prog.copy prog) in
+  Harness.fill_inputs img;
+  let sampler = Pvprof.create ~period () in
+  let it = Pvvm.Interp.create ~engine ~sampler img in
+  ignore (Pvvm.Interp.run it entry args);
+  sampler
+
+(* ---------------- codec: round-trip + hardening ---------------- *)
+
+let sample_profile () =
+  let prog = compile_src hot_cold_src in
+  run_sampled ~period:16L prog
+
+let test_codec_roundtrip () =
+  let s = sample_profile () in
+  let d = Pvprof.to_data s in
+  let bytes = Pvir.Profdata.encode d in
+  let d' = Pvir.Profdata.decode bytes in
+  Alcotest.(check bool) "round-trip equal" true (d = d');
+  (* canonical: re-encode is byte-identical *)
+  Alcotest.(check string) "canonical" bytes (Pvir.Profdata.encode d');
+  Alcotest.(check bool) "has samples" true (d.Pvir.Profdata.pf_samples > 0)
+
+let test_codec_truncations () =
+  let bytes = Pvir.Profdata.encode (Pvprof.to_data (sample_profile ())) in
+  for n = 0 to String.length bytes - 1 do
+    match Pvir.Profdata.decode_result (String.sub bytes 0 n) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded" n
+  done
+
+let test_codec_byte_flips () =
+  let bytes = Pvir.Profdata.encode (Pvprof.to_data (sample_profile ())) in
+  let n = String.length bytes in
+  let rng = ref 0x9E3779B97F4A7C15L in
+  let next () =
+    (* splitmix64 step, the repo's seeded-fuzz idiom *)
+    rng := Int64.add !rng 0x9E3779B97F4A7C15L;
+    let z = !rng in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  for _ = 1 to 2000 do
+    let pos = Int64.to_int (Int64.unsigned_rem (next ()) (Int64.of_int n)) in
+    let bit = Int64.to_int (Int64.unsigned_rem (next ()) 8L) in
+    let b = Bytes.of_string bytes in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    (* must never raise anything but the structured rejection *)
+    match Pvir.Profdata.decode_result (Bytes.to_string b) with
+    | Error _ | Ok _ -> ()
+  done
+
+let test_codec_rejects_bad_weights () =
+  (* a hand-built profile with a zero weight must not encode-then-decode:
+     the decoder enforces strictly positive weights *)
+  let d =
+    {
+      Pvir.Profdata.pf_period = 64L;
+      pf_total = 10L;
+      pf_samples = 1;
+      pf_fns = [ ("f", 0L) ];
+      pf_blocks = [];
+      pf_stacks = [];
+    }
+  in
+  match Pvir.Profdata.decode_result (Pvir.Profdata.encode d) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero weight decoded"
+
+(* ---------------- observer effect + cross-engine agreement -------- *)
+
+(* pinned corpus, same shape as the AOT suite's *)
+let corpus_seeds = List.init 25 (fun i -> i)
+
+let test_corpus_seed seed () =
+  let prog = Pvcheck.Gen.program ~seed in
+  match Pvcheck.Profcheck.check prog with
+  | [] -> ()
+  | m :: _ ->
+    Alcotest.failf "seed %d: %s on %s: %s" seed m.Pvcheck.Oracle.what
+      m.Pvcheck.Oracle.path m.Pvcheck.Oracle.detail
+
+let test_kernel_identity (k : Kernels.t) () =
+  List.iter
+    (fun engine ->
+      let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+      let run sampled =
+        let img = Pvvm.Image.load (Pvir.Prog.copy p) in
+        Harness.fill_inputs img;
+        let it =
+          if sampled then
+            Pvvm.Interp.create ~engine ~sampler:(Pvprof.create ~period:256L ())
+              img
+          else Pvvm.Interp.create ~engine img
+        in
+        let result =
+          Pvvm.Interp.run it k.Kernels.entry (Harness.args k 256)
+        in
+        ( {
+            Harness.result;
+            globals = Harness.observe_globals img;
+            printed = Pvvm.Interp.output it;
+          },
+          it.Pvvm.Interp.stats )
+      in
+      let obs_p, st_p = run false in
+      let obs_s, st_s = run true in
+      Alcotest.(check bool)
+        (k.Kernels.name ^ ": observation") true
+        (Harness.observation_equal obs_p obs_s);
+      Alcotest.(check int64)
+        (k.Kernels.name ^ ": cycles")
+        st_p.Pvvm.Interp.cycles st_s.Pvvm.Interp.cycles;
+      Alcotest.(check int64)
+        (k.Kernels.name ^ ": instrs")
+        st_p.Pvvm.Interp.instrs st_s.Pvvm.Interp.instrs;
+      Alcotest.(check int)
+        (k.Kernels.name ^ ": calls")
+        st_p.Pvvm.Interp.calls st_s.Pvvm.Interp.calls)
+    [ Pvvm.Interp.Tree_walk; Pvvm.Interp.Threaded; Pvvm.Interp.Aot ]
+
+(* ---------------- rankings ---------------- *)
+
+let test_hot_cold_ranking () =
+  let prog = compile_src hot_cold_src in
+  let s = run_sampled ~period:16L prog in
+  (match Pvprof.fn_ranking s with
+  | (top, _) :: _ ->
+    Alcotest.(check string) "hottest function" "hot" top
+  | [] -> Alcotest.fail "no samples taken");
+  Alcotest.(check bool) "hot outweighs cold" true
+    (Int64.compare (Pvprof.fn_weight s "hot") (Pvprof.fn_weight s "cold") > 0);
+  (* the folded stacks reach main: every sampled stack is rooted there *)
+  let collapsed = Pvprof.to_collapsed s in
+  Alcotest.(check bool) "stacks rooted in main" true
+    (String.length collapsed > 0
+    && List.for_all
+         (fun line -> line = "" || String.length line > 5)
+         (String.split_on_char '\n' collapsed))
+
+(* the sampled function ranking must agree with the exhaustive profiler's
+   visit-weight ranking on the Table-1 kernels (each is dominated by one
+   hot kernel function, so cycle weight and visit weight order alike) *)
+let test_table1_ranking_matches (k : Kernels.t) () =
+  let p = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  (* exhaustive run *)
+  let img_e = Pvvm.Image.load (Pvir.Prog.copy p) in
+  Harness.fill_inputs img_e;
+  let profile = Pvvm.Profile.create () in
+  let it_e = Pvvm.Interp.create ~profile img_e in
+  ignore (Pvvm.Interp.run it_e k.Kernels.entry (Harness.args k 256));
+  (* sampled run *)
+  let s = run_sampled ~period:256L ~entry:k.Kernels.entry
+      ~args:(Harness.args k 256) p
+  in
+  let exhaustive_top =
+    List.fold_left
+      (fun acc (fn : Pvir.Func.t) ->
+        let w = Pvvm.Profile.weight profile fn.Pvir.Func.name in
+        match acc with
+        | Some (_, best) when best >= w -> acc
+        | _ -> Some (fn.Pvir.Func.name, w))
+      None p.Pvir.Prog.funcs
+  in
+  match (exhaustive_top, Pvprof.fn_ranking s) with
+  | Some (ename, _), (sname, _) :: _ ->
+    Alcotest.(check string)
+      (k.Kernels.name ^ ": hottest function agrees")
+      ename sname
+  | _ -> Alcotest.failf "%s: no profile data" k.Kernels.name
+
+(* ---------------- feedback edge: annotations ---------------- *)
+
+let test_annotations_valid () =
+  let prog = compile_src hot_cold_src in
+  let s = run_sampled ~period:16L prog in
+  Pvprof.to_annotations s prog;
+  List.iter
+    (fun (fn : Pvir.Func.t) ->
+      (match Pvjit.Annot_check.check_hotness fn with
+      | Pvjit.Annot_check.Valid -> ()
+      | Pvjit.Annot_check.Absent ->
+        Alcotest.failf "%s: hotness absent" fn.Pvir.Func.name
+      | Pvjit.Annot_check.Invalid r ->
+        Alcotest.failf "%s: %s" fn.Pvir.Func.name r);
+      match Pvjit.Annot_check.check_func fn with
+      | Pvjit.Annot_check.Invalid r ->
+        Alcotest.failf "%s: check_func: %s" fn.Pvir.Func.name r
+      | _ -> ())
+    prog.Pvir.Prog.funcs;
+  (* fractions sum to ~1 over the program *)
+  let total =
+    List.fold_left
+      (fun acc (fn : Pvir.Func.t) ->
+        match Pvir.Annot.find Pvir.Annot.key_hotness fn.Pvir.Func.annots with
+        | Some (Pvir.Annot.Flt h) -> acc +. h
+        | _ -> acc)
+      0.0 prog.Pvir.Prog.funcs
+  in
+  Alcotest.(check bool) "fractions sum to 1" true (abs_float (total -. 1.0) < 1e-9)
+
+let test_check_hotness_rejects () =
+  let prog = compile_src hot_cold_src in
+  let fn = List.hd prog.Pvir.Prog.funcs in
+  fn.Pvir.Func.annots <-
+    Pvir.Annot.add Pvir.Annot.key_hotness (Pvir.Annot.Flt 1.5)
+      fn.Pvir.Func.annots;
+  (match Pvjit.Annot_check.check_hotness fn with
+  | Pvjit.Annot_check.Invalid _ -> ()
+  | _ -> Alcotest.fail "hotness 1.5 accepted");
+  fn.Pvir.Func.annots <-
+    Pvir.Annot.add Pvir.Annot.key_hotness (Pvir.Annot.Int 3)
+      fn.Pvir.Func.annots;
+  match Pvjit.Annot_check.check_func fn with
+  | Pvjit.Annot_check.Invalid _ -> ()
+  | _ -> Alcotest.fail "non-float hotness accepted"
+
+(* the full pvsc --profile-in shape, at the API level: sampled run ->
+   PVPF bytes -> annotate the linked program -> distribute -> decode on
+   the device -> annotations still present and valid *)
+let test_profile_in_roundtrip () =
+  let prog = compile_src hot_cold_src in
+  let s = run_sampled ~period:16L (Pvir.Prog.copy prog) in
+  let bytes = Pvir.Profdata.encode (Pvprof.to_data s) in
+  let data = Pvir.Profdata.decode bytes in
+  Pvir.Profdata.annotate data prog;
+  let off = Core.Splitc.offline ~mode:Core.Splitc.Split prog in
+  let shipped = Core.Splitc.distribute off in
+  let device = Pvir.Serial.decode shipped in
+  List.iter
+    (fun (fn : Pvir.Func.t) ->
+      match Pvjit.Annot_check.check_hotness fn with
+      | Pvjit.Annot_check.Valid -> ()
+      | Pvjit.Annot_check.Absent ->
+        Alcotest.failf "%s: hotness lost in distribution" fn.Pvir.Func.name
+      | Pvjit.Annot_check.Invalid r ->
+        Alcotest.failf "%s: %s" fn.Pvir.Func.name r)
+    device.Pvir.Prog.funcs
+
+(* ---------------- adaptive: profile-guided generation ---------------- *)
+
+let test_generations_sampled () =
+  let prog = compile_src hot_cold_src in
+  let bytecode =
+    Core.Splitc.distribute
+      (Core.Splitc.offline ~mode:Core.Splitc.Pure_online prog)
+  in
+  let gens, hot =
+    Core.Adaptive.generations_sampled ~period:16L
+      ~machine:Pvmach.Machine.x86ish
+      ~prepare:(fun _ -> ())
+      ~entry:"main" ~args:[] bytecode
+  in
+  Alcotest.(check int) "three generations" 3 (List.length gens);
+  Alcotest.(check bool) "hot set nonempty" true (hot <> []);
+  Alcotest.(check string) "hot set starts with hot" "hot" (List.hd hot)
+
+(* ---------------- trace + retention ---------------- *)
+
+let test_trace_merge_validates () =
+  let prog = compile_src hot_cold_src in
+  let tr = Pvtrace.Trace.create () in
+  let img = Pvvm.Image.load (Pvir.Prog.copy prog) in
+  let sampler = Pvprof.create ~period:16L () in
+  let it = Pvvm.Interp.create ~sampler ~tr img in
+  ignore (Pvvm.Interp.run it "main" []);
+  Pvprof.to_trace sampler tr;
+  let json = Pvtrace.Export.chrome_json tr in
+  (match Pvtrace.Export.validate_chrome json with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "merged trace invalid: %s" m);
+  Alcotest.(check bool) "instants present" true
+    (Pvprof.samples_taken sampler > 0)
+
+let test_out_of_order_samples_rejected () =
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.instant_at tr ~ts:100L ~tid:Pvtrace.Trace.track_prof
+    ~cat:"sample" "f:b0";
+  Pvtrace.Trace.instant_at tr ~ts:50L ~tid:Pvtrace.Trace.track_prof
+    ~cat:"sample" "f:b1";
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  match Pvtrace.Export.validate_chrome (Pvtrace.Export.chrome_json tr) with
+  | Error m ->
+    Alcotest.(check bool) "names the disorder" true (contains m "out of order")
+  | Ok _ -> Alcotest.fail "out-of-order samples validated"
+
+let test_sample_span_rejected () =
+  (* a span event claiming the sample category is not a legal export *)
+  let tr = Pvtrace.Trace.create () in
+  Pvtrace.Trace.begin_span tr ~cat:"sample" "bogus";
+  Pvtrace.Trace.end_span tr "bogus";
+  match Pvtrace.Export.validate_chrome (Pvtrace.Export.chrome_json tr) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sample-category span validated"
+
+let test_bounded_retention () =
+  let s = Pvprof.create ~period:1L ~cap:16 () in
+  (* feed a long synthetic run straight through the sampling entry *)
+  for i = 1 to 10_000 do
+    Pvprof.sample s
+      ~cycles:(Int64.of_int (i * 7))
+      ~stack:[ "f" ] ~fn:"f" ~block:(i mod 3)
+  done;
+  let kept = Pvprof.kept_samples s in
+  Alcotest.(check bool) "bounded" true (List.length kept <= 16);
+  Alcotest.(check int) "all samples counted" 10_000 (Pvprof.samples_taken s);
+  (* retention is a decimation: kept indices are strictly increasing *)
+  let rec increasing = function
+    | a :: (b :: _ as tl) -> a.Pvprof.s_idx < b.Pvprof.s_idx && increasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "ordered" true (increasing kept)
+
+(* ---------------- metrics: Prometheus + quantiles ---------------- *)
+
+let test_prom_roundtrip () =
+  let m = Pvtrace.Metrics.create () in
+  Pvtrace.Metrics.inc m "interp.cycles" 12345L;
+  Pvtrace.Metrics.set m "fuel.headroom" (-7L);
+  List.iter
+    (fun v -> Pvtrace.Metrics.observe m "span.dur" v)
+    [ 1L; 3L; 3L; 90L; 5000L ];
+  let text = Pvtrace.Metrics.to_prom m in
+  match Pvtrace.Metrics.of_prom text with
+  | Error e -> Alcotest.failf "of_prom failed: %s" e
+  | Ok m' ->
+    Alcotest.(check string) "round-trip law" text (Pvtrace.Metrics.to_prom m');
+    Alcotest.(check (option int64)) "counter" (Some 12345L)
+      (Pvtrace.Metrics.value m' "interp_cycles");
+    Alcotest.(check int) "hist count" 5
+      (Pvtrace.Metrics.hist_count m' "span_dur")
+
+let test_prom_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Pvtrace.Metrics.of_prom text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [
+      "pv_x 1";  (* sample without TYPE *)
+      "# TYPE pv_x widget\npv_x 1";  (* unknown kind *)
+      "# TYPE pv_x counter\npv_x noise";  (* malformed number *)
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+       h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5";  (* non-cumulative *)
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\n\
+       h_sum 1";  (* missing _count *)
+    ]
+
+let test_quantiles () =
+  let m = Pvtrace.Metrics.create () in
+  let bounds = Array.init 10 (fun i -> Int64.of_int ((i + 1) * 10)) in
+  (* uniform: one observation per bucket midpoint *)
+  Array.iter
+    (fun b -> Pvtrace.Metrics.observe m ~bounds "u" (Int64.sub b 5L))
+    bounds;
+  let q x =
+    match Pvtrace.Metrics.quantile m "u" x with
+    | Some v -> v
+    | None -> Alcotest.fail "no quantile"
+  in
+  (* p50 of 10 uniform observations in (0,100] sits at the 5th bucket *)
+  Alcotest.(check bool) "p50 in range" true (q 0.5 >= 40.0 && q 0.5 <= 60.0);
+  Alcotest.(check bool) "p90 in range" true (q 0.9 >= 80.0 && q 0.9 <= 95.0);
+  Alcotest.(check bool) "monotone" true (q 0.5 <= q 0.9 && q 0.9 <= q 0.99);
+  (* overflow clamps to the highest finite bound *)
+  Pvtrace.Metrics.observe m ~bounds "o" 1_000_000L;
+  (match Pvtrace.Metrics.quantile m "o" 0.99 with
+  | Some v -> Alcotest.(check (float 0.001)) "overflow clamps" 100.0 v
+  | None -> Alcotest.fail "no overflow quantile");
+  (* empty/missing -> None *)
+  Alcotest.(check bool) "missing is None" true
+    (Pvtrace.Metrics.quantile m "absent" 0.5 = None)
+
+(* ---------------- registration ---------------- *)
+
+let () =
+  Alcotest.run "pvprof"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "exhaustive truncations" `Quick
+            test_codec_truncations;
+          Alcotest.test_case "seeded byte flips" `Quick test_codec_byte_flips;
+          Alcotest.test_case "rejects non-positive weights" `Quick
+            test_codec_rejects_bad_weights;
+        ] );
+      ( "identity",
+        Alcotest.test_case "table1 kernels x 3 engines" `Quick (fun () ->
+            List.iter (fun k -> test_kernel_identity k ()) Kernels.table1)
+        :: List.map
+             (fun seed ->
+               Alcotest.test_case
+                 (Printf.sprintf "corpus seed %d" seed)
+                 `Quick (test_corpus_seed seed))
+             corpus_seeds );
+      ( "ranking",
+        Alcotest.test_case "hot/cold program" `Quick test_hot_cold_ranking
+        :: List.map
+             (fun (k : Kernels.t) ->
+               Alcotest.test_case
+                 ("table1 " ^ k.Kernels.name)
+                 `Quick (test_table1_ranking_matches k))
+             Kernels.table1 );
+      ( "feedback",
+        [
+          Alcotest.test_case "annotations valid" `Quick test_annotations_valid;
+          Alcotest.test_case "checker rejects bad hotness" `Quick
+            test_check_hotness_rejects;
+          Alcotest.test_case "profile-in round-trip" `Quick
+            test_profile_in_roundtrip;
+          Alcotest.test_case "generations_sampled" `Quick
+            test_generations_sampled;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "trace merge validates" `Quick
+            test_trace_merge_validates;
+          Alcotest.test_case "out-of-order samples rejected" `Quick
+            test_out_of_order_samples_rejected;
+          Alcotest.test_case "sample-category span rejected" `Quick
+            test_sample_span_rejected;
+          Alcotest.test_case "bounded retention" `Quick test_bounded_retention;
+          Alcotest.test_case "prometheus round-trip" `Quick test_prom_roundtrip;
+          Alcotest.test_case "prometheus rejects garbage" `Quick
+            test_prom_rejects_garbage;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+        ] );
+    ]
