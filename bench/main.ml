@@ -1235,6 +1235,132 @@ let timeline () =
          ("degradations", Json.Int (Int64.of_int (Pvtrace.Ledger.count ledger)));
        ])
 
+(* E15: KPN at scale — a ~2,000-process generated network with bounded
+   channels through each scheduling policy.  The Kahn-determinism gate
+   runs first: all three policies must compute byte-identical channel
+   streams before any timing number is reported. *)
+
+let kpn_scale () =
+  header
+    "E15 / KPN at scale (generated 2,000-process network, bounded channels)\n\
+     (FIFO vs priority vs work-stealing over the Mapper cost model;\n\
+     identical channel streams asserted before timing)";
+  let metrics = Pvtrace.Metrics.create () in
+  let fn_prog, fn_pool = Pvcheck.Gen.node_program ~seed:15 ~count:8 in
+  let cfg =
+    {
+      Pvcheck.Kpncheck.cprocs = 2_000;
+      ctokens = 1;
+      cfanin = 3;
+      cfanout = 35;
+      cfeedback = 10;
+      ccapacity = 2;
+      cnet_seed = 15;
+    }
+  in
+  let net = Pvcheck.Kpncheck.generate ~fn_pool cfg in
+  let platform = Pvsched.Sched.default_platform ~cores:8 () in
+  let results =
+    List.map
+      (fun policy ->
+        let t =
+          Pvcheck.Kpncheck.instantiate ~prog:fn_prog ~engine:!interp_engine net
+        in
+        let r =
+          Pvsched.Sched.execute ~policy
+            ~capacity:net.Pvcheck.Kpncheck.ncapacity ~platform t
+        in
+        (policy, r))
+      Pvsched.Sched.all_policies
+  in
+  (* the identity gate: every policy must agree on every stream *)
+  (match results with
+  | (_, r0) :: rest ->
+    let d0 = Pvsched.Sched.streams_digest r0 in
+    List.iter
+      (fun (p, r) ->
+        if not (String.equal (Pvsched.Sched.streams_digest r) d0) then
+          failwith
+            (Printf.sprintf "kpn: %s disagrees on channel streams"
+               (Pvsched.Sched.policy_name p)))
+      rest
+  | [] -> ());
+  Printf.printf
+    "net: %d processes, %d channels streamed identically under all policies\n\n"
+    (List.length net.Pvcheck.Kpncheck.nodes)
+    (match results with (_, r) :: _ -> List.length r.Pvsched.Sched.streams | [] -> 0);
+  List.iter
+    (fun (policy, (r : Pvsched.Sched.result)) ->
+      let name = Pvsched.Sched.policy_name policy in
+      let s = r.Pvsched.Sched.stats in
+      let occ_pct (busy : int64) =
+        if Int64.equal s.Pvsched.Sched.makespan 0L then 0
+        else
+          Int64.to_int
+            (Int64.div (Int64.mul 100L busy) s.Pvsched.Sched.makespan)
+      in
+      Printf.printf "%-13s makespan %9Ld cycles, %5d firings, %4d steals\n"
+        name s.Pvsched.Sched.makespan s.Pvsched.Sched.firings
+        s.Pvsched.Sched.steals;
+      Pvtrace.Metrics.set metrics
+        (Printf.sprintf "kpn.%s.makespan" name)
+        s.Pvsched.Sched.makespan;
+      Pvtrace.Metrics.seti metrics
+        (Printf.sprintf "kpn.%s.firings" name)
+        s.Pvsched.Sched.firings;
+      Pvtrace.Metrics.seti metrics
+        (Printf.sprintf "kpn.%s.steals" name)
+        s.Pvsched.Sched.steals;
+      List.iter
+        (fun (cname, busy) ->
+          Pvtrace.Metrics.seti metrics
+            (Printf.sprintf "kpn.%s.occupancy.%s" name cname)
+            (occ_pct busy))
+        s.Pvsched.Sched.busy)
+    results;
+  (* per-core timeline of the work-stealing schedule, validated like CI *)
+  let tr = Pvtrace.Trace.create () in
+  let ws_events =
+    match List.rev results with (_, r) :: _ -> r.Pvsched.Sched.events | [] -> []
+  in
+  let procs_kpn =
+    (Pvcheck.Kpncheck.instantiate ~prog:fn_prog ~engine:!interp_engine net)
+      .Pvsched.Kpn.processes
+  in
+  Pvsched.Mapper.emit_trace
+    ~channels:
+      (List.map
+         (fun c -> (c, net.Pvcheck.Kpncheck.ntokens))
+         net.Pvcheck.Kpncheck.sources)
+    platform procs_kpn ws_events tr;
+  let path = "trace_kpn.json" in
+  Pvtrace.Export.to_file tr path;
+  let json = Pvtrace.Export.chrome_json tr in
+  let validated =
+    match Pvtrace.Export.validate_chrome json with
+    | Ok n ->
+      Printf.printf "\nwrote %s: %d events, valid\n" path n;
+      true
+    | Error m ->
+      Printf.printf "\nwrote %s: INVALID (%s)\n" path m;
+      false
+  in
+  if not validated then failwith "kpn: exported trace failed validation";
+  print_string "\nmetrics registry:\n";
+  print_string (Pvtrace.Metrics.dump metrics);
+  record "kpn"
+    (Json.Obj
+       ([
+          ("processes", Json.Int (Int64.of_int (List.length net.Pvcheck.Kpncheck.nodes)));
+          ("valid", Json.Str (if validated then "ok" else "invalid"));
+          ("streams_identical", Json.Str "ok");
+        ]
+       @ List.map
+           (fun (policy, (r : Pvsched.Sched.result)) ->
+             ( "makespan_" ^ Pvsched.Sched.policy_name policy,
+               Json.Int r.Pvsched.Sched.stats.Pvsched.Sched.makespan ))
+           results))
+
 (* ------------------------------------------------------------------ *)
 
 let all_experiments () =
@@ -1247,7 +1373,8 @@ let all_experiments () =
   adaptive ();
   lto ();
   annot_faults ();
-  timeline ()
+  timeline ();
+  kpn_scale ()
 
 let () =
   (* global flags may appear anywhere: --json FILE writes machine-readable
@@ -1301,13 +1428,14 @@ let () =
         | "engines" -> engines ()
         | "annot-faults" -> annot_faults ()
         | "timeline" -> timeline ()
+        | "kpn" -> kpn_scale ()
         | "profile" -> profile_bench ()
         | "all" -> all_experiments ()
         | other ->
           Printf.eprintf
             "unknown experiment %s (try: table1 figure1 regalloc offload size \
              ablation adaptive lto bechamel engines annot-faults timeline \
-             profile)\n"
+             kpn profile)\n"
             other;
           exit 1)
       args);

@@ -78,7 +78,42 @@ let report_finding ?(flags = "") ~seed ~out (f : Pvcheck.Harness.finding) =
       dump (Printf.sprintf "pvfuzz-case%d.min.pvir" f.Pvcheck.Harness.case) q)
     f.Pvcheck.Harness.shrunk
 
-let run seed count shrink engines passes out max_findings migrate =
+let report_kfinding ~flags ~seed ~out (f : Pvcheck.Kpncheck.kfinding) =
+  Printf.printf "FAIL case %d (%s): %s/%s\n  %s\n" f.Pvcheck.Kpncheck.kcase
+    (Pvcheck.Kpncheck.config_to_string f.Pvcheck.Kpncheck.kconfig)
+    f.Pvcheck.Kpncheck.kpath f.Pvcheck.Kpncheck.kwhat
+    f.Pvcheck.Kpncheck.kdetail;
+  Printf.printf "  replay: pvfuzz %s--seed %d --count %d  (case %d)\n" flags
+    seed (f.Pvcheck.Kpncheck.kcase + 1) f.Pvcheck.Kpncheck.kcase;
+  let dump name net =
+    let path = Filename.concat out name in
+    write_file path (Pvcheck.Kpncheck.net_to_string net);
+    Printf.printf "  wrote %s (%d nodes)\n" path
+      (List.length net.Pvcheck.Kpncheck.nodes)
+  in
+  dump
+    (Printf.sprintf "pvfuzz-kpn-case%d.knet" f.Pvcheck.Kpncheck.kcase)
+    f.Pvcheck.Kpncheck.knet;
+  Option.iter
+    (fun q ->
+      dump
+        (Printf.sprintf "pvfuzz-kpn-case%d.min.knet" f.Pvcheck.Kpncheck.kcase)
+        q)
+    f.Pvcheck.Kpncheck.kshrunk
+
+let resolve_policies spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "all" -> Pvsched.Sched.all_policies
+  | s ->
+    List.map
+      (fun name ->
+        match Pvsched.Sched.policy_of_string name with
+        | Some p -> p
+        | None -> usage "unknown scheduler policy %S" name)
+      (String.split_on_char ',' s)
+
+let run seed count shrink engines passes out max_findings migrate kpn uniform
+    sched =
   match
     Core.Splitc.guard (fun () ->
         let checked = ref 0 in
@@ -86,6 +121,29 @@ let run seed count shrink engines passes out max_findings migrate =
           | Pvcheck.Harness.Case_ok _ -> incr checked
           | Pvcheck.Harness.Case_failed _ -> incr checked
         in
+        if kpn then begin
+          (* Kahn-determinism campaign over generated process networks:
+             every channel stream must be byte-identical across all
+             scheduler policies and all execution engines *)
+          let flags = if uniform then "--kpn --uniform " else "--kpn " in
+          let policies = resolve_policies sched in
+          if policies = [] then usage "no scheduler policies selected";
+          let kfindings, stats =
+            Pvcheck.Kpncheck.campaign ~guided:(not uniform) ~policies ~shrink
+              ~max_findings ~on_progress ~seed ~count ()
+          in
+          List.iter (report_kfinding ~flags ~seed ~out) kfindings;
+          Printf.printf
+            "pvfuzz: %d/%d kpn cases checked, %d finding%s (seed %d, %d \
+             features, %d corpus configs, %s)\n"
+            stats.Pvcheck.Kpncheck.cs_cases count (List.length kfindings)
+            (if List.length kfindings = 1 then "" else "s")
+            seed stats.Pvcheck.Kpncheck.cs_features
+            stats.Pvcheck.Kpncheck.cs_corpus
+            (if uniform then "uniform" else "coverage-guided");
+          kfindings <> []
+        end
+        else
         let findings, what, flags =
           if migrate then
             (* migration campaign: kill an engine at a random safepoint,
@@ -170,12 +228,39 @@ let migrate_arg =
                  unmigrated run, accounting included.  --engines and \
                  --passes are ignored in this mode.")
 
+let kpn_arg =
+  Arg.(value & flag
+       & info [ "kpn" ]
+           ~doc:"Run the KPN campaign instead of the differential one: \
+                 each case generates a random process network of PVIR \
+                 kernels and checks Kahn determinism (byte-identical \
+                 channel streams across FIFO/priority/work-stealing \
+                 schedulers and all engines), token conservation, \
+                 completion and residual shape.  Findings dump as *.knet \
+                 next to -o.  --engines and --passes are ignored.")
+
+let uniform_arg =
+  Arg.(value & flag
+       & info [ "uniform" ]
+           ~doc:"With --kpn: disable coverage-guided seed scheduling and \
+                 sample every case fresh (the baseline the guided mode is \
+                 measured against).")
+
+let sched_arg =
+  Arg.(value & opt string "all"
+       & info [ "sched" ] ~docv:"LIST"
+           ~doc:"With --kpn: comma-separated scheduler policies to cross \
+                 with the engines: $(b,fifo), $(b,priority), \
+                 $(b,work-stealing) (alias $(b,ws)), or $(b,all).  Kahn \
+                 determinism is only a cross-check with two or more.")
+
 let cmd =
   let doc = "differential fuzzer: engines, distribution round-trips, passes" in
   Cmd.v
     (Cmd.info "pvfuzz" ~doc)
     Term.(
       const run $ seed_arg $ count_arg $ shrink_arg $ engines_arg $ passes_arg
-      $ out_arg $ max_findings_arg $ migrate_arg)
+      $ out_arg $ max_findings_arg $ migrate_arg $ kpn_arg $ uniform_arg
+      $ sched_arg)
 
 let () = exit (Cmd.eval' cmd)

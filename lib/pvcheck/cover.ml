@@ -1,0 +1,39 @@
+(** Feature map for coverage-guided seed scheduling.
+
+    A feature is any cheap observation about a generated input or its
+    execution — a structural property of a process network, an executed
+    basic block from a {!Pvvm.Profile} — hashed down to an integer id.
+    The fuzz driver keeps one global map per campaign; an input that
+    lights up at least one previously unseen feature is "interesting"
+    and earns a place in the seed corpus, so mutation concentrates on
+    the frontier of behaviors instead of resampling the same ones.
+
+    Hashing uses OCaml's structural hash on the string parts, which is
+    deterministic for a given runtime — campaigns replay exactly from
+    their seed. *)
+
+type t = {
+  seen : (int, unit) Hashtbl.t;
+  mutable observations : int;  (** total features noted, duplicates included *)
+}
+
+let create () = { seen = Hashtbl.create 256; observations = 0 }
+
+(** Hash a feature description (e.g. [["blk"; "n3"; "2"]]) to its id. *)
+let feature (parts : string list) : int = Hashtbl.hash parts
+
+(** Note one feature; [true] iff it was new. *)
+let note t fid =
+  t.observations <- t.observations + 1;
+  if Hashtbl.mem t.seen fid then false
+  else begin
+    Hashtbl.replace t.seen fid ();
+    true
+  end
+
+(** Note a batch; returns how many were new. *)
+let note_all t fids =
+  List.fold_left (fun acc f -> if note t f then acc + 1 else acc) 0 fids
+
+(** Distinct features seen so far. *)
+let count t = Hashtbl.length t.seen

@@ -80,6 +80,9 @@ type fctx = {
   aslots : aslot list;
   callees : (string * Types.t list * Types.t option) list;
       (** later functions only: keeps the call graph a DAG *)
+  calls_ok : bool;
+      (** false for KPN node bodies: no calls, not even prints — the
+          kernel must be a pure function of its arguments *)
 }
 
 let pool_of c ty = List.assoc ty c.pool
@@ -248,6 +251,8 @@ let gen_vec c emit =
       emit (Instr.Reduce (pick c.g reds, def c sty, use c ty)))
 
 let gen_call c emit =
+  if not c.calls_ok then gen_binop c emit
+  else
   let printable =
     (if List.mem_assoc Types.i64 c.pool then
        [ (None, "print_i64", [ Types.i64 ]) ]
@@ -348,8 +353,11 @@ let region_straight c cur =
 (* -- whole functions -------------------------------------------------- *)
 
 (** Build the register pools and the entry-block prologue that defines
-    every pooled register before any branching. *)
-let build_pools g (fn : Func.t) entry ~(globals : Prog.global list) =
+    every pooled register before any branching.  [reserved] registers
+    (e.g. a recursion fuel counter) stay readable but are kept out of the
+    redefinable pool so no random instruction can clobber them. *)
+let build_pools ?(reserved : Instr.reg list = []) g (fn : Func.t) entry
+    ~(globals : Prog.global list) =
   let prologue = ref [] in
   let emit i = prologue := i :: !prologue in
   let pool = ref [] and mut = ref [] and ones = ref [] in
@@ -370,8 +378,11 @@ let build_pools g (fn : Func.t) entry ~(globals : Prog.global list) =
         emit (Instr.Const (one, Value.int s 1L));
         ones := (ty, one) :: !ones
       end;
+      let writable =
+        List.filter (fun r -> not (List.mem r reserved)) param_regs
+      in
       add_pool ty (param_regs @ fresh);
-      add_mut ty (param_regs @ fresh))
+      add_mut ty (writable @ fresh))
     g.scalars;
   (* vector pools: splat from a scalar of the lane type *)
   List.iter
@@ -421,7 +432,7 @@ let fill_func g (fn : Func.t)
   let pool, mut, ones, gslots, aslots =
     build_pools g fn entry ~globals:g.prog.Prog.globals
   in
-  let c = { g; fn; pool; mut; ones; gslots; aslots; callees } in
+  let c = { g; fn; pool; mut; ones; gslots; aslots; callees; calls_ok = true } in
   emit_instrs c entry (1 + R.rand_int g.r 4);
   let cur = ref entry in
   let regions = 1 + R.rand_int g.r 3 in
@@ -510,3 +521,175 @@ let program ~(seed : int) : Prog.t =
     fns;
   Verify.program prog;
   prog
+
+(* -- bounded recursion ------------------------------------------------- *)
+
+let recursion_fuel_min = 2
+let recursion_fuel_max = 5
+
+(** Fill a recursion-group member [r_k(fuel : i64, x : i64) : i64].
+    The fuel counter is register 0, reserved from the redefinable pool so
+    no random instruction can clobber it; the entry block branches on
+    [fuel <= 0] to a call-free base arm, and the recursive arm passes
+    [fuel - 1] to every callee — so the call tree is bounded by the
+    constant initial fuel [main] supplies, whatever the group's call
+    pattern (self or mutual). *)
+let fill_recursive g (fn : Func.t)
+    ~(group : (string * Types.t list * Types.t option) list) =
+  let entry = Func.add_block fn in
+  let fuel = List.hd fn.Func.params in
+  let pool, mut, ones, gslots, aslots =
+    build_pools ~reserved:[ fuel ] g fn entry ~globals:g.prog.Prog.globals
+  in
+  let c =
+    { g; fn; pool; mut; ones; gslots; aslots; callees = []; calls_ok = true }
+  in
+  let zero = Func.fresh_reg fn Types.i64 in
+  let cond = Func.fresh_reg fn Types.i32 in
+  entry.Func.instrs <-
+    entry.Func.instrs
+    @ [ Instr.Const (zero, Value.i64 0L); Instr.Cmp (Instr.Sle, cond, fuel, zero) ];
+  let base = Func.add_block fn in
+  let recur = Func.add_block fn in
+  entry.Func.term <- Instr.Cbr (cond, base.Func.label, recur.Func.label);
+  (* base arm: straight-line work only *)
+  emit_instrs c base (1 + R.rand_int g.r 4);
+  base.Func.term <- Instr.Ret (Some (use c Types.i64));
+  (* recursive arm: decrement the dedicated counter, call group members *)
+  emit_instrs c recur (1 + R.rand_int g.r 4);
+  let one = List.assoc Types.i64 c.ones in
+  let fuel' = Func.fresh_reg fn Types.i64 in
+  recur.Func.instrs <-
+    recur.Func.instrs @ [ Instr.Binop (Instr.Sub, fuel', fuel, one) ];
+  let ncalls = 1 + R.rand_int g.r 2 in
+  let acc = ref (use c Types.i64) in
+  for _ = 1 to ncalls do
+    let callee, _, _ = pick g group in
+    let d = Func.fresh_reg fn Types.i64 in
+    let s = Func.fresh_reg fn Types.i64 in
+    recur.Func.instrs <-
+      recur.Func.instrs
+      @ [
+          Instr.Call (Some d, callee, [ fuel'; use c Types.i64 ]);
+          Instr.Binop (Instr.Add, s, !acc, d);
+        ];
+    acc := s
+  done;
+  recur.Func.term <- Instr.Ret (Some !acc)
+
+(** [program_recursive ~seed] — a verified program whose call graph is a
+    recursion group (1–2 self/mutually recursive functions) driven from
+    [main] with a small constant fuel, so total call depth is bounded by
+    construction (never by the VM's fuel).  Same determinism guarantees
+    as {!program}; recursion functions are never random-call targets, so
+    the only fuel values in play are the generated decreasing chain. *)
+let program_recursive ~(seed : int) : Prog.t =
+  let r = R.rng seed in
+  let prog = Prog.create (Printf.sprintf "rec%d" seed) in
+  let g0 = { r; prog; scalars = []; vecs = [] } in
+  let scalars = [ Types.I32; Types.I64 ] @ subset g0 [ Types.I16; Types.F64 ] 40 in
+  let g = { g0 with scalars } in
+  let nglob = 1 + R.rand_int r 2 in
+  for i = 0 to nglob - 1 do
+    let s = List.nth scalars (R.rand_int r (List.length scalars)) in
+    let count = 4 + R.rand_int r 9 in
+    let init = Array.init count (fun _ -> scalar_const g s) in
+    Prog.add_global prog ~init (Printf.sprintf "g%d" i) s count
+  done;
+  let nrec = 1 + R.rand_int r 2 in
+  let group =
+    List.init nrec (fun i ->
+        (Printf.sprintf "r%d" i, [ Types.i64; Types.i64 ], Some Types.i64))
+  in
+  let main = Func.create ~name:"main" ~params:[] ~ret:(Some Types.i64) in
+  let rec_fns =
+    List.map (fun (name, params, ret) -> Func.create ~name ~params ~ret) group
+  in
+  Prog.add_func prog main;
+  List.iter (Prog.add_func prog) rec_fns;
+  List.iter (fun fn -> fill_recursive g fn ~group) rec_fns;
+  (* main: a small regular body, then one rooted call with constant fuel *)
+  let fuel0 =
+    recursion_fuel_min
+    + R.rand_int r (recursion_fuel_max - recursion_fuel_min + 1)
+  in
+  let entry = Func.add_block main in
+  let pool, mut, ones, gslots, aslots =
+    build_pools g main entry ~globals:prog.Prog.globals
+  in
+  let c =
+    { g; fn = main; pool; mut; ones; gslots; aslots; callees = [];
+      calls_ok = true }
+  in
+  emit_instrs c entry (1 + R.rand_int r 4);
+  let cur = ref entry in
+  let regions = R.rand_int r 2 in
+  for _ = 1 to regions do
+    cur :=
+      match R.rand_int r 3 with
+      | 0 -> region_straight c !cur
+      | 1 -> region_diamond c !cur
+      | _ -> region_loop c !cur
+  done;
+  let fr = Func.fresh_reg main Types.i64 in
+  let d = Func.fresh_reg main Types.i64 in
+  (!cur).Func.instrs <-
+    (!cur).Func.instrs
+    @ [
+        Instr.Const (fr, Value.of_int Types.I64 fuel0);
+        Instr.Call (Some d, "r0", [ fr; use c Types.i64 ]);
+        Instr.Call (None, "print_i64", [ d ]);
+      ];
+  (!cur).Func.term <- Instr.Ret (Some d);
+  Verify.program prog;
+  prog
+
+(* -- KPN node kernels -------------------------------------------------- *)
+
+(** Fill a pure KPN node body: no globals, no calls, no prints — the
+    function is observationally a pure [i64^arity -> i64], so firing it
+    from any engine in any scheduling order yields identical streams. *)
+let fill_node g (fn : Func.t) =
+  let entry = Func.add_block fn in
+  let pool, mut, ones, gslots, aslots =
+    build_pools g fn entry ~globals:[]
+  in
+  let c =
+    { g; fn; pool; mut; ones; gslots; aslots; callees = []; calls_ok = false }
+  in
+  emit_instrs c entry (1 + R.rand_int g.r 4);
+  let cur = ref entry in
+  let regions = 1 + R.rand_int g.r 2 in
+  for _ = 1 to regions do
+    cur :=
+      match R.rand_int g.r 3 with
+      | 0 -> region_straight c !cur
+      | 1 -> region_diamond c !cur
+      | _ -> region_loop c !cur
+  done;
+  (!cur).Func.term <- Instr.Ret (Some (use c Types.i64))
+
+(** [node_program ~seed ~count] — a verified, global-free program of
+    [count] pure kernel functions [n0 .. n{count-1}], each taking 1–3
+    i64 arguments and returning i64.  Returns the program and the
+    [(name, arity)] pool for the network generator to draw node bodies
+    from. *)
+let node_program ~(seed : int) ~(count : int) : Prog.t * (string * int) list =
+  let r = R.rng seed in
+  let prog = Prog.create (Printf.sprintf "kpn%d" seed) in
+  let g0 = { r; prog; scalars = []; vecs = [] } in
+  let g = { g0 with scalars = [ Types.I32; Types.I64 ] } in
+  let sigs =
+    List.init count (fun i ->
+        let arity = 1 + R.rand_int r 3 in
+        (Printf.sprintf "n%d" i, arity))
+  in
+  List.iter
+    (fun (name, arity) ->
+      let params = List.init arity (fun _ -> Types.i64) in
+      let fn = Func.create ~name ~params ~ret:(Some Types.i64) in
+      Prog.add_func prog fn;
+      fill_node g fn)
+    sigs;
+  Verify.program prog;
+  (prog, sigs)

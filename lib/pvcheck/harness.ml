@@ -99,9 +99,12 @@ type progress = Case_ok of int | Case_failed of finding
 
 (** [run ~seed ~count] — fuzz [count] cases.  Stops at [max_findings]
     (default 1: the first failure is the actionable one).  [on_progress]
-    sees every case, for CLI reporting. *)
+    sees every case, for CLI reporting.  [gen] swaps the program shape —
+    e.g. {!Gen.program_recursive} — without touching the campaign
+    plumbing; the default is the classic DAG-call generator. *)
 let run ?(paths = Oracle.all_paths) ?(passes = Passcheck.all_passes)
-    ?(shrink = false) ?shrink_budget ?(max_findings = 1)
+    ?(gen = fun ~seed -> Gen.program ~seed) ?(shrink = false) ?shrink_budget
+    ?(max_findings = 1)
     ?(on_progress = fun (_ : progress) -> ()) ~seed ~count () : finding list =
   let r = R.rng seed in
   let findings = ref [] in
@@ -110,7 +113,7 @@ let run ?(paths = Oracle.all_paths) ?(passes = Passcheck.all_passes)
     let gen_seed =
       Int64.to_int (Int64.logand (R.next_int64 r) 0x3FFFFFFFFFFFFFFFL)
     in
-    let prog = Gen.program ~seed:gen_seed in
+    let prog = gen ~seed:gen_seed in
     (match check_case ~paths ~passes prog with
     | [] -> on_progress (Case_ok !case)
     | (stage, what, detail) :: _ ->

@@ -92,6 +92,195 @@ let test_kpn_firing_budget () =
   | exception Pvsched.Kpn.Deadlock _ -> ()
   | _ -> Alcotest.fail "self-feeding network terminated"
 
+(* ---------------- kpn edge cases ---------------- *)
+
+let test_kpn_unknown_channel () =
+  let net = Pvsched.Kpn.create (pipeline ()) in
+  (match Pvsched.Kpn.push net "nonesuch" (tok 1) with
+  | exception Invalid_argument m ->
+    check bool_t "names the channel" true
+      (String.length m > 0 && String.sub m (String.length m - 8) 8 = "nonesuch")
+  | () -> Alcotest.fail "push on unknown channel succeeded");
+  (match Pvsched.Kpn.drain net "nonesuch" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "drain on unknown channel succeeded")
+
+let test_kpn_feedback_initial_tokens () =
+  (* a two-process cycle is dead without an initial marking and runs
+     exactly as far as its input supply with one *)
+  let stage name src dst =
+    {
+      Pvsched.Kpn.pname = name;
+      inputs = [ src ];
+      outputs = [ dst ];
+      fire = (fun toks -> List.map (fun t -> tok (tok_val t + 1)) toks);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let gate =
+    (* consumes one external token and one loop token per firing *)
+    {
+      Pvsched.Kpn.pname = "gate";
+      inputs = [ "in"; "loop" ];
+      outputs = [ "fwd" ];
+      fire =
+        (fun toks ->
+          match toks with
+          | [ x; c ] -> [ tok (tok_val x + tok_val c) ]
+          | _ -> assert false);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let ps = [ gate; stage "back" "fwd" "loop" ] in
+  (* no initial marking: the cycle is dead *)
+  let dead = Pvsched.Kpn.create ps in
+  List.iter (fun x -> Pvsched.Kpn.push dead "in" (tok x)) [ 1; 2; 3 ];
+  check int_t "unmarked cycle never fires" 0 (Pvsched.Kpn.run dead);
+  (* one initial token on the feedback edge: 3 external tokens flow *)
+  let live = Pvsched.Kpn.create ps in
+  List.iter (fun x -> Pvsched.Kpn.push live "in" (tok x)) [ 1; 2; 3 ];
+  Pvsched.Kpn.push live "loop" (tok 0);
+  check int_t "marked cycle fires through" 6 (Pvsched.Kpn.run live);
+  (* the marking is conserved: one token is back on the loop *)
+  check int_t "marking conserved" 1
+    (List.length (Pvsched.Kpn.drain live "loop"))
+
+let test_kpn_starvation () =
+  (* a process whose input channel never receives a token never fires,
+     while the rest of the net quiesces normally *)
+  let ps =
+    pipeline ()
+    @ [
+        {
+          Pvsched.Kpn.pname = "starved";
+          inputs = [ "never" ];
+          outputs = [ "unreached" ];
+          fire = (fun toks -> toks);
+          annots = Pvir.Annot.empty;
+          work = 1;
+        };
+      ]
+  in
+  let net = Pvsched.Kpn.create ps in
+  List.iter (fun x -> Pvsched.Kpn.push net "in" (tok x)) [ 1; 2 ];
+  check int_t "only the pipeline fires" 4 (Pvsched.Kpn.run net);
+  check int_t "starved produced nothing" 0
+    (List.length (Pvsched.Kpn.drain net "unreached"));
+  let r = Pvsched.Sched.execute (Pvsched.Kpn.create ps) in
+  check bool_t "sched reports starvation" true
+    (r.Pvsched.Sched.stats.Pvsched.Sched.starved = [ "double"; "add1"; "starved" ])
+
+let test_kpn_drain_ordering () =
+  let net = Pvsched.Kpn.create (pipeline ()) in
+  List.iter (fun x -> Pvsched.Kpn.push net "in" (tok x)) [ 9; 1; 4 ];
+  ignore (Pvsched.Kpn.run net);
+  check bool_t "drain is FIFO" true
+    (List.map tok_val (Pvsched.Kpn.drain net "out") = [ 19; 3; 9 ]);
+  check bool_t "drain empties" true (Pvsched.Kpn.drain net "out" = [])
+
+(* ---------------- bounded scheduler ---------------- *)
+
+let sched_pipeline_net tokens =
+  let net = Pvsched.Kpn.create (pipeline ()) in
+  List.iter (fun x -> Pvsched.Kpn.push net "in" (tok x)) tokens;
+  net
+
+let stream_of r name =
+  List.map (fun (t : Pvsched.Kpn.token) -> Int64.to_int (Pvir.Value.to_int64 t.(0)))
+    (List.assoc name r.Pvsched.Sched.streams)
+
+let test_sched_policies_agree () =
+  let digests =
+    List.map
+      (fun policy ->
+        let r = Pvsched.Sched.execute ~policy (sched_pipeline_net [ 1; 2; 3; 4 ]) in
+        check int_t "all firings happen" 8 r.Pvsched.Sched.stats.Pvsched.Sched.firings;
+        Pvsched.Sched.streams_digest r)
+      Pvsched.Sched.all_policies
+  in
+  match digests with
+  | d :: rest -> List.iter (check Alcotest.string "streams identical" d) rest
+  | [] -> ()
+
+let test_sched_backpressure () =
+  (* capacity 1 forces strict alternation but cannot change the streams
+     (deadlock-free by the marked-graph argument) *)
+  let r1 = Pvsched.Sched.execute ~capacity:1 (sched_pipeline_net [ 1; 2; 3 ]) in
+  let r8 = Pvsched.Sched.execute ~capacity:8 (sched_pipeline_net [ 1; 2; 3 ]) in
+  check bool_t "bounded streams match unbounded" true
+    (Pvsched.Sched.streams_digest r1 = Pvsched.Sched.streams_digest r8);
+  check bool_t "output stream correct" true (stream_of r1 "out" = [ 3; 5; 7 ]);
+  check int_t "sink keeps its tokens" 3 (List.assoc "out" r1.Pvsched.Sched.residual);
+  check int_t "consumed channels drained" 0 (List.assoc "mid" r1.Pvsched.Sched.residual)
+
+let test_sched_conservation () =
+  let r = Pvsched.Sched.execute (sched_pipeline_net [ 1; 2; 3; 4; 5 ]) in
+  (* 5 external + 10 produced = 10 consumed + 5 residual *)
+  check int_t "produced" 10 r.Pvsched.Sched.produced;
+  check int_t "consumed" 10 r.Pvsched.Sched.consumed;
+  let residual =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 r.Pvsched.Sched.residual
+  in
+  check int_t "residual" 5 residual
+
+let test_sched_work_stealing_steals () =
+  (* many independent single-firing processes homed by the placement:
+     an idle core must steal rather than sit idle *)
+  let ps =
+    List.init 16 (fun i ->
+        let name = Printf.sprintf "w%d" i in
+        {
+          Pvsched.Kpn.pname = name;
+          inputs = [ name ^ "_in" ];
+          outputs = [ name ^ "_out" ];
+          fire = (fun toks -> toks);
+          annots = Pvir.Annot.empty;
+          work = 10;
+        })
+  in
+  let net = Pvsched.Kpn.create ps in
+  List.iteri (fun i _ -> Pvsched.Kpn.push net (Printf.sprintf "w%d_in" i) (tok i)) ps;
+  (* pathological placement: everything on core0 *)
+  let platform = Pvsched.Sched.default_platform ~cores:4 () in
+  let c0 = List.hd platform.Pvsched.Mapper.cores in
+  let placement = Pvsched.Mapper.place_all_on c0 ps in
+  let fifo =
+    Pvsched.Sched.execute ~policy:Pvsched.Sched.Fifo ~platform ~placement
+      (Pvsched.Kpn.create ps |> fun t ->
+       List.iteri (fun i _ -> Pvsched.Kpn.push t (Printf.sprintf "w%d_in" i) (tok i)) ps;
+       t)
+  in
+  let ws =
+    Pvsched.Sched.execute ~policy:Pvsched.Sched.Work_stealing ~platform
+      ~placement net
+  in
+  check bool_t "steals happened" true (ws.Pvsched.Sched.stats.Pvsched.Sched.steals > 0);
+  check bool_t "stealing beats the pile-up" true
+    (Int64.compare ws.Pvsched.Sched.stats.Pvsched.Sched.makespan
+       fifo.Pvsched.Sched.stats.Pvsched.Sched.makespan
+    < 0);
+  check bool_t "same streams anyway" true
+    (Pvsched.Sched.streams_digest ws = Pvsched.Sched.streams_digest fifo)
+
+let test_sched_deadlock_budget () =
+  let loop_p =
+    {
+      Pvsched.Kpn.pname = "loop";
+      inputs = [ "c" ];
+      outputs = [ "c"; "out" ];
+      fire = (fun toks -> [ List.hd toks; List.hd toks ]);
+      annots = Pvir.Annot.empty;
+      work = 1;
+    }
+  in
+  let net = Pvsched.Kpn.create [ loop_p ] in
+  Pvsched.Kpn.push net "c" (tok 1);
+  match Pvsched.Sched.execute ~max_firings:64 net with
+  | exception Pvsched.Kpn.Deadlock _ -> ()
+  | _ -> Alcotest.fail "self-feeding network terminated under Sched"
+
 (* ---------------- mapper ---------------- *)
 
 let platform () =
@@ -222,6 +411,20 @@ let () =
           Alcotest.test_case "determinism" `Quick test_kpn_determinism;
           Alcotest.test_case "multi input" `Quick test_kpn_multi_input;
           Alcotest.test_case "firing budget" `Quick test_kpn_firing_budget;
+          Alcotest.test_case "unknown channel" `Quick test_kpn_unknown_channel;
+          Alcotest.test_case "feedback initial tokens" `Quick
+            test_kpn_feedback_initial_tokens;
+          Alcotest.test_case "starvation" `Quick test_kpn_starvation;
+          Alcotest.test_case "drain ordering" `Quick test_kpn_drain_ordering;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "policies agree" `Quick test_sched_policies_agree;
+          Alcotest.test_case "backpressure" `Quick test_sched_backpressure;
+          Alcotest.test_case "conservation" `Quick test_sched_conservation;
+          Alcotest.test_case "work stealing steals" `Quick
+            test_sched_work_stealing_steals;
+          Alcotest.test_case "deadlock budget" `Quick test_sched_deadlock_budget;
         ] );
       ( "mapper",
         [
