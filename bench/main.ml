@@ -88,6 +88,14 @@ let json_file : string option ref = ref None
 let recorded : (string * Json.t) list ref = ref []
 let record key j = recorded := (key, j) :: !recorded
 
+(* File artifacts (traces, collapsed stacks) land under bench/out/, not
+   the repo root; created on demand so a fresh checkout just works. *)
+let out_path name =
+  let dir = Filename.concat "bench" "out" in
+  if not (Sys.file_exists "bench") then Sys.mkdir "bench" 0o755;
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir name
+
 (* host execution engines under measurement (--engine; simulated cycle
    counts are engine-independent, so every experiment must print the same
    numbers under both settings) *)
@@ -1022,7 +1030,7 @@ let profile_bench () =
     List.fold_left ( +. ) 0.0 !overheads
     /. float_of_int (List.length !overheads)
   in
-  let artifact = "profile_folded.txt" in
+  let artifact = out_path "profile_folded.txt" in
   let oc = open_out artifact in
   output_string oc (Buffer.contents folded);
   close_out oc;
@@ -1196,7 +1204,7 @@ let timeline () =
   Pvsched.Mapper.emit_trace ~channels:[ ("in", blocks) ] platform processes
     sched tr;
   (* export, then verify the artifact the way CI does *)
-  let path = "trace_timeline.json" in
+  let path = out_path "trace_timeline.json" in
   Pvtrace.Export.to_file ~ledger tr path;
   let json = Pvtrace.Export.chrome_json ~ledger tr in
   let validated =
@@ -1333,7 +1341,7 @@ let kpn_scale () =
          (fun c -> (c, net.Pvcheck.Kpncheck.ntokens))
          net.Pvcheck.Kpncheck.sources)
     platform procs_kpn ws_events tr;
-  let path = "trace_kpn.json" in
+  let path = out_path "trace_kpn.json" in
   Pvtrace.Export.to_file tr path;
   let json = Pvtrace.Export.chrome_json tr in
   let validated =
@@ -1363,6 +1371,71 @@ let kpn_scale () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E16: the split-compilation service under fleet load (lib/pvserve).
+   Four Domain JIT workers behind the content-addressed artifact cache,
+   Zipf(1.0) popularity over (kernel+generated corpus) x machines,
+   10k requests.  Hard assertions, matching the acceptance criteria:
+   steady-state hit rate >= 0.9, zero oracle mismatches (every served
+   artifact byte-identical to a fresh single-threaded compile), exact
+   in-flight dedup (with nothing evicted, compiles = unique keys), and
+   the exported Chrome trace must validate. *)
+
+let serve_bench () =
+  print_endline "\n== E16: split-compilation service under Zipf fleet load ==";
+  let tr = Pvtrace.Trace.create ~wall:true () in
+  let metrics = Pvtrace.Metrics.create () in
+  let ledger = Pvtrace.Ledger.create () in
+  let spec =
+    { Pvserve.Load.default_spec with Pvserve.Load.requests = 10_000; workers = 4 }
+  in
+  let r = Pvserve.Load.run ~tr ~metrics ~ledger spec in
+  print_endline (Pvserve.Load.report_to_string r);
+  let path = out_path "trace_serve.json" in
+  Pvtrace.Export.to_file ~metrics ~ledger tr path;
+  let validated =
+    match Pvtrace.Export.validate_chrome (Pvtrace.Export.chrome_json ~metrics ~ledger tr) with
+    | Ok n ->
+      Printf.printf "wrote %s: %d events, valid\n" path n;
+      true
+    | Error m ->
+      Printf.printf "wrote %s: INVALID (%s)\n" path m;
+      false
+  in
+  record "serve"
+    (Json.Obj
+       [
+         ("requests", Json.Int (Int64.of_int r.Pvserve.Load.r_requests));
+         ("workers", Json.Int (Int64.of_int spec.Pvserve.Load.workers));
+         ("zipf", Json.Float spec.Pvserve.Load.zipf);
+         ("population", Json.Int (Int64.of_int r.Pvserve.Load.r_population));
+         ("unique_keys", Json.Int (Int64.of_int r.Pvserve.Load.r_unique_keys));
+         ("hits", Json.Int (Int64.of_int r.Pvserve.Load.r_hits));
+         ("coalesced", Json.Int (Int64.of_int r.Pvserve.Load.r_coalesced));
+         ("compiles", Json.Int (Int64.of_int r.Pvserve.Load.r_compiles));
+         ("evictions", Json.Int (Int64.of_int r.Pvserve.Load.r_evictions));
+         ("hit_rate", Json.Float r.Pvserve.Load.r_hit_rate);
+         ("oracle_mismatches",
+          Json.Int (Int64.of_int r.Pvserve.Load.r_oracle_mismatches));
+         ("throughput_rps", Json.Float r.Pvserve.Load.r_throughput_rps);
+         ("trace", Json.Str (if validated then "ok" else "invalid"));
+       ]);
+  if not validated then failwith "serve: exported trace failed validation";
+  if r.Pvserve.Load.r_oracle_mismatches > 0 then
+    failwith "serve: served artifacts diverge from fresh compiles";
+  if r.Pvserve.Load.r_errors > 0 then failwith "serve: error replies";
+  if r.Pvserve.Load.r_hit_rate < 0.9 then
+    failwith
+      (Printf.sprintf "serve: hit rate %.4f below the 0.9 floor"
+         r.Pvserve.Load.r_hit_rate);
+  if
+    r.Pvserve.Load.r_evictions = 0
+    && r.Pvserve.Load.r_compiles <> r.Pvserve.Load.r_unique_keys
+  then
+    failwith
+      (Printf.sprintf "serve: dedup leak: %d compiles for %d unique keys"
+         r.Pvserve.Load.r_compiles r.Pvserve.Load.r_unique_keys)
+
 let all_experiments () =
   table1 ();
   figure1 ();
@@ -1374,7 +1447,8 @@ let all_experiments () =
   lto ();
   annot_faults ();
   timeline ();
-  kpn_scale ()
+  kpn_scale ();
+  serve_bench ()
 
 let () =
   (* global flags may appear anywhere: --json FILE writes machine-readable
@@ -1430,12 +1504,13 @@ let () =
         | "timeline" -> timeline ()
         | "kpn" -> kpn_scale ()
         | "profile" -> profile_bench ()
+        | "serve" -> serve_bench ()
         | "all" -> all_experiments ()
         | other ->
           Printf.eprintf
             "unknown experiment %s (try: table1 figure1 regalloc offload size \
              ablation adaptive lto bechamel engines annot-faults timeline \
-             kpn profile)\n"
+             kpn profile serve)\n"
             other;
           exit 1)
       args);

@@ -1,0 +1,163 @@
+(* pvload — deterministic load generator for the split-compilation
+   service (lib/pvserve).
+
+   Simulates a heterogeneous fleet requesting compiled artifacts: the
+   request population is (kernel + generated-program corpus) x (machine
+   descriptors), popularity is Zipf-distributed, and every byte of
+   randomness comes from --seed, so runs reproduce exactly.  The oracle
+   recompiles every served key single-threaded and demands byte-identical
+   artifacts; any mismatch (or error reply) makes the exit code 1.
+
+   Output: a one-line summary on stdout, optionally a JSON report
+   (--json), the service metrics as Prometheus text (--prom), and a
+   Chrome trace of the run recorded on the coordinating domain
+   (--trace). *)
+
+open Cmdliner
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let resolve_machines spec =
+  match String.lowercase_ascii (String.trim spec) with
+  | "all" -> Pvmach.Machine.all
+  | "table1" -> Pvmach.Machine.table1_targets
+  | s ->
+    List.map Pvmach.Machine.find_exn
+      (String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun x -> x <> ""))
+
+let report_json (r : Pvserve.Load.report) =
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"requests\": %d," r.Pvserve.Load.r_requests;
+      Printf.sprintf "  \"population\": %d," r.Pvserve.Load.r_population;
+      Printf.sprintf "  \"unique_keys\": %d," r.Pvserve.Load.r_unique_keys;
+      Printf.sprintf "  \"hits\": %d," r.Pvserve.Load.r_hits;
+      Printf.sprintf "  \"compiled\": %d," r.Pvserve.Load.r_compiled;
+      Printf.sprintf "  \"coalesced\": %d," r.Pvserve.Load.r_coalesced;
+      Printf.sprintf "  \"compiles\": %d," r.Pvserve.Load.r_compiles;
+      Printf.sprintf "  \"evictions\": %d," r.Pvserve.Load.r_evictions;
+      Printf.sprintf "  \"errors\": %d," r.Pvserve.Load.r_errors;
+      Printf.sprintf "  \"hit_rate\": %.6f," r.Pvserve.Load.r_hit_rate;
+      Printf.sprintf "  \"oracle_mismatches\": %d,"
+        r.Pvserve.Load.r_oracle_mismatches;
+      Printf.sprintf "  \"wall_s\": %.6f," r.Pvserve.Load.r_wall_s;
+      Printf.sprintf "  \"throughput_rps\": %.1f"
+        r.Pvserve.Load.r_throughput_rps;
+      "}";
+      "";
+    ]
+
+let run requests workers zipf seed cache_budget queue_cap window machines
+    gen_count no_oracle json trace prom =
+  let spec =
+    {
+      Pvserve.Load.requests;
+      workers;
+      zipf;
+      seed;
+      cache_budget;
+      queue_capacity = queue_cap;
+      window;
+      machines = resolve_machines machines;
+      gen_seeds = List.init gen_count (fun i -> i + 1);
+      oracle = not no_oracle;
+    }
+  in
+  let metrics = Pvtrace.Metrics.create () in
+  let tr =
+    match trace with Some _ -> Some (Pvtrace.Trace.create ~wall:true ()) | None -> None
+  in
+  let r = Pvserve.Load.run ?tr ~metrics spec in
+  print_endline (Pvserve.Load.report_to_string r);
+  Option.iter (fun path -> write_file path (report_json r)) json;
+  Option.iter
+    (fun path ->
+      match tr with
+      | Some tr -> Pvtrace.Export.to_file ~metrics tr path
+      | None -> ())
+    trace;
+  if prom then print_string (Pvtrace.Metrics.to_prom metrics);
+  if r.Pvserve.Load.r_oracle_mismatches > 0 || r.Pvserve.Load.r_errors > 0
+  then 1
+  else 0
+
+let requests_arg =
+  Arg.(value & opt int 10_000
+       & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to issue.")
+
+let workers_arg =
+  Arg.(value & opt int 4
+       & info [ "workers" ] ~docv:"N" ~doc:"JIT worker Domains.")
+
+let zipf_arg =
+  Arg.(value & opt float 1.0
+       & info [ "zipf" ] ~docv:"S"
+           ~doc:"Zipf popularity exponent (0 = uniform).")
+
+let seed_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic run seed.")
+
+let cache_budget_arg =
+  Arg.(value & opt int (1 lsl 22)
+       & info [ "cache-budget" ] ~docv:"BYTES"
+           ~doc:"Artifact-cache byte budget (LRU evicts above it).")
+
+let queue_cap_arg =
+  Arg.(value & opt int 256
+       & info [ "queue-cap" ] ~docv:"N"
+           ~doc:"Bounded request-queue capacity (backpressure).")
+
+let window_arg =
+  Arg.(value & opt int 64
+       & info [ "window" ] ~docv:"N"
+           ~doc:"Requests submitted per window before draining replies.")
+
+let machines_arg =
+  Arg.(value & opt string "all"
+       & info [ "machines" ] ~docv:"LIST"
+           ~doc:"Comma-separated machine descriptors, $(b,table1) or \
+                 $(b,all).")
+
+let gen_count_arg =
+  Arg.(value & opt int 8
+       & info [ "gen-count" ] ~docv:"N"
+           ~doc:"Random corpus programs (Pvcheck.Gen seeds 1..N).")
+
+let no_oracle_arg =
+  Arg.(value & flag
+       & info [ "no-oracle" ]
+           ~doc:"Skip the single-threaded recompile oracle (faster; \
+                 byte-identity of served artifacts is then unchecked).")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"PATH" ~doc:"Write the report as JSON.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"PATH"
+           ~doc:"Write a Chrome trace of the run (coordinator-side spans \
+                 and hit-rate counters).")
+
+let prom_arg =
+  Arg.(value & flag
+       & info [ "prom" ]
+           ~doc:"Print the service metrics registry as Prometheus text.")
+
+let cmd =
+  let doc = "deterministic Zipf load generator for the compilation service" in
+  Cmd.v
+    (Cmd.info "pvload" ~doc)
+    Term.(
+      const run $ requests_arg $ workers_arg $ zipf_arg $ seed_arg
+      $ cache_budget_arg $ queue_cap_arg $ window_arg $ machines_arg
+      $ gen_count_arg $ no_oracle_arg $ json_arg $ trace_arg $ prom_arg)
+
+let () = exit (Cmd.eval' cmd)

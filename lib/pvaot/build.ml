@@ -159,11 +159,17 @@ let compile_once tc ~src_path ~out_path =
    OOM-killed cc, a filesystem race on a shared cache dir), so it gets a
    short, deterministic, capped retry schedule before the backend
    degrades to the threaded engine.  The schedule is a knob so tests can
-   zero the delays; [compile_attempts] makes the retries observable. *)
+   zero the delays; [compile_attempts] makes the retries observable.
+
+   Both are process-global state shared across Domains.  The attempt
+   counter is bumped atomically; the delay schedule is a test knob set
+   before any Domain is spawned, so a plain ref suffices there. *)
 let default_retry_delays = [ 0.05; 0.2 ]
 let retry_delays = ref default_retry_delays
 let set_retry_delays ds = retry_delays := ds
-let compile_attempts = ref 0
+let compile_attempts_a = Atomic.make 0
+let compile_attempts () = Atomic.get compile_attempts_a
+let reset_compile_attempts () = Atomic.set compile_attempts_a 0
 
 (** Compile [src_path] to [out_path], retrying on the bounded
     [retry_delays] schedule.  The final [Error] carries the last
@@ -171,7 +177,7 @@ let compile_attempts = ref 0
     the [Aot_unavailable] ledger entry when the backend degrades. *)
 let compile tc ~src_path ~out_path =
   let rec go attempt delays =
-    incr compile_attempts;
+    Atomic.incr compile_attempts_a;
     match compile_once tc ~src_path ~out_path with
     | Ok () -> Ok ()
     | Error e -> (
@@ -239,29 +245,52 @@ let run_canary tc =
       | None -> Error "canary registered the wrong entries"
       | Some _ -> Ok ()))
 
-let probe_once =
-  lazy
-    (match find_compiler () with
-    | None -> Error "no usable OCaml compiler found on PATH"
-    | Some compiler -> (
-      match find_build_root () with
+let probe () =
+  match find_compiler () with
+  | None -> Error "no usable OCaml compiler found on PATH"
+  | Some compiler -> (
+    match find_build_root () with
+    | None -> Error "could not locate the dune build tree (_build/default)"
+    | Some root ->
+      let incdirs = List.map (objs_dir root) needed_libs in
+      let missing = List.filter (fun d -> not (Sys.file_exists d)) incdirs in
+      if missing <> [] then
+        Error ("missing interface dirs: " ^ String.concat ", " missing)
+      else
+        let tc = { native = Dynlink.is_native; compiler; incdirs } in
+        (match run_canary tc with Ok () -> Ok tc | Error e -> Error e))
+
+(* Probed once per process.  Not a [lazy]: two Domains forcing one lazy
+   concurrently is a race in OCaml 5 (the loser observes
+   [CamlinternalLazy.Undefined]), so the memo is an explicit
+   mutex-guarded cell.  The same mutex serializes on-disk artifact
+   production below — two workers may not compile into one temp path. *)
+let build_mu = Mutex.create ()
+let probe_memo : (toolchain, string) result option ref = ref None
+
+let with_build_lock f =
+  Mutex.lock build_mu;
+  match f () with
+  | v ->
+    Mutex.unlock build_mu;
+    v
+  | exception e ->
+    Mutex.unlock build_mu;
+    raise e
+
+let probe_once () =
+  with_build_lock (fun () ->
+      match !probe_memo with
+      | Some r -> r
       | None ->
-        Error "could not locate the dune build tree (_build/default)"
-      | Some root ->
-        let incdirs = List.map (objs_dir root) needed_libs in
-        let missing = List.filter (fun d -> not (Sys.file_exists d)) incdirs in
-        if missing <> [] then
-          Error ("missing interface dirs: " ^ String.concat ", " missing)
-        else
-          let tc = { native = Dynlink.is_native; compiler; incdirs } in
-          (match run_canary tc with
-          | Ok () -> Ok tc
-          | Error e -> Error e)))
+        let r = probe () in
+        probe_memo := Some r;
+        r)
 
 let toolchain () =
   match !forced_unavailable with
   | Some reason -> Error reason
-  | None -> Lazy.force probe_once
+  | None -> probe_once ()
 
 let available () = match toolchain () with Ok _ -> true | Error _ -> false
 
@@ -285,12 +314,15 @@ let origin_name = function
 (** Ensure [digest]'s artifact exists on disk, compiling [source ()] if
     the cache misses.  Returns the artifact path and where it came from.
     Writes are atomic (temp + rename) so concurrent test processes
-    sharing a cache directory cannot observe torn files. *)
+    sharing a cache directory cannot observe torn files; within one
+    process, [build_mu] additionally serializes compiles so two Domains
+    missing on the same digest cannot race on the shared temp path. *)
 let ensure_artifact ~digest ~(source : unit -> string) :
     (string * origin, string) result =
   match toolchain () with
   | Error e -> Error e
   | Ok tc ->
+    with_build_lock @@ fun () ->
     let dir = cache_dir () in
     let ext = artifact_ext tc in
     let base = "pvaot_" ^ digest in

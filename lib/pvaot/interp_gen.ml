@@ -1249,10 +1249,15 @@ let header =
     "fall back". *)
 let generate (img : Pvvm.Image.t) ~dispatch_cost : string * string * string =
   let prog = img.Pvvm.Image.prog in
+  (* The pretty-printed program alone under-keys the cache: [Pp] never
+     prints global annotations, so two programs differing only in their
+     annotation sets would collide.  Fold the canonical annotation dump
+     in as its own section. *)
   let digest =
     Build.digest_of_dump
-      (Printf.sprintf "interp\x00%d\x00%s" dispatch_cost
-         (Pvir.Pp.program_to_string prog))
+      (Printf.sprintf "interp\x00%d\x00%s\x00annots\x00%s" dispatch_cost
+         (Pvir.Pp.program_to_string prog)
+         (Pvir.Prog.annotations_dump prog))
   in
   let buf = Buffer.create 8192 in
   Buffer.add_string buf header;

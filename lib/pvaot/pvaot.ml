@@ -15,28 +15,54 @@
 module Aotabi = Pvvm.Aotabi
 
 (* Re-exported for tests and harnesses: toolchain probe, compile retry
-   knobs, cache layout. *)
+   knobs, cache layout, and the source generators (cache-key regression
+   tests digest through them directly). *)
 module Build = Build
+module Interp_gen = Interp_gen
 
 (* ------------------------------------------------------------------ *)
 (* Degradation ledger                                                  *)
+
+(* All module-level mutable state below (ledger cell, once-flags, the
+   three prepared-code memos) is process-global and may be touched from
+   several Domains at once — [mu] covers every read-modify-write.  The
+   out-of-process compile itself runs outside the lock (it is the slow
+   part and [Build] serializes the disk cache internally). *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
 
 let ledger : Pvtrace.Ledger.t option ref = ref None
 let unavailable_recorded = ref false
 
 let set_ledger l =
-  ledger := l;
-  unavailable_recorded := false
+  locked (fun () ->
+      ledger := l;
+      unavailable_recorded := false)
 
 (** One ledger entry per process (or per [set_ledger]): the fallback
     itself is per-call, but the operator only needs to learn once that
     the AOT tier is dark. *)
 let record_unavailable ~subject reason =
-  if not !unavailable_recorded then begin
-    unavailable_recorded := true;
+  let fresh =
+    locked (fun () ->
+        if !unavailable_recorded then false
+        else begin
+          unavailable_recorded := true;
+          true
+        end)
+  in
+  if fresh then
     Pvtrace.Ledger.record_opt !ledger Pvtrace.Ledger.Aot_unavailable ~subject
       ~detail:reason
-  end
 
 (* Re-exported probe controls (see {!Build}). *)
 let set_forced_unavailable = Build.set_forced_unavailable
@@ -80,9 +106,10 @@ type sim_memo_entry = {
 let sim_memo : sim_memo_entry list ref = ref []
 
 let reset_memos () =
-  interp_memo := [];
-  sim_memo := [];
-  Hashtbl.reset digest_memo
+  locked (fun () ->
+      interp_memo := [];
+      sim_memo := [];
+      Hashtbl.reset digest_memo)
 
 (** Compile (or fetch) plugin entries for [digest]/[source], with
     per-phase spans on the JIT track of [tr].
@@ -96,7 +123,7 @@ let reset_memos () =
     fresh build registers the wrong digest the generator itself is
     broken, and the backend degrades to threaded. *)
 let build_entries tr ~subject ~digest ~src_digest ~source : outcome =
-  match Hashtbl.find_opt digest_memo digest with
+  match locked (fun () -> Hashtbl.find_opt digest_memo digest) with
   | Some entries -> Ready { digest; entries; origin = "memo" }
   | None ->
     let span name f =
@@ -120,7 +147,7 @@ let build_entries tr ~subject ~digest ~src_digest ~source : outcome =
                src_digest)
     in
     let ready entries origin =
-      Hashtbl.replace digest_memo digest entries;
+      locked (fun () -> Hashtbl.replace digest_memo digest entries);
       Ready { digest; entries; origin }
     in
     (match
@@ -214,7 +241,8 @@ let prepare_interp (t : Pvvm.Interp.t) : outcome =
   let img = t.Pvvm.Interp.img in
   let dc = t.Pvvm.Interp.dispatch_cost in
   match
-    List.find_opt (fun (i, d, _) -> i == img && d = dc) !interp_memo
+    locked (fun () ->
+        List.find_opt (fun (i, d, _) -> i == img && d = dc) !interp_memo)
   with
   | Some (_, _, o) -> o
   | None ->
@@ -234,11 +262,12 @@ let prepare_interp (t : Pvvm.Interp.t) : outcome =
           build_entries t.Pvvm.Interp.tr ~subject:"interp" ~digest ~src_digest
             ~source:(fun () -> source))
     in
-    interp_memo :=
-      (img, dc, o)
-      :: (if List.length !interp_memo >= memo_cap then
-            List.filteri (fun i _ -> i < memo_cap - 1) !interp_memo
-          else !interp_memo);
+    locked (fun () ->
+        interp_memo :=
+          (img, dc, o)
+          :: (if List.length !interp_memo >= memo_cap then
+                List.filteri (fun i _ -> i < memo_cap - 1) !interp_memo
+              else !interp_memo));
     o
 
 let interp_runner (t : Pvvm.Interp.t) (fn : Pvir.Func.t)
@@ -318,9 +347,7 @@ let flush_sim_ctx (t : Pvvm.Sim.t) (c : Aotabi.ctx) =
     cache. *)
 let prepare_sim (t : Pvvm.Sim.t) : outcome =
   let snap = sim_snapshot t in
-  match
-    List.find_opt (fun e -> e.sm_sim == t) !sim_memo
-  with
+  match locked (fun () -> List.find_opt (fun e -> e.sm_sim == t) !sim_memo) with
   | Some e when snapshot_equal snap e.sm_snapshot -> e.sm_outcome
   | hit ->
     let o =
@@ -340,15 +367,16 @@ let prepare_sim (t : Pvvm.Sim.t) : outcome =
             ~source:(fun () -> source))
     in
     let entry = { sm_sim = t; sm_snapshot = snap; sm_outcome = o } in
-    let rest =
-      match hit with
-      | Some _ -> List.filter (fun e -> not (e.sm_sim == t)) !sim_memo
-      | None ->
-        if List.length !sim_memo >= memo_cap then
-          List.filteri (fun i _ -> i < memo_cap - 1) !sim_memo
-        else !sim_memo
-    in
-    sim_memo := entry :: rest;
+    locked (fun () ->
+        let rest =
+          match hit with
+          | Some _ -> List.filter (fun e -> not (e.sm_sim == t)) !sim_memo
+          | None ->
+            if List.length !sim_memo >= memo_cap then
+              List.filteri (fun i _ -> i < memo_cap - 1) !sim_memo
+            else !sim_memo
+        in
+        sim_memo := entry :: rest);
     o
 
 let sim_runner (t : Pvvm.Sim.t) (fn : Pvmach.Mir.func)
@@ -381,8 +409,15 @@ let installed = ref false
     run. *)
 let install ?(ledger : Pvtrace.Ledger.t option) () =
   (match ledger with Some _ -> set_ledger ledger | None -> ());
-  if not !installed then begin
-    installed := true;
+  let first =
+    locked (fun () ->
+        if !installed then false
+        else begin
+          installed := true;
+          true
+        end)
+  in
+  if first then begin
     Pvvm.Interp.aot_hook := interp_runner;
     Pvvm.Sim.aot_hook := sim_runner
   end

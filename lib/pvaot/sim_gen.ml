@@ -389,19 +389,10 @@ let header =
     ]
 
 (* Everything the baked costs and calling convention depend on (the
-   machine name alone would not survive a descriptor edit). *)
-let machine_dump (m : Machine.t) =
-  Printf.sprintf
-    "%s regs=%d,%d,%d simd=%d caps=%b,%b,%b costs=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
-    m.Machine.name m.Machine.int_regs m.Machine.fp_regs m.Machine.vec_regs
-    (Machine.simd_width m)
-    (Machine.has_cap m Capability.Fpu)
-    (Machine.has_cap m Capability.Dsp_mac)
-    (Machine.has_narrow_alu m) m.Machine.alu_cost m.Machine.mul_cost
-    m.Machine.div_cost m.Machine.fp_cost m.Machine.fdiv_cost
-    m.Machine.load_cost m.Machine.store_cost m.Machine.branch_cost
-    m.Machine.mov_cost m.Machine.narrow_penalty m.Machine.vec_op_cost
-    m.Machine.vec_mem_cost m.Machine.vec_pack_cost m.Machine.call_cost
+   machine name alone would not survive a descriptor edit).  Shared with
+   the service cache key, so both sides agree on what "same machine"
+   means. *)
+let machine_dump = Machine.descriptor_dump
 
 (* [Mir.func_to_string] covers blocks, types, offsets and immediates but
    not the calling convention; append it. *)

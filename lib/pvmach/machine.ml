@@ -210,3 +210,19 @@ let find_exn name =
   match find name with
   | Some m -> m
   | None -> invalid_arg (Printf.sprintf "Machine.find: unknown target %s" name)
+
+(** Canonical one-line dump of everything code generation and cost
+    modelling depend on: register files, SIMD shape, capabilities and the
+    full cost table.  Used as the "machine descriptor digest" component of
+    compiled-code cache keys (the name alone would not survive a
+    descriptor edit).  Format is load-bearing: the AOT sim cache digests
+    this string, so changing it invalidates every cached plugin. *)
+let descriptor_dump (m : t) =
+  Printf.sprintf
+    "%s regs=%d,%d,%d simd=%d caps=%b,%b,%b costs=%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
+    m.name m.int_regs m.fp_regs m.vec_regs (simd_width m)
+    (has_cap m Capability.Fpu)
+    (has_cap m Capability.Dsp_mac)
+    (has_narrow_alu m) m.alu_cost m.mul_cost m.div_cost m.fp_cost m.fdiv_cost
+    m.load_cost m.store_cost m.branch_cost m.mov_cost m.narrow_penalty
+    m.vec_op_cost m.vec_mem_cost m.vec_pack_cost m.call_cost

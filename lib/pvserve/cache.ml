@@ -1,0 +1,111 @@
+(** Compiled-artifact cache: content-addressed, LRU-evicted under a byte
+    budget, safe to share across {!Domain}s.
+
+    The table maps {!Key.to_string} keys to artifact strings.  Recency is
+    a logical tick bumped on every hit/insert; eviction linearly scans
+    for the minimum tick, which is plenty at service cache sizes (a few
+    hundred artifacts) and keeps the structure obviously correct.  Every
+    eviction is written to the degradation ledger — an evicted artifact
+    is invisible to callers (the next request recompiles identically)
+    but the aggregate is exactly the kind of silent quality loss the
+    ledger exists to make visible. *)
+
+type entry = {
+  artifact : string;
+  abytes : int;
+  mutable last_used : int;  (** logical tick of last hit/insert *)
+}
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  mu : Mutex.t;
+  budget : int;  (** byte budget over stored artifacts *)
+  ledger : Pvtrace.Ledger.t option;
+  mutable tick : int;
+  mutable bytes : int;
+  mutable evictions : int;
+}
+
+type stats = { s_entries : int; s_bytes : int; s_evictions : int }
+
+let create ?ledger ~budget_bytes () =
+  if budget_bytes <= 0 then invalid_arg "Cache.create: budget must be positive";
+  {
+    tbl = Hashtbl.create 64;
+    mu = Mutex.create ();
+    budget = budget_bytes;
+    ledger;
+    tick = 0;
+    bytes = 0;
+    evictions = 0;
+  }
+
+let protect t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let find t key =
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> None
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.last_used <- t.tick;
+        Some e.artifact)
+
+(* Evict least-recently-used entries until [t.bytes <= t.budget].  Called
+   under [t.mu]; the ledger has its own lock and is only ever taken after
+   ours, so the ordering is acyclic. *)
+let evict_to_budget t =
+  while t.bytes > t.budget && Hashtbl.length t.tbl > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | _ -> Some (k, e))
+        t.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, e) ->
+      Hashtbl.remove t.tbl k;
+      t.bytes <- t.bytes - e.abytes;
+      t.evictions <- t.evictions + 1;
+      Pvtrace.Ledger.record_opt t.ledger (Pvtrace.Ledger.Other "cache-evict")
+        ~subject:k
+        ~detail:
+          (Printf.sprintf "%dB evicted at tick %d (budget %dB)" e.abytes
+             t.tick t.budget)
+  done
+
+(** Insert (or refresh) [key -> artifact], then evict LRU entries until
+    the byte budget holds again.  An artifact larger than the whole
+    budget still serves its waiters — it just lives alone and is evicted
+    by the next insert. *)
+let insert t key artifact =
+  protect t (fun () ->
+      (match Hashtbl.find_opt t.tbl key with
+      | Some old -> t.bytes <- t.bytes - old.abytes
+      | None -> ());
+      t.tick <- t.tick + 1;
+      let e =
+        { artifact; abytes = String.length artifact; last_used = t.tick }
+      in
+      Hashtbl.replace t.tbl key e;
+      t.bytes <- t.bytes + e.abytes;
+      evict_to_budget t)
+
+let stats t =
+  protect t (fun () ->
+      {
+        s_entries = Hashtbl.length t.tbl;
+        s_bytes = t.bytes;
+        s_evictions = t.evictions;
+      })

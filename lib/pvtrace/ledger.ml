@@ -42,24 +42,39 @@ type t = {
   mutable events_rev : event list;
   mutable nevents : int;
   mutable clock : unit -> int64;
+  mu : Mutex.t;
+      (** one ledger may be shared across [Domain]s (service workers all
+          record degradations into the fleet ledger), so the append and
+          the reads synchronize here *)
 }
 
 let create ?(clock = fun () -> 0L) () =
-  { events_rev = []; nevents = 0; clock }
+  { events_rev = []; nevents = 0; clock; mu = Mutex.create () }
 
-let set_clock t c = t.clock <- c
+let protect t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
+
+let set_clock t c = protect t (fun () -> t.clock <- c)
 
 let record t ?ts kind ~subject ~detail =
-  let ts = match ts with Some ts -> ts | None -> t.clock () in
-  t.events_rev <- { kind; subject; detail; ts } :: t.events_rev;
-  t.nevents <- t.nevents + 1
+  protect t (fun () ->
+      let ts = match ts with Some ts -> ts | None -> t.clock () in
+      t.events_rev <- { kind; subject; detail; ts } :: t.events_rev;
+      t.nevents <- t.nevents + 1)
 
 (** Record into an optional ledger — the threading-friendly form. *)
 let record_opt (t : t option) ?ts kind ~subject ~detail =
   match t with Some t -> record t ?ts kind ~subject ~detail | None -> ()
 
-let events t = List.rev t.events_rev
-let count t = t.nevents
+let events t = protect t (fun () -> List.rev t.events_rev)
+let count t = protect t (fun () -> t.nevents)
 
 let by_kind t kind =
   List.filter (fun e -> e.kind = kind) (events t)

@@ -15,7 +15,15 @@
     clocks, no I/O, just named cells.  Producers find-or-create metrics
     by name; a name is permanently bound to the kind that first created
     it (a kind clash raises [Invalid_argument] — it is a programming
-    error, not input-dependent). *)
+    error, not input-dependent).
+
+    The registry is domain-safe: one registry may be shared by several
+    OCaml 5 [Domain]s (the split-compilation service's JIT workers all
+    record into the same registry), so every operation that touches the
+    name table or a cell — writes {e and} reads — runs under the
+    registry's mutex.  The lock is per-registry and uncontended in
+    single-domain use; the hot VM loops never touch a registry at all
+    (see the zero-hot-loop-cost rule in [lib/pvtrace]'s design notes). *)
 
 type hist = {
   bounds : int64 array;
@@ -31,9 +39,20 @@ type metric =
   | Gauge of { mutable g : int64 }
   | Hist of hist
 
-type t = { tbl : (string, metric) Hashtbl.t }
+type t = { tbl : (string, metric) Hashtbl.t; mu : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; mu = Mutex.create () }
+
+(* [Mutex.protect] exists only from OCaml 5.1; the package floor is 5.0. *)
+let protect (t : t) f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -53,10 +72,11 @@ let default_bounds : int64 array =
 (* ---------------- counters ---------------- *)
 
 let inc t name n =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Counter c) -> c.c <- Int64.add c.c n
-  | Some m -> clash name m "counter"
-  | None -> Hashtbl.replace t.tbl name (Counter { c = n })
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter c) -> c.c <- Int64.add c.c n
+      | Some m -> clash name m "counter"
+      | None -> Hashtbl.replace t.tbl name (Counter { c = n }))
 
 let inc1 t name = inc t name 1L
 let inci t name n = inc t name (Int64.of_int n)
@@ -64,16 +84,17 @@ let inci t name n = inc t name (Int64.of_int n)
 (* ---------------- gauges ---------------- *)
 
 let set t name v =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Gauge g) -> g.g <- v
-  | Some m -> clash name m "gauge"
-  | None -> Hashtbl.replace t.tbl name (Gauge { g = v })
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Gauge g) -> g.g <- v
+      | Some m -> clash name m "gauge"
+      | None -> Hashtbl.replace t.tbl name (Gauge { g = v }))
 
 let seti t name v = set t name (Int64.of_int v)
 
 (* ---------------- histograms ---------------- *)
 
-let histogram t ?(bounds = default_bounds) name : hist =
+let histogram_unlocked t ?(bounds = default_bounds) name : hist =
   match Hashtbl.find_opt t.tbl name with
   | Some (Hist h) -> h
   | Some m -> clash name m "histogram"
@@ -96,6 +117,12 @@ let histogram t ?(bounds = default_bounds) name : hist =
     Hashtbl.replace t.tbl name (Hist h);
     h
 
+(** Find-or-create a histogram.  The returned [hist] record is shared
+    mutable state; mutate it only through {!observe} (which holds the
+    registry lock) unless the registry is confined to one domain. *)
+let histogram t ?bounds name : hist =
+  protect t (fun () -> histogram_unlocked t ?bounds name)
+
 let hist_observe (h : hist) (v : int64) =
   let n = Array.length h.bounds in
   let rec bucket i =
@@ -107,33 +134,44 @@ let hist_observe (h : hist) (v : int64) =
   h.hsum <- Int64.add h.hsum v;
   h.hcount <- h.hcount + 1
 
-let observe t ?bounds name v = hist_observe (histogram t ?bounds name) v
+let observe t ?bounds name v =
+  protect t (fun () -> hist_observe (histogram_unlocked t ?bounds name) v)
 
 (* ---------------- reading ---------------- *)
 
-let find t name = Hashtbl.find_opt t.tbl name
+let find t name = protect t (fun () -> Hashtbl.find_opt t.tbl name)
 
 (** Current value of a counter or gauge ([None] if absent or a
     histogram). *)
 let value t name : int64 option =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Counter c) -> Some c.c
-  | Some (Gauge g) -> Some g.g
-  | _ -> None
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter c) -> Some c.c
+      | Some (Gauge g) -> Some g.g
+      | _ -> None)
 
 let hist_count t name =
-  match Hashtbl.find_opt t.tbl name with Some (Hist h) -> h.hcount | _ -> 0
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Hist h) -> h.hcount
+      | _ -> 0)
 
 let hist_sum t name =
-  match Hashtbl.find_opt t.tbl name with Some (Hist h) -> h.hsum | _ -> 0L
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Hist h) -> h.hsum
+      | _ -> 0L)
 
 let hist_buckets t name : int array =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Hist h) -> Array.copy h.buckets
-  | _ -> [||]
+  protect t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Hist h) -> Array.copy h.buckets
+      | _ -> [||])
 
-let names t =
+let names_unlocked t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+let names t = protect t (fun () -> names_unlocked t)
 
 (* ---------------- quantiles ---------------- *)
 
@@ -147,6 +185,7 @@ let names t =
 let quantile t name (q : float) : float option =
   if Float.is_nan q || q < 0.0 || q > 1.0 then
     invalid_arg "Metrics.quantile: q must be in [0;1]";
+  protect t @@ fun () ->
   match Hashtbl.find_opt t.tbl name with
   | Some (Hist h) when h.hcount > 0 ->
     let n = Array.length h.bounds in
@@ -185,6 +224,7 @@ let prom_name (name : string) : string =
     metrics in name order, buckets in bound order — so equal registries
     render byte-identically, the law {!of_prom} round-trips on. *)
 let to_prom t : string =
+  protect t @@ fun () ->
   let buf = Buffer.create 1024 in
   List.iter
     (fun name ->
@@ -209,7 +249,7 @@ let to_prom t : string =
           (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pn h.hcount);
         Buffer.add_string buf (Printf.sprintf "%s_sum %Ld\n" pn h.hsum);
         Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pn h.hcount))
-    (names t);
+    (names_unlocked t);
   Buffer.contents buf
 
 (** Parse a {!to_prom}-shaped exposition back into a registry.  Only the
@@ -402,6 +442,7 @@ let of_prom (text : string) : (t, string) result =
 (* ---------------- text dump ---------------- *)
 
 let dump t : string =
+  protect t @@ fun () ->
   let buf = Buffer.create 512 in
   List.iter
     (fun name ->
@@ -419,5 +460,5 @@ let dump t : string =
               else Buffer.add_string buf (Printf.sprintf " inf=%d" b))
           h.buckets;
         Buffer.add_char buf '\n')
-    (names t);
+    (names_unlocked t);
   Buffer.contents buf

@@ -53,26 +53,44 @@ type registration = {
   entries : (string * entry) list;
 }
 
+(* The registry is global, process-wide state; plugin initializers run
+   on whichever Domain triggered the [Dynlink] load, so both the publish
+   and the claim sides go through [mu].  (Dynlink itself serializes
+   loads internally; this lock covers our own table.) *)
+let mu = Mutex.create ()
 let pending : (string * registration) list ref = ref []
+
+let protected f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
 
 (** Called by a plugin's module initializer: publish the unit's functions
     under its cache digest. *)
 let register digest (entries : (string * entry) list) =
-  pending := (digest, { src_digest = None; entries }) :: !pending
+  protected (fun () ->
+      pending := (digest, { src_digest = None; entries }) :: !pending)
 
 (** Like {!register}, additionally carrying the digest of the generated
     source body the plugin was compiled from; the loader verifies it
     against the generator's current output on every load, including
     disk-cache hits. *)
 let register_src digest ~src (entries : (string * entry) list) =
-  pending := (digest, { src_digest = Some src; entries }) :: !pending
+  protected (fun () ->
+      pending := (digest, { src_digest = Some src; entries }) :: !pending)
 
 (** Called by the loader right after [Dynlink.loadfile_private]: claim the
     registration the plugin just published.  [None] means the plugin did
     not initialize (load failure surfaced elsewhere). *)
 let take_pending digest =
-  match List.assoc_opt digest !pending with
-  | Some reg ->
-    pending := List.remove_assoc digest !pending;
-    Some reg
-  | None -> None
+  protected (fun () ->
+      match List.assoc_opt digest !pending with
+      | Some reg ->
+        pending := List.remove_assoc digest !pending;
+        Some reg
+      | None -> None)

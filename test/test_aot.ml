@@ -176,6 +176,36 @@ let test_sim_corpus_seed seed () =
 
 (* A plugin loaded from the on-disk artifact cache must behave exactly
    like the fresh compile that produced it. *)
+(* The compiled-code cache key must see annotation-only differences.
+   [Pp] never prints global annotations, so a digest of the
+   pretty-printed program alone lets two programs differing only in
+   [gannots] collide — and the second request would be served the first
+   one's artifact.  The key folds in [Prog.annotations_dump] to break
+   the tie. *)
+let test_annot_cache_key () =
+  let k = List.hd Kernels.table1 in
+  let mk () = Core.Splitc.frontend ~name:k.Kernels.name k.Kernels.source in
+  let p1 = mk () and p2 = mk () in
+  (match p2.Pvir.Prog.globals with
+  | [] -> Alcotest.fail "kernel has no globals"
+  | g :: rest ->
+    p2.Pvir.Prog.globals <-
+      { g with Pvir.Prog.gannots = [ ("layout", Pvir.Annot.Str "banked") ] }
+      :: rest);
+  (* the collision surface is real: the printer renders both the same *)
+  Alcotest.(check string) "pretty-printer blind to global annotations"
+    (Pvir.Pp.program_to_string p1)
+    (Pvir.Pp.program_to_string p2);
+  let digest p =
+    let d, _, _ =
+      Pvaot.Interp_gen.generate (Pvvm.Image.load p) ~dispatch_cost:1
+    in
+    d
+  in
+  Alcotest.(check bool) "cache digests differ for annotation-only change"
+    false
+    (String.equal (digest p1) (digest p2))
+
 let test_cache_roundtrip () =
   let dir =
     (* reserve a unique name without depending on Unix *)
@@ -324,7 +354,7 @@ let test_compile_retry () =
       in
       let src = Filename.temp_file "pvaot_retry" ".ml" in
       let out = Filename.chop_extension src ^ ".cmo" in
-      let before = !Pvaot.Build.compile_attempts in
+      let before = Pvaot.Build.compile_attempts () in
       (match Pvaot.Build.compile tc ~src_path:src ~out_path:out with
       | Ok () -> Alcotest.fail "compile under /bin/false succeeded"
       | Error e ->
@@ -333,7 +363,7 @@ let test_compile_retry () =
           true
           (string_contains e "after 3 attempts"));
       Alcotest.(check int) "three bounded attempts" 3
-        (!Pvaot.Build.compile_attempts - before);
+        (Pvaot.Build.compile_attempts () - before);
       Sys.remove src)
 
 (* ---------------- graceful degradation ---------------- *)
@@ -408,6 +438,8 @@ let () =
             [ 0; 5; 11; 17; 23 ] );
       ( "cache",
         [
+          Alcotest.test_case "annotation-only change changes key" `Quick
+            test_annot_cache_key;
           Alcotest.test_case "cached load = fresh compile" `Quick
             test_cache_roundtrip;
           Alcotest.test_case "stale artifact rejected and rebuilt" `Quick
